@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 2: CPU runtime for images up to 16 MP, for the reference
+ * ("Orig"), non-optimized ("Basic"), optimized ("Vect") and ARM
+ * implementations. Host rates are measured on a probe image and
+ * extrapolated linearly in megapixels (BM3D work per pixel is
+ * constant); the ARM series uses the paper's measured 5.2x ratio.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace ideal;
+using bench::baselines;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Fig. 2", "CPU runtime vs resolution (<= 16 MP)");
+
+    const double basic = baselines().rate(baseline::Platform::CpuBasic)
+                             .secondsPerMp;
+    const double vect =
+        baselines().rate(baseline::Platform::CpuVect).secondsPerMp;
+    const double arm =
+        baselines().rate(baseline::Platform::ArmVect).secondsPerMp;
+    // Paper Sec. 3.1: "Orig" (Intel's reference binary) performs like
+    // the vectorized implementation.
+    const double orig = vect;
+
+    std::printf("host rates (s/MP): basic=%.1f vect=%.1f arm=%.1f\n\n",
+                basic, vect, arm);
+
+    std::vector<int> widths = {8, 12, 12, 12, 12};
+    bench::printRow({"MP", "Orig(s)", "Basic(s)", "Vect(s)", "ARM(s)"},
+                    widths);
+    for (double mp : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
+        bench::printRow({fmt(mp, 0), fmt(orig * mp, 0),
+                         fmt(basic * mp, 0), fmt(vect * mp, 0),
+                         fmt(arm * mp, 0)},
+                        widths);
+    }
+
+    std::printf(
+        "\npaper: 16 MP takes ~1400 s on the Xeon ('Vect'), with 'Basic'\n"
+        "slower and 'ARM Vect' 5.2x slower; all series are linear in MP.\n"
+        "Basic/Vect ratio here = %.2fx. The paper's contrast is hand-\n"
+        "vectorized AVX vs scalar; our single code base is auto-\n"
+        "vectorized either way, so 'Basic' (no early termination) can\n"
+        "land within measurement noise of 'Vect' on some hosts. The\n"
+        "figure's load-bearing content - hundreds to thousands of\n"
+        "seconds per image, linear in MP - reproduces regardless.\n",
+        basic / vect);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig. 3: CPU and GPU runtime for images up to 42 MP. The CPU series
+ * is measured on the host; the GPU series uses the paper-calibrated
+ * GTX 980 model (19x the single-thread CPU).
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace ideal;
+using bench::baselines;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Fig. 3", "CPU and GPU runtime (<= 42 MP)");
+
+    const double cpu =
+        baselines().rate(baseline::Platform::CpuVect).secondsPerMp;
+    const double gpu =
+        baselines().rate(baseline::Platform::Gpu).secondsPerMp;
+
+    std::vector<int> widths = {8, 14, 14};
+    bench::printRow({"MP", "CPU(s)", "GPU(s)"}, widths);
+    for (double mp : {5.0, 8.0, 12.0, 16.0, 20.0, 25.0, 32.0, 42.0}) {
+        bench::printRow(
+            {fmt(mp, 0), fmt(cpu * mp, 0), fmt(gpu * mp, 1)}, widths);
+    }
+
+    std::printf("\nCPU/GPU ratio: %.1fx (paper: 19x; 16 MP = 1400 s CPU,"
+                " 86 s GPU; 42 MP = 226 s GPU)\n",
+                cpu / gpu);
+    return 0;
+}

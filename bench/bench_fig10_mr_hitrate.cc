@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 10: Matches-Reuse hit rate as a function of the aggressiveness
+ * factor K, for BM1 and BM2 (min/avg/max over the scene set). Hit
+ * decisions come from the streaming oracle, so larger images are
+ * affordable here.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/oracle.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Fig. 10", "MR hit rate vs aggressiveness K");
+
+    // Moderate noise: the paper's RAW dataset spans many lighting
+    // conditions; sigma = 15 keeps the matching-domain noise floor
+    // representative of a typical capture.
+    const int size = bench::fullScale() ? 512 : 256;
+    const auto scenes = bench::timingScenes(size, 15.0f);
+
+    std::vector<int> widths = {6, 22, 22};
+    bench::printRow({"K", "BM1 min/avg/max", "BM2 min/avg/max"}, widths);
+
+    for (double k = 0.1; k <= 1.001; k += 0.1) {
+        double mn1 = 1, mx1 = 0, sum1 = 0;
+        double mn2 = 1, mx2 = 0, sum2 = 0;
+        for (const auto &s : scenes) {
+            bm3d::Bm3dConfig cfg;
+            cfg.sigma = 15.0f;
+            cfg.mr.enabled = true;
+            cfg.mr.k = k;
+            core::Workload w = core::buildWorkload(s.noisy, cfg);
+            double h1 = w.stage1.hitRate();
+            double h2 = w.stage2.hitRate();
+            mn1 = std::min(mn1, h1);
+            mx1 = std::max(mx1, h1);
+            sum1 += h1;
+            mn2 = std::min(mn2, h2);
+            mx2 = std::max(mx2, h2);
+            sum2 += h2;
+        }
+        const double n = static_cast<double>(scenes.size());
+        bench::printRow(
+            {fmt(k, 1),
+             fmt(mn1 * 100, 0) + "/" + fmt(sum1 / n * 100, 0) + "/" +
+                 fmt(mx1 * 100, 0),
+             fmt(mn2 * 100, 0) + "/" + fmt(sum2 / n * 100, 0) + "/" +
+                 fmt(mx2 * 100, 0)},
+            widths);
+    }
+
+    std::printf("\npaper: BM1 avg hit rate is 96%% even at K=0.1 and\n"
+                "saturates at 99.9%% for K>0.5; BM2 trails BM1 and is\n"
+                "more content-sensitive. (units: %%)\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 11: per-image SNR with Matches Reuse, normalized to the
+ * original BM3D, as a function of K. Runs the full functional
+ * denoiser with and without MR on the small scene set.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bm3d/bm3d.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Fig. 11", "normalized SNR vs MR factor K");
+
+    const auto scenes = bench::functionalScenes();
+    bm3d::Bm3dConfig base;
+    base.searchWindow1 = 21;
+    base.searchWindow2 = 19;
+
+    std::vector<double> ref;
+    for (const auto &s : scenes) {
+        bm3d::Bm3d d(base);
+        ref.push_back(image::snrDb(s.clean, d.denoise(s.noisy).output));
+    }
+
+    std::vector<int> widths = {6, 10, 10, 10};
+    bench::printRow({"K", "min", "max", "avg"}, widths);
+    for (double k : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+        bm3d::Bm3dConfig cfg = base;
+        cfg.mr.enabled = true;
+        cfg.mr.k = k;
+        bm3d::Bm3d d(cfg);
+        double mn = 1e9, mx = -1e9, sum = 0;
+        for (size_t i = 0; i < scenes.size(); ++i) {
+            double snr = image::snrDb(scenes[i].clean,
+                                      d.denoise(scenes[i].noisy).output);
+            double rel = snr / ref[i] * 100.0;
+            mn = std::min(mn, rel);
+            mx = std::max(mx, rel);
+            sum += rel;
+        }
+        bench::printRow({fmt(k, 2), fmt(mn, 1), fmt(mx, 1),
+                         fmt(sum / scenes.size(), 1)},
+                        widths);
+    }
+
+    std::printf("\npaper: average normalized SNR is 102.6%% at K=0.1,\n"
+                "dropping toward 102%% as K grows; homogeneous images\n"
+                "gain up to +10%%, busy ones lose at most 2%%.\n");
+    return 0;
+}

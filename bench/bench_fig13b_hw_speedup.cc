@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 13b: speedup of the hardware implementations over the
+ * single-thread CPU - ML1/ML2 on the DaDianNao model, IDEALB, and
+ * IDEALMR (K = 0.25 / 0.5) on the cycle-level simulator.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "nn/dadiannao.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Fig. 13b", "accelerator speedups vs 1-thread CPU");
+
+    const double cpu_spmp =
+        bench::baselines().rate(baseline::Platform::CpuVect).secondsPerMp;
+
+    // IDEALMR seconds-per-MP at photographic scale: 8 MP images
+    // (full-width strip simulation), averaged over content kinds.
+    // IDEALB's cycle count is content-independent (full search), so a
+    // smaller image suffices for its rate.
+    int w8, h8;
+    bench::dimsForMegapixels(8.0, &w8, &h8);
+    const image::SceneKind kinds[] = {image::SceneKind::Nature,
+                                      image::SceneKind::Street,
+                                      image::SceneKind::Texture};
+    auto mr_spmp = [&](double k) {
+        double total = 0;
+        for (image::SceneKind kind : kinds)
+            total += bench::simulateScaled(
+                         core::AcceleratorConfig::idealMr(k), w8, h8, kind)
+                         .seconds();
+        return total / (3 * bench::megapixels(w8, h8));
+    };
+    const double mr25 = mr_spmp(0.25);
+    const double mr50 = mr_spmp(0.5);
+
+    const int size = bench::fullScale() ? 512 : 256;
+    const auto scenes = bench::timingScenes(size);
+    const double b =
+        core::simulateImage(core::AcceleratorConfig::idealB(),
+                            scenes[0].noisy)
+            .seconds() /
+        bench::megapixels(size, size);
+
+    nn::DaDianNao node;
+    auto nn_spmp = [&](const nn::NetworkDescriptor &d) {
+        auto r = node.run(d, size, size);
+        return r.seconds / bench::megapixels(size, size);
+    };
+    const double ml1 = nn_spmp(nn::makeMl1());
+    const double ml2 = nn_spmp(nn::makeMl2());
+
+    std::vector<int> widths = {14, 14, 14};
+    bench::printRow({"impl", "measured", "paper"}, widths);
+    bench::printRow({"ML1", fmt(cpu_spmp / ml1, 0) + "x",
+                     fmt(baseline::paper::kSpeedupMl1, 0) + "x"}, widths);
+    bench::printRow({"ML2", fmt(cpu_spmp / ml2, 0) + "x",
+                     fmt(baseline::paper::kSpeedupMl2, 0) + "x"}, widths);
+    bench::printRow({"IDEAL_B", fmt(cpu_spmp / b, 0) + "x",
+                     fmt(baseline::paper::kSpeedupIdealB, 0) + "x"},
+                    widths);
+    bench::printRow({"IDEAL (0.25)", fmt(cpu_spmp / mr25, 0) + "x",
+                     fmt(baseline::paper::kSpeedupIdealMr025, 0) + "x"},
+                    widths);
+    bench::printRow({"IDEAL (0.5)", fmt(cpu_spmp / mr50, 0) + "x",
+                     fmt(baseline::paper::kSpeedupIdealMr05, 0) + "x"},
+                    widths);
+
+    std::printf("\nshape checks: IDEALMR/IDEALB = %.0fx (paper 27-31x);"
+                " IDEAL(0.5)/ML2 = %.1fx (paper >= 5.4x);\n"
+                "ML2/ML1 = %.0fx (paper ~17x). Absolute speedups depend"
+                " on the host CPU standing in for the Xeon.\n",
+                b / mr50, ml2 / mr50, ml1 / ml2);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig. 14: IDEALMR runtime for images of 8-42 MP at K = 0.25 and
+ * K = 0.5. Large images are simulated as a full-width strip and
+ * scaled by the reference-row count (the per-row workload is
+ * homogeneous; see bench/common.h).
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Fig. 14", "IDEALMR runtime vs resolution");
+
+    const double mps[] = {8, 10, 12, 16, 18, 20, 21, 22, 24, 25, 42};
+
+    std::vector<int> widths = {8, 16, 16};
+    bench::printRow({"MP", "IDEAL(0.25) s", "IDEAL(0.5) s"}, widths);
+    for (double mp : mps) {
+        int w, h;
+        bench::dimsForMegapixels(mp, &w, &h);
+        auto r25 = bench::simulateScaled(
+            core::AcceleratorConfig::idealMr(0.25), w, h);
+        auto r50 = bench::simulateScaled(
+            core::AcceleratorConfig::idealMr(0.5), w, h);
+        bench::printRow({fmt(mp, 0), fmt(r25.seconds(), 3),
+                         fmt(r50.seconds(), 3)},
+                        widths);
+    }
+
+    std::printf("\npaper: all runtimes stay inside UI limits - a 42 MP\n"
+                "image takes < 0.5 s and 16 MP takes 0.13-0.18 s.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 16: IDEALMR performance vs the number of lanes (16-128) for
+ * K = 0.25 and K = 0.5. Uses a synthetic workload with the hit rates
+ * the paper reports for each K so that the scaling study isolates the
+ * architecture from image content, exactly as the figure intends.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/oracle.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Fig. 16", "performance vs number of lanes");
+
+    const double cpu_spmp =
+        bench::baselines().rate(baseline::Platform::CpuVect).secondsPerMp;
+    const int size = bench::fullScale() ? 1024 : 512;
+    const double mp = bench::megapixels(size, size);
+
+    bm3d::Bm3dConfig algo;
+    algo.mr.enabled = true;
+    // Fig. 10: K=0.25 hits ~97%/94%; K=0.5 hits ~99.9%/99%.
+    auto w25 = core::makeSyntheticWorkload(size, size, 3, algo, 0.97,
+                                           0.94, 11);
+    auto w50 = core::makeSyntheticWorkload(size, size, 3, algo, 0.999,
+                                           0.99, 12);
+
+    std::vector<int> widths = {8, 16, 16, 14, 14};
+    bench::printRow({"lanes", "K=0.25 spdup", "K=0.5 spdup",
+                     "BW25 GB/s", "BW50 GB/s"},
+                    widths);
+    for (int lanes : {16, 32, 48, 64, 96, 128}) {
+        auto run = [&](double k, const core::Workload &w,
+                       double *bw) {
+            core::AcceleratorConfig cfg = core::AcceleratorConfig::idealMr(k);
+            cfg.lanes = lanes;
+            auto r = core::simulate(cfg, w);
+            *bw = r.averageBandwidthGBs();
+            return cpu_spmp * mp / r.seconds();
+        };
+        double bw25 = 0, bw50 = 0;
+        double s25 = run(0.25, w25, &bw25);
+        double s50 = run(0.5, w50, &bw50);
+        bench::printRow({std::to_string(lanes), fmt(s25, 0) + "x",
+                         fmt(s50, 0) + "x", fmt(bw25, 1), fmt(bw50, 1)},
+                        widths);
+    }
+
+    std::printf("\npaper: linear scaling to 32 lanes, increasingly\n"
+                "sublinear at 64+ as the 21 GB/s dual-channel DDR3-1333\n"
+                "ceiling binds; K=0.25 saturates before K=0.5 because\n"
+                "its lanes stay less synchronized (fewer coalesced\n"
+                "requests).\n");
+    return 0;
+}

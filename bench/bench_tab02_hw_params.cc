@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 2: accelerator hardware parameters, generated from the two
+ * simulator configurations (so the table always reflects what the
+ * simulator actually models).
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Table 2", "accelerator hardware parameters");
+
+    core::AcceleratorConfig b = core::AcceleratorConfig::idealB();
+    core::AcceleratorConfig mr = core::AcceleratorConfig::idealMr();
+
+    std::vector<int> widths = {22, 22, 22};
+    bench::printRow({"Parameter", "IDEALB", "IDEALMR"}, widths);
+    bench::printRow({"Technology", "65nm", "65nm"}, widths);
+    bench::printRow({"Frequency",
+                     fmt(b.freqGhz, 0) + " GHz",
+                     fmt(mr.freqGhz, 0) + " GHz"}, widths);
+    bench::printRow({"BM Engines", std::to_string(b.lanes),
+                     std::to_string(mr.lanes)}, widths);
+    bench::printRow({"Denoising Engines", "1 shared",
+                     std::to_string(mr.lanes)}, widths);
+    bench::printRow({"DCT Engines", "1 shared",
+                     std::to_string(mr.lanes) + " x 3"}, widths);
+    bench::printRow({"On-chip Buffer",
+                     fmt(b.bufferBytes() / 1024.0, 2) + " KB",
+                     std::to_string(mr.lanes) + " x " +
+                         fmt(mr.bufferBytes() / 1024.0 / mr.lanes, 1) +
+                         " KB"},
+                    widths);
+    bench::printRow({"Fraction Precision", "12-bit", "12-bit"}, widths);
+    bench::printRow({"Memory Controller",
+                     std::to_string(b.dram.channels) + "-ch, " +
+                         std::to_string(b.dram.maxInFlight) + " in-flight",
+                     std::to_string(mr.dram.channels) + "-ch, " +
+                         std::to_string(mr.dram.maxInFlight) +
+                         " in-flight"},
+                    widths);
+    bench::printRow({"Off-chip DRAM", "DDR3-1333", "DDR3-1333"}, widths);
+
+    std::printf("\npaper Table 2: 126.75 KB PB (IDEALB), 16 x 6.5 KB SWB\n"
+                "(IDEALMR), 1 GHz, 2-channel DDR3-1333, 32 in-flight.\n");
+    return 0;
+}

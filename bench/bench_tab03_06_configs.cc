@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tables 3-6: the evaluation's platform configurations - the host CPU
+ * standing in for the Xeon (Table 3), the modelled GTX 980 (Table 4),
+ * the two NN denoisers (Table 5), and the implementation/abbreviation
+ * list (Table 6).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench/common.h"
+#include "nn/networks.h"
+
+using namespace ideal;
+
+namespace {
+
+std::string
+hostCpuModel()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("model name", 0) == 0) {
+            size_t colon = line.find(':');
+            if (colon != std::string::npos)
+                return line.substr(colon + 2);
+        }
+    }
+    return "(unknown host CPU)";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Tables 3-6", "platform configurations");
+
+    std::printf("Table 3 - CPU platform\n");
+    std::printf("  paper: Intel Xeon E5-2650 v2, 22 nm, 2.6 GHz, 8 cores"
+                " x2 HT, 20 MB L3, 48 GB\n");
+    std::printf("  host substitute: %s (%u hardware threads)\n\n",
+                hostCpuModel().c_str(),
+                std::thread::hardware_concurrency());
+
+    std::printf("Table 4 - GPU platform (modelled)\n");
+    std::printf("  NVIDIA GeForce GTX 980, 28 nm, 1.126 GHz, 2048 CUDA"
+                " cores, 4 GB GDDR5 @ 224 GB/s\n");
+    std::printf("  modelled as 19x the single-thread CPU (paper's"
+                " measured ratio)\n\n");
+
+    std::printf("Table 5 - NN denoisers\n");
+    auto ml1 = nn::makeMl1();
+    auto ml2 = nn::makeMl2();
+    std::printf("  ML1: %zu-layer FCNN, %d x %d in -> %d x %d out, "
+                "%.1f M weights (paper: 27.8 M)\n",
+                ml1.net->depth(), ml1.inputTile, ml1.inputTile,
+                ml1.outputTile, ml1.outputTile,
+                static_cast<double>(ml1.net->totalWeights()) / 1e6);
+    for (size_t i = 0; i < ml1.net->depth(); ++i)
+        std::printf("    L%zu: %s\n", i + 1,
+                    ml1.net->layer(i).name().c_str());
+    std::printf("  ML2: %zu-layer CNN, %d x %d tiles -> %d x %d, "
+                "%.0f K weights (paper: 560 K)\n",
+                ml2.net->depth(), ml2.inputTile, ml2.inputTile,
+                ml2.outputTile, ml2.outputTile,
+                static_cast<double>(ml2.net->totalWeights()) / 1e3);
+    std::printf("\nTable 6 - implementations\n");
+    const baseline::Platform sw[] = {
+        baseline::Platform::CpuVect, baseline::Platform::CpuThreads,
+        baseline::Platform::CpuMr025, baseline::Platform::CpuMr05,
+        baseline::Platform::Gpu};
+    for (auto p : sw)
+        std::printf("  SW  %s\n", baseline::toString(p));
+    std::printf("  HW  ML1 (DaDianNao)\n  HW  ML2 (DaDianNao)\n"
+                "  HW  IDEAL_B\n  HW  IDEAL (0.25)\n  HW  IDEAL (0.5)\n");
+    return 0;
+}

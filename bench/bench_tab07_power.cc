@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 7: power breakdown of every implementation in watts.
+ * Accelerator rows come from the energy model driven by simulated
+ * activity; NN rows from the DaDianNao model; CPU/GPU rows are the
+ * paper's RAPL/nvprof measurements (no such hardware here).
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "energy/model.h"
+#include "nn/dadiannao.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Table 7", "power breakdown (watts)");
+
+    std::vector<int> widths = {14, 10, 10, 10, 10};
+    bench::printRow({"impl", "core", "buffers", "DRAM", "total"}, widths);
+
+    // CPU / GPU rows: paper-reported measurements.
+    bench::printRow({"CPU*", "25.9", "11.9(LLC)", "4.7", "42.5"}, widths);
+    bench::printRow({"Threads*", "96.8", "24.2(LLC)", "9.1", "130.1"},
+                    widths);
+    bench::printRow({"GPU*", "-", "-", "-", "144"}, widths);
+
+    // NN rows from the DaDianNao model.
+    nn::DaDianNao node;
+    const int sz = 2048;
+    auto ml1 = node.run(nn::makeMl1(), sz, sz);
+    auto ml2 = node.run(nn::makeMl2(), sz, sz);
+    bench::printRow({"ML1", fmt(ml1.corePowerW, 2),
+                     fmt(ml1.bufferPowerW, 2), "NC",
+                     fmt(ml1.corePowerW + ml1.bufferPowerW, 2) + "+NC"},
+                    widths);
+    bench::printRow({"ML2", fmt(ml2.corePowerW, 2),
+                     fmt(ml2.bufferPowerW, 2), fmt(ml2.dramPowerW, 2),
+                     fmt(ml2.totalPowerW(), 2)},
+                    widths);
+
+    // IDEAL rows from the energy model + cycle simulator.
+    energy::EnergyModel model(energy::TechNode::Tsmc65);
+    const int size = bench::fullScale() ? 512 : 256;
+    auto scene = bench::timingScenes(size)[0];
+    auto run = [&](const core::AcceleratorConfig &cfg, const char *name) {
+        auto r = core::simulateImage(cfg, scene.noisy);
+        auto p = model.power(cfg, r);
+        bench::printRow({name, fmt(p.core, 2), fmt(p.buffers, 2),
+                         fmt(p.dram, 2), fmt(p.total(), 2)},
+                        widths);
+        return p;
+    };
+    run(core::AcceleratorConfig::idealB(), "IDEAL_B");
+    run(core::AcceleratorConfig::idealMr(0.5), "IDEAL_MR");
+
+    std::printf("\n(*) paper-reported hardware measurements.\n"
+                "paper: IDEALB 1.29/0.39/3.83 = 5.51 W; IDEALMR\n"
+                "9.2/2.84/6.16 = 18.2 W; ML1 40.91 W on-chip; ML2\n"
+                "9.04/3.97/0.44 = 13.45 W.\n");
+    return 0;
+}

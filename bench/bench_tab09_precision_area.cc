@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 9: IDEALMR area and on-chip power versus fractional
+ * precision (12 down to 8 bits), plus the Sec. 6.7 28 nm scaling
+ * study.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "energy/model.h"
+
+using namespace ideal;
+using bench::fmt;
+
+int
+main()
+{
+    bench::printHeader("Table 9 / Sec. 6.7",
+                       "area & power vs precision; 28 nm scaling");
+
+    energy::EnergyModel m65(energy::TechNode::Tsmc65);
+    const int size = bench::fullScale() ? 512 : 256;
+    auto scene = bench::timingScenes(size)[0];
+    auto r = core::simulateImage(core::AcceleratorConfig::idealMr(0.5),
+                                 scene.noisy);
+
+    std::vector<int> widths = {12, 14, 14};
+    bench::printRow({"precision", "area mm^2", "power W"}, widths);
+    const double paper_area[] = {23.08, 21.45, 19.97, 17.54, 15.4};
+    const double paper_power[] = {12.05, 11.65, 11.41, 10.21, 9.07};
+    int i = 0;
+    for (int frac = 12; frac >= 8; --frac, ++i) {
+        core::AcceleratorConfig cfg = core::AcceleratorConfig::idealMr(0.5);
+        cfg.algo.fixedPoint = fixed::PipelineFormats::forFraction(frac);
+        double area = m65.area(cfg).total();
+        double power = m65.power(cfg, r).onChip();
+        bench::printRow({std::to_string(frac) + "-bit",
+                         fmt(area, 2) + " (" + fmt(paper_area[i], 2) + ")",
+                         fmt(power, 2) + " (" + fmt(paper_power[i], 2) +
+                             ")"},
+                        widths);
+    }
+    std::printf("(parenthesized: paper values)\n\n");
+
+    std::printf("Sec. 6.7 - STM 28 nm scaling:\n");
+    energy::EnergyModel m28(energy::TechNode::Stm28);
+    auto rb = core::simulateImage(core::AcceleratorConfig::idealB(),
+                                  scene.noisy);
+    std::printf("  IDEALB : %.2f mm^2, %.2f W on-chip "
+                "(paper: 1.44 mm^2, 0.65 W)\n",
+                m28.area(core::AcceleratorConfig::idealB()).total(),
+                m28.power(core::AcceleratorConfig::idealB(), rb).onChip());
+    std::printf("  IDEALMR: %.2f mm^2, %.2f W on-chip "
+                "(paper: 7.9 mm^2, 5.1 W)\n",
+                m28.area(core::AcceleratorConfig::idealMr(0.5)).total(),
+                m28.power(core::AcceleratorConfig::idealMr(0.5), r)
+                    .onChip());
+    return 0;
+}

@@ -1,0 +1,154 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ideal {
+namespace bench {
+
+bool
+fullScale()
+{
+    const char *env = std::getenv("IDEAL_BENCH_SCALE");
+    return env != nullptr && std::string(env) == "full";
+}
+
+void
+printHeader(const std::string &artifact, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s - %s\n", artifact.c_str(), what.c_str());
+    std::printf("==============================================================\n");
+}
+
+void
+printRow(const std::vector<std::string> &cells,
+         const std::vector<int> &widths)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        int w = i < widths.size() ? widths[i] : 12;
+        std::printf("%-*s", w, cells[i].c_str());
+    }
+    std::printf("\n");
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtSci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+std::vector<Scene>
+functionalScenes(float sigma)
+{
+    const int size = fullScale() ? 128 : 64;
+    std::vector<Scene> scenes;
+    const image::SceneKind kinds[] = {
+        image::SceneKind::Nature, image::SceneKind::Street,
+        image::SceneKind::Texture, image::SceneKind::Detail,
+        image::SceneKind::Uniform};
+    uint64_t seed = 1000;
+    for (image::SceneKind k : kinds) {
+        Scene s;
+        s.name = image::toString(k);
+        s.clean = image::makeScene(k, size, size, 3, seed);
+        s.noisy = image::addGaussianNoise(s.clean, sigma, seed + 1);
+        scenes.push_back(std::move(s));
+        seed += 10;
+    }
+    return scenes;
+}
+
+std::vector<Scene>
+timingScenes(int size, float sigma)
+{
+    std::vector<Scene> scenes;
+    const image::SceneKind kinds[] = {image::SceneKind::Nature,
+                                      image::SceneKind::Street,
+                                      image::SceneKind::Texture};
+    uint64_t seed = 5000;
+    for (image::SceneKind k : kinds) {
+        Scene s;
+        s.name = image::toString(k);
+        s.clean = image::makeScene(k, size, size, 3, seed);
+        s.noisy = image::addGaussianNoise(s.clean, sigma, seed + 1);
+        scenes.push_back(std::move(s));
+        seed += 10;
+    }
+    return scenes;
+}
+
+baseline::BaselineSuite &
+baselines()
+{
+    static baseline::BaselineSuite suite(fullScale() ? 128 : 96, 25.0f);
+    return suite;
+}
+
+core::SimResult
+simulateScaled(const core::AcceleratorConfig &cfg, int width, int height,
+               image::SceneKind kind, float sigma, uint64_t seed)
+{
+    // Simulate a full-width strip and scale by the reference-row
+    // ratio. Strip height targets ~0.5 MP (2 MP under full scale).
+    const int target_rows = std::max(
+        64, static_cast<int>((fullScale() ? 2e6 : 5e5) / width));
+    const int strip_h = std::min(height, target_rows);
+
+    image::ImageF clean =
+        image::makeScene(kind, width, strip_h, 3, seed);
+    image::ImageF noisy = image::addGaussianNoise(clean, sigma, seed + 1);
+    core::SimResult strip = core::simulateImage(cfg, noisy);
+    if (strip_h == height)
+        return strip;
+
+    const int p = cfg.algo.patchSize;
+    const double full_rows = static_cast<double>(
+        bm3d::makeRefPositions(height - p, cfg.algo.refStride).size());
+    const double strip_rows = static_cast<double>(
+        bm3d::makeRefPositions(strip_h - p, cfg.algo.refStride).size());
+    const double scale = full_rows / strip_rows;
+
+    core::SimResult result = strip;
+    result.stage1Cycles =
+        static_cast<sim::Cycle>(strip.stage1Cycles * scale);
+    result.stage2Cycles =
+        static_cast<sim::Cycle>(strip.stage2Cycles * scale);
+    result.activity.bmDistances = static_cast<uint64_t>(
+        static_cast<double>(strip.activity.bmDistances) * scale);
+    result.activity.dctTransforms = static_cast<uint64_t>(
+        static_cast<double>(strip.activity.dctTransforms) * scale);
+    result.activity.deStackPatches = static_cast<uint64_t>(
+        static_cast<double>(strip.activity.deStackPatches) * scale);
+    result.activity.bufferReads = static_cast<uint64_t>(
+        static_cast<double>(strip.activity.bufferReads) * scale);
+    result.activity.bufferWrites = static_cast<uint64_t>(
+        static_cast<double>(strip.activity.bufferWrites) * scale);
+    result.activity.dramBlocks = static_cast<uint64_t>(
+        static_cast<double>(strip.activity.dramBlocks) * scale);
+    return result;
+}
+
+void
+dimsForMegapixels(double mp, int *width, int *height)
+{
+    // 3:2 aspect, like the paper's camera RAWs.
+    double h = std::sqrt(mp * 1e6 / 1.5);
+    *height = static_cast<int>(h);
+    *width = static_cast<int>(h * 1.5);
+}
+
+} // namespace bench
+} // namespace ideal

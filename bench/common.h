@@ -1,0 +1,99 @@
+#ifndef IDEAL_BENCH_COMMON_H_
+#define IDEAL_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared support for the per-figure/per-table benchmark harness.
+ *
+ * Every binary regenerates one artifact of the paper's evaluation
+ * (Figs. 2-4, 9-16, Tables 1-9, Secs. 6.7/7). Where our substrate
+ * differs from the authors' testbed (host CPU instead of the Xeon,
+ * synthetic scenes instead of the RAW dataset), the harness prints the
+ * paper's reported values alongside so the reader can compare shape.
+ *
+ * Scaling: full-resolution functional runs of BM3D take minutes per
+ * megapixel by design, so functional workloads default to reduced
+ * sizes and cycle simulations of large images simulate a full-width
+ * strip and scale by the row count (cycle cost is row-homogeneous).
+ * Set IDEAL_BENCH_SCALE=full for bigger workloads.
+ */
+
+#include <string>
+#include <vector>
+
+#include "baseline/baseline.h"
+#include "core/accelerator.h"
+#include "image/image.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+namespace ideal {
+namespace bench {
+
+/** True when IDEAL_BENCH_SCALE=full is set in the environment. */
+bool fullScale();
+
+/** Print the standard header naming the regenerated artifact. */
+void printHeader(const std::string &artifact, const std::string &what);
+
+/** Print one aligned table row. */
+void printRow(const std::vector<std::string> &cells,
+              const std::vector<int> &widths);
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 3);
+std::string fmtSci(double v, int precision = 2);
+
+/** A clean/noisy pair for quality experiments. */
+struct Scene
+{
+    std::string name;
+    image::ImageF clean;
+    image::ImageF noisy;
+};
+
+/**
+ * Functional evaluation set (small: full BM3D runs on it). The sigma
+ * and size default to the harness standard (sigma 25, 64 px, scaled
+ * up under IDEAL_BENCH_SCALE=full).
+ */
+std::vector<Scene> functionalScenes(float sigma = 25.0f);
+
+/**
+ * Timing evaluation set (larger: only the oracle and the cycle
+ * simulator touch these).
+ */
+std::vector<Scene> timingScenes(int size, float sigma = 25.0f);
+
+/**
+ * The shared CPU baseline suite (measured once per process).
+ */
+baseline::BaselineSuite &baselines();
+
+/**
+ * Simulate the accelerator on a full-width strip of a width x height
+ * image and scale cycles to the full image. The per-row workload is
+ * statistically homogeneous, so runtime scales with the reference-row
+ * count (validated in tests/test_accelerator.cc's resolution-scaling
+ * test).
+ */
+core::SimResult simulateScaled(const core::AcceleratorConfig &cfg,
+                               int width, int height,
+                               image::SceneKind kind = image::SceneKind::Nature,
+                               float sigma = 25.0f, uint64_t seed = 4242);
+
+/** Megapixels of a width x height image. */
+inline double
+megapixels(int width, int height)
+{
+    return static_cast<double>(width) * height / 1e6;
+}
+
+/** 3:2 image dimensions for a target megapixel count. */
+void dimsForMegapixels(double mp, int *width, int *height);
+
+} // namespace bench
+} // namespace ideal
+
+#endif // IDEAL_BENCH_COMMON_H_

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Design-space explorer for the IDEAL accelerators: run the
+ * cycle-level simulator under a chosen configuration and print
+ * runtime, utilization, memory behaviour, and the 65 nm area/power
+ * estimate - the workflow an architect would use to size a variant.
+ *
+ *   ./accelerator_explorer [--variant b|mr] [--lanes N] [--k K]
+ *                          [--ps N] [--size N] [--no-prefetch]
+ *                          [--no-buffering] [--frac BITS] [--stats]
+ *
+ * --stats additionally dumps every named simulator statistic
+ * (gem5-style "name value" lines).
+ */
+
+#include <iostream>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/accelerator.h"
+#include "energy/model.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+
+int
+main(int argc, char **argv)
+{
+    core::AcceleratorConfig cfg = core::AcceleratorConfig::idealMr(0.5);
+    int size = 256;
+    bool dump_stats = false;
+    for (int i = 1; i < argc; ++i) {
+        auto is = [&](const char *f) { return std::strcmp(argv[i], f) == 0; };
+        if (is("--variant") && i + 1 < argc) {
+            cfg.variant = std::strcmp(argv[++i], "b") == 0
+                              ? core::Variant::IdealB
+                              : core::Variant::IdealMr;
+            if (cfg.variant == core::Variant::IdealB)
+                cfg.algo.mr.enabled = false;
+        } else if (is("--lanes") && i + 1 < argc) {
+            cfg.lanes = std::atoi(argv[++i]);
+        } else if (is("--k") && i + 1 < argc) {
+            cfg.algo.mr.k = std::atof(argv[++i]);
+        } else if (is("--ps") && i + 1 < argc) {
+            cfg.algo.refStride = std::atoi(argv[++i]);
+        } else if (is("--size") && i + 1 < argc) {
+            size = std::atoi(argv[++i]);
+        } else if (is("--stats")) {
+            dump_stats = true;
+        } else if (is("--no-prefetch")) {
+            cfg.prefetch = false;
+        } else if (is("--no-buffering")) {
+            cfg.buffering = false;
+            cfg.coalescing = false;
+        } else if (is("--frac") && i + 1 < argc) {
+            cfg.algo.fixedPoint =
+                fixed::PipelineFormats::forFraction(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr, "unknown/incomplete option: %s\n",
+                         argv[i]);
+            return 1;
+        }
+    }
+    cfg.validate();
+
+    auto clean =
+        image::makeScene(image::SceneKind::Nature, size, size, 3, 21);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 22);
+    auto r = core::simulateImage(cfg, noisy);
+
+    const double mp = static_cast<double>(size) * size / 1e6;
+    std::printf("config : %s, %d lanes, K=%.2f, Ps=%d, prefetch=%d, "
+                "buffering=%d\n",
+                cfg.variant == core::Variant::IdealB ? "IDEALB" : "IDEALMR",
+                cfg.lanes, cfg.algo.mr.k, cfg.algo.refStride,
+                cfg.prefetch, cfg.buffering);
+    std::printf("image  : %dx%d (%.2f MP), sigma 25\n", size, size, mp);
+    std::printf("cycles : %llu (stage1 %llu + stage2 %llu)\n",
+                static_cast<unsigned long long>(r.totalCycles()),
+                static_cast<unsigned long long>(r.stage1Cycles),
+                static_cast<unsigned long long>(r.stage2Cycles));
+    std::printf("runtime: %.4f s  (%.4f s/MP, %.1f FPS at this size)\n",
+                r.seconds(), r.seconds() / mp, 1.0 / r.seconds());
+    std::printf("MR hits: %.1f%% (BM1), %.1f%% (BM2)\n",
+                r.mrHitRate1 * 100, r.mrHitRate2 * 100);
+    std::printf("memory : %.2f GB/s avg, %llu blocks, %.0f coalesced, "
+                "%.1f cyc avg latency\n",
+                r.averageBandwidthGBs(),
+                static_cast<unsigned long long>(r.activity.dramBlocks),
+                r.stats.get("mem.coalesced"),
+                r.stats.get("dram.avgLatency"));
+    std::printf("DRAM   : %.0f row hits / %.0f conflicts / %.0f cold\n",
+                r.stats.get("dram.rowHits"),
+                r.stats.get("dram.rowConflicts"),
+                r.stats.get("dram.rowClosed"));
+
+    energy::EnergyModel model(energy::TechNode::Tsmc65);
+    auto area = model.area(cfg);
+    auto power = model.power(cfg, r);
+    std::printf("65nm   : %.2f mm^2 (BM %.2f, DE %.2f, DCT %.2f, "
+                "buffers %.2f)\n",
+                area.total(), area.bmEngines, area.deEngines,
+                area.dctEngines, area.buffers);
+    std::printf("power  : %.2f W on-chip + %.2f W DRAM = %.2f W; "
+                "%.3f J per image\n",
+                power.onChip(), power.dram, power.total(),
+                model.energyJoules(cfg, r));
+
+    if (dump_stats) {
+        std::printf("\n--- simulator statistics ---\n");
+        r.stats.dump(std::cout);
+    }
+    return 0;
+}

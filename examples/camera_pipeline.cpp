@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A computational-imaging front end (paper Sec. 1): the full path from
+ * sensor to image - Bayer mosaic capture with signal-dependent sensor
+ * noise, demosaicing, conversion to an opponent color space so block
+ * matching runs on the luminance channel, BM3D denoising (the stage
+ * that takes >95% of CIP time), and conversion back to RGB.
+ *
+ *   ./camera_pipeline [size]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bm3d/bm3d.h"
+#include "image/bayer.h"
+#include "image/io.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+
+int
+main(int argc, char **argv)
+{
+    const int size = argc > 1 ? std::atoi(argv[1]) : 96;
+
+    // The scene the camera points at.
+    image::ImageF scene =
+        image::makeScene(image::SceneKind::Street, size, size, 3, 7);
+
+    // --- Sensor: Bayer CFA sampling + Poisson-Gaussian noise ---
+    image::ImageF raw = image::mosaic(scene);
+    raw = image::addSensorNoise(raw, 0.8f, 40.0f, 8);
+
+    // --- ISP step 1: demosaic (gradient-corrected) ---
+    image::ImageF rgb_noisy = image::demosaicMalvar(raw);
+
+    // --- ISP step 2: opponent color transform; channel 0 becomes the
+    //     luminance-like component the matcher uses. ---
+    image::ImageF opp = image::rgbToOpponent(rgb_noisy);
+
+    // --- ISP step 3: BM3D denoising. Approximate the sensor noise
+    //     with an equivalent AWGN sigma at mid-gray. ---
+    const float sigma_eq = std::sqrt(0.8f * 128.0f + 40.0f);
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = sigma_eq;
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.25; // conservative reuse for a quality-first pipeline
+    bm3d::Bm3d denoiser(cfg);
+    auto result = denoiser.denoise(opp);
+
+    // --- ISP step 4: back to RGB ---
+    image::ImageF rgb = image::opponentToRgb(result.output);
+
+    std::printf("camera pipeline on %dx%d Bayer RAW "
+                "(sigma_eq = %.1f)\n\n",
+                size, size, sigma_eq);
+    std::printf("PSNR demosaic only : %6.2f dB\n",
+                image::psnrDb(scene, rgb_noisy));
+    std::printf("PSNR full pipeline : %6.2f dB\n",
+                image::psnrDb(scene, rgb));
+    std::printf("SSIM demosaic only : %6.3f\n",
+                image::ssim(scene, rgb_noisy));
+    std::printf("SSIM full pipeline : %6.3f\n", image::ssim(scene, rgb));
+
+    std::printf("\nper-step time (the paper's Fig. 4 breakdown):\n");
+    double total = result.profile.totalSeconds();
+    for (int i = 0; i < bm3d::kNumSteps; ++i) {
+        auto step = static_cast<bm3d::Step>(i);
+        std::printf("  %-5s %6.1f%%\n", bm3d::toString(step),
+                    result.profile.seconds(step) / total * 100);
+    }
+    std::printf("denoising took %.2f s of the pipeline - the paper's\n"
+                "point: >95%% of CIP time is BM3D, hence IDEAL.\n",
+                total);
+
+    image::writeNetpbm("pipeline_demosaic.ppm", image::toU8(rgb_noisy));
+    image::writeNetpbm("pipeline_out.ppm", image::toU8(rgb));
+    std::printf("wrote pipeline_demosaic.ppm / pipeline_out.ppm\n");
+    return 0;
+}

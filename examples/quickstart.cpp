@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: denoise a noisy image with BM3D and print quality
+ * metrics.
+ *
+ *   ./quickstart [size] [sigma]
+ *
+ * Generates a synthetic scene (no input files needed), adds Gaussian
+ * noise, runs the two-stage BM3D pipeline with Matches Reuse, and
+ * writes before/after PPM images to the current directory.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bm3d/bm3d.h"
+#include "image/io.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+
+int
+main(int argc, char **argv)
+{
+    const int size = argc > 1 ? std::atoi(argv[1]) : 96;
+    const float sigma = argc > 2 ? static_cast<float>(std::atof(argv[2]))
+                                 : 25.0f;
+
+    // 1. A clean scene and its noisy capture.
+    image::ImageF clean =
+        image::makeScene(image::SceneKind::Nature, size, size, 3, 42);
+    image::ImageF noisy = image::addGaussianNoise(clean, sigma, 43);
+
+    // 2. Configure BM3D. The defaults are the paper's quality-optimal
+    //    parameters; we enable Matches Reuse for a ~3x CPU speedup.
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = sigma;
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+
+    // 3. Denoise.
+    bm3d::Bm3d denoiser(cfg);
+    bm3d::Bm3dResult result = denoiser.denoise(noisy);
+
+    // 4. Report.
+    std::printf("image: %dx%d, sigma %.0f\n", size, size, sigma);
+    std::printf("PSNR noisy : %6.2f dB\n",
+                image::psnrDb(clean, noisy));
+    std::printf("PSNR basic : %6.2f dB (after hard-thresholding stage)\n",
+                image::psnrDb(clean, result.basic));
+    std::printf("PSNR final : %6.2f dB (after Wiener stage)\n",
+                image::psnrDb(clean, result.output));
+    std::printf("MR hit rate: %4.1f%% (BM1), %4.1f%% (BM2)\n",
+                result.profile.mr().hitRate1() * 100,
+                result.profile.mr().hitRate2() * 100);
+    std::printf("runtime    : %.2f s\n",
+                result.profile.totalSeconds());
+
+    image::writeNetpbm("quickstart_noisy.ppm", image::toU8(noisy));
+    image::writeNetpbm("quickstart_denoised.ppm",
+                       image::toU8(result.output));
+    std::printf("wrote quickstart_noisy.ppm / quickstart_denoised.ppm\n");
+    return 0;
+}

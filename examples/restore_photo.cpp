@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Image restoration beyond denoising (paper Sec. 2: the SBCF family
+ * implements deblurring by changing the DE filter): recover a photo
+ * degraded by defocus blur + sensor noise using the regularized
+ * inverse + BM3D pipeline.
+ *
+ *   ./restore_photo [size] [psf_sigma] [noise_sigma]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bm3d/deblur.h"
+#include "image/io.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+
+int
+main(int argc, char **argv)
+{
+    const int size = argc > 1 ? std::atoi(argv[1]) : 96;
+    const float psf = argc > 2 ? static_cast<float>(std::atof(argv[2]))
+                               : 1.5f;
+    const float sigma = argc > 3 ? static_cast<float>(std::atof(argv[3]))
+                                 : 5.0f;
+
+    image::ImageF clean =
+        image::makeScene(image::SceneKind::Street, size, size, 1, 17);
+    image::ImageF degraded =
+        image::addGaussianNoise(bm3d::blurImage(clean, psf), sigma, 18);
+
+    bm3d::DeblurConfig cfg;
+    cfg.denoise.sigma = sigma;
+    cfg.denoise.mr.enabled = true;
+    cfg.denoise.mr.k = 0.25;
+    cfg.psfSigma = psf;
+    cfg.regLambda = 0.003f;
+
+    auto result = bm3d::deblur(degraded, cfg);
+
+    std::printf("restoration: %dx%d, PSF sigma %.2f px, noise sigma "
+                "%.1f\n\n",
+                size, size, psf, sigma);
+    std::printf("PSNR degraded        : %6.2f dB\n",
+                image::psnrDb(clean, degraded));
+    std::printf("PSNR reg. inverse    : %6.2f dB (noise amplified to "
+                "sigma ~%.1f)\n",
+                image::psnrDb(clean, result.inverted),
+                result.amplifiedSigma);
+    std::printf("PSNR after BM3D      : %6.2f dB\n",
+                image::psnrDb(clean, result.output));
+
+    image::writeNetpbm("restore_degraded.pgm", image::toU8(degraded));
+    image::writeNetpbm("restore_out.pgm", image::toU8(result.output));
+    std::printf("\nwrote restore_degraded.pgm / restore_out.pgm\n");
+    return 0;
+}

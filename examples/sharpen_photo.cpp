@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Joint denoising + sharpening (paper Sec. 7): BM3D with alpha-rooting
+ * of the 3-D spectrum implements both effects in one pass - the
+ * change the paper adds to IDEALMR's DE pipeline for +0.09 mm^2.
+ *
+ *   ./sharpen_photo [size] [alpha]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bm3d/bm3d.h"
+#include "image/io.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+
+namespace {
+
+double
+laplacianEnergy(const image::ImageF &im)
+{
+    double acc = 0;
+    for (int y = 1; y < im.height() - 1; ++y)
+        for (int x = 1; x < im.width() - 1; ++x) {
+            float lap = 4.0f * im.at(x, y) - im.at(x - 1, y) -
+                        im.at(x + 1, y) - im.at(x, y - 1) -
+                        im.at(x, y + 1);
+            acc += static_cast<double>(lap) * lap;
+        }
+    return acc / (static_cast<double>(im.width() - 2) * (im.height() - 2));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int size = argc > 1 ? std::atoi(argv[1]) : 96;
+    const float alpha =
+        argc > 2 ? static_cast<float>(std::atof(argv[2])) : 1.5f;
+
+    image::ImageF clean =
+        image::makeScene(image::SceneKind::Texture, size, size, 3, 11);
+    image::ImageF noisy = image::addGaussianNoise(clean, 15.0f, 12);
+
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = 15.0f;
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+
+    bm3d::Bm3d denoiser(cfg);
+    auto plain = denoiser.denoise(noisy);
+
+    cfg.sharpenAlpha = alpha;
+    bm3d::Bm3d sharpener(cfg);
+    auto sharp = sharpener.denoise(noisy);
+
+    std::printf("joint denoise+sharpen, alpha = %.2f\n", alpha);
+    std::printf("%-22s %10s %10s\n", "", "denoise", "den+sharp");
+    std::printf("%-22s %10.2f %10.2f\n", "PSNR (dB)",
+                image::psnrDb(clean, plain.output),
+                image::psnrDb(clean, sharp.output));
+    std::printf("%-22s %10.1f %10.1f\n", "Laplacian energy",
+                laplacianEnergy(plain.output),
+                laplacianEnergy(sharp.output));
+    std::printf("(sharpening trades a little PSNR for boosted edges)\n");
+
+    image::writeNetpbm("sharpen_plain.ppm", image::toU8(plain.output));
+    image::writeNetpbm("sharpen_sharp.ppm", image::toU8(sharp.output));
+    std::printf("wrote sharpen_plain.ppm / sharpen_sharp.ppm\n");
+    return 0;
+}

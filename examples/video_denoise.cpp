@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Real-time raw-video denoising (paper Sec. 1: "video capturing
+ * applications need to denoise raw video frames in real-time before
+ * encoding. The denoised frames require substantially less
+ * compression"): run the spatio-temporal denoiser over a panning
+ * sequence and show both the quality gain and the entropy/compression
+ * proxy improvement.
+ *
+ *   ./video_denoise [frames] [size]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bm3d/video.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+
+namespace {
+
+/**
+ * Compression proxy: entropy (bits/pixel) of horizontal differences,
+ * roughly what an intra predictor + entropy coder sees.
+ */
+double
+diffEntropyBits(const image::ImageF &im)
+{
+    std::array<uint64_t, 511> hist{};
+    uint64_t n = 0;
+    for (int y = 0; y < im.height(); ++y)
+        for (int x = 1; x < im.width(); ++x) {
+            int d = static_cast<int>(std::lround(im.at(x, y) -
+                                                 im.at(x - 1, y)));
+            d = std::clamp(d, -255, 255);
+            ++hist[static_cast<size_t>(d + 255)];
+            ++n;
+        }
+    double bits = 0.0;
+    for (uint64_t c : hist) {
+        if (c == 0)
+            continue;
+        double pr = static_cast<double>(c) / static_cast<double>(n);
+        bits -= pr * std::log2(pr);
+    }
+    return bits;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int frames = argc > 1 ? std::atoi(argv[1]) : 4;
+    const int size = argc > 2 ? std::atoi(argv[2]) : 64;
+    const float sigma = 20.0f;
+    const int pan = 2; // px/frame of global motion
+
+    // A panning camera over a street scene.
+    image::ImageF wide = image::makeScene(
+        image::SceneKind::Street, size + frames * pan, size, 1, 31);
+    std::vector<image::ImageF> clean_frames, noisy_frames;
+    for (int f = 0; f < frames; ++f) {
+        clean_frames.push_back(wide.crop(f * pan, 0, size, size));
+        noisy_frames.push_back(
+            image::addGaussianNoise(clean_frames.back(), sigma, 32 + f));
+    }
+
+    bm3d::VideoConfig cfg;
+    cfg.frame.sigma = sigma;
+    cfg.frame.searchWindow1 = 13;
+    cfg.frame.mr.enabled = true;
+    cfg.frame.mr.k = 0.5;
+    cfg.temporalRadius = 1;
+    cfg.predictiveWindow = 7;
+
+    bm3d::VideoBm3d denoiser(cfg);
+    auto result = denoiser.denoise(noisy_frames);
+
+    std::printf("video denoise: %d frames of %dx%d, sigma %.0f, "
+                "%d px/frame pan\n\n",
+                frames, size, size, sigma, pan);
+    std::printf("%-7s %-12s %-12s %-12s %-12s\n", "frame", "PSNR noisy",
+                "PSNR out", "bpp noisy", "bpp out");
+    for (int f = 0; f < frames; ++f) {
+        std::printf("%-7d %-12.2f %-12.2f %-12.2f %-12.2f\n", f,
+                    image::psnrDb(clean_frames[f], noisy_frames[f]),
+                    image::psnrDb(clean_frames[f], result.frames[f]),
+                    diffEntropyBits(noisy_frames[f]),
+                    diffEntropyBits(result.frames[f]));
+    }
+    std::printf("\ntemporal share of stacks: %.1f%% | MR hit rate "
+                "%.1f%% | runtime %.2f s\n",
+                result.temporalShare * 100,
+                result.profile.mr().hitRate1() * 100,
+                result.profile.totalSeconds());
+    std::printf("denoised frames cost fewer bits per pixel - denoising"
+                " doubles as compression (paper Sec. 1).\n");
+    return 0;
+}

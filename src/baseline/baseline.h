@@ -1,0 +1,115 @@
+#ifndef IDEAL_BASELINE_BASELINE_H_
+#define IDEAL_BASELINE_BASELINE_H_
+
+/**
+ * @file
+ * Commodity-platform baselines (paper Sec. 3 and Table 6).
+ *
+ * The CPU baselines are *measured* on the host by running this
+ * repository's optimized BM3D on a probe image and extrapolating
+ * linearly in megapixels (BM3D's work per pixel is constant for fixed
+ * parameters, so runtime is linear in resolution - visible in Figs.
+ * 2/3). The GPU (GTX 980) and embedded ARM (Cortex-A15) platforms are
+ * not available offline; they are modelled from the paper's measured
+ * ratios against the vectorized Xeon implementation (19x faster and
+ * 5.2x slower respectively) with the paper's per-step breakdown.
+ */
+
+#include <map>
+#include <string>
+
+#include "bm3d/bm3d.h"
+#include "image/image.h"
+
+namespace ideal {
+namespace baseline {
+
+/** The software/hardware implementations of Table 6. */
+enum class Platform {
+    CpuBasic,   ///< single-thread, no software optimizations ("Basic")
+    CpuVect,    ///< optimized single-thread ("AVX Vect" / "Orig")
+    CpuThreads, ///< multi-threaded optimized ("Threads")
+    CpuMr025,   ///< single-thread + MR, K = 0.25
+    CpuMr05,    ///< single-thread + MR, K = 0.5
+    ArmVect,    ///< Cortex-A15 vectorized (modelled)
+    Gpu,        ///< GTX 980 CUDA (modelled)
+};
+
+const char *toString(Platform platform);
+
+/** A measured or modelled execution-rate calibration. */
+struct Rate
+{
+    double secondsPerMp = 0.0;
+    /// Fraction of runtime per algorithm step (Fig. 4 ordering).
+    std::array<double, bm3d::kNumSteps> stepFraction{};
+    bool modelled = false; ///< true when derived from paper ratios
+};
+
+/**
+ * Measures host-CPU rates once and derives the modelled platforms.
+ * Construct with the probe size (pixels per side); larger probes are
+ * slower but less noisy.
+ */
+class BaselineSuite
+{
+  public:
+    /**
+     * @param probe_size probe image edge in pixels
+     * @param sigma      noise level of the probe workload
+     */
+    explicit BaselineSuite(int probe_size = 96, float sigma = 25.0f);
+
+    /** Rate for @p platform (measured lazily, then cached). */
+    const Rate &rate(Platform platform);
+
+    /** Runtime in seconds to process @p megapixels on @p platform. */
+    double seconds(Platform platform, double megapixels);
+
+    /** The BM3D configuration a platform runs. */
+    bm3d::Bm3dConfig configFor(Platform platform) const;
+
+  private:
+    Rate measureCpu(const bm3d::Bm3dConfig &cfg);
+
+    int probeSize_;
+    float sigma_;
+    image::ImageF probeNoisy_;
+    std::map<Platform, Rate> cache_;
+};
+
+/**
+ * Constants reported by the paper, used for context lines in the
+ * benchmark output (never as our measured results).
+ */
+namespace paper {
+
+// Fig. 13 speedups over the single-thread CPU implementation.
+inline constexpr double kSpeedupThreads = 12.6;
+inline constexpr double kSpeedupGpu = 19.0;
+inline constexpr double kSpeedupMrCpu = 3.0;
+inline constexpr double kSpeedupMl1 = 131.0;
+inline constexpr double kSpeedupMl2 = 2243.0;
+inline constexpr double kSpeedupIdealB = 363.0;
+inline constexpr double kSpeedupIdealMr025 = 9446.0;
+inline constexpr double kSpeedupIdealMr05 = 11352.0;
+
+// Table 7 power in watts.
+inline constexpr double kPowerCpuTotal = 42.5;
+inline constexpr double kPowerThreadsTotal = 130.1;
+inline constexpr double kPowerGpuTotal = 144.0;
+inline constexpr double kPowerIdealBTotal = 5.51;
+inline constexpr double kPowerIdealMrTotal = 18.2;
+
+// Sec. 3: ARM Cortex-A15 is 5.2x slower than the Xeon; Heide et al.:
+// 95% of a 184 s 2 MP CIP run is denoising.
+inline constexpr double kArmSlowdown = 5.2;
+inline constexpr double kGpuBmFraction = 0.87;
+inline constexpr double kCpuBmFraction = 0.67;
+
+} // namespace paper
+
+} // namespace baseline
+} // namespace ideal
+
+#endif // IDEAL_BASELINE_BASELINE_H_

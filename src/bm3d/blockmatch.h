@@ -1,0 +1,295 @@
+#ifndef IDEAL_BM3D_BLOCKMATCH_H_
+#define IDEAL_BM3D_BLOCKMATCH_H_
+
+/**
+ * @file
+ * Block matching (paper Fig. 1b) with optional Matches Reuse
+ * (Sec. 5.1). The matcher is parameterized by a *matching domain*:
+ * BM1 measures distances between hard-thresholded DCT patches while
+ * BM2 measures them between color-domain patches of the intermediate
+ * image (Paths A and B).
+ */
+
+#include <cstdint>
+
+#include "bm3d/config.h"
+#include "bm3d/matchlist.h"
+#include "bm3d/patchfield.h"
+#include "image/image.h"
+#include "transforms/distance.h"
+
+namespace ideal {
+namespace bm3d {
+
+/** Matching domain over a DCT patch field (BM1, Path A). */
+class DctMatchDomain
+{
+  public:
+    explicit DctMatchDomain(const DctPatchField &field)
+        : field_(field),
+          norm_(1.0f / static_cast<float>(field.patchSize() *
+                                          field.patchSize()))
+    {
+    }
+
+    int positionsX() const { return field_.positionsX(); }
+    int positionsY() const { return field_.positionsY(); }
+
+    /** Normalized squared distance between patches at two top-lefts. */
+    float
+    distance(int ax, int ay, int bx, int by) const
+    {
+        int len = field_.patchSize() * field_.patchSize();
+        return transforms::squaredDistance(field_.matchPatch(ax, ay),
+                                           field_.matchPatch(bx, by),
+                                           len) * norm_;
+    }
+
+    /** Distance with early exit once it exceeds @p bound. */
+    float
+    distanceBounded(int ax, int ay, int bx, int by, float bound) const
+    {
+        int len = field_.patchSize() * field_.patchSize();
+        return transforms::squaredDistanceBounded(
+                   field_.matchPatch(ax, ay), field_.matchPatch(bx, by),
+                   len, bound / norm_) * norm_;
+    }
+
+  private:
+    const DctPatchField &field_;
+    float norm_;
+};
+
+/** Matching domain over color-domain pixels (BM2, Path B). */
+class ColorMatchDomain
+{
+  public:
+    ColorMatchDomain(const image::ImageF &plane, int patch_size)
+        : plane_(plane), patchSize_(patch_size),
+          norm_(1.0f / static_cast<float>(patch_size * patch_size))
+    {
+    }
+
+    int positionsX() const { return plane_.width() - patchSize_ + 1; }
+    int positionsY() const { return plane_.height() - patchSize_ + 1; }
+
+    float
+    distance(int ax, int ay, int bx, int by) const
+    {
+        const float *base = plane_.plane(0);
+        const int w = plane_.width();
+        float acc = 0.0f;
+        for (int r = 0; r < patchSize_; ++r) {
+            const float *pa = base + static_cast<size_t>(ay + r) * w + ax;
+            const float *pb = base + static_cast<size_t>(by + r) * w + bx;
+            for (int c = 0; c < patchSize_; ++c) {
+                float d = pa[c] - pb[c];
+                acc += d * d;
+            }
+        }
+        return acc * norm_;
+    }
+
+    float
+    distanceBounded(int ax, int ay, int bx, int by, float bound) const
+    {
+        const float *base = plane_.plane(0);
+        const int w = plane_.width();
+        const float raw_bound = bound / norm_;
+        float acc = 0.0f;
+        for (int r = 0; r < patchSize_; ++r) {
+            const float *pa = base + static_cast<size_t>(ay + r) * w + ax;
+            const float *pb = base + static_cast<size_t>(by + r) * w + bx;
+            for (int c = 0; c < patchSize_; ++c) {
+                float d = pa[c] - pb[c];
+                acc += d * d;
+            }
+            if (acc > raw_bound)
+                return acc * norm_;
+        }
+        return acc * norm_;
+    }
+
+  private:
+    const image::ImageF &plane_;
+    int patchSize_;
+    float norm_;
+};
+
+/**
+ * Block-matching engine over a matching domain.
+ *
+ * search() performs the full Ns x Ns window scan; searchReuse()
+ * performs the Matches-Reuse reduced scan: the previous reference
+ * patch's best matches (clipped to the current window) plus the
+ * rightmost Ns x Ps column of positions that are new to the current
+ * window (paper Sec. 5.1).
+ */
+template <typename Domain>
+class BlockMatcher
+{
+  public:
+    /**
+     * @param domain        matching domain (must outlive the matcher)
+     * @param window        search window dimension Ns (odd)
+     * @param search_stride search stride Ss
+     * @param ref_stride    reference patch stride Ps
+     * @param tau_match     match-distance threshold Tmatch
+     * @param max_matches   best-match list capacity (16)
+     * @param bounded       use early-exit distances (software opt.)
+     */
+    BlockMatcher(const Domain &domain, int window, int search_stride,
+                 int ref_stride, float tau_match, int max_matches,
+                 bool bounded = true)
+        : domain_(domain), half_((window - 1) / 2),
+          searchStride_(search_stride), refStride_(ref_stride),
+          tauMatch_(tau_match), maxMatches_(max_matches), bounded_(bounded)
+    {
+    }
+
+    /**
+     * Full window search around reference (xr, yr). The reference
+     * itself is always the first (distance 0) entry.
+     * @return number of candidate distances evaluated
+     */
+    uint64_t
+    search(int xr, int yr, MatchList &out) const
+    {
+        out = MatchList(maxMatches_);
+        out.insert(Match{xr, yr, 0.0f});
+        uint64_t evaluated = 0;
+        const int x_lo = std::max(0, xr - half_);
+        const int x_hi = std::min(domain_.positionsX() - 1, xr + half_);
+        const int y_lo = std::max(0, yr - half_);
+        const int y_hi = std::min(domain_.positionsY() - 1, yr + half_);
+        for (int y = y_lo; y <= y_hi; y += searchStride_) {
+            for (int x = x_lo; x <= x_hi; x += searchStride_) {
+                if (x == xr && y == yr)
+                    continue;
+                consider(xr, yr, x, y, out);
+                ++evaluated;
+            }
+        }
+        return evaluated;
+    }
+
+    /**
+     * Matches-Reuse search: test the previous reference patch's
+     * matches that fall inside the current window, plus the rightmost
+     * column of positions new to this window.
+     * @return number of candidate distances evaluated
+     */
+    uint64_t
+    searchReuse(int xr, int yr, const MatchList &previous,
+                MatchList &out) const
+    {
+        out = MatchList(maxMatches_);
+        out.insert(Match{xr, yr, 0.0f});
+        uint64_t evaluated = 0;
+
+        const int x_lo = std::max(0, xr - half_);
+        const int x_hi = std::min(domain_.positionsX() - 1, xr + half_);
+        const int y_lo = std::max(0, yr - half_);
+        const int y_hi = std::min(domain_.positionsY() - 1, yr + half_);
+
+        // Leftmost x of the column scan in step 2; previous matches in
+        // that range are skipped so no position is considered twice
+        // (the ranges only overlap when the window clips at the image
+        // right edge).
+        const int new_lo = std::max(x_lo, xr + half_ - refStride_ + 1);
+
+        // 1) Previous best matches, clipped to the current window.
+        for (const Match &m : previous) {
+            if (m.x == xr && m.y == yr)
+                continue;
+            if (m.x < x_lo || m.x >= new_lo || m.y < y_lo || m.y > y_hi)
+                continue;
+            consider(xr, yr, m.x, m.y, out);
+            ++evaluated;
+        }
+
+        // 2) The Ns x Ps column that the previous window did not cover.
+        for (int x = new_lo; x <= x_hi; ++x) {
+            for (int y = y_lo; y <= y_hi; y += searchStride_) {
+                if (x == xr && y == yr)
+                    continue;
+                consider(xr, yr, x, y, out);
+                ++evaluated;
+            }
+        }
+        return evaluated;
+    }
+
+    /**
+     * Matches-Reuse across rows (the Sec. 5.3 future-work extension):
+     * reuse the matches of the reference patch directly *above*,
+     * plus the bottom Ns x Ps band of positions new to this window.
+     * @return number of candidate distances evaluated
+     */
+    uint64_t
+    searchReuseDown(int xr, int yr, const MatchList &above,
+                    MatchList &out) const
+    {
+        out = MatchList(maxMatches_);
+        out.insert(Match{xr, yr, 0.0f});
+        uint64_t evaluated = 0;
+
+        const int x_lo = std::max(0, xr - half_);
+        const int x_hi = std::min(domain_.positionsX() - 1, xr + half_);
+        const int y_lo = std::max(0, yr - half_);
+        const int y_hi = std::min(domain_.positionsY() - 1, yr + half_);
+        const int new_lo = std::max(y_lo, yr + half_ - refStride_ + 1);
+
+        for (const Match &m : above) {
+            if (m.x == xr && m.y == yr)
+                continue;
+            if (m.x < x_lo || m.x > x_hi || m.y < y_lo || m.y >= new_lo)
+                continue;
+            consider(xr, yr, m.x, m.y, out);
+            ++evaluated;
+        }
+        for (int y = new_lo; y <= y_hi; ++y) {
+            for (int x = x_lo; x <= x_hi; x += searchStride_) {
+                if (x == xr && y == yr)
+                    continue;
+                consider(xr, yr, x, y, out);
+                ++evaluated;
+            }
+        }
+        return evaluated;
+    }
+
+    /** Distance between two reference positions (for the MR check). */
+    float
+    referenceDistance(int xa, int ya, int xb, int yb) const
+    {
+        return domain_.distance(xa, ya, xb, yb);
+    }
+
+    float tauMatch() const { return tauMatch_; }
+
+  private:
+    void
+    consider(int xr, int yr, int x, int y, MatchList &out) const
+    {
+        float bound = std::min(tauMatch_, out.worstDistance());
+        float d = bounded_
+                      ? domain_.distanceBounded(xr, yr, x, y, bound)
+                      : domain_.distance(xr, yr, x, y);
+        if (d < tauMatch_)
+            out.insert(Match{x, y, d});
+    }
+
+    const Domain &domain_;
+    int half_;
+    int searchStride_;
+    int refStride_;
+    float tauMatch_;
+    int maxMatches_;
+    bool bounded_;
+};
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_BLOCKMATCH_H_

@@ -1,0 +1,242 @@
+#include "bm3d/bm3d.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "bm3d/blockmatch.h"
+#include "bm3d/denoise.h"
+#include "transforms/dct.h"
+
+namespace ideal {
+namespace bm3d {
+
+namespace {
+
+/**
+ * Process the reference patches of a band of rows with one matcher and
+ * one denoising engine, applying Matches Reuse along each row. This is
+ * the same work partitioning IDEALMR uses across its lanes (Sec. 5.3:
+ * row granularity keeps MR locality within a worker).
+ */
+template <typename Domain>
+void
+processRows(const Bm3dConfig &cfg, Stage stage,
+            const BlockMatcher<Domain> &matcher,
+            const std::vector<int> &xs, const std::vector<int> &ys,
+            size_t row_begin, size_t row_end, DenoiseEngine &engine,
+            Aggregator &agg, Profile &profile)
+{
+    const Step bm_step =
+        stage == Stage::HardThreshold ? Step::Bm1 : Step::Bm2;
+    const float reuse_bound =
+        static_cast<float>(cfg.mr.k) * matcher.tauMatch();
+    MatchList current;
+    MatchList previous;
+
+    // Across-rows extension state: last row's match list per column.
+    const bool across_rows = cfg.mr.enabled && cfg.mr.acrossRows;
+    std::vector<MatchList> row_above;
+    if (across_rows)
+        row_above.assign(xs.size(), MatchList(cfg.maxMatches));
+    bool have_row_above = false;
+
+    MrStats mr;
+    for (size_t yi = row_begin; yi < row_end; ++yi) {
+        const int y = ys[yi];
+        const int y_above = yi > row_begin ? ys[yi - 1] : 0;
+        bool have_previous = false;
+        int prev_x = 0;
+        for (size_t xi = 0; xi < xs.size(); ++xi) {
+            const int x = xs[xi];
+            bool hit = false;
+            bool vert_hit = false;
+            uint64_t candidates = 0;
+            {
+                ScopedTimer timer(profile, bm_step);
+                if (cfg.mr.enabled && have_previous) {
+                    // The MR check: is the current reference patch
+                    // close enough to the previous one to reuse its
+                    // matches? (Sec. 5.1, strictness factor K.)
+                    float d = matcher.referenceDistance(x, y, prev_x, y);
+                    ++candidates;
+                    if (d < reuse_bound) {
+                        hit = true;
+                        candidates +=
+                            matcher.searchReuse(x, y, previous, current);
+                    }
+                }
+                if (!hit && across_rows && have_row_above) {
+                    // Across-rows fallback: try the reference patch
+                    // directly above.
+                    float d = matcher.referenceDistance(x, y, x, y_above);
+                    ++candidates;
+                    if (d < reuse_bound) {
+                        hit = true;
+                        vert_hit = true;
+                        candidates += matcher.searchReuseDown(
+                            x, y, row_above[xi], current);
+                    }
+                }
+                if (!hit)
+                    candidates += matcher.search(x, y, current);
+            }
+            if (stage == Stage::HardThreshold) {
+                ++mr.bm1Refs;
+                mr.bm1Hits += hit ? 1 : 0;
+                mr.bm1VertHits += vert_hit ? 1 : 0;
+                mr.bm1Candidates += candidates;
+            } else {
+                ++mr.bm2Refs;
+                mr.bm2Hits += hit ? 1 : 0;
+                mr.bm2VertHits += vert_hit ? 1 : 0;
+                mr.bm2Candidates += candidates;
+            }
+            engine.processStack(current, agg);
+            previous = current;
+            have_previous = true;
+            prev_x = x;
+            if (across_rows)
+                row_above[xi] = current;
+        }
+        if (across_rows)
+            have_row_above = true;
+    }
+    profile.mr() += mr;
+
+    // Block-matching op accounting: each candidate distance costs
+    // PD^2 subtract + multiply + add (Eq. 2).
+    OpCounters ops;
+    const uint64_t pp =
+        static_cast<uint64_t>(cfg.patchSize) * cfg.patchSize;
+    const uint64_t cand = stage == Stage::HardThreshold
+                              ? mr.bm1Candidates
+                              : mr.bm2Candidates;
+    ops.additions += cand * pp * 2;
+    ops.multiplies += cand * pp;
+    ops.memoryReads += cand * pp * 2;
+    profile.addOps(bm_step, ops);
+}
+
+template <typename Domain>
+image::ImageF
+runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
+                   const image::ImageF &noisy, const image::ImageF *basic,
+                   const DctPatchField *field, Profile &profile)
+{
+    BlockMatcher<Domain> matcher(
+        domain, cfg.searchWindow(stage), cfg.searchStride, cfg.refStride,
+        cfg.tauMatch(stage), cfg.maxMatches, cfg.boundedDistance);
+
+    const std::vector<int> xs =
+        makeRefPositions(domain.positionsX() - 1, cfg.refStride);
+    const std::vector<int> ys =
+        makeRefPositions(domain.positionsY() - 1, cfg.refStride);
+
+    const int threads =
+        std::min<int>(cfg.numThreads, static_cast<int>(ys.size()));
+
+    Aggregator total(noisy.width(), noisy.height(), noisy.channels());
+    if (threads <= 1) {
+        DenoiseEngine engine(cfg, stage, noisy, basic, field, &profile);
+        processRows(cfg, stage, matcher, xs, ys, 0, ys.size(), engine,
+                    total, profile);
+    } else {
+        std::mutex merge_mutex;
+        std::vector<std::thread> pool;
+        const size_t rows = ys.size();
+        for (int t = 0; t < threads; ++t) {
+            const size_t begin = rows * t / threads;
+            const size_t end = rows * (t + 1) / threads;
+            pool.emplace_back([&, begin, end]() {
+                Profile local_profile;
+                Aggregator local_agg(noisy.width(), noisy.height(),
+                                     noisy.channels());
+                DenoiseEngine engine(cfg, stage, noisy, basic, field,
+                                     &local_profile);
+                processRows(cfg, stage, matcher, xs, ys, begin, end,
+                            engine, local_agg, local_profile);
+                std::lock_guard<std::mutex> lock(merge_mutex);
+                total.merge(local_agg);
+                profile += local_profile;
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+
+    const image::ImageF &fallback = stage == Stage::Wiener ? *basic : noisy;
+    return total.finalize(fallback);
+}
+
+} // namespace
+
+std::vector<int>
+makeRefPositions(int last_valid, int stride)
+{
+    std::vector<int> xs;
+    for (int x = 0; x <= last_valid; x += stride)
+        xs.push_back(x);
+    if (xs.back() != last_valid)
+        xs.push_back(last_valid);
+    return xs;
+}
+
+Bm3d::Bm3d(Bm3dConfig config) : config_(std::move(config))
+{
+    config_.validate();
+}
+
+image::ImageF
+Bm3d::runStage(Stage stage, const image::ImageF &noisy,
+               const image::ImageF *basic, Profile &profile) const
+{
+    if (noisy.width() < config_.patchSize ||
+        noisy.height() < config_.patchSize) {
+        throw std::invalid_argument("Bm3d: image smaller than patch");
+    }
+    transforms::Dct2D dct(config_.patchSize);
+    if (stage == Stage::HardThreshold) {
+        // DCT1: transform every patch of the matching channel once
+        // (Path A); the field also serves the denoiser via Path C.
+        std::unique_ptr<DctPatchField> field;
+        {
+            ScopedTimer timer(profile, Step::Dct1);
+            OpCounters ops;
+            image::ImageF plane0 = noisy.extractPlane(0);
+            field = std::make_unique<DctPatchField>(
+                plane0, dct, config_.lambda2d * config_.sigma,
+                config_.fixedPoint, &ops);
+            profile.addOps(Step::Dct1, ops);
+        }
+        DctMatchDomain domain(*field);
+        return runStageWithDomain(config_, stage, domain, noisy, basic,
+                                  field.get(), profile);
+    }
+    // Wiener stage: matching runs in the color domain of the basic
+    // estimate (Path B); no patch field is needed.
+    if (basic == nullptr)
+        throw std::invalid_argument("Wiener stage requires basic estimate");
+    image::ImageF basic_plane0 = basic->extractPlane(0);
+    ColorMatchDomain domain(basic_plane0, config_.patchSize);
+    return runStageWithDomain(config_, stage, domain, noisy, basic, nullptr,
+                              profile);
+}
+
+Bm3dResult
+Bm3d::denoise(const image::ImageF &noisy) const
+{
+    Bm3dResult result;
+    result.basic =
+        runStage(Stage::HardThreshold, noisy, nullptr, result.profile);
+    if (config_.enableWiener) {
+        result.output = runStage(Stage::Wiener, noisy, &result.basic,
+                                 result.profile);
+    } else {
+        result.output = result.basic;
+    }
+    return result;
+}
+
+} // namespace bm3d
+} // namespace ideal

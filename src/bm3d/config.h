@@ -1,0 +1,177 @@
+#ifndef IDEAL_BM3D_CONFIG_H_
+#define IDEAL_BM3D_CONFIG_H_
+
+/**
+ * @file
+ * Configuration of the BM3D denoiser (paper Sec. 2). The defaults are
+ * the quality-optimal parameters reported by Heide et al. and used
+ * throughout the paper: 4x4 patches, reference/search strides of 1,
+ * 49x49 search windows in the hard-thresholding stage, 39x39 in the
+ * Wiener stage, and 16 best matches.
+ */
+
+#include <optional>
+#include <stdexcept>
+
+#include "fixed/format.h"
+
+namespace ideal {
+namespace bm3d {
+
+/** Which of the two BM3D stages a step belongs to. */
+enum class Stage {
+    HardThreshold, ///< stage 1: BM1 + DE1
+    Wiener,        ///< stage 2: BM2 + DE2
+};
+
+/** Spectrum-shrinkage weighting scheme for the aggregation step. */
+enum class WeightingMode {
+    /**
+     * Weight each restored patch by 1/M where M is the number of
+     * non-zero 3-D coefficients, exactly as the paper's DE pipeline
+     * (Fig. 1c) describes. Used by the accelerator model.
+     */
+    CountNonZero,
+    /**
+     * Reference-BM3D weighting: 1/(sigma^2 * M) for stage 1 and
+     * 1/(sigma^2 * sum W^2) for the Wiener stage. Same hardware cost,
+     * slightly better quality; available for comparison.
+     */
+    Reference,
+};
+
+/** Matches-Reuse (MR) configuration (paper Sec. 5.1). */
+struct MrConfig
+{
+    bool enabled = false;
+    /**
+     * Aggressiveness factor K in (0, 1]: reuse is attempted when the
+     * distance between consecutive reference patches is below
+     * K * Tmatch. Larger K reuses more aggressively.
+     */
+    double k = 0.25;
+
+    /**
+     * Extension (paper Sec. 5.3 future work: "Exploiting MR across
+     * rows could further reduce the processing time"): when the
+     * left-neighbor check misses, also try reusing the matches of the
+     * reference patch directly above. Applies within a worker's row
+     * band, so the hardware implication is per-lane state only.
+     */
+    bool acrossRows = false;
+};
+
+/** Full algorithm configuration. */
+struct Bm3dConfig
+{
+    /// Patch dimension PD (patches are patchSize x patchSize pixels).
+    int patchSize = 4;
+    /// Reference-patch stride Ps.
+    int refStride = 1;
+    /// Search stride Ss within the window.
+    int searchStride = 1;
+    /// Search window dimension Ns for the hard-thresholding stage.
+    int searchWindow1 = 49;
+    /// Search window dimension Ns for the Wiener stage.
+    int searchWindow2 = 39;
+    /// Maximum patches in a 3-D stack (16 best matches).
+    int maxMatches = 16;
+
+    /// Noise standard deviation the filter is tuned for.
+    float sigma = 25.0f;
+
+    /// 2-D DCT hard threshold Tht used before matching distances in
+    /// BM1, as a multiple of sigma. The paper's pipeline always
+    /// thresholds (Fig. 1b); suppressing sub-threshold noise in the
+    /// matching domain is also what makes adjacent reference patches
+    /// similar enough for the high MR hit rates of Fig. 10.
+    float lambda2d = 2.0f;
+    /// 3-D shrinkage threshold Thard as a multiple of sigma.
+    float lambda3d = 2.7f;
+    /// Match-distance threshold Tmatch for BM1 (normalized by PD^2).
+    float tauMatch1 = 3000.0f;
+    /// Match-distance threshold Tmatch for BM2 (normalized by PD^2).
+    float tauMatch2 = 400.0f;
+
+    WeightingMode weighting = WeightingMode::CountNonZero;
+
+    /// Run the second (Wiener) stage. Disabling it is an ablation knob;
+    /// the paper's pipeline always runs both stages.
+    bool enableWiener = true;
+
+    /// Software optimization: early-terminate distance computations
+    /// once they exceed the current acceptance bound. The "Basic"
+    /// CPU implementation of Fig. 2 disables this.
+    bool boundedDistance = true;
+
+    MrConfig mr;
+
+    /**
+     * Joint sharpening (paper Sec. 7): after shrinkage, coefficient
+     * magnitudes are raised to the power 1/alpha (alpha-rooting) for
+     * alpha > 1. 1.0 means no sharpening.
+     */
+    float sharpenAlpha = 1.0f;
+
+    /**
+     * Cap on the per-coefficient amplification alpha-rooting may
+     * apply (spatially-adaptive rooting in the spirit of Makitalo &
+     * Foi keeps the boost bounded; unbounded rooting over-amplifies
+     * mid-band coefficients).
+     */
+    float sharpenMaxBoost = 2.0f;
+
+    /**
+     * When set, run the datapath in fixed point with these formats
+     * (paper Sec. 4.2); otherwise use floating point.
+     */
+    std::optional<fixed::PipelineFormats> fixedPoint;
+
+    /// Number of worker threads (1 = single-thread).
+    int numThreads = 1;
+
+    /** Validate invariants; throws std::invalid_argument on error. */
+    void
+    validate() const
+    {
+        if (patchSize < 2 || patchSize > 8)
+            throw std::invalid_argument("patchSize must be in [2, 8]");
+        if (refStride < 1 || searchStride < 1)
+            throw std::invalid_argument("strides must be >= 1");
+        if (searchWindow1 < patchSize || searchWindow2 < patchSize)
+            throw std::invalid_argument("search window smaller than patch");
+        if (searchWindow1 % 2 == 0 || searchWindow2 % 2 == 0)
+            throw std::invalid_argument("search windows must be odd");
+        if (maxMatches < 1 || maxMatches > 16 ||
+            (maxMatches & (maxMatches - 1)) != 0)
+            throw std::invalid_argument("maxMatches must be pow2 <= 16");
+        if (sigma <= 0.0f)
+            throw std::invalid_argument("sigma must be positive");
+        if (mr.enabled && (mr.k <= 0.0 || mr.k > 1.0))
+            throw std::invalid_argument("MR factor K must be in (0, 1]");
+        if (sharpenAlpha < 1.0f)
+            throw std::invalid_argument("sharpenAlpha must be >= 1");
+        if (numThreads < 1)
+            throw std::invalid_argument("numThreads must be >= 1");
+    }
+
+    /** Search window size of @p stage. */
+    int
+    searchWindow(Stage stage) const
+    {
+        return stage == Stage::HardThreshold ? searchWindow1
+                                             : searchWindow2;
+    }
+
+    /** Match threshold of @p stage (normalized distance units). */
+    float
+    tauMatch(Stage stage) const
+    {
+        return stage == Stage::HardThreshold ? tauMatch1 : tauMatch2;
+    }
+};
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_CONFIG_H_

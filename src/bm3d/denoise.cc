@@ -1,0 +1,296 @@
+#include "bm3d/denoise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ideal {
+namespace bm3d {
+
+namespace {
+
+int
+log2OfPow2(int v)
+{
+    int l = 0;
+    while ((1 << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+Aggregator::Aggregator(int width, int height, int channels)
+    : num_(width, height, channels), den_(width, height, channels)
+{
+}
+
+void
+Aggregator::addPatch(int x, int y, int c, int patch_size,
+                     const float *pixels, float w)
+{
+    for (int r = 0; r < patch_size; ++r) {
+        float *nrow = num_.plane(c) +
+                      static_cast<size_t>(y + r) * num_.width() + x;
+        float *drow = den_.plane(c) +
+                      static_cast<size_t>(y + r) * den_.width() + x;
+        for (int col = 0; col < patch_size; ++col) {
+            nrow[col] += w * pixels[r * patch_size + col];
+            drow[col] += w;
+        }
+    }
+}
+
+image::ImageF
+Aggregator::finalize(const image::ImageF &fallback) const
+{
+    image::ImageF out(num_.width(), num_.height(), num_.channels());
+    for (size_t i = 0; i < out.size(); ++i) {
+        float d = den_.raw()[i];
+        out.raw()[i] = d > 0.0f ? num_.raw()[i] / d : fallback.raw()[i];
+    }
+    return out;
+}
+
+void
+Aggregator::merge(const Aggregator &other)
+{
+    if (!num_.sameShape(other.num_))
+        throw std::invalid_argument("Aggregator::merge: shape mismatch");
+    for (size_t i = 0; i < num_.size(); ++i) {
+        num_.raw()[i] += other.num_.raw()[i];
+        den_.raw()[i] += other.den_.raw()[i];
+    }
+}
+
+DenoiseEngine::DenoiseEngine(const Bm3dConfig &config, Stage stage,
+                             const image::ImageF &noisy,
+                             const image::ImageF *basic,
+                             const DctPatchField *dctField, Profile *profile)
+    : config_(config), stage_(stage), noisy_(noisy), basic_(basic),
+      dctField_(dctField), profile_(profile), dct_(config.patchSize),
+      threshold3d_(config.lambda3d * config.sigma)
+{
+    if (stage == Stage::Wiener && basic_ == nullptr)
+        throw std::invalid_argument("Wiener stage requires basic estimate");
+    for (int s = 2; s <= config.maxMatches; s *= 2)
+        haars_.emplace_back(s);
+}
+
+void
+DenoiseEngine::gatherStack(const image::ImageF &src,
+                           const MatchList &matches, int stack_size, int c,
+                           bool reuse_field, float coefs[][kMaxCoefs])
+{
+    const int pp = config_.patchSize * config_.patchSize;
+    float pixels[kMaxCoefs];
+    for (int i = 0; i < stack_size; ++i) {
+        const Match &m = matches[i];
+        if (reuse_field && dctField_ != nullptr) {
+            const float *p = dctField_->patch(m.x, m.y);
+            std::copy(p, p + pp, coefs[i]);
+            continue;
+        }
+        const float *base = src.plane(c);
+        for (int r = 0; r < config_.patchSize; ++r) {
+            const float *row =
+                base + static_cast<size_t>(m.y + r) * src.width() + m.x;
+            for (int col = 0; col < config_.patchSize; ++col)
+                pixels[r * config_.patchSize + col] = row[col];
+        }
+        if (config_.fixedPoint)
+            dct_.forwardFixed(pixels, coefs[i], *config_.fixedPoint);
+        else
+            dct_.forward(pixels, coefs[i]);
+    }
+}
+
+DenoiseEngine::ShrinkStats
+DenoiseEngine::shrinkVector(float *vec, const float *wiener_ref,
+                            int stack_size)
+{
+    ShrinkStats stats;
+    if (stage_ == Stage::HardThreshold) {
+        for (int i = 0; i < stack_size; ++i) {
+            if (std::abs(vec[i]) < threshold3d_) {
+                vec[i] = 0.0f;
+            } else {
+                ++stats.nonZero;
+            }
+        }
+    } else {
+        const float s2 = config_.sigma * config_.sigma;
+        for (int i = 0; i < stack_size; ++i) {
+            float b = wiener_ref[i];
+            float w = (b * b) / (b * b + s2);
+            vec[i] *= w;
+            stats.sumWeightSq += static_cast<double>(w) * w;
+            // Hardware-countable analogue of "non-zero": the filter
+            // passes more than half of the coefficient.
+            if (w > 0.5f)
+                ++stats.nonZero;
+        }
+    }
+    return stats;
+}
+
+void
+DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
+{
+    const int stack_size = matches.stackSize();
+    if (stack_size == 0)
+        return;
+    const int p = config_.patchSize;
+    const int pp = p * p;
+    const Step de_step =
+        stage_ == Stage::HardThreshold ? Step::De1 : Step::De2;
+    std::optional<ScopedTimer> de_timer;
+    if (profile_)
+        de_timer.emplace(*profile_, de_step);
+
+    const transforms::Haar1D *haar =
+        stack_size >= 2 ? &haars_[log2OfPow2(stack_size) - 1] : nullptr;
+
+    float noisy_coefs[kMaxStack][kMaxCoefs];
+    float basic_coefs[kMaxStack][kMaxCoefs];
+    float tdom[kMaxCoefs][kMaxStack];
+    float bdom[kMaxStack];
+
+    for (int c = 0; c < noisy_.channels(); ++c) {
+        // Stage 1 reuses the channel-0 DCT field (Path C); everything
+        // else is transformed on the fly (Paths D and the color
+        // channels).
+        const bool reuse =
+            stage_ == Stage::HardThreshold && c == 0 && dctField_;
+        if (stage_ == Stage::Wiener && profile_) {
+            ScopedTimer dct_timer(*profile_, Step::Dct2);
+            gatherStack(noisy_, matches, stack_size, c, false, noisy_coefs);
+            gatherStack(*basic_, matches, stack_size, c, false,
+                        basic_coefs);
+        } else {
+            gatherStack(noisy_, matches, stack_size, c, reuse, noisy_coefs);
+            if (stage_ == Stage::Wiener)
+                gatherStack(*basic_, matches, stack_size, c, false,
+                            basic_coefs);
+        }
+
+        ShrinkStats total;
+        for (int pos = 0; pos < pp; ++pos) {
+            float zvec[kMaxStack];
+            for (int i = 0; i < stack_size; ++i)
+                zvec[i] = noisy_coefs[i][pos];
+            if (haar) {
+                if (config_.fixedPoint)
+                    haar->forwardFixed(zvec, tdom[pos],
+                                       *config_.fixedPoint);
+                else
+                    haar->forward(zvec, tdom[pos]);
+            } else {
+                tdom[pos][0] = zvec[0];
+            }
+            const float *wref = nullptr;
+            if (stage_ == Stage::Wiener) {
+                for (int i = 0; i < stack_size; ++i)
+                    zvec[i] = basic_coefs[i][pos];
+                if (haar)
+                    haar->forward(zvec, bdom);
+                else
+                    bdom[0] = zvec[0];
+                wref = bdom;
+            }
+            ShrinkStats s = shrinkVector(tdom[pos], wref, stack_size);
+            total.nonZero += s.nonZero;
+            total.sumWeightSq += s.sumWeightSq;
+        }
+
+        // Joint sharpening (paper Sec. 7): alpha-root the shrunk 3-D
+        // spectrum magnitudes relative to the block's largest
+        // coefficient, which is left unchanged.
+        if (config_.sharpenAlpha > 1.0f) {
+            float ref = 0.0f;
+            for (int pos = 0; pos < pp; ++pos)
+                for (int i = 0; i < stack_size; ++i)
+                    ref = std::max(ref, std::abs(tdom[pos][i]));
+            if (ref > 0.0f) {
+                const float inv_alpha = 1.0f / config_.sharpenAlpha;
+                for (int pos = 0; pos < pp; ++pos)
+                    for (int i = 0; i < stack_size; ++i) {
+                        float v = tdom[pos][i];
+                        // Boost only coefficients that survived
+                        // shrinkage as significant: rooting the
+                        // sub-threshold residue (present after the
+                        // Wiener stage, which attenuates rather than
+                        // zeroes) would amplify noise.
+                        if (std::abs(v) < threshold3d_)
+                            continue;
+                        float mag =
+                            ref * std::pow(std::abs(v) / ref, inv_alpha);
+                        mag = std::min(
+                            mag, std::abs(v) * config_.sharpenMaxBoost);
+                        tdom[pos][i] = std::copysign(mag, v);
+                    }
+            }
+        }
+
+        for (int pos = 0; pos < pp; ++pos) {
+            float zvec[kMaxStack];
+            if (haar) {
+                if (config_.fixedPoint)
+                    haar->inverseFixed(tdom[pos], zvec,
+                                       *config_.fixedPoint);
+                else
+                    haar->inverse(tdom[pos], zvec);
+            } else {
+                zvec[0] = tdom[pos][0];
+            }
+            for (int i = 0; i < stack_size; ++i)
+                noisy_coefs[i][pos] = zvec[i];
+        }
+
+        float weight;
+        if (stage_ == Stage::HardThreshold ||
+            config_.weighting == WeightingMode::CountNonZero) {
+            weight = 1.0f / static_cast<float>(std::max(total.nonZero, 1));
+        } else {
+            weight = 1.0f /
+                     static_cast<float>(std::max(total.sumWeightSq, 1e-6));
+        }
+
+        float pixels[kMaxCoefs];
+        for (int i = 0; i < stack_size; ++i) {
+            if (config_.fixedPoint)
+                dct_.inverseFixed(noisy_coefs[i], pixels,
+                                  *config_.fixedPoint);
+            else
+                dct_.inverse(noisy_coefs[i], pixels);
+            agg.addPatch(matches[i].x, matches[i].y, c, p, pixels, weight);
+        }
+    }
+
+    if (profile_) {
+        OpCounters ops;
+        const uint64_t chans = noisy_.channels();
+        const uint64_t n = p;
+        const uint64_t s = stack_size;
+        // DCT gathers (forward; doubled for the Wiener stage).
+        uint64_t dcts = chans * s * (stage_ == Stage::Wiener ? 2 : 1);
+        ops.multiplies += dcts * 2 * n * n * n;
+        ops.additions += dcts * 2 * n * n * (n - 1);
+        // Haar forward + inverse in matrix form (256 + 256 for s = 16).
+        ops.multiplies += chans * pp * 2 * s * s;
+        ops.additions += chans * pp * 2 * s * s;
+        // Shrinkage.
+        if (stage_ == Stage::HardThreshold)
+            ops.comparisons += chans * pp * s;
+        else
+            ops.multiplies += chans * pp * s * 3;
+        // Inverse DCT + aggregation.
+        ops.multiplies += chans * s * 2 * n * n * n + chans * s * pp;
+        ops.additions += chans * s * 2 * n * n * (n - 1) + chans * s * pp;
+        ops.memoryReads += chans * s * pp * 2;
+        ops.memoryWrites += chans * s * pp * 2;
+        profile_->addOps(de_step, ops);
+    }
+}
+
+} // namespace bm3d
+} // namespace ideal

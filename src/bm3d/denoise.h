@@ -1,0 +1,114 @@
+#ifndef IDEAL_BM3D_DENOISE_H_
+#define IDEAL_BM3D_DENOISE_H_
+
+/**
+ * @file
+ * The denoising step DE (paper Fig. 1c): stack the 16 best-matching
+ * patches in the DCT domain, Haar-transform along the z dimension,
+ * shrink the spectrum (hard threshold in DE1, empirical Wiener filter
+ * in DE2, optional alpha-rooting for sharpening), inverse transform,
+ * weight each restored patch by 1/M and accumulate into the output.
+ */
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "bm3d/config.h"
+#include "bm3d/matchlist.h"
+#include "bm3d/patchfield.h"
+#include "bm3d/profile.h"
+#include "image/image.h"
+#include "transforms/dct.h"
+#include "transforms/haar.h"
+
+namespace ideal {
+namespace bm3d {
+
+/**
+ * Weighted-aggregation accumulators: per channel, a numerator image of
+ * weighted pixel sums and a denominator image of weights. finalize()
+ * produces the estimate, falling back to @p fallback where no patch
+ * contributed (cannot happen for full-coverage strides, but guards
+ * degenerate configurations).
+ */
+class Aggregator
+{
+  public:
+    Aggregator(int width, int height, int channels);
+
+    /** Accumulate a restored patch with weight @p w. */
+    void addPatch(int x, int y, int c, int patch_size, const float *pixels,
+                  float w);
+
+    /** Produce the estimate image. */
+    image::ImageF finalize(const image::ImageF &fallback) const;
+
+    /** Merge another aggregator (for multi-threaded runs). */
+    void merge(const Aggregator &other);
+
+  private:
+    image::ImageF num_;
+    image::ImageF den_;
+};
+
+/**
+ * Denoising engine for one stage. Processes one 3-D stack at a time;
+ * the caller supplies the match list produced by block matching.
+ */
+class DenoiseEngine
+{
+  public:
+    /**
+     * @param config   algorithm configuration
+     * @param stage    which stage's shrinkage to apply
+     * @param noisy    the noisy input image (all channels)
+     * @param basic    stage-1 estimate; required for the Wiener stage
+     * @param dctField stage-1 channel-0 DCT field (Path C); may be
+     *                 null for the Wiener stage
+     * @param profile  optional profile for DCT2/DE timing + op counts
+     */
+    DenoiseEngine(const Bm3dConfig &config, Stage stage,
+                  const image::ImageF &noisy, const image::ImageF *basic,
+                  const DctPatchField *dctField, Profile *profile);
+
+    /**
+     * Denoise the stack described by @p matches and accumulate the
+     * restored patches into @p agg.
+     */
+    void processStack(const MatchList &matches, Aggregator &agg);
+
+  private:
+    static constexpr int kMaxStack = MatchList::kCapacity;
+    static constexpr int kMaxCoefs = 64; // up to 8x8 patches
+
+    /** Gather the DCT-domain stack of channel @p c from image @p src. */
+    void gatherStack(const image::ImageF &src, const MatchList &matches,
+                     int stack_size, int c, bool reuse_field,
+                     float coefs[][kMaxCoefs]);
+
+    /** Shrink one z-vector in place; returns per-vector stats. */
+    struct ShrinkStats
+    {
+        int nonZero = 0;
+        double sumWeightSq = 0.0;
+    };
+    ShrinkStats shrinkVector(float *vec, const float *wiener_ref,
+                             int stack_size);
+
+    const Bm3dConfig &config_;
+    Stage stage_;
+    const image::ImageF &noisy_;
+    const image::ImageF *basic_;
+    const DctPatchField *dctField_;
+    Profile *profile_;
+
+    transforms::Dct2D dct_;
+    std::vector<transforms::Haar1D> haars_; ///< sizes 2, 4, 8, 16
+    float threshold3d_;
+};
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_DENOISE_H_

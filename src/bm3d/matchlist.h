@@ -1,0 +1,112 @@
+#ifndef IDEAL_BM3D_MATCHLIST_H_
+#define IDEAL_BM3D_MATCHLIST_H_
+
+/**
+ * @file
+ * The bounded, distance-sorted list of best matches kept per reference
+ * patch — the software analogue of the BM engine's priority queue MQ
+ * (paper Fig. 6). Capacity is the 16-best-matches limit.
+ */
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace ideal {
+namespace bm3d {
+
+/** One candidate match: patch top-left coordinates and distance. */
+struct Match
+{
+    int32_t x = 0;
+    int32_t y = 0;
+    float distance = 0.0f;
+
+    bool operator==(const Match &other) const = default;
+};
+
+/**
+ * Fixed-capacity insertion-sorted match list (ascending distance).
+ * Insertion is O(capacity), mirroring the hardware shift-register
+ * priority queue.
+ */
+class MatchList
+{
+  public:
+    static constexpr int kCapacity = 16;
+
+    explicit MatchList(int capacity = kCapacity) : capacity_(capacity)
+    {
+        assert(capacity >= 1 && capacity <= kCapacity);
+    }
+
+    int capacity() const { return capacity_; }
+    int size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const Match &operator[](int i) const
+    {
+        assert(i >= 0 && i < size_);
+        return entries_[i];
+    }
+
+    /** Largest (worst) distance currently held, or +inf when not full. */
+    float
+    worstDistance() const
+    {
+        if (size_ < capacity_)
+            return std::numeric_limits<float>::infinity();
+        return entries_[size_ - 1].distance;
+    }
+
+    /**
+     * Insert a candidate, keeping the list sorted and bounded. Returns
+     * true if the candidate was kept.
+     */
+    bool
+    insert(const Match &candidate)
+    {
+        if (size_ == capacity_ &&
+            candidate.distance >= entries_[size_ - 1].distance) {
+            return false;
+        }
+        int pos = size_ < capacity_ ? size_ : capacity_ - 1;
+        while (pos > 0 && entries_[pos - 1].distance > candidate.distance) {
+            entries_[pos] = entries_[pos - 1];
+            --pos;
+        }
+        entries_[pos] = candidate;
+        if (size_ < capacity_)
+            ++size_;
+        return true;
+    }
+
+    void clear() { size_ = 0; }
+
+    /**
+     * Largest power of two <= size(): the stack depth actually used by
+     * the 3-D transform (the Haar length must be a power of two).
+     */
+    int
+    stackSize() const
+    {
+        int s = 1;
+        while (2 * s <= size_)
+            s *= 2;
+        return size_ == 0 ? 0 : s;
+    }
+
+    const Match *begin() const { return entries_.data(); }
+    const Match *end() const { return entries_.data() + size_; }
+
+  private:
+    int capacity_;
+    int size_ = 0;
+    std::array<Match, kCapacity> entries_{};
+};
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_MATCHLIST_H_

@@ -1,0 +1,75 @@
+#include "bm3d/patchfield.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ideal {
+namespace bm3d {
+
+void
+extractPatch(const image::ImageF &plane, int x, int y, int patch_size,
+             float *out)
+{
+    const float *base = plane.plane(0);
+    const int w = plane.width();
+    for (int r = 0; r < patch_size; ++r) {
+        const float *row = base + static_cast<size_t>(y + r) * w + x;
+        for (int c = 0; c < patch_size; ++c)
+            out[r * patch_size + c] = row[c];
+    }
+}
+
+DctPatchField::DctPatchField(
+    const image::ImageF &plane, const transforms::Dct2D &dct,
+    float threshold,
+    const std::optional<fixed::PipelineFormats> &fixed_point,
+    OpCounters *ops)
+    : patchSize_(dct.size()), coefs_(patchSize_ * patchSize_),
+      posX_(plane.width() - patchSize_ + 1),
+      posY_(plane.height() - patchSize_ + 1)
+{
+    if (plane.channels() != 1)
+        throw std::invalid_argument("DctPatchField: expected 1 channel");
+    if (posX_ <= 0 || posY_ <= 0)
+        throw std::invalid_argument("DctPatchField: image < patch size");
+
+    raw_.resize(static_cast<size_t>(posX_) * posY_ * coefs_);
+    if (threshold > 0.0f)
+        thresholded_.resize(raw_.size());
+
+    float pixels[64];
+    for (int y = 0; y < posY_; ++y) {
+        for (int x = 0; x < posX_; ++x) {
+            extractPatch(plane, x, y, patchSize_, pixels);
+            float *dst = raw_.data() + index(x, y);
+            if (fixed_point)
+                dct.forwardFixed(pixels, dst, *fixed_point);
+            else
+                dct.forward(pixels, dst);
+            if (threshold > 0.0f) {
+                float *m = thresholded_.data() + index(x, y);
+                for (int i = 0; i < coefs_; ++i)
+                    m[i] = std::abs(dst[i]) < threshold ? 0.0f : dst[i];
+            }
+        }
+    }
+
+    if (ops) {
+        // Each 2-D DCT is two n x n matrix products: 2 * n^3 multiplies
+        // and adds (paper Sec. 2.1: 64 + 64 for n = 4 per 1-D pass).
+        const uint64_t patches =
+            static_cast<uint64_t>(posX_) * posY_;
+        const uint64_t n = patchSize_;
+        ops->multiplies += patches * 2 * n * n * n;
+        ops->additions += patches * 2 * n * n * (n - 1);
+        ops->memoryReads += patches * n * n;
+        ops->memoryWrites += patches * n * n;
+        if (threshold > 0.0f) {
+            ops->comparisons += patches * n * n;
+            ops->memoryWrites += patches * n * n;
+        }
+    }
+}
+
+} // namespace bm3d
+} // namespace ideal

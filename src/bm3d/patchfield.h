@@ -1,0 +1,91 @@
+#ifndef IDEAL_BM3D_PATCHFIELD_H_
+#define IDEAL_BM3D_PATCHFIELD_H_
+
+/**
+ * @file
+ * Precomputed per-position DCT patch field — the software analogue of
+ * the DCT1 step ("computing the DCT transformation of all possible
+ * patches") plus the hard-threshold applied before matching distances
+ * in BM1 (paper Fig. 1b, Path A).
+ */
+
+#include <optional>
+#include <vector>
+
+#include "bm3d/profile.h"
+#include "fixed/format.h"
+#include "image/image.h"
+#include "transforms/dct.h"
+
+namespace ideal {
+namespace bm3d {
+
+/**
+ * DCT coefficients of every patch position of a single plane.
+ *
+ * Position (x, y) is a patch top-left corner; valid positions are
+ * 0 <= x <= width - patchSize (same for y). Two coefficient sets are
+ * kept: the raw DCT (used by the denoising engine, Path C) and the
+ * hard-thresholded DCT (used for matching distances).
+ */
+class DctPatchField
+{
+  public:
+    /**
+     * Compute the field.
+     *
+     * @param plane       single-channel image
+     * @param dct         transform for the configured patch size
+     * @param threshold   Tht; coefficients with |c| < Tht are zeroed in
+     *                    the matching copy. 0 disables thresholding (the
+     *                    matching copy then aliases the raw copy).
+     * @param fixed_point when set, the DCT uses the fixed-point datapath
+     * @param ops         optional operation counters to accumulate into
+     */
+    DctPatchField(const image::ImageF &plane, const transforms::Dct2D &dct,
+                  float threshold,
+                  const std::optional<fixed::PipelineFormats> &fixed_point,
+                  OpCounters *ops);
+
+    int positionsX() const { return posX_; }
+    int positionsY() const { return posY_; }
+    int patchSize() const { return patchSize_; }
+
+    /** Raw DCT coefficients of the patch at top-left (x, y). */
+    const float *
+    patch(int x, int y) const
+    {
+        return raw_.data() + index(x, y);
+    }
+
+    /** Hard-thresholded coefficients used for matching. */
+    const float *
+    matchPatch(int x, int y) const
+    {
+        const auto &store = thresholded_.empty() ? raw_ : thresholded_;
+        return store.data() + index(x, y);
+    }
+
+  private:
+    size_t
+    index(int x, int y) const
+    {
+        return (static_cast<size_t>(y) * posX_ + x) * coefs_;
+    }
+
+    int patchSize_;
+    int coefs_;
+    int posX_;
+    int posY_;
+    std::vector<float> raw_;
+    std::vector<float> thresholded_;
+};
+
+/** Copy the patch at top-left (x, y) of @p plane into @p out (row-major). */
+void extractPatch(const image::ImageF &plane, int x, int y, int patch_size,
+                  float *out);
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_PATCHFIELD_H_

@@ -1,0 +1,22 @@
+#include "bm3d/profile.h"
+
+namespace ideal {
+namespace bm3d {
+
+const char *
+toString(Step step)
+{
+    switch (step) {
+      case Step::Dct1: return "DCT1";
+      case Step::Bm1: return "BM1";
+      case Step::De1: return "DE1";
+      case Step::Bm2: return "BM2";
+      case Step::Dct2: return "DCT2";
+      case Step::De2: return "DE2";
+      case Step::Count: break;
+    }
+    return "?";
+}
+
+} // namespace bm3d
+} // namespace ideal

@@ -1,0 +1,200 @@
+#ifndef IDEAL_BM3D_PROFILE_H_
+#define IDEAL_BM3D_PROFILE_H_
+
+/**
+ * @file
+ * Per-step time and operation accounting for the software BM3D
+ * implementation. The step taxonomy matches the paper's breakdown
+ * (Fig. 4): DCT1, BM1, DE1, BM2, DCT2, DE2. Operation counts feed the
+ * CPU microarchitectural proxy (Table 1) and the energy model.
+ */
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ideal {
+namespace bm3d {
+
+/** Algorithm steps in pipeline order. */
+enum class Step : int {
+    Dct1 = 0, ///< DCT of all patches for stage 1
+    Bm1,      ///< block matching, hard-thresholding stage
+    De1,      ///< denoising (hard threshold filter)
+    Bm2,      ///< block matching, Wiener stage
+    Dct2,     ///< DCT work for stage 2
+    De2,      ///< denoising (Wiener filter)
+    Count,
+};
+
+constexpr int kNumSteps = static_cast<int>(Step::Count);
+
+/** Printable step name matching the paper's figure labels. */
+const char *toString(Step step);
+
+/** Arithmetic / memory operation counters (for Table 1 and energy). */
+struct OpCounters
+{
+    uint64_t multiplies = 0;
+    uint64_t additions = 0;
+    uint64_t comparisons = 0;
+    uint64_t memoryReads = 0;  ///< sample loads
+    uint64_t memoryWrites = 0; ///< sample stores
+
+    OpCounters &
+    operator+=(const OpCounters &other)
+    {
+        multiplies += other.multiplies;
+        additions += other.additions;
+        comparisons += other.comparisons;
+        memoryReads += other.memoryReads;
+        memoryWrites += other.memoryWrites;
+        return *this;
+    }
+
+    uint64_t
+    total() const
+    {
+        return multiplies + additions + comparisons + memoryReads +
+               memoryWrites;
+    }
+};
+
+/** Matches-Reuse statistics (Fig. 10). */
+struct MrStats
+{
+    uint64_t bm1Hits = 0;       ///< reference patches that reused matches
+    uint64_t bm1Refs = 0;       ///< reference patches processed in BM1
+    uint64_t bm2Hits = 0;
+    uint64_t bm2Refs = 0;
+    uint64_t bm1Candidates = 0; ///< distance computations in BM1
+    uint64_t bm2Candidates = 0;
+    /// Subset of hits that reused the row above (the across-rows
+    /// extension; 0 when it is disabled).
+    uint64_t bm1VertHits = 0;
+    uint64_t bm2VertHits = 0;
+
+    double
+    hitRate1() const
+    {
+        return bm1Refs ? static_cast<double>(bm1Hits) / bm1Refs : 0.0;
+    }
+
+    double
+    hitRate2() const
+    {
+        return bm2Refs ? static_cast<double>(bm2Hits) / bm2Refs : 0.0;
+    }
+
+    MrStats &
+    operator+=(const MrStats &other)
+    {
+        bm1Hits += other.bm1Hits;
+        bm1Refs += other.bm1Refs;
+        bm2Hits += other.bm2Hits;
+        bm2Refs += other.bm2Refs;
+        bm1Candidates += other.bm1Candidates;
+        bm2Candidates += other.bm2Candidates;
+        bm1VertHits += other.bm1VertHits;
+        bm2VertHits += other.bm2VertHits;
+        return *this;
+    }
+};
+
+/** Accumulated profile of one denoising run. */
+class Profile
+{
+  public:
+    /** Add @p seconds of wall time to @p step. */
+    void
+    addTime(Step step, double seconds)
+    {
+        seconds_[static_cast<int>(step)] += seconds;
+    }
+
+    /** Add operation counts to @p step. */
+    void
+    addOps(Step step, const OpCounters &ops)
+    {
+        ops_[static_cast<int>(step)] += ops;
+    }
+
+    double seconds(Step step) const
+    {
+        return seconds_[static_cast<int>(step)];
+    }
+
+    const OpCounters &ops(Step step) const
+    {
+        return ops_[static_cast<int>(step)];
+    }
+
+    double
+    totalSeconds() const
+    {
+        double total = 0.0;
+        for (double s : seconds_)
+            total += s;
+        return total;
+    }
+
+    OpCounters
+    totalOps() const
+    {
+        OpCounters total;
+        for (const auto &o : ops_)
+            total += o;
+        return total;
+    }
+
+    MrStats &mr() { return mr_; }
+    const MrStats &mr() const { return mr_; }
+
+    Profile &
+    operator+=(const Profile &other)
+    {
+        for (int i = 0; i < kNumSteps; ++i) {
+            seconds_[i] += other.seconds_[i];
+            ops_[i] += other.ops_[i];
+        }
+        mr_ += other.mr_;
+        return *this;
+    }
+
+  private:
+    std::array<double, kNumSteps> seconds_{};
+    std::array<OpCounters, kNumSteps> ops_{};
+    MrStats mr_;
+};
+
+/** RAII wall-clock timer adding its lifetime to a profile step. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(Profile &profile, Step step)
+        : profile_(profile), step_(step),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        auto end = std::chrono::steady_clock::now();
+        profile_.addTime(
+            step_, std::chrono::duration<double>(end - start_).count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Profile &profile_;
+    Step step_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_PROFILE_H_

@@ -1,0 +1,317 @@
+#include "bm3d/video.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "bm3d/bm3d.h"
+#include "bm3d/blockmatch.h"
+#include "bm3d/denoise.h"
+#include "bm3d/matchlist.h"
+#include "bm3d/patchfield.h"
+#include "transforms/dct.h"
+#include "transforms/haar.h"
+
+namespace ideal {
+namespace bm3d {
+
+namespace {
+
+/** A spatio-temporal match: patch position plus frame index. */
+struct TMatch
+{
+    int x = 0;
+    int y = 0;
+    int t = 0;
+    float distance = 0.0f;
+};
+
+/** Bounded sorted list of spatio-temporal matches. */
+class TMatchList
+{
+  public:
+    explicit TMatchList(int capacity) : capacity_(capacity) {}
+
+    int size() const { return size_; }
+
+    const TMatch &operator[](int i) const { return entries_[i]; }
+
+    void
+    insert(const TMatch &m)
+    {
+        if (size_ == capacity_ && m.distance >= entries_[size_ - 1].distance)
+            return;
+        int pos = size_ < capacity_ ? size_ : capacity_ - 1;
+        while (pos > 0 && entries_[pos - 1].distance > m.distance) {
+            entries_[pos] = entries_[pos - 1];
+            --pos;
+        }
+        entries_[pos] = m;
+        if (size_ < capacity_)
+            ++size_;
+    }
+
+    int
+    stackSize() const
+    {
+        int s = 1;
+        while (2 * s <= size_)
+            s *= 2;
+        return size_ == 0 ? 0 : s;
+    }
+
+  private:
+    int capacity_;
+    int size_ = 0;
+    TMatch entries_[MatchList::kCapacity];
+};
+
+int
+log2OfPow2(int v)
+{
+    int l = 0;
+    while ((1 << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+VideoBm3d::VideoBm3d(VideoConfig config) : config_(std::move(config))
+{
+    config_.validate();
+}
+
+VideoResult
+VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
+{
+    if (noisy.empty())
+        throw std::invalid_argument("VideoBm3d: empty sequence");
+    for (const auto &f : noisy)
+        if (!f.sameShape(noisy[0]))
+            throw std::invalid_argument("VideoBm3d: frame shape mismatch");
+
+    const Bm3dConfig &cfg = config_.frame;
+    const int frames = static_cast<int>(noisy.size());
+    const int p = cfg.patchSize;
+    const int pp = p * p;
+    const int channels = noisy[0].channels();
+    const float tht = cfg.lambda2d * cfg.sigma;
+    const float thr3d = cfg.lambda3d * cfg.sigma;
+
+    VideoResult result;
+    transforms::Dct2D dct(p);
+    std::vector<transforms::Haar1D> haars;
+    for (int s = 2; s <= cfg.maxMatches; s *= 2)
+        haars.emplace_back(s);
+
+    // Per-frame channel-0 DCT fields (the DCT1 step, once per frame).
+    std::vector<std::unique_ptr<DctPatchField>> fields(frames);
+    {
+        ScopedTimer timer(result.profile, Step::Dct1);
+        for (int t = 0; t < frames; ++t) {
+            image::ImageF plane0 = noisy[t].extractPlane(0);
+            OpCounters ops;
+            fields[t] = std::make_unique<DctPatchField>(
+                plane0, dct, tht, cfg.fixedPoint, &ops);
+            result.profile.addOps(Step::Dct1, ops);
+        }
+    }
+
+    std::vector<Aggregator> agg;
+    agg.reserve(frames);
+    for (int t = 0; t < frames; ++t)
+        agg.emplace_back(noisy[0].width(), noisy[0].height(), channels);
+
+    const auto xs =
+        makeRefPositions(fields[0]->positionsX() - 1, cfg.refStride);
+    const auto ys =
+        makeRefPositions(fields[0]->positionsY() - 1, cfg.refStride);
+    const int pred_half = (config_.predictiveWindow - 1) / 2;
+    const float norm = 1.0f / static_cast<float>(pp);
+
+    uint64_t stack_entries = 0;
+    uint64_t temporal_entries = 0;
+    MrStats mr;
+
+    for (int t = 0; t < frames; ++t) {
+        DctMatchDomain domain(*fields[t]);
+        BlockMatcher<DctMatchDomain> matcher(
+            domain, cfg.searchWindow1, cfg.searchStride, cfg.refStride,
+            cfg.tauMatch1, cfg.maxMatches, cfg.boundedDistance);
+        const float reuse_bound =
+            static_cast<float>(cfg.mr.k) * cfg.tauMatch1;
+
+        for (int y : ys) {
+            MatchList spatial;
+            MatchList previous;
+            bool have_previous = false;
+            int prev_x = 0;
+            for (int x : xs) {
+                // --- spatial matching in frame t (with MR) ---
+                bool hit = false;
+                {
+                    ScopedTimer timer(result.profile, Step::Bm1);
+                    if (cfg.mr.enabled && have_previous) {
+                        float d =
+                            matcher.referenceDistance(x, y, prev_x, y);
+                        ++mr.bm1Candidates;
+                        if (d < reuse_bound) {
+                            hit = true;
+                            mr.bm1Candidates += matcher.searchReuse(
+                                x, y, previous, spatial);
+                        } else {
+                            mr.bm1Candidates +=
+                                matcher.search(x, y, spatial);
+                        }
+                    } else {
+                        mr.bm1Candidates += matcher.search(x, y, spatial);
+                    }
+                }
+                ++mr.bm1Refs;
+                mr.bm1Hits += hit ? 1 : 0;
+                previous = spatial;
+                have_previous = true;
+                prev_x = x;
+
+                // --- predictive temporal matching ---
+                TMatchList stack(cfg.maxMatches);
+                for (const Match &m : spatial)
+                    stack.insert(TMatch{m.x, m.y, t, m.distance});
+
+                {
+                    ScopedTimer timer(result.profile, Step::Bm2);
+                    const float *ref = fields[t]->matchPatch(x, y);
+                    // Track the best position from frame to frame.
+                    int track_x = x, track_y = y;
+                    for (int dt = 1; dt <= config_.temporalRadius; ++dt) {
+                        for (int dir : {-1, +1}) {
+                            int tn = t + dir * dt;
+                            if (tn < 0 || tn >= frames)
+                                continue;
+                            const DctPatchField &f = *fields[tn];
+                            int x_lo = std::max(0, track_x - pred_half);
+                            int x_hi = std::min(f.positionsX() - 1,
+                                                track_x + pred_half);
+                            int y_lo = std::max(0, track_y - pred_half);
+                            int y_hi = std::min(f.positionsY() - 1,
+                                                track_y + pred_half);
+                            float best = 1e30f;
+                            int bx = track_x, by = track_y;
+                            for (int yy = y_lo; yy <= y_hi; ++yy)
+                                for (int xx = x_lo; xx <= x_hi; ++xx) {
+                                    float d = transforms::squaredDistance(
+                                                  ref,
+                                                  f.matchPatch(xx, yy),
+                                                  pp) * norm;
+                                    ++mr.bm2Candidates;
+                                    if (d < cfg.tauMatch1)
+                                        stack.insert(
+                                            TMatch{xx, yy, tn, d});
+                                    if (d < best) {
+                                        best = d;
+                                        bx = xx;
+                                        by = yy;
+                                    }
+                                }
+                            if (dir > 0) {
+                                track_x = bx;
+                                track_y = by;
+                            }
+                        }
+                    }
+                }
+
+                // --- collaborative filtering of the 3-D stack ---
+                const int s = stack.stackSize();
+                if (s == 0)
+                    continue;
+                ScopedTimer timer(result.profile, Step::De1);
+                const transforms::Haar1D *haar =
+                    s >= 2 ? &haars[log2OfPow2(s) - 1] : nullptr;
+
+                float coefs[MatchList::kCapacity][64];
+                float pixels[64];
+                for (int c = 0; c < channels; ++c) {
+                    // Channel 0 reuses the per-frame DCT fields
+                    // (Path C); other channels transform on the fly.
+                    for (int i = 0; i < s; ++i) {
+                        const TMatch &m = stack[i];
+                        if (c == 0) {
+                            const float *src =
+                                fields[m.t]->patch(m.x, m.y);
+                            std::copy(src, src + pp, coefs[i]);
+                            continue;
+                        }
+                        const float *base = noisy[m.t].plane(c);
+                        const int w = noisy[m.t].width();
+                        for (int r = 0; r < p; ++r)
+                            for (int cc = 0; cc < p; ++cc)
+                                pixels[r * p + cc] =
+                                    base[static_cast<size_t>(m.y + r) * w +
+                                         m.x + cc];
+                        if (cfg.fixedPoint)
+                            dct.forwardFixed(pixels, coefs[i],
+                                             *cfg.fixedPoint);
+                        else
+                            dct.forward(pixels, coefs[i]);
+                    }
+
+                    int non_zero = 0;
+                    for (int pos = 0; pos < pp; ++pos) {
+                        float zvec[MatchList::kCapacity];
+                        float tvec[MatchList::kCapacity];
+                        for (int i = 0; i < s; ++i)
+                            zvec[i] = coefs[i][pos];
+                        if (haar)
+                            haar->forward(zvec, tvec);
+                        else
+                            tvec[0] = zvec[0];
+                        for (int i = 0; i < s; ++i) {
+                            if (std::abs(tvec[i]) < thr3d)
+                                tvec[i] = 0.0f;
+                            else
+                                ++non_zero;
+                        }
+                        if (haar)
+                            haar->inverse(tvec, zvec);
+                        else
+                            zvec[0] = tvec[0];
+                        for (int i = 0; i < s; ++i)
+                            coefs[i][pos] = zvec[i];
+                    }
+
+                    float weight =
+                        1.0f / static_cast<float>(std::max(non_zero, 1));
+                    for (int i = 0; i < s; ++i) {
+                        const TMatch &m = stack[i];
+                        if (cfg.fixedPoint)
+                            dct.inverseFixed(coefs[i], pixels,
+                                             *cfg.fixedPoint);
+                        else
+                            dct.inverse(coefs[i], pixels);
+                        agg[m.t].addPatch(m.x, m.y, c, p, pixels, weight);
+                    }
+                }
+                for (int i = 0; i < s; ++i) {
+                    ++stack_entries;
+                    if (stack[i].t != t)
+                        ++temporal_entries;
+                }
+            }
+        }
+    }
+
+    result.profile.mr() += mr;
+    result.frames.reserve(frames);
+    for (int t = 0; t < frames; ++t)
+        result.frames.push_back(agg[t].finalize(noisy[t]));
+    result.temporalShare =
+        stack_entries
+            ? static_cast<double>(temporal_entries) / stack_entries
+            : 0.0;
+    return result;
+}
+
+} // namespace bm3d
+} // namespace ideal

@@ -1,0 +1,90 @@
+#ifndef IDEAL_BM3D_VIDEO_H_
+#define IDEAL_BM3D_VIDEO_H_
+
+/**
+ * @file
+ * Video denoising via spatio-temporal collaborative filtering
+ * (V-BM3D-style; paper Sec. 2: "This class of algorithms has also
+ * been extended beyond the imaging domain to video processing
+ * including denoising [16]"). The paper's intro motivates real-time
+ * raw-video denoising before encoding - denoised frames compress much
+ * better.
+ *
+ * For each reference patch of frame t, matching searches the regular
+ * Ns x Ns window in frame t plus *predictive* windows in the
+ * temporally adjacent frames: a small window centered on the best
+ * match found in the previous searched frame, which tracks motion
+ * cheaply. The 3-D stack then mixes patches across frames, and the
+ * usual Haar + shrinkage pipeline applies.
+ */
+
+#include <vector>
+
+#include "bm3d/config.h"
+#include "bm3d/profile.h"
+#include "image/image.h"
+
+namespace ideal {
+namespace bm3d {
+
+/** Video-specific configuration on top of the per-frame Bm3dConfig. */
+struct VideoConfig
+{
+    /// Spatial/algorithm parameters (sigma, patch, windows, MR, ...).
+    Bm3dConfig frame;
+
+    /// Frames searched on each side of the reference frame.
+    int temporalRadius = 1;
+
+    /// Predictive search window dimension in neighbor frames (odd);
+    /// V-BM3D uses a small window around the motion-tracked position.
+    int predictiveWindow = 11;
+
+    void
+    validate() const
+    {
+        frame.validate();
+        if (temporalRadius < 0 || temporalRadius > 4)
+            throw std::invalid_argument("temporalRadius must be 0..4");
+        if (predictiveWindow < frame.patchSize ||
+            predictiveWindow % 2 == 0) {
+            throw std::invalid_argument(
+                "predictiveWindow must be odd and >= patch size");
+        }
+    }
+};
+
+/** Result of denoising a frame sequence. */
+struct VideoResult
+{
+    std::vector<image::ImageF> frames; ///< denoised sequence
+    Profile profile;
+    /// Fraction of stack patches drawn from temporal neighbors.
+    double temporalShare = 0.0;
+};
+
+/**
+ * Spatio-temporal denoiser for a grayscale or multi-channel frame
+ * sequence (all frames same shape, channel 0 used for matching).
+ * Single (hard-thresholding) stage: video pipelines run it per frame
+ * in real time; the Wiener refinement is an offline option the
+ * per-frame Bm3d class already provides.
+ */
+class VideoBm3d
+{
+  public:
+    explicit VideoBm3d(VideoConfig config);
+
+    const VideoConfig &config() const { return config_; }
+
+    /** Denoise the whole sequence. */
+    VideoResult denoise(const std::vector<image::ImageF> &noisy) const;
+
+  private:
+    VideoConfig config_;
+};
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_VIDEO_H_

@@ -1,0 +1,685 @@
+#include "core/accelerator.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "bm3d/bm3d.h"
+#include "dram/dram.h"
+
+namespace ideal {
+namespace core {
+
+namespace {
+
+/**
+ * LRU table of recently fetched 64 B blocks. Models the request
+ * coalescing the paper relies on in Sec. 6.6: lanes working on
+ * adjacent rows re-request mostly the same blocks, which the memory
+ * controller (MSHRs + row buffers) serves without new DRAM traffic.
+ */
+class CoalesceBuffer
+{
+  public:
+    explicit CoalesceBuffer(size_t capacity) : capacity_(capacity) {}
+
+    /** Returns true (a hit) if @p addr was fetched recently. */
+    bool
+    lookup(sim::Addr addr)
+    {
+        auto it = map_.find(addr);
+        if (it == map_.end())
+            return false;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+
+    void
+    insert(sim::Addr addr)
+    {
+        if (map_.count(addr))
+            return;
+        lru_.push_front(addr);
+        map_[addr] = lru_.begin();
+        if (map_.size() > capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+        }
+    }
+
+  private:
+    size_t capacity_;
+    std::list<sim::Addr> lru_;
+    std::unordered_map<sim::Addr, std::list<sim::Addr>::iterator> map_;
+};
+
+/** Geometry of one stage over the reference grid. */
+struct StageGeometry
+{
+    int width = 0;
+    int height = 0;
+    int patch = 4;
+    int ns = 49;
+    int half = 24;
+    int ps = 1;       ///< reference stride
+    int ss = 1;       ///< search stride
+    int bandRows = 0; ///< window height in pixels = ns + patch - 1
+    int planes = 3;   ///< image planes streamed for this stage
+    int refsX = 0;
+    int refsY = 0;
+    std::vector<int> xs;
+    std::vector<int> ys;
+    const std::vector<uint8_t> *hit = nullptr;
+
+    int maxPosX() const { return width - patch; }
+    int maxPosY() const { return height - patch; }
+
+    /** Clipped candidate count of a full window search. */
+    uint64_t
+    fullCandidates(int x, int y) const
+    {
+        int xlo = std::max(0, x - half);
+        int xhi = std::min(maxPosX(), x + half);
+        int ylo = std::max(0, y - half);
+        int yhi = std::min(maxPosY(), y + half);
+        uint64_t cx = static_cast<uint64_t>(xhi - xlo) / ss + 1;
+        uint64_t cy = static_cast<uint64_t>(yhi - ylo) / ss + 1;
+        return cx * cy - 1;
+    }
+
+    /** Clipped candidate count of a Matches-Reuse search (+1 check). */
+    uint64_t
+    reuseCandidates(int x, int y, int max_matches) const
+    {
+        int xlo = std::max(0, x - half);
+        int xhi = std::min(maxPosX(), x + half);
+        int ylo = std::max(0, y - half);
+        int yhi = std::min(maxPosY(), y + half);
+        int new_lo = std::max(xlo, x + half - ps + 1);
+        uint64_t cols = new_lo <= xhi ? (xhi - new_lo + 1) : 0;
+        uint64_t rows = static_cast<uint64_t>(yhi - ylo) / ss + 1;
+        return cols * rows + max_matches + 1;
+    }
+};
+
+StageGeometry
+makeGeometry(const AcceleratorConfig &cfg, const Workload &w,
+             bm3d::Stage stage)
+{
+    const auto &st =
+        stage == bm3d::Stage::HardThreshold ? w.stage1 : w.stage2;
+    StageGeometry g;
+    g.width = w.width;
+    g.height = w.height;
+    g.patch = cfg.algo.patchSize;
+    g.ns = cfg.algo.searchWindow(stage);
+    g.half = (g.ns - 1) / 2;
+    g.ps = cfg.algo.refStride;
+    g.ss = cfg.algo.searchStride;
+    g.bandRows = g.ns + g.patch - 1;
+    // Stage 1 streams the noisy channels (matching plane + the color
+    // channels the denoiser consumes). Stage 2 additionally streams
+    // the basic estimate's channels (matching plane + Wiener
+    // references).
+    g.planes = stage == bm3d::Stage::HardThreshold ? w.channels
+                                                   : 2 * w.channels;
+    g.refsX = st.refsX;
+    g.refsY = st.refsY;
+    g.xs = bm3d::makeRefPositions(g.maxPosX(), g.ps);
+    g.ys = bm3d::makeRefPositions(g.maxPosY(), g.ps);
+    g.hit = &st.hit;
+    return g;
+}
+
+/** Request-id encoding: lane and blocking/prefetch class. */
+enum class FetchClass : uint64_t {
+    Blocking = 0, ///< lane cannot proceed until it arrives
+    Column = 1,   ///< column prefetch; bumps readyCols when complete
+    Output = 2,   ///< writeback, fire-and-forget
+};
+
+uint64_t
+encodeId(int lane, FetchClass cls, uint64_t seq)
+{
+    return (seq << 12) | (static_cast<uint64_t>(lane) << 2) |
+           static_cast<uint64_t>(cls);
+}
+
+int laneOf(uint64_t id) { return static_cast<int>((id >> 2) & 0x3ff); }
+
+FetchClass classOf(uint64_t id)
+{
+    return static_cast<FetchClass>(id & 0x3);
+}
+
+/** One IDEALMR lane's execution state within a stage. */
+struct Lane
+{
+    int rowIdx = -1;     ///< assigned reference row (-1: none/done)
+    int xi = 0;          ///< next reference index in the row
+    bool filling = false;
+    int blockingOutstanding = 0;
+
+    // Column prefetch state, in 64-pixel block columns.
+    int readyCols = 0;   ///< columns fully resident in the SWB
+    int issuedCols = 0;  ///< columns requested so far
+    int columnOutstanding = 0; ///< blocks pending for column issuedCols-1
+
+    // Pending block requests not yet accepted by the controller.
+    std::vector<sim::Addr> issueQueue;
+    FetchClass issueClass = FetchClass::Blocking;
+
+    uint64_t bmRemaining = 0;
+    bool jobReady = false; ///< BM finished, job waiting for queue space
+    int deQueue = 0;
+    uint64_t deRemaining = 0;
+
+    int writeAccum = 0; ///< output bytes accumulated toward one block
+
+    // Per-lane counters.
+    uint64_t busyBm = 0;
+    uint64_t busyDe = 0;
+    uint64_t stallMem = 0;
+    uint64_t stallColWait = 0;
+    uint64_t stallFill = 0;
+    uint64_t stallQueue = 0;
+};
+
+/** Shared bookkeeping for one stage's simulation. */
+class StageSim
+{
+  public:
+    StageSim(const AcceleratorConfig &cfg, const StageGeometry &geom,
+             bm3d::Stage stage, dram::DramSystem &mem,
+             CoalesceBuffer &coalesce, Activity &activity,
+             sim::StatsRegistry &stats)
+        : cfg_(cfg), g_(geom), stage_(stage), mem_(mem),
+          coalesce_(coalesce), activity_(activity), stats_(stats),
+          lanes_(cfg.variant == Variant::IdealB ? 1 : cfg.lanes)
+    {
+        // Pad rows to whole blocks so addresses are 64 B aligned.
+        rowBlocks_ = (g_.width + 63) / 64;
+        planeBlocks_ = static_cast<uint64_t>(rowBlocks_) * g_.height;
+        // Stage 2's planes live after stage 1's in the address map.
+        planeBase_ = stage_ == bm3d::Stage::Wiener
+                         ? planeBlocks_ * 64 * 8
+                         : 0;
+        jobCycles_ = jobCycles(cfg_, g_);
+    }
+
+    /** Run the stage to completion; returns elapsed cycles. */
+    sim::Cycle run(sim::Cycle start_cycle);
+
+  private:
+    static uint64_t
+    jobCycles(const AcceleratorConfig &cfg, const StageGeometry &g)
+    {
+        // One denoising job: maxMatches patches per channel through
+        // the DE lanes at dePatchesPerCycle, plus pipeline fill. The
+        // Wiener stage's reference-stack transform runs in parallel
+        // DE sublanes and does not add serial cycles.
+        int channels = g.planes > 3 ? g.planes / 2 : g.planes;
+        return static_cast<uint64_t>(channels) * cfg.algo.maxMatches /
+                   cfg.timing.dePatchesPerCycle +
+               cfg.timing.dePipelineDepth;
+    }
+
+    sim::Addr
+    blockAddr(int plane, int row, int block_col) const
+    {
+        return planeBase_ +
+               (static_cast<uint64_t>(plane) * planeBlocks_ +
+                static_cast<uint64_t>(row) * rowBlocks_ + block_col) *
+                   64;
+    }
+
+    /** Queue the block fetches of one 64-pixel column of the band. */
+    void
+    queueColumn(Lane &lane, int row_idx, int block_col, FetchClass cls)
+    {
+        const int y = g_.ys[row_idx];
+        const int top = std::clamp(y - g_.half, 0, g_.height - 1);
+        const int bottom =
+            std::min(g_.height - 1, top + g_.bandRows - 1);
+        for (int plane = 0; plane < g_.planes; ++plane)
+            for (int r = top; r <= bottom; ++r)
+                lane.issueQueue.push_back(blockAddr(plane, r, block_col));
+        lane.issueClass = cls;
+    }
+
+    /** Number of block columns the window of reference @p x needs. */
+    int
+    requiredCols(int x) const
+    {
+        int edge = std::min(g_.width - 1, x + g_.half + g_.patch - 1);
+        return edge / 64 + 1;
+    }
+
+    /** Try to issue one queued request from @p lane. */
+    void
+    issueOne(int lane_idx, Lane &lane, sim::Cycle now)
+    {
+        if (lane.issueQueue.empty())
+            return;
+        sim::Addr addr = lane.issueQueue.back();
+        if (cfg_.coalescing && coalesce_.lookup(addr)) {
+            // Another lane fetched this block recently: served without
+            // DRAM traffic.
+            lane.issueQueue.pop_back();
+            stats_.add("mem.coalesced", 1);
+            if (lane.issueClass == FetchClass::Column &&
+                lane.issueQueue.empty() && lane.columnOutstanding == 0) {
+                lane.readyCols = lane.issuedCols;
+            }
+            return;
+        }
+        if (!mem_.canAccept(addr))
+            return;
+        uint64_t id = encodeId(lane_idx, lane.issueClass, seq_++);
+        mem_.enqueue(dram::Request{addr, false, id}, now);
+        lane.issueQueue.pop_back();
+        if (cfg_.coalescing)
+            coalesce_.insert(addr);
+        ++activity_.dramBlocks;
+        activity_.bufferWrites += 1; // SWB/PB fill
+        if (lane.issueClass == FetchClass::Blocking)
+            ++lane.blockingOutstanding;
+        else
+            ++lane.columnOutstanding;
+    }
+
+    void handleCompletion(Lane &lane, FetchClass cls);
+
+    /** Start the next reference patch's BM if possible. */
+    void startNextRef(Lane &lane);
+
+    /** Advance one lane by one cycle. */
+    void tickLane(int lane_idx, Lane &lane, sim::Cycle now);
+
+    const AcceleratorConfig &cfg_;
+    const StageGeometry &g_;
+    bm3d::Stage stage_;
+    dram::DramSystem &mem_;
+    CoalesceBuffer &coalesce_;
+    Activity &activity_;
+    sim::StatsRegistry &stats_;
+
+    int lanes_;
+    int rowBlocks_ = 0;
+    uint64_t planeBlocks_ = 0;
+    uint64_t planeBase_ = 0;
+    uint64_t jobCycles_ = 0;
+    uint64_t seq_ = 0;
+    int nextRow_ = 0;
+};
+
+void
+StageSim::handleCompletion(Lane &lane, FetchClass cls)
+{
+    if (cls == FetchClass::Blocking) {
+        if (lane.blockingOutstanding > 0)
+            --lane.blockingOutstanding;
+    } else if (cls == FetchClass::Column) {
+        if (lane.columnOutstanding > 0)
+            --lane.columnOutstanding;
+        if (lane.columnOutstanding == 0 && lane.issueQueue.empty())
+            lane.readyCols = lane.issuedCols;
+    }
+}
+
+void
+StageSim::startNextRef(Lane &lane)
+{
+    const bool ideal_b = cfg_.variant == Variant::IdealB;
+    const int group = ideal_b ? cfg_.lanes : 1;
+
+    if (lane.rowIdx < 0 || lane.xi >= g_.refsX) {
+        // Grab the next unprocessed row (dynamic row scheduling).
+        if (nextRow_ >= g_.refsY) {
+            lane.rowIdx = -1;
+            return;
+        }
+        lane.rowIdx = nextRow_++;
+        lane.xi = 0;
+        lane.readyCols = 0;
+        lane.issuedCols = 0;
+        lane.columnOutstanding = 0;
+        if (cfg_.buffering) {
+            // Cold fill: all columns covering the first window(s).
+            int first_x = g_.xs[0] + (group - 1) * g_.ps;
+            int cols = requiredCols(std::min(first_x, g_.maxPosX()));
+            for (int c = 0; c < cols; ++c)
+                queueColumn(lane, lane.rowIdx, c, FetchClass::Blocking);
+            lane.issuedCols = cols;
+            lane.readyCols = 0;
+            lane.filling = true;
+            return;
+        }
+    }
+
+    const int y = g_.ys[lane.rowIdx];
+    const int xi = lane.xi;
+    const int x = g_.xs[std::min(xi, g_.refsX - 1)];
+    const size_t hit_idx =
+        static_cast<size_t>(lane.rowIdx) * g_.refsX + xi;
+
+    if (cfg_.buffering) {
+        const int req = requiredCols(
+            ideal_b ? std::min(g_.maxPosX(),
+                               x + (group - 1) * g_.ps)
+                    : x);
+        if (lane.readyCols < req) {
+            // Window data not resident: issue missing columns and
+            // stall (this is the no-prefetch path, or a burst the
+            // prefetcher has not covered yet).
+            if (lane.issuedCols < req) {
+                queueColumn(lane, lane.rowIdx, lane.issuedCols,
+                            FetchClass::Column);
+                ++lane.issuedCols;
+            }
+            ++lane.stallMem;
+            ++lane.stallColWait;
+            return;
+        }
+        if (cfg_.prefetch && lane.issuedCols <= req &&
+            lane.issuedCols * 64 < g_.width) {
+            // Look one block column ahead (the SWB holds two blocks
+            // per entry, Sec. 5.3).
+            queueColumn(lane, lane.rowIdx, lane.issuedCols,
+                        FetchClass::Column);
+            ++lane.issuedCols;
+        }
+    } else {
+        // No on-chip buffering: fetch the candidate data off-chip for
+        // every reference patch before matching can begin.
+        bool hit = (*g_.hit)[hit_idx] != 0;
+        int cols = hit ? 1 : (g_.ns + 63) / 64 + 1;
+        for (int c = 0; c < cols; ++c) {
+            // Only the matching plane is streamed in this mode.
+            const int top = std::clamp(y - g_.half, 0, g_.height - 1);
+            const int bottom =
+                std::min(g_.height - 1, top + g_.bandRows - 1);
+            int bc = std::min(rowBlocks_ - 1, std::max(0, x - g_.half) / 64
+                                                  + c);
+            for (int r = top; r <= bottom; ++r)
+                lane.issueQueue.push_back(blockAddr(0, r, bc));
+        }
+        lane.issueClass = FetchClass::Blocking;
+        lane.filling = true;
+        // BM work will start when the fill completes.
+    }
+
+    // Compute this reference patch's (or group's, for IDEALB) BM
+    // occupancy in cycles.
+    uint64_t cycles = 0;
+    uint64_t distances = 0;
+    if (ideal_b) {
+        // Lock-step group of `lanes` adjacent reference patches served
+        // by the single-port PB: one broadcast per cycle over the
+        // union of the group's windows.
+        int x_first = x;
+        int x_last = std::min(g_.maxPosX(),
+                              x + (cfg_.lanes - 1) * g_.ps);
+        int xlo = std::max(0, x_first - g_.half);
+        int xhi = std::min(g_.maxPosX(), x_last + g_.half);
+        int ylo = std::max(0, y - g_.half);
+        int yhi = std::min(g_.maxPosY(), y + g_.half);
+        uint64_t union_pos = static_cast<uint64_t>(xhi - xlo + 1) *
+                             (yhi - ylo + 1);
+        uint64_t per_ebm = g_.fullCandidates(x_first, y);
+        cycles = std::max(union_pos / cfg_.pbPorts, per_ebm);
+        for (int k = 0; k < cfg_.lanes && xi + k < g_.refsX; ++k)
+            distances += g_.fullCandidates(
+                g_.xs[std::min(xi + k, g_.refsX - 1)], y);
+        // The single shared EDCT must keep up with the group: it
+        // transforms the patches newly entering the PB (BM1 only; BM2
+        // buffers color-domain patches) plus all of the group's
+        // denoising-job DCT work through QBMP/QD/QiD (Fig. 5). If its
+        // occupancy exceeds the BM broadcast time it becomes the
+        // group's critical path.
+        const uint64_t channels =
+            g_.planes > 3 ? g_.planes / 2 : g_.planes;
+        uint64_t new_patches =
+            stage_ == bm3d::Stage::HardThreshold
+                ? static_cast<uint64_t>(cfg_.lanes) * g_.ps *
+                      (yhi - ylo + 1)
+                : 0;
+        uint64_t de_dcts = static_cast<uint64_t>(cfg_.lanes) *
+                           cfg_.algo.maxMatches *
+                           (g_.planes - 1 + channels);
+        uint64_t edct = (new_patches + de_dcts) /
+                        cfg_.timing.dctPatchesPerCycle;
+        stats_.add("idealb.edctWork", static_cast<double>(edct));
+        stats_.add("idealb.bmWork", static_cast<double>(cycles));
+        cycles = std::max(cycles, edct);
+        activity_.dctTransforms += new_patches + de_dcts;
+        lane.xi += cfg_.lanes;
+    } else {
+        bool hit = (*g_.hit)[hit_idx] != 0;
+        if (hit) {
+            cycles = g_.reuseCandidates(x, y, cfg_.algo.maxMatches);
+            stats_.add(stage_ == bm3d::Stage::HardThreshold
+                           ? "mr.hits1"
+                           : "mr.hits2",
+                       1);
+        } else {
+            cycles = g_.fullCandidates(x, y) + (cfg_.algo.mr.enabled ? 1 : 0);
+        }
+        distances = cycles;
+        lane.xi += 1;
+    }
+    cycles = std::max<uint64_t>(
+        1, cycles / cfg_.timing.bmCandidatesPerCycle);
+    lane.bmRemaining = cycles;
+    activity_.bmDistances += distances;
+    activity_.bufferReads += distances;
+    // BM1 candidates pass through the per-lane EDCT first (the SWB
+    // holds color-domain pixels in IDEALMR).
+    if (stage_ == bm3d::Stage::HardThreshold && !ideal_b)
+        activity_.dctTransforms += distances;
+}
+
+void
+StageSim::tickLane(int lane_idx, Lane &lane, sim::Cycle now)
+{
+    const bool ideal_b = cfg_.variant == Variant::IdealB;
+    const int group = ideal_b ? cfg_.lanes : 1;
+
+    // Denoising engine(s) drain one job at a time.
+    if (lane.deRemaining > 0) {
+        --lane.deRemaining;
+        ++lane.busyDe;
+        if (lane.deRemaining == 0) {
+            // Output writeback accumulates into whole blocks.
+            int bytes = g_.ps * g_.patch *
+                        (g_.planes > 3 ? g_.planes / 2 : g_.planes);
+            lane.writeAccum += bytes;
+            while (lane.writeAccum >= 64) {
+                lane.writeAccum -= 64;
+                uint64_t id =
+                    encodeId(lane_idx, FetchClass::Output, seq_++);
+                // Writes are fire-and-forget; drop them if the
+                // controller is saturated this cycle (they retry via
+                // accumulation next job).
+                if (mem_.enqueue(
+                        dram::Request{blockAddr(0, 0, 0) + 0x40000000ULL +
+                                          (seq_ % 4096) * 64,
+                                      true, id},
+                        now)) {
+                    ++activity_.dramBlocks;
+                } else {
+                    lane.writeAccum += 64;
+                    break;
+                }
+            }
+        }
+    } else if (lane.deQueue > 0) {
+        --lane.deQueue;
+        lane.deRemaining = jobCycles_;
+        const uint64_t channels =
+            g_.planes > 3 ? g_.planes / 2 : g_.planes;
+        activity_.deStackPatches +=
+            static_cast<uint64_t>(cfg_.algo.maxMatches) * channels;
+        // Forward DCT of every streamed plane's stack patches plus the
+        // inverse DCT of the restored channels (Paths D, E, F). IDEALB
+        // accounts its shared-EDCT work at group granularity instead.
+        if (cfg_.variant != Variant::IdealB)
+            activity_.dctTransforms +=
+                static_cast<uint64_t>(cfg_.algo.maxMatches) *
+                (g_.planes + channels);
+    }
+
+    // Issue at most one memory request per cycle per lane.
+    issueOne(lane_idx, lane, now);
+
+    if (lane.filling) {
+        if (lane.blockingOutstanding == 0 && lane.issueQueue.empty()) {
+            lane.filling = false;
+            lane.readyCols = lane.issuedCols;
+        } else {
+            ++lane.stallMem;
+            ++lane.stallColWait;
+            return;
+        }
+    }
+
+    if (lane.bmRemaining > 0) {
+        --lane.bmRemaining;
+        ++lane.busyBm;
+        if (lane.bmRemaining == 0)
+            lane.jobReady = true;
+        return;
+    }
+
+    if (lane.jobReady) {
+        // Enqueue the finished search's denoising job(s): one per
+        // reference patch (a lock-step IDEALB group finishes `lanes`
+        // searches at once, all feeding the shared QDJ).
+        const int jobs = group;
+        const int depth = std::max(cfg_.jobQueueDepth, jobs);
+        if (lane.deQueue + jobs <= depth) {
+            lane.deQueue += jobs;
+            lane.jobReady = false;
+        } else {
+            ++lane.stallQueue;
+            return;
+        }
+    }
+
+    if (lane.rowIdx < 0 && nextRow_ >= g_.refsY)
+        return; // finished
+
+    startNextRef(lane);
+}
+
+sim::Cycle
+StageSim::run(sim::Cycle start_cycle)
+{
+    std::vector<Lane> lanes(lanes_);
+    nextRow_ = 0;
+    sim::Cycle cycle = start_cycle;
+    const sim::Cycle limit =
+        start_cycle + 50'000'000'000ULL; // runaway guard
+
+    auto all_done = [&]() {
+        if (nextRow_ < g_.refsY)
+            return false;
+        for (const Lane &l : lanes)
+            if (l.rowIdx >= 0 || l.bmRemaining > 0 || l.jobReady ||
+                l.deQueue > 0 || l.deRemaining > 0 ||
+                !l.issueQueue.empty() || l.blockingOutstanding > 0)
+                return false;
+        return mem_.idle();
+    };
+
+    while (!all_done() && cycle < limit) {
+        ++cycle;
+        mem_.tick(cycle);
+        for (const auto &done : mem_.collectCompletions(cycle)) {
+            FetchClass cls = classOf(done.id);
+            if (cls == FetchClass::Output)
+                continue;
+            int li = laneOf(done.id);
+            if (li < lanes_)
+                handleCompletion(lanes[li], cls);
+        }
+        for (int i = 0; i < lanes_; ++i)
+            tickLane(i, lanes[i], cycle);
+    }
+
+    // Fold lane counters into the stats registry.
+    uint64_t busy_bm = 0, busy_de = 0, stall_mem = 0, stall_q = 0;
+    uint64_t stall_fill = 0, stall_col = 0;
+    for (const Lane &l : lanes) {
+        busy_bm += l.busyBm;
+        busy_de += l.busyDe;
+        stall_mem += l.stallMem;
+        stall_q += l.stallQueue;
+        stall_fill += l.stallFill;
+        stall_col += l.stallColWait;
+    }
+    const char *prefix =
+        stage_ == bm3d::Stage::HardThreshold ? "stage1" : "stage2";
+    stats_.add(std::string(prefix) + ".cycles",
+               static_cast<double>(cycle - start_cycle));
+    stats_.add(std::string(prefix) + ".bmBusy",
+               static_cast<double>(busy_bm));
+    stats_.add(std::string(prefix) + ".deBusy",
+               static_cast<double>(busy_de));
+    stats_.add(std::string(prefix) + ".memStall",
+               static_cast<double>(stall_mem));
+    stats_.add(std::string(prefix) + ".fillStall",
+               static_cast<double>(stall_fill));
+    stats_.add(std::string(prefix) + ".colStall",
+               static_cast<double>(stall_col));
+    stats_.add(std::string(prefix) + ".queueStall",
+               static_cast<double>(stall_q));
+    return cycle;
+}
+
+} // namespace
+
+SimResult
+simulate(const AcceleratorConfig &cfg, const Workload &workload)
+{
+    cfg.validate();
+    SimResult result;
+    result.freqGhz = cfg.freqGhz;
+    result.mrHitRate1 = workload.stage1.hitRate();
+    result.mrHitRate2 = workload.stage2.hitRate();
+
+    dram::DramConfig dcfg = cfg.dram;
+    dcfg.coreFreqGhz = cfg.freqGhz;
+    dram::DramSystem mem(dcfg);
+    CoalesceBuffer coalesce(static_cast<size_t>(cfg.coalesceBlocks));
+
+    StageGeometry g1 =
+        makeGeometry(cfg, workload, bm3d::Stage::HardThreshold);
+    StageSim s1(cfg, g1, bm3d::Stage::HardThreshold, mem, coalesce,
+                result.activity, result.stats);
+    sim::Cycle end1 = s1.run(0);
+    result.stage1Cycles = end1;
+
+    StageGeometry g2 = makeGeometry(cfg, workload, bm3d::Stage::Wiener);
+    StageSim s2(cfg, g2, bm3d::Stage::Wiener, mem, coalesce,
+                result.activity, result.stats);
+    sim::Cycle end2 = s2.run(end1);
+    result.stage2Cycles = end2 - end1;
+
+    result.stats.merge(mem.stats());
+    result.stats.set("dram.avgLatency", mem.averageLatency());
+    result.stats.set("dram.bytes",
+                     static_cast<double>(mem.bytesTransferred()));
+    return result;
+}
+
+SimResult
+simulateImage(const AcceleratorConfig &cfg, const image::ImageF &noisy)
+{
+    Workload w = buildWorkload(noisy, cfg.algo);
+    return simulate(cfg, w);
+}
+
+} // namespace core
+} // namespace ideal

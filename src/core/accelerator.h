@@ -1,0 +1,50 @@
+#ifndef IDEAL_CORE_ACCELERATOR_H_
+#define IDEAL_CORE_ACCELERATOR_H_
+
+/**
+ * @file
+ * Cycle-level simulators for the IDEALB and IDEALMR accelerators
+ * (paper Secs. 4 and 5). The simulators are *timing* models driven by
+ * a Workload (the per-reference-patch MR decisions, which are the only
+ * content-dependence of the cycle count); functional output quality is
+ * obtained from the bm3d library configured identically (fixed-point,
+ * MR), and the two are cross-checked in the test suite.
+ *
+ * Modeled effects:
+ *  - per-cycle engine occupancy: EBM (1 candidate distance/cycle),
+ *    EDCT (1 patch/cycle, pipelined), EDE (1 stack patch/cycle plus
+ *    pipeline fill);
+ *  - IDEALB lock-step EBMs fed by a single-port patch buffer that
+ *    broadcasts one patch per cycle over the collective search area;
+ *  - IDEALMR independent lanes with per-lane SWBs, dynamic row
+ *    assignment, cold-fill stalls, block-granular prefetching, and
+ *    back-pressure from the per-lane denoising queue;
+ *  - the DDR3 memory system (dram::DramSystem) with cross-lane
+ *    request coalescing;
+ *  - off-chip traffic for the matching plane plus the color channels
+ *    consumed by the denoiser, and aggregated output writeback.
+ */
+
+#include "core/config.h"
+#include "core/oracle.h"
+#include "core/result.h"
+
+namespace ideal {
+namespace core {
+
+/**
+ * Simulate both BM3D stages of @p workload on the accelerator
+ * described by @p cfg.
+ */
+SimResult simulate(const AcceleratorConfig &cfg, const Workload &workload);
+
+/**
+ * Convenience wrapper: build the workload from an image and simulate.
+ */
+SimResult simulateImage(const AcceleratorConfig &cfg,
+                        const image::ImageF &noisy);
+
+} // namespace core
+} // namespace ideal
+
+#endif // IDEAL_CORE_ACCELERATOR_H_

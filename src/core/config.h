@@ -1,0 +1,153 @@
+#ifndef IDEAL_CORE_CONFIG_H_
+#define IDEAL_CORE_CONFIG_H_
+
+/**
+ * @file
+ * Configuration of the IDEAL accelerators (paper Table 2).
+ *
+ * IDEALB: 16 block-matching engines in lock step, one shared DCT
+ * engine, one shared denoising engine, a shared 126.75 KB single-port
+ * patch buffer.
+ *
+ * IDEALMR: 16 independent lanes, each with one BM engine, one DE
+ * engine, three DCT engines and a 6.5 KB search-window buffer;
+ * row-granularity scheduling, prefetching, and the Matches-Reuse
+ * optimization.
+ */
+
+#include <stdexcept>
+
+#include "bm3d/config.h"
+#include "dram/config.h"
+
+namespace ideal {
+namespace core {
+
+/** Which accelerator organization to simulate. */
+enum class Variant {
+    IdealB,  ///< basic accelerator (Sec. 4)
+    IdealMr, ///< MR-optimized accelerator (Sec. 5)
+};
+
+/** Cycle-level engine timing parameters (1 GHz defaults). */
+struct EngineTiming
+{
+    /// EDCT: pipelined, one patch transform accepted per cycle.
+    int dctPatchesPerCycle = 1;
+    /// EBM: one full 4x4 patch distance per cycle (16 subtractors,
+    /// 16 multipliers, adder tree - Fig. 6).
+    int bmCandidatesPerCycle = 1;
+    /// EDE: one stack patch per cycle through the denoising lanes
+    /// (a job is 16 matches x 3 channels = 48 patches).
+    int dePatchesPerCycle = 1;
+    /// Pipeline fill latency of a DE job (Haar + shrink + inverse).
+    int dePipelineDepth = 12;
+};
+
+/** Accelerator configuration. */
+struct AcceleratorConfig
+{
+    Variant variant = Variant::IdealMr;
+
+    /// Core clock (Table 2: 1 GHz at 65 nm).
+    double freqGhz = 1.0;
+
+    /// Number of BM engines (IDEALB) or full lanes (IDEALMR).
+    int lanes = 16;
+
+    /// Number of denoising-job queue entries per consumer.
+    int jobQueueDepth = 16;
+
+    /// IDEALB: number of patch-buffer read ports (1 in the paper; the
+    /// multi-port alternative is the Sec. 4.3 comparison point).
+    int pbPorts = 1;
+
+    /// IDEALMR: search-window-buffer entries hold two 64 B blocks so
+    /// the next window along the row can be prefetched (Sec. 5.3).
+    bool prefetch = true;
+
+    /// Enable on-chip buffering (PB / SWBs). Disabling both this and
+    /// prefetch reproduces the Table 8 "None" configuration where
+    /// every search reads off-chip.
+    bool buffering = true;
+
+    /// Model cross-lane request coalescing: lanes working on adjacent
+    /// rows share fetched blocks (Sec. 6.6 notes lanes' requests
+    /// "often coalesce" when they advance synchronously).
+    bool coalescing = true;
+
+    /// Capacity of the coalescing buffer in 64 B blocks.
+    int coalesceBlocks = 2048;
+
+    EngineTiming timing;
+
+    /// The BM3D algorithm parameters the accelerator executes.
+    bm3d::Bm3dConfig algo;
+
+    /// Off-chip memory system.
+    dram::DramConfig dram;
+
+    /** Convenience: configured for MR with factor @p k, stride ps. */
+    static AcceleratorConfig
+    idealMr(double k = 0.5, int ps = 1)
+    {
+        AcceleratorConfig cfg;
+        cfg.variant = Variant::IdealMr;
+        cfg.algo.mr.enabled = true;
+        cfg.algo.mr.k = k;
+        cfg.algo.refStride = ps;
+        return cfg;
+    }
+
+    static AcceleratorConfig
+    idealB()
+    {
+        AcceleratorConfig cfg;
+        cfg.variant = Variant::IdealB;
+        cfg.algo.mr.enabled = false;
+        return cfg;
+    }
+
+    void
+    validate() const
+    {
+        if (lanes < 1 || lanes > 1024)
+            throw std::invalid_argument("lanes out of range");
+        if (freqGhz <= 0)
+            throw std::invalid_argument("freqGhz must be positive");
+        if (pbPorts < 1)
+            throw std::invalid_argument("pbPorts must be >= 1");
+        if (jobQueueDepth < 1)
+            throw std::invalid_argument("jobQueueDepth must be >= 1");
+        if (coalesceBlocks < 1)
+            throw std::invalid_argument("coalesceBlocks must be >= 1");
+        algo.validate();
+        dram.validate();
+        if (variant == Variant::IdealMr && !algo.mr.enabled)
+            throw std::invalid_argument("IDEALMR requires algo.mr.enabled");
+    }
+
+    /** On-chip buffer bytes (Table 2). */
+    uint64_t
+    bufferBytes() const
+    {
+        if (variant == Variant::IdealB) {
+            // Shared PB: the DCT patches of one search window's area,
+            // patchSize^2 coefficients of 3 B each per position
+            // (Sec. 4.3: 52 x 52 positions x 48 B = 126.75 KB).
+            uint64_t span = algo.searchWindow1 + algo.patchSize - 1;
+            uint64_t patch_bytes =
+                static_cast<uint64_t>(algo.patchSize) * algo.patchSize * 3;
+            return span * span * patch_bytes;
+        }
+        // Per-lane SWB: (Ns + P - 1) entries of two 64 B blocks
+        // (Sec. 5.3: 6.5 KB per lane).
+        int entries = algo.searchWindow1 + algo.patchSize - 1;
+        return static_cast<uint64_t>(lanes) * entries * 128;
+    }
+};
+
+} // namespace core
+} // namespace ideal
+
+#endif // IDEAL_CORE_CONFIG_H_

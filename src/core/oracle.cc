@@ -1,0 +1,145 @@
+#include "core/oracle.h"
+
+#include <cmath>
+
+#include "bm3d/bm3d.h"
+#include "image/synthetic.h"
+#include "transforms/dct.h"
+#include "transforms/distance.h"
+
+namespace ideal {
+namespace core {
+
+namespace {
+
+/** 3x3 box filter of a single plane (basic-estimate proxy for BM2). */
+image::ImageF
+boxFilter3(const image::ImageF &plane)
+{
+    image::ImageF out(plane.width(), plane.height(), 1);
+    for (int y = 0; y < plane.height(); ++y)
+        for (int x = 0; x < plane.width(); ++x) {
+            float acc = 0.0f;
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    acc += plane.atClamped(x + dx, y + dy);
+            out.at(x, y) = acc / 9.0f;
+        }
+    return out;
+}
+
+/**
+ * Stream MR decisions for one stage. Memory use is O(patch), not
+ * O(image): only the previous reference patch's descriptor is kept.
+ */
+StageWorkload
+streamStage(const image::ImageF &plane, const bm3d::Bm3dConfig &cfg,
+            bm3d::Stage stage)
+{
+    const int p = cfg.patchSize;
+    const auto xs = bm3d::makeRefPositions(plane.width() - p,
+                                           cfg.refStride);
+    const auto ys = bm3d::makeRefPositions(plane.height() - p,
+                                           cfg.refStride);
+    StageWorkload out;
+    out.refsX = static_cast<int>(xs.size());
+    out.refsY = static_cast<int>(ys.size());
+    out.hit.assign(static_cast<size_t>(out.refsX) * out.refsY, 0);
+    if (!cfg.mr.enabled)
+        return out;
+
+    const float tau = cfg.tauMatch(stage);
+    const float bound = static_cast<float>(cfg.mr.k) * tau;
+    const float norm = 1.0f / static_cast<float>(p * p);
+    const bool dct_domain = stage == bm3d::Stage::HardThreshold;
+    const float tht = cfg.lambda2d * cfg.sigma;
+
+    transforms::Dct2D dct(p);
+    std::vector<float> prev(static_cast<size_t>(p) * p);
+    std::vector<float> cur(static_cast<size_t>(p) * p);
+    std::vector<float> pixels(static_cast<size_t>(p) * p);
+
+    for (int yi = 0; yi < out.refsY; ++yi) {
+        bool have_prev = false;
+        for (int xi = 0; xi < out.refsX; ++xi) {
+            // Build this reference patch's matching-domain descriptor.
+            for (int r = 0; r < p; ++r)
+                for (int c = 0; c < p; ++c)
+                    pixels[static_cast<size_t>(r) * p + c] =
+                        plane.at(xs[xi] + c, ys[yi] + r);
+            if (dct_domain) {
+                dct.forward(pixels.data(), cur.data());
+                if (tht > 0.0f)
+                    for (float &v : cur)
+                        v = std::abs(v) < tht ? 0.0f : v;
+            } else {
+                cur = pixels;
+            }
+            if (have_prev) {
+                float d = transforms::squaredDistance(cur.data(),
+                                                      prev.data(),
+                                                      p * p) * norm;
+                if (d < bound)
+                    out.hit[static_cast<size_t>(yi) * out.refsX + xi] = 1;
+            }
+            std::swap(prev, cur);
+            have_prev = true;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Workload
+buildWorkload(const image::ImageF &noisy, const bm3d::Bm3dConfig &cfg)
+{
+    cfg.validate();
+    Workload w;
+    w.width = noisy.width();
+    w.height = noisy.height();
+    w.channels = noisy.channels();
+    image::ImageF plane0 = noisy.extractPlane(0);
+    w.stage1 = streamStage(plane0, cfg, bm3d::Stage::HardThreshold);
+    image::ImageF basic_proxy = boxFilter3(plane0);
+    w.stage2 = streamStage(basic_proxy, cfg, bm3d::Stage::Wiener);
+    return w;
+}
+
+Workload
+makeSyntheticWorkload(int width, int height, int channels,
+                      const bm3d::Bm3dConfig &cfg, double hit_rate1,
+                      double hit_rate2, uint64_t seed)
+{
+    cfg.validate();
+    Workload w;
+    w.width = width;
+    w.height = height;
+    w.channels = channels;
+    const int p = cfg.patchSize;
+    auto fill = [&](StageWorkload &st, double rate, uint64_t salt) {
+        const auto xs = bm3d::makeRefPositions(width - p, cfg.refStride);
+        const auto ys = bm3d::makeRefPositions(height - p, cfg.refStride);
+        st.refsX = static_cast<int>(xs.size());
+        st.refsY = static_cast<int>(ys.size());
+        st.hit.assign(static_cast<size_t>(st.refsX) * st.refsY, 0);
+        if (!cfg.mr.enabled)
+            return;
+        image::SplitMix64 rng(seed ^ salt);
+        for (size_t yi = 0; yi < static_cast<size_t>(st.refsY); ++yi) {
+            for (size_t xi = 0; xi < static_cast<size_t>(st.refsX); ++xi) {
+                // The first reference of each row never has a
+                // predecessor, hence never hits.
+                if (xi == 0)
+                    continue;
+                st.hit[yi * st.refsX + xi] = rng.uniform() < rate ? 1 : 0;
+            }
+        }
+    };
+    fill(w.stage1, hit_rate1, 0x51A6E1ULL);
+    fill(w.stage2, hit_rate2, 0x51A6E2ULL);
+    return w;
+}
+
+} // namespace core
+} // namespace ideal

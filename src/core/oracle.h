@@ -1,0 +1,88 @@
+#ifndef IDEAL_CORE_ORACLE_H_
+#define IDEAL_CORE_ORACLE_H_
+
+/**
+ * @file
+ * Workload oracle for the timing simulators.
+ *
+ * The cycle count of the accelerator depends on image content only
+ * through the Matches-Reuse hit/miss decision per reference patch
+ * (a hit reduces the BM search from Ns x Ns to Ns x Ps + 16
+ * candidates, Sec. 5.1). The oracle streams over the image computing
+ * exactly those decisions - the distance between each reference patch
+ * and its predecessor in the matching domain - without running the
+ * full denoiser. This is what makes 42 MP timing simulations cheap
+ * (Fig. 14) while functional validation runs the full algorithm on
+ * small images.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bm3d/config.h"
+#include "image/image.h"
+
+namespace ideal {
+namespace core {
+
+/** Per-stage MR decision map over the reference-patch grid. */
+struct StageWorkload
+{
+    int refsX = 0; ///< reference positions per row
+    int refsY = 0; ///< reference rows
+    /// hit[y * refsX + x]: MR reuses matches for this reference patch.
+    std::vector<uint8_t> hit;
+
+    double
+    hitRate() const
+    {
+        if (hit.empty())
+            return 0.0;
+        uint64_t h = 0;
+        for (uint8_t v : hit)
+            h += v;
+        return static_cast<double>(h) / static_cast<double>(hit.size());
+    }
+};
+
+/** Workload for both stages of one image. */
+struct Workload
+{
+    int width = 0;
+    int height = 0;
+    int channels = 0;
+    StageWorkload stage1;
+    StageWorkload stage2;
+};
+
+/**
+ * Build the workload of @p noisy under @p cfg by streaming the MR
+ * decision rule:
+ *  - BM1: distance between consecutive reference patches in the
+ *    hard-thresholded DCT domain vs K * Tmatch1.
+ *  - BM2: distance in the color domain of the basic estimate vs
+ *    K * Tmatch2. The timing oracle stands in a 3x3 box-filtered
+ *    noisy plane for the basic estimate (the true estimate is only
+ *    available from a functional run; the filtered plane has the same
+ *    reduced-noise distance statistics).
+ *
+ * When cfg.mr.enabled is false every decision is a miss (full search),
+ * which is also the IDEALB workload.
+ */
+Workload buildWorkload(const image::ImageF &noisy,
+                       const bm3d::Bm3dConfig &cfg);
+
+/**
+ * Build a synthetic workload with the given MR hit rates; used by
+ * parameter sweeps (e.g. the Fig. 16 lane-scaling study) where image
+ * content is held constant by design.
+ */
+Workload makeSyntheticWorkload(int width, int height, int channels,
+                               const bm3d::Bm3dConfig &cfg,
+                               double hit_rate1, double hit_rate2,
+                               uint64_t seed);
+
+} // namespace core
+} // namespace ideal
+
+#endif // IDEAL_CORE_ORACLE_H_

@@ -1,0 +1,80 @@
+#ifndef IDEAL_CORE_RESULT_H_
+#define IDEAL_CORE_RESULT_H_
+
+/**
+ * @file
+ * Output of a cycle-level accelerator simulation: cycle counts, engine
+ * utilization, memory traffic, and the activity counters consumed by
+ * the energy model.
+ */
+
+#include <cstdint>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace ideal {
+namespace core {
+
+/** Activity counters used by the energy model (Sec. 6.3). */
+struct Activity
+{
+    uint64_t bmDistances = 0;   ///< candidate distances evaluated
+    uint64_t dctTransforms = 0; ///< forward + inverse DCTs
+    uint64_t deStackPatches = 0;///< patches through the DE lanes
+    uint64_t bufferReads = 0;   ///< PB/SWB patch reads
+    uint64_t bufferWrites = 0;  ///< PB/SWB fills
+    uint64_t dramBlocks = 0;    ///< 64 B off-chip transfers
+
+    Activity &
+    operator+=(const Activity &o)
+    {
+        bmDistances += o.bmDistances;
+        dctTransforms += o.dctTransforms;
+        deStackPatches += o.deStackPatches;
+        bufferReads += o.bufferReads;
+        bufferWrites += o.bufferWrites;
+        dramBlocks += o.dramBlocks;
+        return *this;
+    }
+};
+
+/** Result of simulating one image through both BM3D stages. */
+struct SimResult
+{
+    sim::Cycle stage1Cycles = 0;
+    sim::Cycle stage2Cycles = 0;
+    double freqGhz = 1.0;
+
+    Activity activity;
+
+    double mrHitRate1 = 0.0;
+    double mrHitRate2 = 0.0;
+
+    /// Engine-occupancy and memory statistics.
+    sim::StatsRegistry stats;
+
+    sim::Cycle totalCycles() const { return stage1Cycles + stage2Cycles; }
+
+    double
+    seconds() const
+    {
+        return sim::cyclesToSeconds(totalCycles(), freqGhz);
+    }
+
+    /** Average off-chip bandwidth in GB/s over the run. */
+    double
+    averageBandwidthGBs() const
+    {
+        double s = seconds();
+        return s > 0.0
+                   ? static_cast<double>(activity.dramBlocks) * 64.0 / s /
+                         1e9
+                   : 0.0;
+    }
+};
+
+} // namespace core
+} // namespace ideal
+
+#endif // IDEAL_CORE_RESULT_H_

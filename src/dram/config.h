@@ -1,0 +1,93 @@
+#ifndef IDEAL_DRAM_CONFIG_H_
+#define IDEAL_DRAM_CONFIG_H_
+
+/**
+ * @file
+ * DDR3 memory-system configuration. The paper's accelerators use a
+ * dual-channel DDR3-1333 controller with 32 in-flight requests and
+ * 4 GB of DRAM (Table 2), modelled via DRAMSim2; this module is our
+ * equivalent bank-level timing model.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/types.h"
+
+namespace ideal {
+namespace dram {
+
+/** Bank-level DDR timing and topology, in core-clock cycles. */
+struct DramConfig
+{
+    /// Core (accelerator) clock the timings are expressed in.
+    double coreFreqGhz = 1.0;
+
+    int channels = 2;
+    int banksPerChannel = 8;
+    /// Open row ("page") size per bank in bytes.
+    int rowBytes = 8192;
+    /// Transfer granularity: one memory block per request.
+    int blockBytes = 64;
+
+    /// Peak data rate per channel in GB/s (DDR3-1333 x64: 10.667).
+    double channelGBs = 10.667;
+
+    // DDR3-1333H (CL9-9-9) timings in nanoseconds.
+    double tRcdNs = 13.5;  ///< activate -> column command
+    double tClNs = 13.5;   ///< column command -> first data
+    double tRpNs = 13.5;   ///< precharge
+    double tRasNs = 36.0;  ///< activate -> precharge minimum
+
+    /// Total outstanding requests the controller tracks (Table 2: 32).
+    int maxInFlight = 32;
+
+    /// Per-channel request queue depth.
+    int queueDepth = 16;
+
+    /// Use first-ready (row-hit-first) scheduling instead of FCFS.
+    bool frfcfs = true;
+
+    /// Idealized memory: every request completes in one cycle. Used by
+    /// the prefetch/buffering sensitivity study (Sec. 5.3 mentions
+    /// IDEALMR is within 9.5% of a single-cycle-latency memory).
+    bool idealSingleCycle = false;
+
+    sim::Cycle tRcd() const { return sim::nsToCycles(tRcdNs, coreFreqGhz); }
+    sim::Cycle tCl() const { return sim::nsToCycles(tClNs, coreFreqGhz); }
+    sim::Cycle tRp() const { return sim::nsToCycles(tRpNs, coreFreqGhz); }
+    sim::Cycle tRas() const { return sim::nsToCycles(tRasNs, coreFreqGhz); }
+
+    /** Cycles the data bus is busy transferring one block. */
+    sim::Cycle
+    tBurst() const
+    {
+        double ns = static_cast<double>(blockBytes) / channelGBs;
+        sim::Cycle c = sim::nsToCycles(ns, coreFreqGhz);
+        return c == 0 ? 1 : c;
+    }
+
+    /** Aggregate peak bandwidth in GB/s. */
+    double peakGBs() const { return channelGBs * channels; }
+
+    void
+    validate() const
+    {
+        if (channels < 1 || (channels & (channels - 1)) != 0)
+            throw std::invalid_argument("channels must be a power of two");
+        if (banksPerChannel < 1 ||
+            (banksPerChannel & (banksPerChannel - 1)) != 0)
+            throw std::invalid_argument("banks must be a power of two");
+        if (blockBytes < 1 || rowBytes < blockBytes)
+            throw std::invalid_argument("bad block/row sizes");
+        if (maxInFlight < 1 || queueDepth < 1)
+            throw std::invalid_argument("bad queue limits");
+        if (coreFreqGhz <= 0 || channelGBs <= 0)
+            throw std::invalid_argument("bad rates");
+    }
+};
+
+} // namespace dram
+} // namespace ideal
+
+#endif // IDEAL_DRAM_CONFIG_H_

@@ -1,0 +1,168 @@
+#include "dram/dram.h"
+
+#include <algorithm>
+
+namespace ideal {
+namespace dram {
+
+DramSystem::DramSystem(const DramConfig &config) : config_(config)
+{
+    config_.validate();
+    channels_.resize(config_.channels);
+    for (auto &ch : channels_)
+        ch.banks.resize(config_.banksPerChannel);
+}
+
+int
+DramSystem::channelOf(sim::Addr addr) const
+{
+    // Consecutive 64 B blocks interleave across channels so streaming
+    // accesses use both channels.
+    return static_cast<int>((addr / config_.blockBytes) %
+                            config_.channels);
+}
+
+int
+DramSystem::bankOf(sim::Addr addr) const
+{
+    // Row-size chunks interleave across banks within a channel.
+    sim::Addr chan_local = addr / (config_.blockBytes * config_.channels);
+    sim::Addr blocks_per_row =
+        static_cast<sim::Addr>(config_.rowBytes / config_.blockBytes);
+    return static_cast<int>((chan_local / blocks_per_row) %
+                            config_.banksPerChannel);
+}
+
+int64_t
+DramSystem::rowOf(sim::Addr addr) const
+{
+    sim::Addr chan_local = addr / (config_.blockBytes * config_.channels);
+    sim::Addr blocks_per_row =
+        static_cast<sim::Addr>(config_.rowBytes / config_.blockBytes);
+    return static_cast<int64_t>(chan_local / blocks_per_row /
+                                config_.banksPerChannel);
+}
+
+bool
+DramSystem::canAccept(sim::Addr addr) const
+{
+    if (inFlight_ >= config_.maxInFlight)
+        return false;
+    const Channel &ch = channels_[channelOf(addr)];
+    return ch.queue.size() <
+           static_cast<size_t>(config_.queueDepth);
+}
+
+bool
+DramSystem::enqueue(const Request &request, sim::Cycle now)
+{
+    if (!canAccept(request.addr))
+        return false;
+    Channel &ch = channels_[channelOf(request.addr)];
+    ch.queue.push_back(Pending{request, now});
+    ++inFlight_;
+    return true;
+}
+
+int
+DramSystem::pickNext(const Channel &ch) const
+{
+    if (!config_.frfcfs || ch.queue.size() <= 1)
+        return ch.queue.empty() ? -1 : 0;
+    // FR-FCFS: oldest row-hit first, falling back to the oldest.
+    for (size_t i = 0; i < ch.queue.size(); ++i) {
+        const Pending &p = ch.queue[i];
+        const Bank &bank = ch.banks[bankOf(p.request.addr)];
+        if (bank.openRow == rowOf(p.request.addr))
+            return static_cast<int>(i);
+    }
+    return 0;
+}
+
+void
+DramSystem::tick(sim::Cycle now)
+{
+    for (Channel &ch : channels_) {
+        if (ch.queue.empty())
+            continue;
+        int idx = pickNext(ch);
+        if (idx < 0)
+            continue;
+        Pending pending = ch.queue[idx];
+        ch.queue.erase(ch.queue.begin() + idx);
+
+        const Request &req = pending.request;
+        sim::Cycle finish;
+        if (config_.idealSingleCycle) {
+            finish = now + 1;
+        } else {
+            Bank &bank = ch.banks[bankOf(req.addr)];
+            const int64_t row = rowOf(req.addr);
+            // Column commands pipeline: bank.readyAt tracks when the
+            // next column command may issue (tCCD ~ tBURST), so CAS
+            // latency overlaps across back-to-back row hits.
+            sim::Cycle cmd;
+            if (bank.openRow == row) {
+                stats_.add("dram.rowHits", 1);
+                cmd = std::max(now, bank.readyAt);
+            } else if (bank.openRow >= 0) {
+                stats_.add("dram.rowConflicts", 1);
+                sim::Cycle pre = std::max(std::max(now, bank.readyAt),
+                                          bank.activatedAt +
+                                              config_.tRas());
+                sim::Cycle act = pre + config_.tRp();
+                cmd = act + config_.tRcd();
+                bank.activatedAt = act;
+            } else {
+                stats_.add("dram.rowClosed", 1);
+                sim::Cycle act = std::max(now, bank.readyAt);
+                cmd = act + config_.tRcd();
+                bank.activatedAt = act;
+            }
+            bank.openRow = row;
+            bank.readyAt = cmd + config_.tBurst();
+            sim::Cycle data_ready = cmd + config_.tCl();
+            sim::Cycle bus_start = std::max(data_ready, ch.busFreeAt);
+            finish = bus_start + config_.tBurst();
+            ch.busFreeAt = finish;
+        }
+
+        completions_.push_back(Completion{req.id, finish});
+        bytes_ += config_.blockBytes;
+        latencySum_ += finish - pending.enqueuedAt;
+        if (req.write) {
+            stats_.add("dram.writes", 1);
+        } else {
+            stats_.add("dram.reads", 1);
+            ++reads_;
+        }
+    }
+}
+
+std::vector<Completion>
+DramSystem::collectCompletions(sim::Cycle now)
+{
+    std::vector<Completion> done;
+    auto it = completions_.begin();
+    while (it != completions_.end()) {
+        if (it->finishedAt <= now) {
+            done.push_back(*it);
+            it = completions_.erase(it);
+            --inFlight_;
+        } else {
+            ++it;
+        }
+    }
+    return done;
+}
+
+double
+DramSystem::averageLatency() const
+{
+    uint64_t total = static_cast<uint64_t>(stats_.get("dram.reads")) +
+                     static_cast<uint64_t>(stats_.get("dram.writes"));
+    return total ? static_cast<double>(latencySum_) / total : 0.0;
+}
+
+} // namespace dram
+} // namespace ideal

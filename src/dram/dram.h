@@ -1,0 +1,123 @@
+#ifndef IDEAL_DRAM_DRAM_H_
+#define IDEAL_DRAM_DRAM_H_
+
+/**
+ * @file
+ * Bank-level DDR3 timing model with a dual-channel memory controller
+ * (our DRAMSim2 stand-in). Transaction interface: the accelerator
+ * enqueues 64 B block requests tagged with an id; tick() advances the
+ * channel schedulers; completed ids are returned to the caller.
+ *
+ * The model captures the effects that matter for the paper's
+ * experiments: per-channel data-bus occupancy (the bandwidth ceiling
+ * of Fig. 16), row-buffer locality (streaming search windows are
+ * row-hit friendly), bank parallelism, and bounded in-flight requests
+ * (Table 2: 32).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace ideal {
+namespace dram {
+
+/** One block request. */
+struct Request
+{
+    sim::Addr addr = 0;
+    bool write = false;
+    uint64_t id = 0;
+};
+
+/** A completed request id with its completion cycle. */
+struct Completion
+{
+    uint64_t id = 0;
+    sim::Cycle finishedAt = 0;
+};
+
+/** The memory system: N channels, each with banks and a data bus. */
+class DramSystem
+{
+  public:
+    explicit DramSystem(const DramConfig &config);
+
+    const DramConfig &config() const { return config_; }
+
+    /** Can another request be accepted this cycle? */
+    bool canAccept(sim::Addr addr) const;
+
+    /**
+     * Enqueue a block request. @return false if the target channel
+     * queue or the global in-flight limit is full.
+     */
+    bool enqueue(const Request &request, sim::Cycle now);
+
+    /** Advance the schedulers to cycle @p now (call once per cycle). */
+    void tick(sim::Cycle now);
+
+    /** Drain requests that completed at or before @p now. */
+    std::vector<Completion> collectCompletions(sim::Cycle now);
+
+    /** Number of requests in queues or in flight. */
+    int inFlight() const { return inFlight_; }
+
+    /** True when no request is queued or in flight. */
+    bool idle() const { return inFlight_ == 0; }
+
+    /** Accumulated statistics (reads, writes, row hits, ...). */
+    const sim::StatsRegistry &stats() const { return stats_; }
+
+    /** Total bytes transferred. */
+    uint64_t bytesTransferred() const { return bytes_; }
+
+    /** Average read latency in cycles (enqueue to completion). */
+    double averageLatency() const;
+
+  private:
+    struct Bank
+    {
+        int64_t openRow = -1;      ///< -1: closed
+        sim::Cycle readyAt = 0;    ///< earliest next column command
+        sim::Cycle activatedAt = 0;
+    };
+
+    struct Pending
+    {
+        Request request;
+        sim::Cycle enqueuedAt = 0;
+    };
+
+    struct Channel
+    {
+        std::deque<Pending> queue;
+        std::vector<Bank> banks;
+        sim::Cycle busFreeAt = 0;
+    };
+
+    int channelOf(sim::Addr addr) const;
+    int bankOf(sim::Addr addr) const;
+    int64_t rowOf(sim::Addr addr) const;
+
+    /** Pick the next request index in @p ch to service (FR-FCFS). */
+    int pickNext(const Channel &ch) const;
+
+    DramConfig config_;
+    std::vector<Channel> channels_;
+    std::vector<Completion> completions_;
+    int inFlight_ = 0;
+    uint64_t bytes_ = 0;
+    uint64_t latencySum_ = 0;
+    uint64_t reads_ = 0;
+    sim::StatsRegistry stats_;
+};
+
+} // namespace dram
+} // namespace ideal
+
+#endif // IDEAL_DRAM_DRAM_H_

@@ -1,0 +1,112 @@
+#ifndef IDEAL_FIXED_FIXED_H_
+#define IDEAL_FIXED_FIXED_H_
+
+/**
+ * @file
+ * Scalar fixed-point value type. Arithmetic is carried out on 64-bit
+ * raw integers with explicit round-and-saturate steps, mirroring what
+ * a synthesized datapath does between pipeline stages. This type is
+ * used by the fixed-point transform paths and by the accelerator's
+ * functional simulation mode; the float path is the reference.
+ */
+
+#include <cstdint>
+
+#include "fixed/format.h"
+
+namespace ideal {
+namespace fixed {
+
+/** A fixed-point scalar carrying its format. */
+class Fixed
+{
+  public:
+    Fixed() : raw_(0), format_(0, 0) {}
+
+    Fixed(int64_t raw, Format format) : raw_(raw), format_(format) {}
+
+    /** Quantize a real value into @p format. */
+    static Fixed
+    fromDouble(double value, Format format)
+    {
+        return Fixed(format.quantize(value), format);
+    }
+
+    int64_t raw() const { return raw_; }
+    Format format() const { return format_; }
+    double toDouble() const { return format_.toDouble(raw_); }
+
+    /**
+     * Add another value with the same fractional precision; the result
+     * is saturated into @p out. Mixed fracBits is a programming error.
+     */
+    Fixed
+    add(const Fixed &other, Format out) const
+    {
+        requireSameFrac(format_, other.format_);
+        requireSameFrac(other.format_, out);
+        return Fixed(out.saturate(raw_ + other.raw_), out);
+    }
+
+    Fixed
+    sub(const Fixed &other, Format out) const
+    {
+        requireSameFrac(format_, other.format_);
+        requireSameFrac(other.format_, out);
+        return Fixed(out.saturate(raw_ - other.raw_), out);
+    }
+
+    /**
+     * Multiply: the double-width product has 2*fracBits of fraction;
+     * it is rounded back to out.fracBits and saturated, as a hardware
+     * multiplier followed by a rounding stage would.
+     */
+    Fixed
+    mul(const Fixed &other, Format out) const
+    {
+        requireSameFrac(format_, other.format_);
+        requireSameFrac(other.format_, out);
+        __int128 wide = static_cast<__int128>(raw_) * other.raw_;
+        int shift = format_.fracBits;
+        __int128 rounded;
+        if (shift == 0) {
+            rounded = wide;
+        } else {
+            // Round to nearest (add half ulp before shifting).
+            __int128 half = __int128{1} << (shift - 1);
+            rounded = (wide >= 0 ? wide + half : wide - half) >> shift;
+        }
+        return Fixed(out.saturate(static_cast<int64_t>(rounded)), out);
+    }
+
+    /** Reinterpret into a format with the same fracBits (re-saturate). */
+    Fixed
+    convert(Format out) const
+    {
+        requireSameFrac(format_, out);
+        return Fixed(out.saturate(raw_), out);
+    }
+
+    bool operator==(const Fixed &other) const
+    {
+        return raw_ == other.raw_ && format_ == other.format_;
+    }
+
+  private:
+    static void
+    requireSameFrac(const Format &a, const Format &b)
+    {
+        if (a.fracBits != b.fracBits)
+            throw std::invalid_argument(
+                "Fixed: fractional precision mismatch (" + a.str() +
+                " vs " + b.str() + ")");
+    }
+
+    int64_t raw_;
+    Format format_;
+};
+
+} // namespace fixed
+} // namespace ideal
+
+#endif // IDEAL_FIXED_FIXED_H_

@@ -1,0 +1,114 @@
+#ifndef IDEAL_FIXED_FORMAT_H_
+#define IDEAL_FIXED_FORMAT_H_
+
+/**
+ * @file
+ * Q-format descriptor for the fixed-point datapath (paper Sec. 4.2).
+ *
+ * IDEAL replaces BM3D's floating point with fixed point: a 12-bit
+ * fractional part (tunable 7-12 bits, Fig. 9 / Table 9) and an integer
+ * part sized per pipeline stage to cover the dynamic range: 11 bits
+ * after DCT, 13 after the Haar transform, and 15 after the inverse
+ * Haar, for 8-bit input channels.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ideal {
+namespace fixed {
+
+/**
+ * Signed fixed-point format Q(int_bits).(frac_bits): values are stored
+ * as raw integers of value * 2^frac_bits, saturated to the representable
+ * range [-2^(int_bits+frac_bits), 2^(int_bits+frac_bits) - 1].
+ */
+struct Format
+{
+    int intBits;
+    int fracBits;
+
+    constexpr Format(int int_bits, int frac_bits)
+        : intBits(int_bits), fracBits(frac_bits)
+    {
+    }
+
+    /** Total stored bits excluding the sign bit. */
+    constexpr int magnitudeBits() const { return intBits + fracBits; }
+
+    /** Scale factor 2^fracBits. */
+    double scale() const { return std::ldexp(1.0, fracBits); }
+
+    /** Largest representable raw value. */
+    int64_t maxRaw() const { return (int64_t{1} << magnitudeBits()) - 1; }
+
+    /** Smallest representable raw value. */
+    int64_t minRaw() const { return -(int64_t{1} << magnitudeBits()); }
+
+    /** Saturate a raw integer into this format's range. */
+    int64_t
+    saturate(int64_t raw) const
+    {
+        return std::clamp(raw, minRaw(), maxRaw());
+    }
+
+    /** Quantize a real value: round to nearest raw grid point, saturate. */
+    int64_t
+    quantize(double value) const
+    {
+        double scaled = value * scale();
+        // llround rounds half away from zero, matching the behaviour of
+        // a hardware round-to-nearest stage.
+        return saturate(std::llround(scaled));
+    }
+
+    /** Reconstruct the real value of a raw integer. */
+    double toDouble(int64_t raw) const { return raw / scale(); }
+
+    /** Round-trip a real value through this format. */
+    double
+    roundTrip(double value) const
+    {
+        return toDouble(quantize(value));
+    }
+
+    std::string
+    str() const
+    {
+        return "Q" + std::to_string(intBits) + "." +
+               std::to_string(fracBits);
+    }
+
+    bool operator==(const Format &other) const = default;
+};
+
+/**
+ * Per-stage formats of the IDEAL datapath for a given fractional
+ * precision (paper Sec. 4.2). The integer widths are fixed by the
+ * dynamic range of each stage; only fracBits is the design knob.
+ */
+struct PipelineFormats
+{
+    Format input;   ///< 8-bit input channel samples
+    Format dct;     ///< after 2-D DCT
+    Format haar;    ///< after forward Haar
+    Format invHaar; ///< after inverse Haar
+
+    /** Formats for the paper's datapath at @p frac_bits of fraction. */
+    static PipelineFormats
+    forFraction(int frac_bits)
+    {
+        if (frac_bits < 1 || frac_bits > 20)
+            throw std::invalid_argument("fraction bits out of range");
+        return PipelineFormats{Format(8, frac_bits), Format(11, frac_bits),
+                               Format(13, frac_bits), Format(15, frac_bits)};
+    }
+};
+
+} // namespace fixed
+} // namespace ideal
+
+#endif // IDEAL_FIXED_FORMAT_H_

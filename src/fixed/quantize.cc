@@ -1,0 +1,33 @@
+#include "fixed/quantize.h"
+
+namespace ideal {
+namespace fixed {
+
+void
+quantizeInPlace(std::span<float> values, const Format &format)
+{
+    for (float &v : values)
+        v = static_cast<float>(format.roundTrip(v));
+}
+
+image::ImageF
+quantizeImage(const image::ImageF &img, const Format &format)
+{
+    image::ImageF out = img;
+    quantizeInPlace(std::span<float>(out.raw()), format);
+    return out;
+}
+
+double
+quantizationMse(std::span<const float> values, const Format &format)
+{
+    double acc = 0.0;
+    for (float v : values) {
+        double d = v - format.roundTrip(v);
+        acc += d * d;
+    }
+    return values.empty() ? 0.0 : acc / static_cast<double>(values.size());
+}
+
+} // namespace fixed
+} // namespace ideal

@@ -1,0 +1,32 @@
+#ifndef IDEAL_FIXED_QUANTIZE_H_
+#define IDEAL_FIXED_QUANTIZE_H_
+
+/**
+ * @file
+ * Bulk quantization helpers: round-trip arrays and images through a
+ * fixed-point format. The precision-sweep experiments (Fig. 9 and
+ * Table 9) re-run BM3D with every intermediate stage quantized to the
+ * candidate format, which these helpers implement.
+ */
+
+#include <span>
+
+#include "fixed/format.h"
+#include "image/image.h"
+
+namespace ideal {
+namespace fixed {
+
+/** Round-trip every element of @p values through @p format, in place. */
+void quantizeInPlace(std::span<float> values, const Format &format);
+
+/** Round-trip a copy of @p img through @p format. */
+image::ImageF quantizeImage(const image::ImageF &img, const Format &format);
+
+/** Mean squared quantization error of @p values under @p format. */
+double quantizationMse(std::span<const float> values, const Format &format);
+
+} // namespace fixed
+} // namespace ideal
+
+#endif // IDEAL_FIXED_QUANTIZE_H_

@@ -1,0 +1,156 @@
+#include "image/bayer.h"
+
+#include <stdexcept>
+
+namespace ideal {
+namespace image {
+
+namespace {
+
+/** Average of the in-bounds samples among the given offsets. */
+float
+neighborAverage(const ImageF &raw, int x, int y,
+                std::initializer_list<std::pair<int, int>> offsets)
+{
+    float acc = 0.0f;
+    int n = 0;
+    for (const auto &[dx, dy] : offsets) {
+        int xx = x + dx, yy = y + dy;
+        if (raw.inBounds(xx, yy)) {
+            acc += raw.at(xx, yy);
+            ++n;
+        }
+    }
+    return n > 0 ? acc / static_cast<float>(n) : raw.at(x, y);
+}
+
+} // namespace
+
+ImageF
+mosaic(const ImageF &rgb)
+{
+    if (rgb.channels() != 3)
+        throw std::invalid_argument("mosaic: expected 3 channels");
+    ImageF raw(rgb.width(), rgb.height(), 1);
+    for (int y = 0; y < rgb.height(); ++y)
+        for (int x = 0; x < rgb.width(); ++x) {
+            switch (bayerSiteAt(x, y)) {
+              case BayerSite::R:
+                raw.at(x, y) = rgb.at(x, y, 0);
+                break;
+              case BayerSite::Gr:
+              case BayerSite::Gb:
+                raw.at(x, y) = rgb.at(x, y, 1);
+                break;
+              case BayerSite::B:
+                raw.at(x, y) = rgb.at(x, y, 2);
+                break;
+            }
+        }
+    return raw;
+}
+
+ImageF
+demosaicBilinear(const ImageF &raw)
+{
+    if (raw.channels() != 1)
+        throw std::invalid_argument("demosaic: expected 1 channel");
+    ImageF rgb(raw.width(), raw.height(), 3);
+    for (int y = 0; y < raw.height(); ++y) {
+        for (int x = 0; x < raw.width(); ++x) {
+            float r, g, b;
+            const float v = raw.at(x, y);
+            switch (bayerSiteAt(x, y)) {
+              case BayerSite::R:
+                r = v;
+                g = neighborAverage(raw, x, y,
+                                    {{-1, 0}, {1, 0}, {0, -1}, {0, 1}});
+                b = neighborAverage(raw, x, y,
+                                    {{-1, -1}, {1, -1}, {-1, 1}, {1, 1}});
+                break;
+              case BayerSite::Gr:
+                g = v;
+                r = neighborAverage(raw, x, y, {{-1, 0}, {1, 0}});
+                b = neighborAverage(raw, x, y, {{0, -1}, {0, 1}});
+                break;
+              case BayerSite::Gb:
+                g = v;
+                r = neighborAverage(raw, x, y, {{0, -1}, {0, 1}});
+                b = neighborAverage(raw, x, y, {{-1, 0}, {1, 0}});
+                break;
+              case BayerSite::B:
+              default:
+                b = v;
+                g = neighborAverage(raw, x, y,
+                                    {{-1, 0}, {1, 0}, {0, -1}, {0, 1}});
+                r = neighborAverage(raw, x, y,
+                                    {{-1, -1}, {1, -1}, {-1, 1}, {1, 1}});
+                break;
+            }
+            rgb.at(x, y, 0) = r;
+            rgb.at(x, y, 1) = g;
+            rgb.at(x, y, 2) = b;
+        }
+    }
+    return rgb;
+}
+
+ImageF
+demosaicMalvar(const ImageF &raw)
+{
+    // Bilinear base plus a gradient correction: the sampled channel's
+    // Laplacian carries high-frequency detail the interpolated
+    // channels miss. Correction gains follow Malvar-He-Cutler
+    // (alpha = 1/2 for G at R/B, beta = 5/8, gamma = 3/4 approximated
+    // as 1/2 here with clamped borders).
+    ImageF rgb = demosaicBilinear(raw);
+    auto lap = [&](int x, int y) {
+        float c = 4.0f * raw.atClamped(x, y) - raw.atClamped(x - 2, y) -
+                  raw.atClamped(x + 2, y) - raw.atClamped(x, y - 2) -
+                  raw.atClamped(x, y + 2);
+        return c / 8.0f;
+    };
+    for (int y = 0; y < raw.height(); ++y) {
+        for (int x = 0; x < raw.width(); ++x) {
+            const float corr = lap(x, y);
+            switch (bayerSiteAt(x, y)) {
+              case BayerSite::R:
+                rgb.at(x, y, 1) += corr;
+                rgb.at(x, y, 2) += corr;
+                break;
+              case BayerSite::Gr:
+              case BayerSite::Gb:
+                rgb.at(x, y, 0) += corr;
+                rgb.at(x, y, 2) += corr;
+                break;
+              case BayerSite::B:
+                rgb.at(x, y, 0) += corr;
+                rgb.at(x, y, 1) += corr;
+                break;
+            }
+        }
+    }
+    return rgb;
+}
+
+ImageF
+packBayerPlanes(const ImageF &raw)
+{
+    if (raw.channels() != 1)
+        throw std::invalid_argument("packBayerPlanes: expected 1 channel");
+    if (raw.width() % 2 != 0 || raw.height() % 2 != 0)
+        throw std::invalid_argument("packBayerPlanes: even dims required");
+    const int hw = raw.width() / 2, hh = raw.height() / 2;
+    ImageF packed(hw, hh, 4);
+    for (int y = 0; y < hh; ++y)
+        for (int x = 0; x < hw; ++x) {
+            packed.at(x, y, 0) = raw.at(2 * x, 2 * y);         // R
+            packed.at(x, y, 1) = raw.at(2 * x + 1, 2 * y);     // Gr
+            packed.at(x, y, 2) = raw.at(2 * x, 2 * y + 1);     // Gb
+            packed.at(x, y, 3) = raw.at(2 * x + 1, 2 * y + 1); // B
+        }
+    return packed;
+}
+
+} // namespace image
+} // namespace ideal

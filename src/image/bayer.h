@@ -1,0 +1,66 @@
+#ifndef IDEAL_IMAGE_BAYER_H_
+#define IDEAL_IMAGE_BAYER_H_
+
+/**
+ * @file
+ * Bayer color-filter-array mosaic and demosaic: the front of the
+ * Computational Imaging Pipeline the paper targets (Sec. 1 - "the
+ * process of converting the raw sensor signal into a typical image
+ * representation"). The ML2 network jointly demosaics and denoises;
+ * the classical pipeline demosaics first and then runs BM3D.
+ *
+ * Pattern RGGB:   R G R G ...
+ *                 G B G B ...
+ */
+
+#include "image/image.h"
+
+namespace ideal {
+namespace image {
+
+/** Which of the three color planes a Bayer site samples. */
+enum class BayerSite { R, Gr, Gb, B };
+
+/** The Bayer site of pixel (x, y) under the RGGB pattern. */
+inline BayerSite
+bayerSiteAt(int x, int y)
+{
+    const bool even_row = (y % 2) == 0;
+    const bool even_col = (x % 2) == 0;
+    if (even_row)
+        return even_col ? BayerSite::R : BayerSite::Gr;
+    return even_col ? BayerSite::Gb : BayerSite::B;
+}
+
+/**
+ * Sample an RGB image through an RGGB Bayer mosaic: the result is a
+ * single-channel RAW frame where each pixel holds only the color its
+ * site samples.
+ */
+ImageF mosaic(const ImageF &rgb);
+
+/**
+ * Bilinear demosaic of an RGGB RAW frame: each missing color is the
+ * average of its nearest sampled neighbors. Fast, and the baseline
+ * every ISP implements.
+ */
+ImageF demosaicBilinear(const ImageF &raw);
+
+/**
+ * Gradient-corrected (Malvar-He-Cutler style) demosaic: bilinear plus
+ * a Laplacian correction from the sampled channel, recovering much of
+ * the luma sharpness bilinear loses.
+ */
+ImageF demosaicMalvar(const ImageF &raw);
+
+/**
+ * Pack an RGGB RAW frame into the half-resolution 4-plane tensor
+ * layout ML2 consumes (R, Gr, Gb, B planes of W/2 x H/2), as a
+ * 4-channel image. Width and height must be even.
+ */
+ImageF packBayerPlanes(const ImageF &raw);
+
+} // namespace image
+} // namespace ideal
+
+#endif // IDEAL_IMAGE_BAYER_H_

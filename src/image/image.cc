@@ -1,0 +1,73 @@
+#include "image/image.h"
+
+#include <cmath>
+
+namespace ideal {
+namespace image {
+
+ImageF
+toFloat(const ImageU8 &in)
+{
+    ImageF out(in.width(), in.height(), in.channels());
+    for (size_t i = 0; i < in.size(); ++i)
+        out.raw()[i] = static_cast<float>(in.raw()[i]);
+    return out;
+}
+
+ImageU8
+toU8(const ImageF &in)
+{
+    ImageU8 out(in.width(), in.height(), in.channels());
+    for (size_t i = 0; i < in.size(); ++i) {
+        float v = std::round(in.raw()[i]);
+        out.raw()[i] = static_cast<uint8_t>(std::clamp(v, 0.0f, 255.0f));
+    }
+    return out;
+}
+
+ImageF
+rgbToOpponent(const ImageF &rgb)
+{
+    if (rgb.channels() != 3)
+        throw std::invalid_argument("rgbToOpponent: expected 3 channels");
+    ImageF out(rgb.width(), rgb.height(), 3);
+    const float *r = rgb.plane(0);
+    const float *g = rgb.plane(1);
+    const float *b = rgb.plane(2);
+    float *yo = out.plane(0);
+    float *uo = out.plane(1);
+    float *vo = out.plane(2);
+    for (size_t i = 0; i < rgb.planeSize(); ++i) {
+        // Orthonormal-ish opponent transform as in the BM3D reference
+        // implementation: Y carries luminance, U/V chrominance.
+        yo[i] = (r[i] + g[i] + b[i]) / 3.0f;
+        uo[i] = (r[i] - b[i]) / 2.0f + 127.5f;
+        vo[i] = (r[i] - 2.0f * g[i] + b[i]) / 4.0f + 127.5f;
+    }
+    return out;
+}
+
+ImageF
+opponentToRgb(const ImageF &opp)
+{
+    if (opp.channels() != 3)
+        throw std::invalid_argument("opponentToRgb: expected 3 channels");
+    ImageF out(opp.width(), opp.height(), 3);
+    const float *y = opp.plane(0);
+    const float *u = opp.plane(1);
+    const float *v = opp.plane(2);
+    float *r = out.plane(0);
+    float *g = out.plane(1);
+    float *b = out.plane(2);
+    for (size_t i = 0; i < opp.planeSize(); ++i) {
+        float uu = u[i] - 127.5f;
+        float vv = v[i] - 127.5f;
+        r[i] = y[i] + uu + vv * 2.0f / 3.0f;
+        g[i] = y[i] - vv * 4.0f / 3.0f;
+        b[i] = y[i] - uu + vv * 2.0f / 3.0f;
+    }
+    return out;
+}
+
+} // namespace image
+} // namespace ideal

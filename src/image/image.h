@@ -1,0 +1,191 @@
+#ifndef IDEAL_IMAGE_IMAGE_H_
+#define IDEAL_IMAGE_IMAGE_H_
+
+/**
+ * @file
+ * Planar multi-channel image container used throughout the IDEAL
+ * reproduction. Pixels are stored channel-major (planar) so that the
+ * block-matching code, which operates on channel 1 only, touches a
+ * contiguous plane.
+ */
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ideal {
+namespace image {
+
+/**
+ * A planar image of `channels` planes, each `width x height` of T.
+ *
+ * The layout is plane-major: plane c starts at c * width * height.
+ * Indexing is (x, y) with x the column (fast-moving) coordinate.
+ */
+template <typename T>
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Construct a zero-initialized image. */
+    Image(int width, int height, int channels = 1)
+        : width_(width), height_(height), channels_(channels),
+          data_(checkedSize(width, height, channels), T{})
+    {
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int channels() const { return channels_; }
+
+    /** Number of pixels in one plane. */
+    size_t planeSize() const
+    {
+        return static_cast<size_t>(width_) * height_;
+    }
+
+    /** Total number of stored samples across all planes. */
+    size_t size() const { return data_.size(); }
+
+    bool empty() const { return data_.empty(); }
+
+    /** Pointer to the first sample of plane @p c. */
+    T *plane(int c)
+    {
+        assert(c >= 0 && c < channels_);
+        return data_.data() + planeSize() * c;
+    }
+
+    const T *plane(int c) const
+    {
+        assert(c >= 0 && c < channels_);
+        return data_.data() + planeSize() * c;
+    }
+
+    T &at(int x, int y, int c = 0)
+    {
+        assert(inBounds(x, y) && c >= 0 && c < channels_);
+        return data_[planeSize() * c + static_cast<size_t>(y) * width_ + x];
+    }
+
+    const T &at(int x, int y, int c = 0) const
+    {
+        assert(inBounds(x, y) && c >= 0 && c < channels_);
+        return data_[planeSize() * c + static_cast<size_t>(y) * width_ + x];
+    }
+
+    /** Clamped read: coordinates outside the image are clamped to edge. */
+    T atClamped(int x, int y, int c = 0) const
+    {
+        x = std::clamp(x, 0, width_ - 1);
+        y = std::clamp(y, 0, height_ - 1);
+        return at(x, y, c);
+    }
+
+    bool inBounds(int x, int y) const
+    {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+    std::vector<T> &raw() { return data_; }
+    const std::vector<T> &raw() const { return data_; }
+
+    /** Extract a single plane as a one-channel image. */
+    Image<T>
+    extractPlane(int c) const
+    {
+        Image<T> out(width_, height_, 1);
+        std::copy(plane(c), plane(c) + planeSize(), out.plane(0));
+        return out;
+    }
+
+    /** Replace plane @p c with the single plane of @p src. */
+    void
+    insertPlane(int c, const Image<T> &src)
+    {
+        if (src.width() != width_ || src.height() != height_ ||
+            src.channels() != 1) {
+            throw std::invalid_argument("insertPlane: shape mismatch");
+        }
+        std::copy(src.plane(0), src.plane(0) + planeSize(), plane(c));
+    }
+
+    /** Crop a w x h window whose top-left corner is (x0, y0). */
+    Image<T>
+    crop(int x0, int y0, int w, int h) const
+    {
+        if (x0 < 0 || y0 < 0 || w <= 0 || h <= 0 ||
+            x0 + w > width_ || y0 + h > height_) {
+            throw std::out_of_range("crop: window outside image");
+        }
+        Image<T> out(w, h, channels_);
+        for (int c = 0; c < channels_; ++c)
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x)
+                    out.at(x, y, c) = at(x0 + x, y0 + y, c);
+        return out;
+    }
+
+    /** Elementwise conversion to another sample type. */
+    template <typename U>
+    Image<U>
+    cast() const
+    {
+        Image<U> out(width_, height_, channels_);
+        for (size_t i = 0; i < data_.size(); ++i)
+            out.raw()[i] = static_cast<U>(data_[i]);
+        return out;
+    }
+
+    bool
+    sameShape(const Image<T> &other) const
+    {
+        return width_ == other.width_ && height_ == other.height_ &&
+               channels_ == other.channels_;
+    }
+
+  private:
+    static size_t
+    checkedSize(int width, int height, int channels)
+    {
+        if (width <= 0 || height <= 0 || channels <= 0)
+            throw std::invalid_argument("Image dimensions must be positive");
+        return static_cast<size_t>(width) * height * channels;
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    int channels_ = 0;
+    std::vector<T> data_;
+};
+
+using ImageF = Image<float>;
+using ImageU8 = Image<uint8_t>;
+using ImageU16 = Image<uint16_t>;
+
+/** Convert an 8-bit image to float in [0, 255]. */
+ImageF toFloat(const ImageU8 &in);
+
+/** Convert a float image in [0, 255] to 8-bit with clamping + rounding. */
+ImageU8 toU8(const ImageF &in);
+
+/**
+ * Convert an RGB image to the opponent color space used by BM3D-style
+ * denoisers: channel 1 carries the luminance-like component on which
+ * block matching runs.
+ */
+ImageF rgbToOpponent(const ImageF &rgb);
+
+/** Inverse of rgbToOpponent(). */
+ImageF opponentToRgb(const ImageF &opp);
+
+} // namespace image
+} // namespace ideal
+
+#endif // IDEAL_IMAGE_IMAGE_H_

@@ -1,0 +1,162 @@
+#include "image/io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ideal {
+namespace image {
+
+namespace {
+
+void
+writeBody(std::ofstream &out, const ImageU8 &img)
+{
+    // Netpbm is pixel-interleaved; our storage is planar.
+    const int c = img.channels();
+    std::vector<uint8_t> row(static_cast<size_t>(img.width()) * c);
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x)
+            for (int ch = 0; ch < c; ++ch)
+                row[static_cast<size_t>(x) * c + ch] = img.at(x, y, ch);
+        out.write(reinterpret_cast<const char *>(row.data()),
+                  static_cast<std::streamsize>(row.size()));
+    }
+}
+
+int
+readPnmInt(std::istream &in)
+{
+    // Skip whitespace and '#' comments, then parse one integer.
+    int ch = in.get();
+    while (ch != EOF) {
+        if (ch == '#') {
+            while (ch != EOF && ch != '\n')
+                ch = in.get();
+        } else if (!std::isspace(ch)) {
+            break;
+        }
+        ch = in.get();
+    }
+    if (ch == EOF)
+        throw std::runtime_error("Netpbm: truncated header");
+    int value = 0;
+    while (ch != EOF && std::isdigit(ch)) {
+        value = value * 10 + (ch - '0');
+        ch = in.get();
+    }
+    return value;
+}
+
+} // namespace
+
+void
+writePgm(const std::string &path, const ImageU8 &img)
+{
+    if (img.channels() != 1)
+        throw std::invalid_argument("writePgm: expected 1 channel");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("writePgm: cannot open " + path);
+    out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+    writeBody(out, img);
+}
+
+void
+writePpm(const std::string &path, const ImageU8 &img)
+{
+    if (img.channels() != 3)
+        throw std::invalid_argument("writePpm: expected 3 channels");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("writePpm: cannot open " + path);
+    out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+    writeBody(out, img);
+}
+
+void
+writeNetpbm(const std::string &path, const ImageU8 &img)
+{
+    if (img.channels() == 1)
+        writePgm(path, img);
+    else if (img.channels() == 3)
+        writePpm(path, img);
+    else
+        throw std::invalid_argument("writeNetpbm: 1 or 3 channels only");
+}
+
+ImageU8
+readNetpbm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("readNetpbm: cannot open " + path);
+    char magic[2] = {0, 0};
+    in.read(magic, 2);
+    int channels;
+    if (magic[0] == 'P' && magic[1] == '5')
+        channels = 1;
+    else if (magic[0] == 'P' && magic[1] == '6')
+        channels = 3;
+    else
+        throw std::runtime_error("readNetpbm: unsupported magic in " + path);
+
+    const int width = readPnmInt(in);
+    const int height = readPnmInt(in);
+    const int maxval = readPnmInt(in);
+    if (maxval != 255)
+        throw std::runtime_error("readNetpbm: only maxval 255 supported");
+
+    ImageU8 img(width, height, channels);
+    std::vector<uint8_t> row(static_cast<size_t>(width) * channels);
+    for (int y = 0; y < height; ++y) {
+        in.read(reinterpret_cast<char *>(row.data()),
+                static_cast<std::streamsize>(row.size()));
+        if (!in)
+            throw std::runtime_error("readNetpbm: truncated body");
+        for (int x = 0; x < width; ++x)
+            for (int c = 0; c < channels; ++c)
+                img.at(x, y, c) = row[static_cast<size_t>(x) * channels + c];
+    }
+    return img;
+}
+
+void
+writeRawFloat(const std::string &path, const ImageF &img)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("writeRawFloat: cannot open " + path);
+    const char magic[8] = {'I', 'R', 'A', 'W', 'F', '1', '0', '\n'};
+    out.write(magic, sizeof(magic));
+    int32_t dims[3] = {img.width(), img.height(), img.channels()};
+    out.write(reinterpret_cast<const char *>(dims), sizeof(dims));
+    out.write(reinterpret_cast<const char *>(img.raw().data()),
+              static_cast<std::streamsize>(img.size() * sizeof(float)));
+}
+
+ImageF
+readRawFloat(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("readRawFloat: cannot open " + path);
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, "IRAWF10\n", 8) != 0)
+        throw std::runtime_error("readRawFloat: bad magic in " + path);
+    int32_t dims[3];
+    in.read(reinterpret_cast<char *>(dims), sizeof(dims));
+    if (!in)
+        throw std::runtime_error("readRawFloat: truncated header");
+    ImageF img(dims[0], dims[1], dims[2]);
+    in.read(reinterpret_cast<char *>(img.raw().data()),
+            static_cast<std::streamsize>(img.size() * sizeof(float)));
+    if (!in)
+        throw std::runtime_error("readRawFloat: truncated body");
+    return img;
+}
+
+} // namespace image
+} // namespace ideal

@@ -1,0 +1,47 @@
+#ifndef IDEAL_IMAGE_IO_H_
+#define IDEAL_IMAGE_IO_H_
+
+/**
+ * @file
+ * Minimal self-contained image I/O: binary PGM (P5) for single-channel
+ * and binary PPM (P6) for three-channel 8-bit images, plus a trivial
+ * raw float container for intermediate results. No external image
+ * libraries are used.
+ */
+
+#include <string>
+
+#include "image/image.h"
+
+namespace ideal {
+namespace image {
+
+/** Write a 1-channel 8-bit image as binary PGM (P5). */
+void writePgm(const std::string &path, const ImageU8 &img);
+
+/** Write a 3-channel 8-bit image as binary PPM (P6). */
+void writePpm(const std::string &path, const ImageU8 &img);
+
+/**
+ * Write any 8-bit image, picking PGM for 1 channel and PPM for 3.
+ * @throws std::invalid_argument for other channel counts.
+ */
+void writeNetpbm(const std::string &path, const ImageU8 &img);
+
+/** Read a binary PGM (P5) or PPM (P6) file. */
+ImageU8 readNetpbm(const std::string &path);
+
+/**
+ * Write a float image in the repository's simple IRAW format:
+ * magic "IRAWF10\n", width, height, channels as int32 little-endian,
+ * then raw plane-major float32 samples.
+ */
+void writeRawFloat(const std::string &path, const ImageF &img);
+
+/** Read an IRAW float image written by writeRawFloat(). */
+ImageF readRawFloat(const std::string &path);
+
+} // namespace image
+} // namespace ideal
+
+#endif // IDEAL_IMAGE_IO_H_

@@ -1,0 +1,116 @@
+#include "image/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ideal {
+namespace image {
+
+namespace {
+
+void
+requireSameShape(const ImageF &a, const ImageF &b)
+{
+    if (!a.sameShape(b))
+        throw std::invalid_argument("metric: image shape mismatch");
+}
+
+} // namespace
+
+double
+mse(const ImageF &a, const ImageF &b)
+{
+    requireSameShape(a, b);
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a.raw()[i]) - b.raw()[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.size());
+}
+
+double
+snrDb(const ImageF &reference, const ImageF &test)
+{
+    requireSameShape(reference, test);
+    double signal = 0.0, noise = 0.0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        double r = reference.raw()[i];
+        double d = r - test.raw()[i];
+        signal += r * r;
+        noise += d * d;
+    }
+    if (noise == 0.0)
+        return 300.0; // identical images; report a large finite SNR
+    return 10.0 * std::log10(signal / noise);
+}
+
+double
+psnrDb(const ImageF &reference, const ImageF &test)
+{
+    double m = mse(reference, test);
+    if (m == 0.0)
+        return 300.0;
+    return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double
+ssim(const ImageF &reference, const ImageF &test)
+{
+    requireSameShape(reference, test);
+    constexpr int kWin = 8;
+    constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+    constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+    const int w = reference.width(), h = reference.height();
+    if (w < kWin || h < kWin)
+        throw std::invalid_argument("ssim: image smaller than window");
+
+    double total = 0.0;
+    long windows = 0;
+    for (int y0 = 0; y0 + kWin <= h; y0 += kWin / 2) {
+        for (int x0 = 0; x0 + kWin <= w; x0 += kWin / 2) {
+            double mu_a = 0, mu_b = 0;
+            for (int y = 0; y < kWin; ++y)
+                for (int x = 0; x < kWin; ++x) {
+                    mu_a += reference.at(x0 + x, y0 + y, 0);
+                    mu_b += test.at(x0 + x, y0 + y, 0);
+                }
+            const double n = kWin * kWin;
+            mu_a /= n;
+            mu_b /= n;
+            double var_a = 0, var_b = 0, cov = 0;
+            for (int y = 0; y < kWin; ++y)
+                for (int x = 0; x < kWin; ++x) {
+                    double da = reference.at(x0 + x, y0 + y, 0) - mu_a;
+                    double db = test.at(x0 + x, y0 + y, 0) - mu_b;
+                    var_a += da * da;
+                    var_b += db * db;
+                    cov += da * db;
+                }
+            var_a /= n - 1;
+            var_b /= n - 1;
+            cov /= n - 1;
+            double s = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                       ((mu_a * mu_a + mu_b * mu_b + kC1) *
+                        (var_a + var_b + kC2));
+            total += s;
+            ++windows;
+        }
+    }
+    return total / windows;
+}
+
+double
+maxAbsDiff(const ImageF &a, const ImageF &b)
+{
+    requireSameShape(a, b);
+    double best = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        best = std::max(best,
+                        std::abs(static_cast<double>(a.raw()[i]) -
+                                 b.raw()[i]));
+    return best;
+}
+
+} // namespace image
+} // namespace ideal

@@ -1,0 +1,40 @@
+#ifndef IDEAL_IMAGE_METRICS_H_
+#define IDEAL_IMAGE_METRICS_H_
+
+/**
+ * @file
+ * Image quality metrics. The paper reports per-image SNR relative to
+ * a reference implementation (Figs. 9, 11); PSNR and SSIM are included
+ * because downstream users of a denoiser library expect them.
+ */
+
+#include "image/image.h"
+
+namespace ideal {
+namespace image {
+
+/** Mean squared error over all samples of two same-shape images. */
+double mse(const ImageF &a, const ImageF &b);
+
+/**
+ * Signal-to-noise ratio in dB of @p test against the clean
+ * @p reference: 10*log10(sum(ref^2) / sum((ref-test)^2)).
+ */
+double snrDb(const ImageF &reference, const ImageF &test);
+
+/** Peak SNR in dB assuming a 255 peak. */
+double psnrDb(const ImageF &reference, const ImageF &test);
+
+/**
+ * Mean structural similarity (SSIM) with an 8x8 sliding window and the
+ * standard (K1, K2) = (0.01, 0.03) constants, computed on channel 0.
+ */
+double ssim(const ImageF &reference, const ImageF &test);
+
+/** Largest absolute per-sample difference. */
+double maxAbsDiff(const ImageF &a, const ImageF &b);
+
+} // namespace image
+} // namespace ideal
+
+#endif // IDEAL_IMAGE_METRICS_H_

@@ -1,0 +1,75 @@
+#include "image/noise.h"
+
+#include <cmath>
+
+#include "image/synthetic.h"
+
+namespace ideal {
+namespace image {
+
+namespace {
+
+/**
+ * Gaussian sampler via Box-Muller on the deterministic SplitMix64
+ * stream; keeps noisy inputs reproducible everywhere.
+ */
+class GaussianSource
+{
+  public:
+    explicit GaussianSource(uint64_t seed) : rng_(seed) {}
+
+    float
+    next()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        float u1, u2;
+        do {
+            u1 = rng_.uniform();
+        } while (u1 <= 1e-12f);
+        u2 = rng_.uniform();
+        float r = std::sqrt(-2.0f * std::log(u1));
+        float theta = 2.0f * static_cast<float>(M_PI) * u2;
+        spare_ = r * std::sin(theta);
+        have_spare_ = true;
+        return r * std::cos(theta);
+    }
+
+  private:
+    SplitMix64 rng_;
+    bool have_spare_ = false;
+    float spare_ = 0.0f;
+};
+
+} // namespace
+
+ImageF
+addGaussianNoise(const ImageF &clean, float sigma, uint64_t seed)
+{
+    ImageF out(clean.width(), clean.height(), clean.channels());
+    GaussianSource gauss(seed ^ 0xA5A5A5A5ULL);
+    for (size_t i = 0; i < clean.size(); ++i) {
+        float v = clean.raw()[i] + sigma * gauss.next();
+        out.raw()[i] = std::clamp(v, 0.0f, 255.0f);
+    }
+    return out;
+}
+
+ImageF
+addSensorNoise(const ImageF &clean, float gain_a, float read_b, uint64_t seed)
+{
+    ImageF out(clean.width(), clean.height(), clean.channels());
+    GaussianSource gauss(seed ^ 0x5EA50E15ULL);
+    for (size_t i = 0; i < clean.size(); ++i) {
+        float signal = std::max(0.0f, clean.raw()[i]);
+        float stddev = std::sqrt(gain_a * signal + read_b);
+        out.raw()[i] =
+            std::clamp(signal + stddev * gauss.next(), 0.0f, 255.0f);
+    }
+    return out;
+}
+
+} // namespace image
+} // namespace ideal

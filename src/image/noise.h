@@ -1,0 +1,40 @@
+#ifndef IDEAL_IMAGE_NOISE_H_
+#define IDEAL_IMAGE_NOISE_H_
+
+/**
+ * @file
+ * Noise injection for denoiser evaluation. BM3D is designed for
+ * additive white Gaussian noise (AWGN); the paper's quality studies
+ * (Figs. 9 and 11) measure SNR of denoised output against the clean
+ * image under AWGN of known standard deviation sigma.
+ */
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace ideal {
+namespace image {
+
+/**
+ * Add i.i.d. Gaussian noise of standard deviation @p sigma to every
+ * sample of @p clean. Output is clamped to [0, 255].
+ *
+ * @param clean  noiseless input in [0, 255]
+ * @param sigma  noise standard deviation (paper studies up to 75)
+ * @param seed   deterministic seed
+ */
+ImageF addGaussianNoise(const ImageF &clean, float sigma, uint64_t seed);
+
+/**
+ * Add signal-dependent Poisson-Gaussian sensor noise:
+ * variance = a * signal + b, the standard raw-sensor noise model. Used
+ * by examples that emulate a RAW capture ahead of the CIP front end.
+ */
+ImageF addSensorNoise(const ImageF &clean, float gain_a, float read_b,
+                      uint64_t seed);
+
+} // namespace image
+} // namespace ideal
+
+#endif // IDEAL_IMAGE_NOISE_H_

@@ -1,0 +1,250 @@
+#include "image/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ideal {
+namespace image {
+
+namespace {
+
+/**
+ * Lattice value-noise: random values on a coarse grid, bilinearly
+ * interpolated with smoothstep. Summed over octaves this produces the
+ * band-limited "nature" content.
+ */
+class ValueNoise
+{
+  public:
+    ValueNoise(int cells_x, int cells_y, SplitMix64 &rng)
+        : cellsX_(cells_x), cellsY_(cells_y),
+          grid_(static_cast<size_t>(cells_x + 1) * (cells_y + 1))
+    {
+        for (auto &v : grid_)
+            v = rng.uniform();
+    }
+
+    /** Sample at normalized coordinates u, v in [0, 1]. */
+    float
+    sample(float u, float v) const
+    {
+        float fx = u * cellsX_;
+        float fy = v * cellsY_;
+        int x0 = std::min(static_cast<int>(fx), cellsX_ - 1);
+        int y0 = std::min(static_cast<int>(fy), cellsY_ - 1);
+        float tx = smooth(fx - x0);
+        float ty = smooth(fy - y0);
+        float a = at(x0, y0), b = at(x0 + 1, y0);
+        float c = at(x0, y0 + 1), d = at(x0 + 1, y0 + 1);
+        float top = a + (b - a) * tx;
+        float bot = c + (d - c) * tx;
+        return top + (bot - top) * ty;
+    }
+
+  private:
+    static float smooth(float t) { return t * t * (3.0f - 2.0f * t); }
+
+    float
+    at(int x, int y) const
+    {
+        return grid_[static_cast<size_t>(y) * (cellsX_ + 1) + x];
+    }
+
+    int cellsX_;
+    int cellsY_;
+    std::vector<float> grid_;
+};
+
+void
+fillNature(ImageF &img, SplitMix64 &rng)
+{
+    const int w = img.width(), h = img.height();
+    // Three octaves of value noise; amplitudes fall off so content is
+    // dominated by smooth structure (high local self-similarity).
+    // Feature size in pixels follows the mean dimension so a wide
+    // strip cropped from a large image keeps that image's feature
+    // scale; the lattice is isotropic in pixels.
+    const int feature_px = std::max(8, (w + h) / 64);
+    const int cx = std::max(1, w / feature_px);
+    const int cy = std::max(1, h / feature_px);
+    ValueNoise oct1(cx, cy, rng);
+    ValueNoise oct2(cx * 3, cy * 3, rng);
+    ValueNoise oct3(cx * 9, cy * 9, rng);
+    for (int c = 0; c < img.channels(); ++c) {
+        float bias = 60.0f + 40.0f * c;
+        float gain = 140.0f - 20.0f * c;
+        for (int y = 0; y < h; ++y) {
+            float v = static_cast<float>(y) / h;
+            for (int x = 0; x < w; ++x) {
+                float u = static_cast<float>(x) / w;
+                float s = 0.62f * oct1.sample(u, v) +
+                          0.28f * oct2.sample(u, v) +
+                          0.10f * oct3.sample(u, v);
+                img.at(x, y, c) = bias + gain * s;
+            }
+        }
+    }
+}
+
+void
+fillStreet(ImageF &img, SplitMix64 &rng)
+{
+    const int w = img.width(), h = img.height();
+    // Sky gradient background.
+    for (int c = 0; c < img.channels(); ++c)
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                img.at(x, y, c) =
+                    170.0f - 60.0f * static_cast<float>(y) / h + 5.0f * c;
+
+    // Flat "building" rectangles with window grids: piecewise-constant
+    // regions separated by sharp edges.
+    const int buildings = 4 + static_cast<int>(rng.below(4));
+    for (int b = 0; b < buildings; ++b) {
+        int bw = w / 6 + static_cast<int>(rng.below(std::max(1, w / 4)));
+        int bh = h / 3 + static_cast<int>(rng.below(std::max(1, h / 2)));
+        int bx = static_cast<int>(rng.below(std::max(1, w - bw / 2)));
+        int by = h - bh;
+        float shade = rng.uniform(40.0f, 150.0f);
+        for (int c = 0; c < img.channels(); ++c) {
+            float cs = shade + 8.0f * c;
+            for (int y = by; y < h; ++y)
+                for (int x = bx; x < std::min(w, bx + bw); ++x)
+                    img.at(x, y, c) = cs;
+        }
+        // Window grid.
+        int win = std::max(3, bw / 10);
+        for (int wy = by + win; wy + win < h; wy += 2 * win)
+            for (int wx = bx + win; wx + win < std::min(w, bx + bw);
+                 wx += 2 * win)
+                for (int c = 0; c < img.channels(); ++c)
+                    for (int y = wy; y < wy + win; ++y)
+                        for (int x = wx; x < wx + win && x < w; ++x)
+                            img.at(x, y, c) = 220.0f - 10.0f * c;
+    }
+
+    // A slanted road edge across the lower third.
+    for (int y = 2 * h / 3; y < h; ++y) {
+        int edge = (y - 2 * h / 3) * w / std::max(1, h / 3);
+        for (int x = 0; x < std::min(edge, w); ++x)
+            for (int c = 0; c < img.channels(); ++c)
+                img.at(x, y, c) = 70.0f + 4.0f * c;
+    }
+}
+
+void
+fillTexture(ImageF &img, SplitMix64 &rng)
+{
+    const int w = img.width(), h = img.height();
+    // Quasi-periodic weave: product of two phase-jittered waves plus a
+    // brick offset pattern. Integer-period triangular waves keep the
+    // generator fully deterministic across platforms. Feature size
+    // scales with resolution, as it does in photographs: a weave
+    // photographed at 42 MP spans many pixels per thread.
+    const int base_period = std::max(6, (w + h) / 2 / 24);
+    const int px = base_period + static_cast<int>(rng.below(6));
+    const int py = base_period + static_cast<int>(rng.below(6));
+    auto tri = [](int v, int period) {
+        int m = v % period;
+        int d = std::min(m, period - m);
+        return static_cast<float>(d) / (period / 2.0f);
+    };
+    for (int c = 0; c < img.channels(); ++c) {
+        for (int y = 0; y < h; ++y) {
+            int brick_shift = ((y / py) % 2) * (px / 2);
+            for (int x = 0; x < w; ++x) {
+                float a = tri(x + brick_shift, px);
+                float b = tri(y, py);
+                float val = 70.0f + 120.0f * a * b + 25.0f * (a + b) +
+                            6.0f * c;
+                img.at(x, y, c) = std::clamp(val, 0.0f, 255.0f);
+            }
+        }
+    }
+}
+
+void
+fillDetail(ImageF &img, SplitMix64 &rng)
+{
+    // Broadband random detail with a coarse luminance drift; minimal
+    // patch self-similarity, the worst case for Matches Reuse.
+    const int w = img.width(), h = img.height();
+    ValueNoise drift(4, 4, rng);
+    for (int c = 0; c < img.channels(); ++c)
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x) {
+                float base = 60.0f + 120.0f *
+                    drift.sample(static_cast<float>(x) / w,
+                                 static_cast<float>(y) / h);
+                img.at(x, y, c) =
+                    std::clamp(base + rng.uniform(-55.0f, 55.0f),
+                               0.0f, 255.0f);
+            }
+}
+
+} // namespace
+
+SceneKind
+sceneKindFromString(const std::string &name)
+{
+    if (name == "nature") return SceneKind::Nature;
+    if (name == "street") return SceneKind::Street;
+    if (name == "texture") return SceneKind::Texture;
+    if (name == "uniform") return SceneKind::Uniform;
+    if (name == "detail") return SceneKind::Detail;
+    throw std::invalid_argument("unknown scene kind: " + name);
+}
+
+const char *
+toString(SceneKind kind)
+{
+    switch (kind) {
+      case SceneKind::Nature: return "nature";
+      case SceneKind::Street: return "street";
+      case SceneKind::Texture: return "texture";
+      case SceneKind::Uniform: return "uniform";
+      case SceneKind::Detail: return "detail";
+    }
+    return "?";
+}
+
+ImageF
+makeScene(SceneKind kind, int width, int height, int channels, uint64_t seed)
+{
+    ImageF img(width, height, channels);
+    SplitMix64 rng(seed ^ 0x1dea1c0ffeeULL);
+    switch (kind) {
+      case SceneKind::Nature:
+        fillNature(img, rng);
+        break;
+      case SceneKind::Street:
+        fillStreet(img, rng);
+        break;
+      case SceneKind::Texture:
+        fillTexture(img, rng);
+        break;
+      case SceneKind::Uniform:
+        img.fill(rng.uniform(40.0f, 215.0f));
+        break;
+      case SceneKind::Detail:
+        fillDetail(img, rng);
+        break;
+    }
+    return img;
+}
+
+std::vector<ImageF>
+makeEvaluationSet(int width, int height, int channels, int images_per_kind)
+{
+    std::vector<ImageF> set;
+    const SceneKind kinds[] = {SceneKind::Nature, SceneKind::Street,
+                               SceneKind::Texture, SceneKind::Detail};
+    for (SceneKind k : kinds)
+        for (int i = 0; i < images_per_kind; ++i)
+            set.push_back(makeScene(k, width, height, channels,
+                                    1000 + 17 * i + static_cast<int>(k)));
+    return set;
+}
+
+} // namespace image
+} // namespace ideal

@@ -1,0 +1,110 @@
+#include "nn/dadiannao.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideal {
+namespace nn {
+
+namespace {
+
+uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+DaDianNao::DaDianNao(DaDianNaoConfig config) : config_(config) {}
+
+double
+DaDianNao::laneEfficiency(const Layer &layer) const
+{
+    // Neuron lanes come in groups of `laneWidth`; dimensions that are
+    // not multiples leave multiplier lanes idle.
+    const uint64_t lw = config_.laneWidth;
+    // Infer in/out widths from the layer's MAC/weight structure via
+    // its name prefix; both layer types expose enough through macs()
+    // and weights(), so approximate with the weight matrix shape.
+    // For conv layers the channel counts dominate alignment.
+    const std::string n = layer.name();
+    auto aligned = [&](uint64_t v) {
+        return static_cast<double>(v) /
+               static_cast<double>(ceilDiv(v, lw) * lw);
+    };
+    // Parse "fcAxB" / "convAxBkK".
+    size_t x = n.find('x');
+    if (x == std::string::npos)
+        return 1.0;
+    size_t start = n.find_first_of("0123456789");
+    uint64_t a = std::stoull(n.substr(start, x - start));
+    uint64_t b = std::stoull(n.substr(x + 1));
+    return aligned(a) * aligned(b);
+}
+
+uint64_t
+DaDianNao::passCycles(const NetworkDescriptor &desc) const
+{
+    const bool resident =
+        desc.net->totalWeights() * 2 <= config_.residentWeightBytes;
+    const uint64_t peak_macs =
+        static_cast<uint64_t>(config_.tiles) * config_.macsPerTile;
+    uint64_t total = 0;
+    for (size_t i = 0; i < desc.net->depth(); ++i) {
+        const Layer &layer = desc.net->layer(i);
+        double eff = std::max(0.05, laneEfficiency(layer));
+        uint64_t compute = ceilDiv(
+            layer.macs(),
+            static_cast<uint64_t>(static_cast<double>(peak_macs) * eff));
+        uint64_t cycles = compute;
+        if (!resident) {
+            // Fully-connected weights have no reuse within a pass: the
+            // synapse buffer port bounds throughput.
+            uint64_t stream =
+                ceilDiv(layer.weights() * 2, config_.weightPortBytes);
+            cycles = std::max(cycles, stream);
+        }
+        total += cycles + 64; // per-layer pipeline drain / NoC sync
+    }
+    return total;
+}
+
+NnRunResult
+DaDianNao::run(const NetworkDescriptor &desc, int width, int height) const
+{
+    NnRunResult r;
+    r.weightsResident =
+        desc.net->totalWeights() * 2 <= config_.residentWeightBytes;
+    const uint64_t passes = desc.passesForImage(width, height);
+    r.cycles = passes * passCycles(desc);
+    r.seconds =
+        static_cast<double>(r.cycles) / (config_.freqGhz * 1e9);
+    r.macs = passes * desc.net->totalMacs();
+    r.weightBytesStreamed =
+        r.weightsResident ? 0 : passes * desc.net->totalWeights() * 2;
+
+    // Power: dynamic from activity, static from the node variant.
+    const double sec = std::max(r.seconds, 1e-12);
+    r.corePowerW =
+        static_cast<double>(r.macs) * config_.pjPerMac * 1e-12 / sec;
+    // Activation traffic: each MAC lane consumes one 2 B input shared
+    // across laneWidth output lanes, and writes outputs once.
+    double act_bytes = static_cast<double>(r.macs) /
+                       config_.laneWidth * 2.0;
+    r.bufferPowerW =
+        (static_cast<double>(r.weightBytesStreamed) *
+             config_.pjPerWeightByte +
+         act_bytes * config_.pjPerActByte) * 1e-12 / sec +
+        (r.weightsResident ? config_.staticWSram : config_.staticWEdram);
+    // Off-chip: noisy input tiles in, denoised image out (2 B/sample).
+    double io_bytes =
+        static_cast<double>(passes) * desc.inputTile * desc.inputTile *
+            2.0 +
+        static_cast<double>(width) * height * 3 * 2.0;
+    r.dramPowerW = io_bytes * 20.0 * 1e-12 / sec + config_.dramStaticW;
+    return r;
+}
+
+} // namespace nn
+} // namespace ideal

@@ -1,0 +1,101 @@
+#ifndef IDEAL_NN_DADIANNAO_H_
+#define IDEAL_NN_DADIANNAO_H_
+
+/**
+ * @file
+ * Timing and energy model of a DaDianNao-class NN accelerator node
+ * (Chen et al., MICRO 2014) configured as in the paper's Sec. 6.1:
+ * synthesized at 65 nm alongside IDEAL; ML1 keeps its 27.8 M weights
+ * (56 MB) in the on-chip eDRAM ("we assume it fits"), ML2 replaces the
+ * 32 MB eDRAM synapse buffer with a 1.125 MB SRAM that holds all of
+ * its weights.
+ *
+ * The model captures the first-order behaviour that separates the two
+ * networks:
+ *  - compute: `tiles x macsPerTile` MACs per cycle, with per-layer
+ *    lane-alignment efficiency;
+ *  - weight delivery: resident weights (ML2) feed the NFUs at full
+ *    rate; streamed weights (ML1's fully-connected layers have no
+ *    reuse within a pass) are limited by the synapse-buffer port
+ *    width, which is what makes ML1 bandwidth-bound.
+ */
+
+#include <cstdint>
+
+#include "nn/networks.h"
+#include "sim/types.h"
+
+namespace ideal {
+namespace nn {
+
+/** DaDianNao node configuration. */
+struct DaDianNaoConfig
+{
+    int tiles = 16;
+    int macsPerTile = 256;   ///< 16x16 multiplier array per NFU
+    double freqGhz = 1.0;    ///< 65 nm synthesis target, as for IDEAL
+    int laneWidth = 16;      ///< input/output neuron lanes per tile
+
+    /// Central synapse-buffer port width for streamed weights (B/cycle).
+    int weightPortBytes = 256;
+    /// 2 B weights are resident (no streaming) if the model fits here.
+    uint64_t residentWeightBytes = 2ull << 20;
+
+    // Energy constants.
+    double pjPerMac = 2.0;
+    double pjPerWeightByte = 150.0; ///< eDRAM synapse read, per byte
+    double pjPerActByte = 4.0;      ///< NBin/NBout + NoC, per byte
+    /// Static/leakage power of the 56 MB-eDRAM node vs the SRAM node.
+    double staticWEdram = 4.0;
+    double staticWSram = 2.0;
+    /// Off-chip DRAM for inputs/outputs.
+    double dramStaticW = 0.4;
+};
+
+/** Result of running a network over an image on the model. */
+struct NnRunResult
+{
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+    uint64_t macs = 0;
+    uint64_t weightBytesStreamed = 0;
+    bool weightsResident = false;
+
+    double corePowerW = 0.0;
+    double bufferPowerW = 0.0;
+    double dramPowerW = 0.0;
+
+    double totalPowerW() const
+    {
+        return corePowerW + bufferPowerW + dramPowerW;
+    }
+
+    double energyJ() const { return totalPowerW() * seconds; }
+};
+
+/** Estimate one network pass / whole image on the node. */
+class DaDianNao
+{
+  public:
+    explicit DaDianNao(DaDianNaoConfig config = {});
+
+    const DaDianNaoConfig &config() const { return config_; }
+
+    /** Cycles for a single forward pass of @p desc. */
+    uint64_t passCycles(const NetworkDescriptor &desc) const;
+
+    /** Full run over a width x height image. */
+    NnRunResult run(const NetworkDescriptor &desc, int width,
+                    int height) const;
+
+  private:
+    /** MAC-lane utilization of a layer given lane alignment. */
+    double laneEfficiency(const Layer &layer) const;
+
+    DaDianNaoConfig config_;
+};
+
+} // namespace nn
+} // namespace ideal
+
+#endif // IDEAL_NN_DADIANNAO_H_

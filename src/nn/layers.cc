@@ -1,0 +1,164 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "image/synthetic.h"
+
+namespace ideal {
+namespace nn {
+
+namespace {
+
+/** He-style random init: the networks are used for timing/energy, so
+ * the specific values only need to be deterministic and well-scaled. */
+void
+initWeights(std::vector<float> &w, int fan_in, uint64_t seed)
+{
+    image::SplitMix64 rng(seed);
+    const float scale = std::sqrt(2.0f / static_cast<float>(fan_in));
+    for (float &v : w)
+        v = (rng.uniform() * 2.0f - 1.0f) * scale;
+}
+
+} // namespace
+
+DenseLayer::DenseLayer(int inputs, int outputs, bool relu, uint64_t seed)
+    : inputs_(inputs), outputs_(outputs), relu_(relu),
+      w_(static_cast<size_t>(inputs) * outputs), b_(outputs, 0.0f)
+{
+    if (inputs <= 0 || outputs <= 0)
+        throw std::invalid_argument("DenseLayer: bad dimensions");
+    initWeights(w_, inputs, seed);
+}
+
+Tensor
+DenseLayer::forward(const Tensor &in) const
+{
+    // The ML1 layer dimensions (Table 5) include an implicit bias
+    // input: a layer declared AxB accepts either A inputs or A-1
+    // inputs plus a constant-1 bias neuron.
+    const int n = static_cast<int>(in.size());
+    if (n != inputs_ && n != inputs_ - 1)
+        throw std::invalid_argument("DenseLayer: input length mismatch");
+    Tensor out(1, 1, outputs_);
+    for (int o = 0; o < outputs_; ++o) {
+        const float *row = w_.data() + static_cast<size_t>(o) * inputs_;
+        float acc = b_[o];
+        for (int i = 0; i < n; ++i)
+            acc += row[i] * in.raw()[i];
+        if (n == inputs_ - 1)
+            acc += row[inputs_ - 1]; // bias neuron fixed at 1.0
+        out.raw()[o] = relu_ ? std::max(0.0f, acc) : acc;
+    }
+    return out;
+}
+
+uint64_t
+DenseLayer::macs() const
+{
+    return static_cast<uint64_t>(inputs_) * outputs_;
+}
+
+uint64_t
+DenseLayer::weights() const
+{
+    return static_cast<uint64_t>(inputs_) * outputs_ + outputs_;
+}
+
+std::string
+DenseLayer::name() const
+{
+    return "fc" + std::to_string(inputs_) + "x" + std::to_string(outputs_);
+}
+
+Conv2dLayer::Conv2dLayer(int in_channels, int out_channels, int kernel,
+                         bool relu, int spatial, uint64_t seed)
+    : inC_(in_channels), outC_(out_channels), k_(kernel), relu_(relu),
+      spatial_(spatial),
+      w_(static_cast<size_t>(out_channels) * in_channels * kernel * kernel),
+      b_(out_channels, 0.0f)
+{
+    if (in_channels <= 0 || out_channels <= 0 || kernel % 2 == 0)
+        throw std::invalid_argument("Conv2dLayer: bad dimensions");
+    initWeights(w_, in_channels * kernel * kernel, seed);
+}
+
+Tensor
+Conv2dLayer::forward(const Tensor &in) const
+{
+    if (in.channels() != inC_)
+        throw std::invalid_argument("Conv2dLayer: channel mismatch");
+    Tensor out(outC_, in.height(), in.width());
+    const int r = k_ / 2;
+    for (int oc = 0; oc < outC_; ++oc) {
+        for (int y = 0; y < in.height(); ++y) {
+            for (int x = 0; x < in.width(); ++x) {
+                float acc = b_[oc];
+                for (int ic = 0; ic < inC_; ++ic)
+                    for (int ky = -r; ky <= r; ++ky)
+                        for (int kx = -r; kx <= r; ++kx) {
+                            int yy = y + ky, xx = x + kx;
+                            if (yy < 0 || yy >= in.height() || xx < 0 ||
+                                xx >= in.width())
+                                continue;
+                            float wv = w_[((static_cast<size_t>(oc) * inC_ +
+                                            ic) * k_ + (ky + r)) * k_ +
+                                          (kx + r)];
+                            acc += wv * in.at(ic, yy, xx);
+                        }
+                out.at(oc, y, x) = relu_ ? std::max(0.0f, acc) : acc;
+            }
+        }
+    }
+    return out;
+}
+
+uint64_t
+Conv2dLayer::macs() const
+{
+    return static_cast<uint64_t>(spatial_) * spatial_ * inC_ * outC_ * k_ *
+           k_;
+}
+
+uint64_t
+Conv2dLayer::weights() const
+{
+    return static_cast<uint64_t>(outC_) * inC_ * k_ * k_ + outC_;
+}
+
+std::string
+Conv2dLayer::name() const
+{
+    return "conv" + std::to_string(inC_) + "x" + std::to_string(outC_) +
+           "k" + std::to_string(k_);
+}
+
+Tensor
+Network::forward(const Tensor &in) const
+{
+    Tensor t = in;
+    for (const auto &layer : layers_)
+        t = layer->forward(t);
+    return t;
+}
+
+uint64_t
+Network::totalMacs() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->macs();
+    return total;
+}
+
+uint64_t
+Network::totalWeights() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->weights();
+    return total;
+}
+
+} // namespace nn
+} // namespace ideal

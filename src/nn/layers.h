@@ -1,0 +1,119 @@
+#ifndef IDEAL_NN_LAYERS_H_
+#define IDEAL_NN_LAYERS_H_
+
+/**
+ * @file
+ * Inference-only layer implementations for the two NN approximations
+ * of BM3D the paper evaluates (Table 5): fully-connected layers (the
+ * Burger et al. MLP, "ML1") and 3x3 same-padding convolutions (the
+ * Gharbi et al. CNN, "ML2"), with ReLU activations.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ideal {
+namespace nn {
+
+/** Abstract inference layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Forward pass. */
+    virtual Tensor forward(const Tensor &in) const = 0;
+
+    /** Multiply-accumulate count of one forward pass. */
+    virtual uint64_t macs() const = 0;
+
+    /** Number of weight parameters (incl. biases). */
+    virtual uint64_t weights() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Fully connected layer: out = relu?(W x + b). */
+class DenseLayer : public Layer
+{
+  public:
+    /**
+     * @param inputs   input vector length
+     * @param outputs  output vector length
+     * @param relu     apply ReLU after the affine map
+     * @param seed     deterministic weight initialization
+     */
+    DenseLayer(int inputs, int outputs, bool relu, uint64_t seed);
+
+    Tensor forward(const Tensor &in) const override;
+    uint64_t macs() const override;
+    uint64_t weights() const override;
+    std::string name() const override;
+
+  private:
+    int inputs_;
+    int outputs_;
+    bool relu_;
+    std::vector<float> w_; ///< outputs x inputs, row-major
+    std::vector<float> b_;
+};
+
+/** 3x3 same-padding convolution over CHW tensors. */
+class Conv2dLayer : public Layer
+{
+  public:
+    Conv2dLayer(int in_channels, int out_channels, int kernel, bool relu,
+                int spatial, uint64_t seed);
+
+    Tensor forward(const Tensor &in) const override;
+    uint64_t macs() const override;
+    uint64_t weights() const override;
+    std::string name() const override;
+
+  private:
+    int inC_;
+    int outC_;
+    int k_;
+    bool relu_;
+    int spatial_; ///< assumed H = W of the input, for MAC accounting
+    std::vector<float> w_; ///< outC x inC x k x k
+    std::vector<float> b_;
+};
+
+/** A feed-forward network: an ordered list of layers. */
+class Network
+{
+  public:
+    explicit Network(std::string network_name)
+        : name_(std::move(network_name))
+    {
+    }
+
+    void
+    add(std::unique_ptr<Layer> layer)
+    {
+        layers_.push_back(std::move(layer));
+    }
+
+    const std::string &name() const { return name_; }
+    size_t depth() const { return layers_.size(); }
+    const Layer &layer(size_t i) const { return *layers_[i]; }
+
+    Tensor forward(const Tensor &in) const;
+
+    uint64_t totalMacs() const;
+    uint64_t totalWeights() const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace nn
+} // namespace ideal
+
+#endif // IDEAL_NN_LAYERS_H_

@@ -1,0 +1,49 @@
+#include "nn/networks.h"
+
+namespace ideal {
+namespace nn {
+
+NetworkDescriptor
+makeMl1(uint64_t seed)
+{
+    NetworkDescriptor d;
+    d.net = std::make_unique<Network>("ML1");
+    // Table 5: L1 1522x3072, L2 3073x3072, L3 3073x2559, L4 2560x2047,
+    // L5 2048x289. The odd input sizes are the previous layer's output
+    // plus a bias input.
+    d.net->add(std::make_unique<DenseLayer>(1522, 3072, true, seed + 1));
+    d.net->add(std::make_unique<DenseLayer>(3073, 3072, true, seed + 2));
+    d.net->add(std::make_unique<DenseLayer>(3073, 2559, true, seed + 3));
+    d.net->add(std::make_unique<DenseLayer>(2560, 2047, true, seed + 4));
+    d.net->add(std::make_unique<DenseLayer>(2048, 289, false, seed + 5));
+    d.inputTile = 39;
+    d.outputTile = 17;
+    d.trunkDownsample = 1;
+    return d;
+}
+
+NetworkDescriptor
+makeMl2(uint64_t seed)
+{
+    NetworkDescriptor d;
+    d.net = std::make_unique<Network>("ML2");
+    // Table 5: 15 layers, 64x64 channels, 3x3 kernels, 320x320 input
+    // tiles producing 256x256 outputs. The conv trunk runs on the
+    // packed Bayer mosaic at half resolution (160x160 activations).
+    const int trunk_spatial = 160;
+    d.net->add(std::make_unique<Conv2dLayer>(4, 64, 3, true, trunk_spatial,
+                                             seed + 1));
+    for (int l = 0; l < 13; ++l)
+        d.net->add(std::make_unique<Conv2dLayer>(64, 64, 3, true,
+                                                 trunk_spatial,
+                                                 seed + 2 + l));
+    d.net->add(std::make_unique<Conv2dLayer>(64, 12, 3, false,
+                                             trunk_spatial, seed + 20));
+    d.inputTile = 320;
+    d.outputTile = 256;
+    d.trunkDownsample = 2;
+    return d;
+}
+
+} // namespace nn
+} // namespace ideal

@@ -1,0 +1,64 @@
+#ifndef IDEAL_NN_NETWORKS_H_
+#define IDEAL_NN_NETWORKS_H_
+
+/**
+ * @file
+ * The two NN denoisers the paper evaluates on DaDianNao (Table 5):
+ *
+ *  ML1 - Burger et al.: a 5-layer fully-connected network mapping a
+ *        39x39 noisy patch (+bias input: 1522) to a denoised 17x17
+ *        patch (289 outputs); 27.8 M weights. The image is processed
+ *        in 17x17 output tiles.
+ *
+ *  ML2 - Gharbi et al.: a 15-layer 64-channel 3x3 CNN that jointly
+ *        demosaics and denoises; processes 320x320 input tiles into
+ *        256x256 outputs; 560 K weights. The convolutional trunk runs
+ *        at half resolution on the packed Bayer mosaic.
+ */
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace ideal {
+namespace nn {
+
+/** Tiling/descriptor of a patch- or tile-based image-to-image net. */
+struct NetworkDescriptor
+{
+    std::unique_ptr<Network> net;
+    int inputTile = 0;   ///< input tile edge in image pixels
+    int outputTile = 0;  ///< output tile edge in image pixels
+    /// Spatial scale the conv trunk runs at (1 = full res; 2 = the
+    /// half-resolution packed-mosaic trunk of ML2).
+    int trunkDownsample = 1;
+
+    /** Forward passes needed to cover a width x height image. */
+    uint64_t
+    passesForImage(int width, int height) const
+    {
+        uint64_t tx = (static_cast<uint64_t>(width) + outputTile - 1) /
+                      outputTile;
+        uint64_t ty = (static_cast<uint64_t>(height) + outputTile - 1) /
+                      outputTile;
+        return tx * ty;
+    }
+
+    /** Total MACs to process a width x height image. */
+    uint64_t
+    macsForImage(int width, int height) const
+    {
+        return passesForImage(width, height) * net->totalMacs();
+    }
+};
+
+/** Build ML1 (Table 5 left column). */
+NetworkDescriptor makeMl1(uint64_t seed = 1);
+
+/** Build ML2 (Table 5 right column). */
+NetworkDescriptor makeMl2(uint64_t seed = 2);
+
+} // namespace nn
+} // namespace ideal
+
+#endif // IDEAL_NN_NETWORKS_H_

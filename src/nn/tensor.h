@@ -1,0 +1,70 @@
+#ifndef IDEAL_NN_TENSOR_H_
+#define IDEAL_NN_TENSOR_H_
+
+/**
+ * @file
+ * Minimal CHW float tensor for the neural-network substrate. Only
+ * what inference of the paper's two denoising networks needs.
+ */
+
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace ideal {
+namespace nn {
+
+/** A channels x height x width float tensor (channel-major). */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    Tensor(int channels, int height, int width)
+        : c_(channels), h_(height), w_(width),
+          data_(checkedSize(channels, height, width), 0.0f)
+    {
+    }
+
+    int channels() const { return c_; }
+    int height() const { return h_; }
+    int width() const { return w_; }
+    size_t size() const { return data_.size(); }
+
+    float &
+    at(int c, int y, int x)
+    {
+        assert(c >= 0 && c < c_ && y >= 0 && y < h_ && x >= 0 && x < w_);
+        return data_[(static_cast<size_t>(c) * h_ + y) * w_ + x];
+    }
+
+    float
+    at(int c, int y, int x) const
+    {
+        assert(c >= 0 && c < c_ && y >= 0 && y < h_ && x >= 0 && x < w_);
+        return data_[(static_cast<size_t>(c) * h_ + y) * w_ + x];
+    }
+
+    std::vector<float> &raw() { return data_; }
+    const std::vector<float> &raw() const { return data_; }
+
+  private:
+    static size_t
+    checkedSize(int c, int h, int w)
+    {
+        if (c <= 0 || h <= 0 || w <= 0)
+            throw std::invalid_argument("Tensor dims must be positive");
+        return static_cast<size_t>(c) * h * w;
+    }
+
+    int c_ = 0;
+    int h_ = 0;
+    int w_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace nn
+} // namespace ideal
+
+#endif // IDEAL_NN_TENSOR_H_

@@ -1,0 +1,84 @@
+#ifndef IDEAL_SIM_QUEUE_H_
+#define IDEAL_SIM_QUEUE_H_
+
+/**
+ * @file
+ * Bounded FIFO queue used to model the hardware job queues (QBMP, QD,
+ * QiD, QDJ of Fig. 5) and memory-controller request queues. Tracks
+ * occupancy statistics so stall sources can be attributed.
+ */
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+
+namespace ideal {
+namespace sim {
+
+/** A bounded FIFO with occupancy accounting. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity)
+    {
+        assert(capacity >= 1);
+    }
+
+    size_t capacity() const { return capacity_; }
+    size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+
+    /** Push when not full. Returns false (and counts a stall) if full. */
+    bool
+    push(const T &item)
+    {
+        if (full()) {
+            ++pushStalls_;
+            return false;
+        }
+        items_.push_back(item);
+        ++pushes_;
+        return true;
+    }
+
+    const T &
+    front() const
+    {
+        assert(!items_.empty());
+        return items_.front();
+    }
+
+    T
+    pop()
+    {
+        assert(!items_.empty());
+        T item = items_.front();
+        items_.pop_front();
+        return item;
+    }
+
+    /** Number of successful pushes over the queue's lifetime. */
+    uint64_t pushes() const { return pushes_; }
+
+    /** Number of rejected pushes (back-pressure events). */
+    uint64_t pushStalls() const { return pushStalls_; }
+
+    void
+    clear()
+    {
+        items_.clear();
+    }
+
+  private:
+    size_t capacity_;
+    std::deque<T> items_;
+    uint64_t pushes_ = 0;
+    uint64_t pushStalls_ = 0;
+};
+
+} // namespace sim
+} // namespace ideal
+
+#endif // IDEAL_SIM_QUEUE_H_

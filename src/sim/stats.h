@@ -1,0 +1,77 @@
+#ifndef IDEAL_SIM_STATS_H_
+#define IDEAL_SIM_STATS_H_
+
+/**
+ * @file
+ * Named statistics registry for the cycle-level simulators, in the
+ * spirit of gem5's stats package: modules register counters under
+ * hierarchical dotted names; harnesses read or print them after a run.
+ */
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace ideal {
+namespace sim {
+
+/** A registry of named scalar statistics. */
+class StatsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at 0). */
+    void
+    add(const std::string &name, double delta)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, double value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Value of @p name, or 0 if never touched. */
+    double
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0.0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) > 0;
+    }
+
+    const std::map<std::string, double> &all() const { return counters_; }
+
+    /** Print "name value" lines, sorted by name. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, value] : counters_)
+            os << name << " " << value << "\n";
+    }
+
+    void
+    merge(const StatsRegistry &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, double> counters_;
+};
+
+} // namespace sim
+} // namespace ideal
+
+#endif // IDEAL_SIM_STATS_H_

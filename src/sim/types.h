@@ -1,0 +1,40 @@
+#ifndef IDEAL_SIM_TYPES_H_
+#define IDEAL_SIM_TYPES_H_
+
+/**
+ * @file
+ * Basic types shared by the cycle-level simulators: cycle counts,
+ * addresses, and simple conversion helpers between time and cycles.
+ */
+
+#include <cstdint>
+
+namespace ideal {
+namespace sim {
+
+/** Simulation time in core clock cycles. */
+using Cycle = uint64_t;
+
+/** Byte address in the accelerator's physical address space. */
+using Addr = uint64_t;
+
+/** Convert cycles at @p freq_ghz to seconds. */
+inline double
+cyclesToSeconds(Cycle cycles, double freq_ghz)
+{
+    return static_cast<double>(cycles) / (freq_ghz * 1e9);
+}
+
+/** Convert a latency in nanoseconds to cycles at @p freq_ghz (ceil). */
+inline Cycle
+nsToCycles(double ns, double freq_ghz)
+{
+    double c = ns * freq_ghz;
+    Cycle whole = static_cast<Cycle>(c);
+    return whole + ((c > static_cast<double>(whole)) ? 1 : 0);
+}
+
+} // namespace sim
+} // namespace ideal
+
+#endif // IDEAL_SIM_TYPES_H_

@@ -1,0 +1,140 @@
+#include "transforms/dct.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fixed/fixed.h"
+
+namespace ideal {
+namespace transforms {
+
+namespace {
+
+constexpr int kMaxPatch = 16;
+
+void
+transpose(const float *in, float *out, int n)
+{
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            out[c * n + r] = in[r * n + c];
+}
+
+} // namespace
+
+Dct2D::Dct2D(int n)
+    : n_(n), coeff_(static_cast<size_t>(n) * n),
+      coeffT_(static_cast<size_t>(n) * n)
+{
+    if (n < 2 || n > kMaxPatch)
+        throw std::invalid_argument("Dct2D: unsupported patch size");
+    const double norm0 = std::sqrt(1.0 / n);
+    const double norm = std::sqrt(2.0 / n);
+    for (int k = 0; k < n; ++k) {
+        for (int i = 0; i < n; ++i) {
+            double c = (k == 0 ? norm0 : norm) *
+                       std::cos(M_PI * (2.0 * i + 1.0) * k / (2.0 * n));
+            coeff_[static_cast<size_t>(k) * n + i] = static_cast<float>(c);
+            coeffT_[static_cast<size_t>(i) * n + k] = static_cast<float>(c);
+        }
+    }
+}
+
+void
+Dct2D::matmul(const float *m, const float *in, float *out) const
+{
+    for (int r = 0; r < n_; ++r) {
+        const float *mrow = m + static_cast<size_t>(r) * n_;
+        for (int c = 0; c < n_; ++c) {
+            float acc = 0.0f;
+            for (int k = 0; k < n_; ++k)
+                acc += mrow[k] * in[static_cast<size_t>(k) * n_ + c];
+            out[static_cast<size_t>(r) * n_ + c] = acc;
+        }
+    }
+}
+
+void
+Dct2D::matmulFixed(const float *m, const float *in, float *out,
+                   const fixed::Format &fmt) const
+{
+    // Coefficients and inputs are quantized to the stage format; the
+    // accumulator models the adder tree at the same precision with
+    // per-step saturation, which is how the EDCT datapath is sized.
+    // Raw-integer arithmetic below is bit-identical to chaining
+    // fixed::Fixed::mul/add but quantizes each operand only once.
+    int64_t m_raw[kMaxPatch * kMaxPatch];
+    int64_t in_raw[kMaxPatch * kMaxPatch];
+    const int nn = n_ * n_;
+    for (int i = 0; i < nn; ++i) {
+        m_raw[i] = fmt.quantize(m[i]);
+        in_raw[i] = fmt.quantize(in[i]);
+    }
+    const int shift = fmt.fracBits;
+    const __int128 half = shift > 0 ? (__int128{1} << (shift - 1)) : 0;
+    for (int r = 0; r < n_; ++r) {
+        const int64_t *mrow = m_raw + static_cast<size_t>(r) * n_;
+        for (int c = 0; c < n_; ++c) {
+            int64_t acc = 0;
+            for (int k = 0; k < n_; ++k) {
+                __int128 wide = static_cast<__int128>(mrow[k]) *
+                                in_raw[static_cast<size_t>(k) * n_ + c];
+                __int128 rounded =
+                    shift > 0
+                        ? ((wide >= 0 ? wide + half : wide - half) >>
+                           shift)
+                        : wide;
+                acc = fmt.saturate(
+                    acc +
+                    fmt.saturate(static_cast<int64_t>(rounded)));
+            }
+            out[static_cast<size_t>(r) * n_ + c] =
+                static_cast<float>(fmt.toDouble(acc));
+        }
+    }
+}
+
+void
+Dct2D::forward(const float *in, float *out) const
+{
+    float t1[kMaxPatch * kMaxPatch];
+    float t2[kMaxPatch * kMaxPatch];
+    matmul(coeff_.data(), in, t1);
+    transpose(t1, t2, n_);
+    matmul(coeff_.data(), t2, out);
+}
+
+void
+Dct2D::inverse(const float *in, float *out) const
+{
+    float t1[kMaxPatch * kMaxPatch];
+    float t2[kMaxPatch * kMaxPatch];
+    matmul(coeffT_.data(), in, t1);
+    transpose(t1, t2, n_);
+    matmul(coeffT_.data(), t2, out);
+}
+
+void
+Dct2D::forwardFixed(const float *in, float *out,
+                    const fixed::PipelineFormats &formats) const
+{
+    float t1[kMaxPatch * kMaxPatch];
+    float t2[kMaxPatch * kMaxPatch];
+    matmulFixed(coeff_.data(), in, t1, formats.dct);
+    transpose(t1, t2, n_);
+    matmulFixed(coeff_.data(), t2, out, formats.dct);
+}
+
+void
+Dct2D::inverseFixed(const float *in, float *out,
+                    const fixed::PipelineFormats &formats) const
+{
+    float t1[kMaxPatch * kMaxPatch];
+    float t2[kMaxPatch * kMaxPatch];
+    matmulFixed(coeffT_.data(), in, t1, formats.invHaar);
+    transpose(t1, t2, n_);
+    matmulFixed(coeffT_.data(), t2, out, formats.invHaar);
+}
+
+} // namespace transforms
+} // namespace ideal

@@ -1,0 +1,81 @@
+#ifndef IDEAL_TRANSFORMS_DCT_H_
+#define IDEAL_TRANSFORMS_DCT_H_
+
+/**
+ * @file
+ * 2-D DCT-II and its inverse on square patches, computed exactly as
+ * the paper describes (Sec. 2.1): PDCT = C (C P)^T where C is the
+ * orthonormal DCT coefficient matrix, i.e. a 1-D DCT along rows, a
+ * transpose, and another 1-D DCT along rows. For a 4x4 patch this is
+ * 64 multiplications and 48 additions per 1-D pass, matching the
+ * EDCT hardware cost model.
+ */
+
+#include <vector>
+
+#include "fixed/format.h"
+
+namespace ideal {
+namespace transforms {
+
+/**
+ * Orthonormal DCT-II transform for N x N patches.
+ *
+ * Instances precompute the coefficient matrix; forward() and
+ * inverse() are then pure matrix products. A fixed-point evaluation
+ * path quantizes coefficients and every intermediate to a Q format,
+ * reproducing the accelerator datapath.
+ */
+class Dct2D
+{
+  public:
+    /** Build the transform for @p n x @p n patches (n >= 2). */
+    explicit Dct2D(int n);
+
+    int size() const { return n_; }
+
+    /**
+     * Forward 2-D DCT. @p in and @p out are row-major n*n arrays and
+     * may alias.
+     */
+    void forward(const float *in, float *out) const;
+
+    /** Inverse 2-D DCT; in/out may alias. */
+    void inverse(const float *in, float *out) const;
+
+    /**
+     * Forward DCT with a fixed-point datapath: the input is assumed
+     * quantized to @p formats.input and every product/sum is kept in
+     * formats.dct precision. The result is written in real units (the
+     * caller sees quantized floats).
+     */
+    void forwardFixed(const float *in, float *out,
+                      const fixed::PipelineFormats &formats) const;
+
+    /** Inverse DCT with the fixed-point datapath. */
+    void inverseFixed(const float *in, float *out,
+                      const fixed::PipelineFormats &formats) const;
+
+    /** Coefficient matrix entry C[row][col]. */
+    float coefficient(int row, int col) const
+    {
+        return coeff_[static_cast<size_t>(row) * n_ + col];
+    }
+
+  private:
+    /** One pass: out = M * in (n x n matrices, row-major). */
+    void matmul(const float *m, const float *in, float *out) const;
+
+    /** out = M * in with per-element quantization to @p fmt. */
+    void matmulFixed(const float *m, const float *in, float *out,
+                     const fixed::Format &fmt) const;
+
+    int n_;
+    std::vector<float> coeff_;  ///< C, row-major
+    std::vector<float> coeffT_; ///< C^T, row-major
+};
+
+} // namespace transforms
+} // namespace ideal
+
+#endif // IDEAL_TRANSFORMS_DCT_H_

@@ -1,0 +1,106 @@
+#include "transforms/dct1d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ideal {
+namespace transforms {
+
+Dct1D::Dct1D(int n) : n_(n), coeff_(static_cast<size_t>(n) * n)
+{
+    if (n < 2)
+        throw std::invalid_argument("Dct1D: length must be >= 2");
+    const double norm0 = std::sqrt(1.0 / n);
+    const double norm = std::sqrt(2.0 / n);
+    for (int k = 0; k < n; ++k)
+        for (int i = 0; i < n; ++i)
+            coeff_[static_cast<size_t>(k) * n + i] = static_cast<float>(
+                (k == 0 ? norm0 : norm) *
+                std::cos(M_PI * (2.0 * i + 1.0) * k / (2.0 * n)));
+}
+
+void
+Dct1D::forward(const float *in, float *out) const
+{
+    for (int k = 0; k < n_; ++k) {
+        const float *row = coeff_.data() + static_cast<size_t>(k) * n_;
+        float acc = 0.0f;
+        for (int i = 0; i < n_; ++i)
+            acc += row[i] * in[i];
+        out[k] = acc;
+    }
+}
+
+void
+Dct1D::inverse(const float *in, float *out) const
+{
+    for (int i = 0; i < n_; ++i)
+        out[i] = 0.0f;
+    for (int k = 0; k < n_; ++k) {
+        const float *row = coeff_.data() + static_cast<size_t>(k) * n_;
+        for (int i = 0; i < n_; ++i)
+            out[i] += row[i] * in[k];
+    }
+}
+
+std::vector<float>
+Dct1D::kernelEigenvalues(const std::vector<float> &half_kernel) const
+{
+    std::vector<float> lambda(n_);
+    for (int k = 0; k < n_; ++k) {
+        double acc = half_kernel.empty() ? 1.0 : half_kernel[0];
+        for (size_t j = 1; j < half_kernel.size(); ++j)
+            acc += 2.0 * half_kernel[j] *
+                   std::cos(M_PI * k * static_cast<double>(j) / n_);
+        lambda[k] = static_cast<float>(acc);
+    }
+    return lambda;
+}
+
+Dct2DPlane::Dct2DPlane(int width, int height)
+    : width_(width), height_(height), row_(width), col_(height)
+{
+}
+
+void
+Dct2DPlane::forward(const float *plane, float *spectrum) const
+{
+    std::vector<float> tmp(static_cast<size_t>(width_) * height_);
+    std::vector<float> line(std::max(width_, height_));
+    std::vector<float> out_line(std::max(width_, height_));
+    // Rows.
+    for (int y = 0; y < height_; ++y) {
+        row_.forward(plane + static_cast<size_t>(y) * width_,
+                     tmp.data() + static_cast<size_t>(y) * width_);
+    }
+    // Columns.
+    for (int x = 0; x < width_; ++x) {
+        for (int y = 0; y < height_; ++y)
+            line[y] = tmp[static_cast<size_t>(y) * width_ + x];
+        col_.forward(line.data(), out_line.data());
+        for (int y = 0; y < height_; ++y)
+            spectrum[static_cast<size_t>(y) * width_ + x] = out_line[y];
+    }
+}
+
+void
+Dct2DPlane::inverse(const float *spectrum, float *plane) const
+{
+    std::vector<float> tmp(static_cast<size_t>(width_) * height_);
+    std::vector<float> line(std::max(width_, height_));
+    std::vector<float> out_line(std::max(width_, height_));
+    for (int x = 0; x < width_; ++x) {
+        for (int y = 0; y < height_; ++y)
+            line[y] = spectrum[static_cast<size_t>(y) * width_ + x];
+        col_.inverse(line.data(), out_line.data());
+        for (int y = 0; y < height_; ++y)
+            tmp[static_cast<size_t>(y) * width_ + x] = out_line[y];
+    }
+    for (int y = 0; y < height_; ++y) {
+        row_.inverse(tmp.data() + static_cast<size_t>(y) * width_,
+                     plane + static_cast<size_t>(y) * width_);
+    }
+}
+
+} // namespace transforms
+} // namespace ideal

@@ -1,0 +1,70 @@
+#ifndef IDEAL_TRANSFORMS_DCT1D_H_
+#define IDEAL_TRANSFORMS_DCT1D_H_
+
+/**
+ * @file
+ * Arbitrary-length orthonormal DCT-II for whole-image transforms
+ * (used by the deconvolution path of the BM3D restoration family -
+ * a symmetric blur with reflective boundaries is near-diagonal in
+ * this basis). Matrix form: O(n^2) per vector, fine for the image
+ * sizes the restoration examples use.
+ */
+
+#include <vector>
+
+namespace ideal {
+namespace transforms {
+
+/** Orthonormal DCT-II of length n (n >= 2). */
+class Dct1D
+{
+  public:
+    explicit Dct1D(int n);
+
+    int size() const { return n_; }
+
+    /** out = C * in; in/out must not alias. */
+    void forward(const float *in, float *out) const;
+
+    /** out = C^T * in; in/out must not alias. */
+    void inverse(const float *in, float *out) const;
+
+    /**
+     * Eigenvalue of a symmetric FIR kernel in this basis:
+     * lambda_k = w[0] + 2 * sum_j w[j] cos(pi k j / n) for a kernel
+     * (w[r], ..., w[1], w[0], w[1], ..., w[r]).
+     */
+    std::vector<float> kernelEigenvalues(
+        const std::vector<float> &half_kernel) const;
+
+  private:
+    int n_;
+    std::vector<float> coeff_; ///< C, row-major
+};
+
+/**
+ * Separable 2-D DCT-II over a single plane: out(kx, ky). Plane and
+ * spectrum are row-major width x height arrays.
+ */
+class Dct2DPlane
+{
+  public:
+    Dct2DPlane(int width, int height);
+
+    void forward(const float *plane, float *spectrum) const;
+    void inverse(const float *spectrum, float *plane) const;
+
+    const Dct1D &rowTransform() const { return row_; }
+    const Dct1D &colTransform() const { return col_; }
+
+  private:
+    int width_;
+    int height_;
+    Dct1D row_;
+    Dct1D col_;
+};
+
+} // namespace transforms
+} // namespace ideal
+
+#endif // IDEAL_TRANSFORMS_DCT1D_H_

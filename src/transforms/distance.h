@@ -1,0 +1,52 @@
+#ifndef IDEAL_TRANSFORMS_DISTANCE_H_
+#define IDEAL_TRANSFORMS_DISTANCE_H_
+
+/**
+ * @file
+ * The l2-Norm computational block (paper Eq. 2): squared Euclidean
+ * distance between two M x M patches, M^2 subtractions + M^2
+ * multiplications + M^2 additions. The BM engine hardware computes a
+ * full 4x4 patch distance per cycle with 16 subtractors, 16
+ * multipliers and a 16-input adder tree.
+ */
+
+#include <cstddef>
+
+namespace ideal {
+namespace transforms {
+
+/** Squared L2 distance between two length-@p len arrays. */
+inline float
+squaredDistance(const float *a, const float *b, int len)
+{
+    float acc = 0.0f;
+    for (int i = 0; i < len; ++i) {
+        float d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+/**
+ * Squared L2 distance with early termination: stops (and returns a
+ * value > @p bound) as soon as the partial sum exceeds @p bound.
+ * A common software block-matching optimization; the hardware engine
+ * does not need it because the full tree evaluates in one cycle.
+ */
+inline float
+squaredDistanceBounded(const float *a, const float *b, int len, float bound)
+{
+    float acc = 0.0f;
+    for (int i = 0; i < len; ++i) {
+        float d = a[i] - b[i];
+        acc += d * d;
+        if (acc > bound)
+            return acc;
+    }
+    return acc;
+}
+
+} // namespace transforms
+} // namespace ideal
+
+#endif // IDEAL_TRANSFORMS_DISTANCE_H_

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the accelerator cycle-level simulators and the workload
+ * oracle: configuration invariants, MR decision consistency against
+ * the functional bm3d library, cycle-count behaviour (IDEALB vs
+ * IDEALMR, K sensitivity, prefetch/buffering ablations, lane scaling)
+ * and memory-system integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bm3d/bm3d.h"
+#include "core/accelerator.h"
+#include "core/config.h"
+#include "core/oracle.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+using core::AcceleratorConfig;
+using core::Variant;
+
+namespace {
+
+image::ImageF
+testImage(int size = 128, image::SceneKind kind = image::SceneKind::Nature,
+          float sigma = 25.0f, uint64_t seed = 31)
+{
+    auto clean = image::makeScene(kind, size, size, 3, seed);
+    return image::addGaussianNoise(clean, sigma, seed + 1);
+}
+
+} // namespace
+
+TEST(AcceleratorConfig, FactoryDefaultsValid)
+{
+    EXPECT_NO_THROW(AcceleratorConfig::idealB().validate());
+    EXPECT_NO_THROW(AcceleratorConfig::idealMr(0.25).validate());
+    EXPECT_NO_THROW(AcceleratorConfig::idealMr(0.5, 3).validate());
+}
+
+TEST(AcceleratorConfig, RejectsInvalid)
+{
+    AcceleratorConfig cfg = AcceleratorConfig::idealMr();
+    cfg.lanes = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = AcceleratorConfig::idealMr();
+    cfg.algo.mr.enabled = false;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = AcceleratorConfig::idealB();
+    cfg.freqGhz = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(AcceleratorConfig, BufferSizesMatchPaper)
+{
+    // Table 2: IDEALB 126.75 KB shared PB; IDEALMR 16 x 6.5 KB SWBs.
+    AcceleratorConfig b = AcceleratorConfig::idealB();
+    EXPECT_NEAR(b.bufferBytes() / 1024.0, 126.75, 10.0);
+    AcceleratorConfig mr = AcceleratorConfig::idealMr();
+    EXPECT_NEAR(mr.bufferBytes() / 1024.0, 16 * 6.5, 1.0);
+}
+
+TEST(Oracle, HitRatesMatchFunctionalRun)
+{
+    image::ImageF noisy = testImage(96);
+    bm3d::Bm3dConfig cfg;
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+
+    core::Workload w = core::buildWorkload(noisy, cfg);
+
+    bm3d::Bm3d denoiser(cfg);
+    auto functional = denoiser.denoise(noisy);
+
+    // The oracle's stage-1 decision rule is exactly the functional
+    // implementation's; hit counts must match.
+    uint64_t oracle_hits1 = 0;
+    for (uint8_t h : w.stage1.hit)
+        oracle_hits1 += h;
+    EXPECT_EQ(oracle_hits1, functional.profile.mr().bm1Hits);
+    EXPECT_EQ(w.stage1.hit.size(), functional.profile.mr().bm1Refs);
+
+    // Stage 2 uses a box-filter proxy for the basic estimate; the hit
+    // rate should be close but need not be identical.
+    EXPECT_NEAR(w.stage2.hitRate(), functional.profile.mr().hitRate2(),
+                0.15);
+}
+
+TEST(Oracle, MrDisabledMeansNoHits)
+{
+    image::ImageF noisy = testImage(64);
+    bm3d::Bm3dConfig cfg; // mr disabled
+    core::Workload w = core::buildWorkload(noisy, cfg);
+    EXPECT_EQ(w.stage1.hitRate(), 0.0);
+    EXPECT_EQ(w.stage2.hitRate(), 0.0);
+}
+
+TEST(Oracle, HigherKMoreHits)
+{
+    image::ImageF noisy = testImage(96);
+    bm3d::Bm3dConfig lo, hi;
+    lo.mr.enabled = hi.mr.enabled = true;
+    lo.mr.k = 0.1;
+    hi.mr.k = 0.9;
+    auto wl = core::buildWorkload(noisy, lo);
+    auto wh = core::buildWorkload(noisy, hi);
+    EXPECT_GE(wh.stage1.hitRate(), wl.stage1.hitRate());
+    EXPECT_GE(wh.stage2.hitRate(), wl.stage2.hitRate());
+}
+
+TEST(Oracle, UniformSceneHitsAlmostAlways)
+{
+    auto clean = image::makeScene(image::SceneKind::Uniform, 96, 96, 1, 3);
+    auto noisy = image::addGaussianNoise(clean, 10.0f, 4);
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = 10.0f;
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+    auto w = core::buildWorkload(noisy, cfg);
+    EXPECT_GT(w.stage1.hitRate(), 0.95);
+}
+
+TEST(Oracle, SyntheticWorkloadHitRate)
+{
+    bm3d::Bm3dConfig cfg;
+    cfg.mr.enabled = true;
+    auto w = core::makeSyntheticWorkload(256, 256, 3, cfg, 0.9, 0.95, 7);
+    EXPECT_NEAR(w.stage1.hitRate(), 0.9, 0.03);
+    EXPECT_NEAR(w.stage2.hitRate(), 0.95, 0.03);
+}
+
+TEST(Accelerator, IdealMrFasterThanIdealB)
+{
+    image::ImageF noisy = testImage(128);
+    auto rb = core::simulateImage(AcceleratorConfig::idealB(), noisy);
+    auto rmr = core::simulateImage(AcceleratorConfig::idealMr(0.5), noisy);
+    // Paper Sec. 6.2: IDEALMR is 27-31x faster than IDEALB; window
+    // clipping on small test images reduces the gap, but it must be
+    // large.
+    EXPECT_GT(static_cast<double>(rb.totalCycles()) /
+                  static_cast<double>(rmr.totalCycles()),
+              5.0);
+}
+
+TEST(Accelerator, HigherKFasterOrEqual)
+{
+    image::ImageF noisy = testImage(128);
+    auto r25 = core::simulateImage(AcceleratorConfig::idealMr(0.25), noisy);
+    auto r50 = core::simulateImage(AcceleratorConfig::idealMr(0.5), noisy);
+    EXPECT_LE(r50.totalCycles(), r25.totalCycles());
+    EXPECT_GE(r50.mrHitRate1, r25.mrHitRate1);
+}
+
+TEST(Accelerator, PrefetchingHelps)
+{
+    image::ImageF noisy = testImage(128);
+    AcceleratorConfig with = AcceleratorConfig::idealMr(0.5);
+    AcceleratorConfig without = with;
+    without.prefetch = false;
+    auto rw = core::simulateImage(with, noisy);
+    auto rwo = core::simulateImage(without, noisy);
+    EXPECT_LT(rw.totalCycles(), rwo.totalCycles());
+}
+
+TEST(Accelerator, BufferingMattersMost)
+{
+    // Table 8: disabling buffering entirely costs far more than
+    // disabling prefetching.
+    image::ImageF noisy = testImage(128);
+    AcceleratorConfig base = AcceleratorConfig::idealMr(0.5);
+    AcceleratorConfig none = base;
+    none.prefetch = false;
+    none.buffering = false;
+    none.coalescing = false;
+    auto rb = core::simulateImage(base, noisy);
+    auto rn = core::simulateImage(none, noisy);
+    EXPECT_GT(static_cast<double>(rn.totalCycles()) /
+                  static_cast<double>(rb.totalCycles()),
+              4.0);
+}
+
+TEST(Accelerator, LaneScalingSublinearAtHighCount)
+{
+    bm3d::Bm3dConfig algo;
+    algo.mr.enabled = true;
+    algo.mr.k = 0.5;
+    auto w = core::makeSyntheticWorkload(512, 512, 3, algo, 0.99, 0.99, 9);
+    auto run = [&](int lanes) {
+        AcceleratorConfig cfg = AcceleratorConfig::idealMr(0.5);
+        cfg.lanes = lanes;
+        return core::simulate(cfg, w).totalCycles();
+    };
+    double c16 = static_cast<double>(run(16));
+    double c32 = static_cast<double>(run(32));
+    double c128 = static_cast<double>(run(128));
+    double s32 = c16 / c32;   // ideal: 2
+    double s128 = c16 / c128; // ideal: 8
+    EXPECT_GT(s32, 1.6); // near-linear at 32 lanes (Fig. 16)
+    EXPECT_LT(s128, 8.0); // sublinear by 128 lanes (bandwidth ceiling)
+}
+
+TEST(Accelerator, RuntimeScalesWithResolution)
+{
+    bm3d::Bm3dConfig algo;
+    algo.mr.enabled = true;
+    algo.mr.k = 0.5;
+    auto w1 = core::makeSyntheticWorkload(256, 256, 3, algo, 0.97, 0.99, 3);
+    auto w4 = core::makeSyntheticWorkload(512, 512, 3, algo, 0.97, 0.99, 3);
+    AcceleratorConfig cfg = AcceleratorConfig::idealMr(0.5);
+    auto r1 = core::simulate(cfg, w1);
+    auto r4 = core::simulate(cfg, w4);
+    double ratio = static_cast<double>(r4.totalCycles()) /
+                   static_cast<double>(r1.totalCycles());
+    EXPECT_NEAR(ratio, 4.0, 1.2); // linear in pixel count
+}
+
+TEST(Accelerator, BandwidthBelowPeak)
+{
+    image::ImageF noisy = testImage(128);
+    auto r = core::simulateImage(AcceleratorConfig::idealMr(0.5), noisy);
+    EXPECT_LE(r.averageBandwidthGBs(),
+              AcceleratorConfig::idealMr().dram.peakGBs() * 1.001);
+    EXPECT_GT(r.activity.dramBlocks, 0u);
+}
+
+TEST(Accelerator, ActivityCountsPopulated)
+{
+    image::ImageF noisy = testImage(96);
+    auto r = core::simulateImage(AcceleratorConfig::idealMr(0.5), noisy);
+    EXPECT_GT(r.activity.bmDistances, 0u);
+    EXPECT_GT(r.activity.dctTransforms, 0u);
+    EXPECT_GT(r.activity.deStackPatches, 0u);
+    EXPECT_GT(r.activity.bufferReads, 0u);
+    // Both stages ran.
+    EXPECT_GT(r.stage1Cycles, 0u);
+    EXPECT_GT(r.stage2Cycles, 0u);
+}
+
+TEST(Accelerator, Stage2CheaperThanStage1ForIdealB)
+{
+    // BM2's window is 39x39 vs BM1's 49x49; with no MR the stage
+    // cycle ratio should track the window-area ratio.
+    image::ImageF noisy = testImage(128);
+    auto r = core::simulateImage(AcceleratorConfig::idealB(), noisy);
+    double ratio = static_cast<double>(r.stage2Cycles) /
+                   static_cast<double>(r.stage1Cycles);
+    EXPECT_LT(ratio, 1.0);
+    EXPECT_GT(ratio, 0.3);
+}
+
+TEST(Accelerator, CoalescingReducesTraffic)
+{
+    image::ImageF noisy = testImage(128);
+    AcceleratorConfig with = AcceleratorConfig::idealMr(0.5);
+    AcceleratorConfig without = with;
+    without.coalescing = false;
+    auto rw = core::simulateImage(with, noisy);
+    auto rwo = core::simulateImage(without, noisy);
+    EXPECT_LT(rw.activity.dramBlocks, rwo.activity.dramBlocks);
+}
+
+TEST(Accelerator, DeterministicCycles)
+{
+    image::ImageF noisy = testImage(96);
+    auto a = core::simulateImage(AcceleratorConfig::idealMr(0.25), noisy);
+    auto b = core::simulateImage(AcceleratorConfig::idealMr(0.25), noisy);
+    EXPECT_EQ(a.totalCycles(), b.totalCycles());
+    EXPECT_EQ(a.activity.dramBlocks, b.activity.dramBlocks);
+}
+
+TEST(Accelerator, StrideThreeReducesWork)
+{
+    image::ImageF noisy = testImage(128);
+    // Fig. 15's relaxed configurations pair the larger stride with a
+    // larger K: Ps = 3 processes ~1/9 the reference patches but its
+    // references are 3 px apart, so the MR hit rate drops and each
+    // reuse search scans a 3x wider new column; the net win is modest
+    // - Fig. 15 shows IDEAL_1_3 at ~90 FPS vs ~65 FPS for IDEAL_1_1,
+    // i.e. ~1.4x, not 9x.
+    image::ImageF big = testImage(256);
+    auto r1 = core::simulateImage(AcceleratorConfig::idealMr(1.0, 1), big);
+    auto r3 = core::simulateImage(AcceleratorConfig::idealMr(1.0, 3), big);
+    EXPECT_LT(static_cast<double>(r3.totalCycles()),
+              static_cast<double>(r1.totalCycles()) / 1.25);
+}
+
+TEST(Accelerator, IdealBSingleEdctSuffices)
+{
+    // Sec. 4: "a single EDCT and a single EDE are sufficient to
+    // sustain the 16 EBMs" - the shared EDCT's occupancy must stay
+    // below the BM broadcast time.
+    image::ImageF noisy = testImage(128);
+    auto r = core::simulateImage(AcceleratorConfig::idealB(), noisy);
+    double edct = r.stats.get("idealb.edctWork");
+    double bm = r.stats.get("idealb.bmWork");
+    ASSERT_GT(bm, 0.0);
+    EXPECT_LT(edct / bm, 1.0);
+    EXPECT_GT(edct / bm, 0.3); // but not trivially idle either
+}
+
+TEST(Accelerator, IdealBMultiPortBounded)
+{
+    // Sec. 4.3: the single-port PB costs ~12.5% vs multi-ported.
+    image::ImageF noisy = testImage(128);
+    AcceleratorConfig multi = AcceleratorConfig::idealB();
+    multi.pbPorts = 16;
+    auto r1 = core::simulateImage(AcceleratorConfig::idealB(), noisy);
+    auto rm = core::simulateImage(multi, noisy);
+    double penalty = static_cast<double>(r1.totalCycles()) /
+                         static_cast<double>(rm.totalCycles()) - 1.0;
+    EXPECT_GT(penalty, 0.02);
+    EXPECT_LT(penalty, 0.40);
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the commodity-baseline suite: measured CPU rates,
+ * modelled GPU/ARM rates, and the expected orderings from the
+ * paper's Sec. 3 analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+
+using namespace ideal;
+using baseline::BaselineSuite;
+using baseline::Platform;
+
+namespace {
+
+/** Shared suite with a small probe (measuring is expensive). */
+BaselineSuite &
+suite()
+{
+    static BaselineSuite s(96, 25.0f);
+    return s;
+}
+
+} // namespace
+
+TEST(Baseline, CpuRateMeasuredPositive)
+{
+    const auto &r = suite().rate(Platform::CpuVect);
+    EXPECT_GT(r.secondsPerMp, 0.0);
+    EXPECT_FALSE(r.modelled);
+    double total = 0.0;
+    for (double f : r.stepFraction)
+        total += f;
+    EXPECT_NEAR(total, 1.0, 0.15);
+}
+
+TEST(Baseline, BlockMatchingDominatesCpuTime)
+{
+    // Fig. 4: BM1 + BM2 take ~67% of CPU runtime.
+    const auto &r = suite().rate(Platform::CpuVect);
+    double bm = r.stepFraction[static_cast<int>(bm3d::Step::Bm1)] +
+                r.stepFraction[static_cast<int>(bm3d::Step::Bm2)];
+    EXPECT_GT(bm, 0.4);
+}
+
+TEST(Baseline, MrCpuFasterThanPlain)
+{
+    // Fig. 13a: MR gives ~3x on a single thread.
+    double plain = suite().rate(Platform::CpuVect).secondsPerMp;
+    double mr = suite().rate(Platform::CpuMr05).secondsPerMp;
+    EXPECT_LT(mr, plain);
+}
+
+TEST(Baseline, ThreadsFasterThanSingle)
+{
+    double single = suite().rate(Platform::CpuVect).secondsPerMp;
+    double threads = suite().rate(Platform::CpuThreads).secondsPerMp;
+    EXPECT_LT(threads, single);
+}
+
+TEST(Baseline, ArmModelledSlower)
+{
+    const auto &arm = suite().rate(Platform::ArmVect);
+    EXPECT_TRUE(arm.modelled);
+    EXPECT_NEAR(arm.secondsPerMp /
+                    suite().rate(Platform::CpuVect).secondsPerMp,
+                baseline::paper::kArmSlowdown, 1e-9);
+}
+
+TEST(Baseline, GpuModelledFasterWithBmHeavyBreakdown)
+{
+    const auto &gpu = suite().rate(Platform::Gpu);
+    EXPECT_TRUE(gpu.modelled);
+    EXPECT_LT(gpu.secondsPerMp,
+              suite().rate(Platform::CpuVect).secondsPerMp);
+    double bm = gpu.stepFraction[static_cast<int>(bm3d::Step::Bm1)] +
+                gpu.stepFraction[static_cast<int>(bm3d::Step::Bm2)];
+    EXPECT_NEAR(bm, baseline::paper::kGpuBmFraction, 1e-6);
+}
+
+TEST(Baseline, SecondsLinearInMegapixels)
+{
+    double one = suite().seconds(Platform::Gpu, 1.0);
+    double sixteen = suite().seconds(Platform::Gpu, 16.0);
+    EXPECT_NEAR(sixteen / one, 16.0, 1e-9);
+}
+
+TEST(Baseline, PlatformNames)
+{
+    EXPECT_STREQ(baseline::toString(Platform::Gpu), "GPU");
+    EXPECT_STREQ(baseline::toString(Platform::CpuMr025), "MR (0.25)");
+}
+
+TEST(Baseline, ConfigsDifferPerPlatform)
+{
+    BaselineSuite s(48, 25.0f);
+    EXPECT_FALSE(s.configFor(Platform::CpuBasic).boundedDistance);
+    EXPECT_TRUE(s.configFor(Platform::CpuVect).boundedDistance);
+    EXPECT_GT(s.configFor(Platform::CpuThreads).numThreads, 1);
+    EXPECT_TRUE(s.configFor(Platform::CpuMr025).mr.enabled);
+    EXPECT_DOUBLE_EQ(s.configFor(Platform::CpuMr05).mr.k, 0.5);
+}

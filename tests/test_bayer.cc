@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the Bayer mosaic/demosaic substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/bayer.h"
+#include "image/metrics.h"
+#include "image/synthetic.h"
+
+using namespace ideal::image;
+
+TEST(Bayer, SitePattern)
+{
+    EXPECT_EQ(bayerSiteAt(0, 0), BayerSite::R);
+    EXPECT_EQ(bayerSiteAt(1, 0), BayerSite::Gr);
+    EXPECT_EQ(bayerSiteAt(0, 1), BayerSite::Gb);
+    EXPECT_EQ(bayerSiteAt(1, 1), BayerSite::B);
+    EXPECT_EQ(bayerSiteAt(2, 2), BayerSite::R);
+}
+
+TEST(Bayer, MosaicSamplesCorrectChannel)
+{
+    ImageF rgb(4, 4, 3);
+    rgb.fill(0.0f);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) {
+            rgb.at(x, y, 0) = 10.0f;
+            rgb.at(x, y, 1) = 20.0f;
+            rgb.at(x, y, 2) = 30.0f;
+        }
+    ImageF raw = mosaic(rgb);
+    EXPECT_EQ(raw.at(0, 0), 10.0f); // R
+    EXPECT_EQ(raw.at(1, 0), 20.0f); // Gr
+    EXPECT_EQ(raw.at(0, 1), 20.0f); // Gb
+    EXPECT_EQ(raw.at(1, 1), 30.0f); // B
+}
+
+TEST(Bayer, MosaicRequiresRgb)
+{
+    EXPECT_THROW(mosaic(ImageF(4, 4, 1)), std::invalid_argument);
+    EXPECT_THROW(demosaicBilinear(ImageF(4, 4, 3)),
+                 std::invalid_argument);
+}
+
+TEST(Bayer, DemosaicReconstructsFlatField)
+{
+    ImageF rgb(8, 8, 3);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x) {
+            rgb.at(x, y, 0) = 100.0f;
+            rgb.at(x, y, 1) = 150.0f;
+            rgb.at(x, y, 2) = 50.0f;
+        }
+    ImageF back = demosaicBilinear(mosaic(rgb));
+    // A flat field reconstructs exactly (all neighbors equal).
+    EXPECT_LT(maxAbsDiff(rgb, back), 1e-4);
+}
+
+TEST(Bayer, DemosaicRoundTripQuality)
+{
+    ImageF rgb = makeScene(SceneKind::Nature, 48, 48, 3, 91);
+    ImageF bil = demosaicBilinear(mosaic(rgb));
+    EXPECT_GT(psnrDb(rgb, bil), 28.0);
+}
+
+TEST(Bayer, MalvarBeatsBilinearOnDetail)
+{
+    ImageF rgb = makeScene(SceneKind::Street, 64, 64, 3, 92);
+    ImageF raw = mosaic(rgb);
+    double psnr_bil = psnrDb(rgb, demosaicBilinear(raw));
+    double psnr_mal = psnrDb(rgb, demosaicMalvar(raw));
+    EXPECT_GT(psnr_mal, psnr_bil - 0.5);
+}
+
+TEST(Bayer, PackedPlanesLayout)
+{
+    ImageF raw(4, 4, 1);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            raw.at(x, y) = static_cast<float>(10 * y + x);
+    ImageF packed = packBayerPlanes(raw);
+    EXPECT_EQ(packed.width(), 2);
+    EXPECT_EQ(packed.channels(), 4);
+    EXPECT_EQ(packed.at(0, 0, 0), 0.0f);  // R at (0,0)
+    EXPECT_EQ(packed.at(0, 0, 1), 1.0f);  // Gr at (1,0)
+    EXPECT_EQ(packed.at(0, 0, 2), 10.0f); // Gb at (0,1)
+    EXPECT_EQ(packed.at(0, 0, 3), 11.0f); // B at (1,1)
+    EXPECT_EQ(packed.at(1, 1, 0), 22.0f); // R at (2,2)
+}
+
+TEST(Bayer, PackRequiresEvenDims)
+{
+    EXPECT_THROW(packBayerPlanes(ImageF(5, 4, 1)), std::invalid_argument);
+    EXPECT_THROW(packBayerPlanes(ImageF(4, 4, 3)), std::invalid_argument);
+}

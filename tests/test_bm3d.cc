@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit and integration tests for the BM3D denoiser: configuration
+ * validation, denoising quality, Matches Reuse behaviour, fixed-point
+ * mode, multithreading determinism, and the sharpening extension.
+ *
+ * Test images are small (the full-parameter algorithm is O(Ns^2) per
+ * pixel by design); search windows are reduced where the full 49x49
+ * window would dominate runtime without adding coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bm3d/bm3d.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+using bm3d::Bm3d;
+using bm3d::Bm3dConfig;
+using bm3d::Stage;
+using bm3d::Step;
+
+namespace {
+
+Bm3dConfig
+smallConfig(float sigma = 25.0f)
+{
+    Bm3dConfig cfg;
+    cfg.sigma = sigma;
+    cfg.searchWindow1 = 13;
+    cfg.searchWindow2 = 11;
+    return cfg;
+}
+
+struct TestScene
+{
+    image::ImageF clean;
+    image::ImageF noisy;
+};
+
+TestScene
+makeTestScene(image::SceneKind kind, int size, float sigma, uint64_t seed,
+              int channels = 1)
+{
+    TestScene s;
+    s.clean = image::makeScene(kind, size, size, channels, seed);
+    s.noisy = image::addGaussianNoise(s.clean, sigma, seed + 1);
+    return s;
+}
+
+} // namespace
+
+TEST(Bm3dConfig, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(Bm3dConfig{}.validate());
+}
+
+TEST(Bm3dConfig, RejectsBadParameters)
+{
+    auto check = [](auto mutate) {
+        Bm3dConfig cfg;
+        mutate(cfg);
+        EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    };
+    check([](Bm3dConfig &c) { c.patchSize = 1; });
+    check([](Bm3dConfig &c) { c.patchSize = 9; });
+    check([](Bm3dConfig &c) { c.refStride = 0; });
+    check([](Bm3dConfig &c) { c.searchWindow1 = 48; }); // even
+    check([](Bm3dConfig &c) { c.searchWindow2 = 2; });  // < patch
+    check([](Bm3dConfig &c) { c.maxMatches = 12; });    // not pow2
+    check([](Bm3dConfig &c) { c.sigma = 0.0f; });
+    check([](Bm3dConfig &c) { c.mr.enabled = true; c.mr.k = 0.0; });
+    check([](Bm3dConfig &c) { c.mr.enabled = true; c.mr.k = 1.5; });
+    check([](Bm3dConfig &c) { c.sharpenAlpha = 0.5f; });
+    check([](Bm3dConfig &c) { c.numThreads = 0; });
+}
+
+TEST(Bm3d, RejectsTooSmallImage)
+{
+    Bm3d denoiser(smallConfig());
+    image::ImageF tiny(3, 3, 1);
+    bm3d::Profile p;
+    EXPECT_THROW(denoiser.runStage(Stage::HardThreshold, tiny, nullptr, p),
+                 std::invalid_argument);
+}
+
+TEST(Bm3d, WienerStageRequiresBasic)
+{
+    Bm3d denoiser(smallConfig());
+    image::ImageF im(16, 16, 1);
+    bm3d::Profile p;
+    EXPECT_THROW(denoiser.runStage(Stage::Wiener, im, nullptr, p),
+                 std::invalid_argument);
+}
+
+TEST(Bm3d, ImprovesPsnrOnNoisyNature)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 48, 25.0f, 10);
+    Bm3d denoiser(smallConfig());
+    auto result = denoiser.denoise(scene.noisy);
+    double noisy_psnr = image::psnrDb(scene.clean, scene.noisy);
+    double basic_psnr = image::psnrDb(scene.clean, result.basic);
+    double final_psnr = image::psnrDb(scene.clean, result.output);
+    EXPECT_GT(basic_psnr, noisy_psnr + 3.0);
+    EXPECT_GT(final_psnr, noisy_psnr + 3.0);
+}
+
+TEST(Bm3d, WienerStageRefinesBasicEstimate)
+{
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 25.0f, 11);
+    Bm3d denoiser(smallConfig());
+    auto result = denoiser.denoise(scene.noisy);
+    // The Wiener stage should stay within a small margin of the basic
+    // estimate (on large images it typically improves it).
+    EXPECT_GT(image::psnrDb(scene.clean, result.output),
+              image::psnrDb(scene.clean, result.basic) - 0.5);
+}
+
+TEST(Bm3d, UniformImageDenoisesAlmostPerfectly)
+{
+    auto scene = makeTestScene(image::SceneKind::Uniform, 40, 25.0f, 12);
+    Bm3d denoiser(smallConfig());
+    auto result = denoiser.denoise(scene.noisy);
+    // All patches match; the stack averaging should crush the noise.
+    EXPECT_GT(image::psnrDb(scene.clean, result.output), 33.0);
+}
+
+TEST(Bm3d, ThreeChannelDenoising)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 25.0f, 13, 3);
+    Bm3d denoiser(smallConfig());
+    auto result = denoiser.denoise(scene.noisy);
+    EXPECT_EQ(result.output.channels(), 3);
+    EXPECT_GT(image::psnrDb(scene.clean, result.output),
+              image::psnrDb(scene.clean, scene.noisy) + 2.0);
+}
+
+TEST(Bm3d, ProfileCoversAllSteps)
+{
+    auto scene = makeTestScene(image::SceneKind::Texture, 32, 25.0f, 14);
+    Bm3d denoiser(smallConfig());
+    auto result = denoiser.denoise(scene.noisy);
+    EXPECT_GT(result.profile.seconds(Step::Dct1), 0.0);
+    EXPECT_GT(result.profile.seconds(Step::Bm1), 0.0);
+    EXPECT_GT(result.profile.seconds(Step::De1), 0.0);
+    EXPECT_GT(result.profile.seconds(Step::Bm2), 0.0);
+    EXPECT_GT(result.profile.seconds(Step::De2), 0.0);
+    EXPECT_GT(result.profile.totalOps().multiplies, 0u);
+    EXPECT_EQ(result.profile.mr().bm1Hits, 0u); // MR disabled
+    EXPECT_GT(result.profile.mr().bm1Refs, 0u);
+}
+
+TEST(Bm3d, BlockMatchingDominatesOps)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 25.0f, 15);
+    Bm3dConfig cfg; // full 49x49 windows: the paper's configuration
+    Bm3d denoiser(cfg);
+    auto result = denoiser.denoise(scene.noisy);
+    uint64_t bm_ops = result.profile.ops(Step::Bm1).total() +
+                      result.profile.ops(Step::Bm2).total();
+    EXPECT_GT(bm_ops, result.profile.totalOps().total() / 2)
+        << "block matching should dominate computation (paper Fig. 4)";
+}
+
+TEST(Bm3dMr, HitRateHighOnSmoothContent)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 10.0f, 16);
+    Bm3dConfig cfg = smallConfig(10.0f);
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+    Bm3d denoiser(cfg);
+    auto result = denoiser.denoise(scene.noisy);
+    EXPECT_GT(result.profile.mr().hitRate1(), 0.5);
+}
+
+TEST(Bm3dMr, ReducesSearchEffort)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 10.0f, 17);
+    Bm3dConfig base = smallConfig(10.0f);
+    Bm3d plain(base);
+    auto r_plain = plain.denoise(scene.noisy);
+
+    Bm3dConfig mr_cfg = base;
+    mr_cfg.mr.enabled = true;
+    mr_cfg.mr.k = 0.5;
+    Bm3d with_mr(mr_cfg);
+    auto r_mr = with_mr.denoise(scene.noisy);
+
+    EXPECT_LT(r_mr.profile.mr().bm1Candidates,
+              r_plain.profile.mr().bm1Candidates / 2);
+}
+
+TEST(Bm3dMr, QualityCloseToFullSearch)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 48, 25.0f, 18);
+    Bm3dConfig base = smallConfig();
+    Bm3d plain(base);
+    double psnr_plain =
+        image::psnrDb(scene.clean, plain.denoise(scene.noisy).output);
+
+    Bm3dConfig mr_cfg = base;
+    mr_cfg.mr.enabled = true;
+    mr_cfg.mr.k = 0.25;
+    Bm3d with_mr(mr_cfg);
+    double psnr_mr =
+        image::psnrDb(scene.clean, with_mr.denoise(scene.noisy).output);
+
+    // Paper Sec. 5.2: MR quality is within a few percent of BM3D and
+    // sometimes better.
+    EXPECT_GT(psnr_mr, psnr_plain - 1.0);
+}
+
+TEST(Bm3dMr, UniformImageAlwaysHits)
+{
+    auto scene = makeTestScene(image::SceneKind::Uniform, 32, 5.0f, 19);
+    Bm3dConfig cfg = smallConfig(5.0f);
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+    Bm3d denoiser(cfg);
+    auto result = denoiser.denoise(scene.noisy);
+    EXPECT_GT(result.profile.mr().hitRate1(), 0.9);
+}
+
+TEST(Bm3d, MultithreadedMatchesSingleThread)
+{
+    auto scene = makeTestScene(image::SceneKind::Street, 40, 25.0f, 20);
+    Bm3dConfig cfg = smallConfig();
+    Bm3d single(cfg);
+    auto r1 = single.denoise(scene.noisy);
+
+    cfg.numThreads = 4;
+    Bm3d multi(cfg);
+    auto r4 = multi.denoise(scene.noisy);
+
+    // Same work partitioned by rows; aggregation is order-independent
+    // up to floating-point addition order.
+    EXPECT_LT(image::maxAbsDiff(r1.output, r4.output), 1e-2);
+}
+
+TEST(Bm3d, FixedPointCloseToFloat)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 25.0f, 21);
+    Bm3dConfig cfg = smallConfig();
+    Bm3d fp(cfg);
+    auto r_float = fp.denoise(scene.noisy);
+
+    cfg.fixedPoint = fixed::PipelineFormats::forFraction(12);
+    Bm3d fx(cfg);
+    auto r_fixed = fx.denoise(scene.noisy);
+
+    double snr_float = image::snrDb(scene.clean, r_float.output);
+    double snr_fixed = image::snrDb(scene.clean, r_fixed.output);
+    // Paper Fig. 9: relative SNR >= 98.9% even at 10 fractional bits.
+    EXPECT_GT(snr_fixed / snr_float, 0.97);
+}
+
+TEST(Bm3d, FixedPointPrecisionMonotonicTrend)
+{
+    auto scene = makeTestScene(image::SceneKind::Texture, 32, 25.0f, 22);
+    Bm3dConfig cfg = smallConfig();
+    auto run = [&](int frac) {
+        Bm3dConfig c = cfg;
+        c.fixedPoint = fixed::PipelineFormats::forFraction(frac);
+        return image::snrDb(scene.clean, Bm3d(c).denoise(scene.noisy).output);
+    };
+    // 12-bit should be no worse than a severely truncated 4-bit path.
+    EXPECT_GT(run(12), run(4) - 0.1);
+}
+
+TEST(Bm3d, SharpeningIncreasesHighFrequencyEnergy)
+{
+    auto scene = makeTestScene(image::SceneKind::Street, 40, 10.0f, 23);
+    Bm3dConfig cfg = smallConfig(10.0f);
+    Bm3d plain(cfg);
+    auto r_plain = plain.denoise(scene.noisy);
+
+    cfg.sharpenAlpha = 1.5f;
+    Bm3d sharp(cfg);
+    auto r_sharp = sharp.denoise(scene.noisy);
+
+    // Laplacian energy as a sharpness proxy.
+    auto sharpness = [](const image::ImageF &im) {
+        double acc = 0;
+        for (int y = 1; y < im.height() - 1; ++y)
+            for (int x = 1; x < im.width() - 1; ++x) {
+                float lap = 4.0f * im.at(x, y) - im.at(x - 1, y) -
+                            im.at(x + 1, y) - im.at(x, y - 1) -
+                            im.at(x, y + 1);
+                acc += static_cast<double>(lap) * lap;
+            }
+        return acc;
+    };
+    EXPECT_GT(sharpness(r_sharp.output), sharpness(r_plain.output) * 1.02);
+}
+
+TEST(Bm3d, DisableWienerSkipsStageTwo)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 32, 25.0f, 24);
+    Bm3dConfig cfg = smallConfig();
+    cfg.enableWiener = false;
+    Bm3d denoiser(cfg);
+    auto result = denoiser.denoise(scene.noisy);
+    EXPECT_EQ(result.profile.seconds(Step::Bm2), 0.0);
+    EXPECT_LT(image::maxAbsDiff(result.output, result.basic), 1e-6);
+}
+
+TEST(Bm3d, RefPositionsCoverEdges)
+{
+    auto xs = bm3d::makeRefPositions(10, 3);
+    EXPECT_EQ(xs.front(), 0);
+    EXPECT_EQ(xs.back(), 10);
+    auto xs2 = bm3d::makeRefPositions(9, 3);
+    EXPECT_EQ(xs2.back(), 9);
+    auto xs1 = bm3d::makeRefPositions(5, 1);
+    EXPECT_EQ(xs1.size(), 6u);
+}
+
+TEST(Bm3d, StrideTwoStillCoversImage)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 25.0f, 25);
+    Bm3dConfig cfg = smallConfig();
+    cfg.refStride = 2;
+    Bm3d denoiser(cfg);
+    auto result = denoiser.denoise(scene.noisy);
+    EXPECT_GT(image::psnrDb(scene.clean, result.output),
+              image::psnrDb(scene.clean, scene.noisy) + 2.0);
+}
+
+TEST(Bm3dMr, AcrossRowsIncreasesHits)
+{
+    // The Sec. 5.3 future-work extension: when the left-neighbor check
+    // misses, the reference above may still be similar (e.g. vertical
+    // structure).
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 15.0f, 26);
+    Bm3dConfig cfg = smallConfig(15.0f);
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.3;
+
+    Bm3d horiz(cfg);
+    auto r_h = horiz.denoise(scene.noisy);
+
+    cfg.mr.acrossRows = true;
+    Bm3d both(cfg);
+    auto r_b = both.denoise(scene.noisy);
+
+    EXPECT_GE(r_b.profile.mr().bm1Hits, r_h.profile.mr().bm1Hits);
+    EXPECT_GT(r_b.profile.mr().bm1VertHits, 0u);
+    EXPECT_LE(r_b.profile.mr().bm1Candidates,
+              r_h.profile.mr().bm1Candidates);
+}
+
+TEST(Bm3dMr, AcrossRowsQualityComparable)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 48, 25.0f, 27);
+    Bm3dConfig cfg = smallConfig();
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+    double base = image::psnrDb(scene.clean,
+                                Bm3d(cfg).denoise(scene.noisy).output);
+    cfg.mr.acrossRows = true;
+    double ext = image::psnrDb(scene.clean,
+                               Bm3d(cfg).denoise(scene.noisy).output);
+    EXPECT_GT(ext, base - 1.0);
+}
+
+TEST(Bm3dMr, AcrossRowsDisabledHasNoVertHits)
+{
+    auto scene = makeTestScene(image::SceneKind::Street, 32, 25.0f, 28);
+    Bm3dConfig cfg = smallConfig();
+    cfg.mr.enabled = true;
+    Bm3d denoiser(cfg);
+    auto r = denoiser.denoise(scene.noisy);
+    EXPECT_EQ(r.profile.mr().bm1VertHits, 0u);
+    EXPECT_EQ(r.profile.mr().bm2VertHits, 0u);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the whole-image DCT substrate and the regularized-inverse
+ * + BM3D deblurring pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bm3d/deblur.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+#include "transforms/dct1d.h"
+
+using namespace ideal;
+
+TEST(Dct1D, RoundTripArbitraryLength)
+{
+    for (int n : {2, 3, 17, 48, 100}) {
+        transforms::Dct1D dct(n);
+        image::SplitMix64 rng(700 + n);
+        std::vector<float> in(n), freq(n), back(n);
+        for (float &v : in)
+            v = rng.uniform(-50.0f, 50.0f);
+        dct.forward(in.data(), freq.data());
+        dct.inverse(freq.data(), back.data());
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(back[i], in[i], 1e-3f) << "n=" << n;
+    }
+}
+
+TEST(Dct1D, RejectsTinyLength)
+{
+    EXPECT_THROW(transforms::Dct1D(1), std::invalid_argument);
+}
+
+TEST(Dct1D, DeltaKernelHasUnitEigenvalues)
+{
+    transforms::Dct1D dct(32);
+    auto lambda = dct.kernelEigenvalues({1.0f});
+    for (float l : lambda)
+        EXPECT_NEAR(l, 1.0f, 1e-6f);
+}
+
+TEST(Dct1D, SmoothingKernelAttenuatesHighFrequencies)
+{
+    transforms::Dct1D dct(32);
+    auto half = bm3d::gaussianHalfKernel(1.5f);
+    auto lambda = dct.kernelEigenvalues(half);
+    EXPECT_NEAR(lambda[0], 1.0f, 1e-3f); // DC preserved
+    EXPECT_LT(lambda[31], lambda[0]);    // high freq attenuated
+    EXPECT_GT(lambda[31], -0.2f);
+}
+
+TEST(Dct2DPlane, RoundTrip)
+{
+    transforms::Dct2DPlane dct(24, 16);
+    image::ImageF im = image::makeScene(image::SceneKind::Nature, 24, 16,
+                                        1, 81);
+    std::vector<float> spec(im.planeSize()), back(im.planeSize());
+    dct.forward(im.plane(0), spec.data());
+    dct.inverse(spec.data(), back.data());
+    for (size_t i = 0; i < im.planeSize(); ++i)
+        EXPECT_NEAR(back[i], im.plane(0)[i], 1e-2f);
+}
+
+TEST(Deblur, GaussianKernelNormalized)
+{
+    auto half = bm3d::gaussianHalfKernel(2.0f);
+    double total = half[0];
+    for (size_t j = 1; j < half.size(); ++j)
+        total += 2.0 * half[j];
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    // Monotone decay from the center.
+    for (size_t j = 1; j < half.size(); ++j)
+        EXPECT_LT(half[j], half[j - 1]);
+}
+
+TEST(Deblur, BlurReducesDetail)
+{
+    image::ImageF im = image::makeScene(image::SceneKind::Street, 48, 48,
+                                        1, 82);
+    image::ImageF blurred = bm3d::blurImage(im, 1.5f);
+    EXPECT_LT(image::psnrDb(im, blurred), 40.0);
+    // Mean preserved by the normalized kernel.
+    double m0 = 0, m1 = 0;
+    for (size_t i = 0; i < im.planeSize(); ++i) {
+        m0 += im.raw()[i];
+        m1 += blurred.raw()[i];
+    }
+    EXPECT_NEAR(m1 / m0, 1.0, 0.01);
+}
+
+TEST(Deblur, ConfigValidation)
+{
+    bm3d::DeblurConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.psfSigma = 0.0f;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = bm3d::DeblurConfig{};
+    cfg.regLambda = -1.0f;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Deblur, RecoversSharpness)
+{
+    auto clean = image::makeScene(image::SceneKind::Street, 64, 64, 1, 83);
+    auto degraded =
+        image::addGaussianNoise(bm3d::blurImage(clean, 1.5f), 5.0f, 84);
+
+    bm3d::DeblurConfig cfg;
+    cfg.denoise.sigma = 5.0f;
+    cfg.denoise.searchWindow1 = 13;
+    cfg.denoise.searchWindow2 = 11;
+    cfg.psfSigma = 1.5f;
+    cfg.regLambda = 0.003f;
+    auto result = bm3d::deblur(degraded, cfg);
+
+    EXPECT_GT(image::psnrDb(clean, result.output),
+              image::psnrDb(clean, degraded) + 1.0);
+    // The regularized inverse amplifies noise - that is the point of
+    // the subsequent collaborative filtering.
+    EXPECT_GT(result.amplifiedSigma, cfg.denoise.sigma);
+    EXPECT_GT(image::psnrDb(clean, result.output),
+              image::psnrDb(clean, result.inverted));
+}
+
+TEST(Deblur, WorksOnColorImages)
+{
+    auto clean = image::makeScene(image::SceneKind::Texture, 48, 48, 3, 85);
+    auto degraded =
+        image::addGaussianNoise(bm3d::blurImage(clean, 1.2f), 5.0f, 86);
+    bm3d::DeblurConfig cfg;
+    cfg.denoise.sigma = 5.0f;
+    cfg.denoise.searchWindow1 = 13;
+    cfg.denoise.searchWindow2 = 11;
+    cfg.psfSigma = 1.2f;
+    cfg.regLambda = 0.005f;
+    auto result = bm3d::deblur(degraded, cfg);
+    EXPECT_EQ(result.output.channels(), 3);
+    EXPECT_GT(image::psnrDb(clean, result.output),
+              image::psnrDb(clean, degraded));
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the energy/area/power model: the calibrated totals must
+ * reproduce the paper's published numbers (Tables 7 and 9, Secs. 6.4
+ * and 6.7) and the qualitative trends must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "energy/model.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+using core::AcceleratorConfig;
+using energy::EnergyModel;
+using energy::TechNode;
+
+namespace {
+
+core::SimResult
+simulateSmall(const AcceleratorConfig &cfg)
+{
+    auto clean = image::makeScene(image::SceneKind::Nature, 128, 128, 3, 8);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 9);
+    return core::simulateImage(cfg, noisy);
+}
+
+} // namespace
+
+TEST(EnergyArea, IdealBMatchesPaper)
+{
+    // Sec. 6.4: IDEALB occupies 5.5 mm^2 at 65 nm.
+    EnergyModel m(TechNode::Tsmc65);
+    auto a = m.area(AcceleratorConfig::idealB());
+    EXPECT_NEAR(a.total(), 5.5, 0.3);
+}
+
+TEST(EnergyArea, IdealMrMatchesPaper)
+{
+    // Sec. 6.4: IDEALMR needs 23.08 mm^2; the DEs total 79% of area.
+    EnergyModel m(TechNode::Tsmc65);
+    auto a = m.area(AcceleratorConfig::idealMr());
+    EXPECT_NEAR(a.total(), 23.08, 1.0);
+    EXPECT_NEAR(a.deEngines / a.total(), 0.79, 0.04);
+}
+
+TEST(EnergyArea, TwentyEightNmScaling)
+{
+    // Sec. 6.7: 1.44 mm^2 (IDEALB) and 7.9 mm^2 (IDEALMR) at 28 nm.
+    EnergyModel m(TechNode::Stm28);
+    EXPECT_NEAR(m.area(AcceleratorConfig::idealB()).total(), 1.44, 0.6);
+    EXPECT_NEAR(m.area(AcceleratorConfig::idealMr()).total(), 7.9, 0.5);
+}
+
+TEST(EnergyArea, PrecisionScalingTable9)
+{
+    // Table 9: area falls from 23.08 to 15.4 mm^2 from 12 to 8
+    // fractional bits.
+    EnergyModel m(TechNode::Tsmc65);
+    AcceleratorConfig cfg = AcceleratorConfig::idealMr();
+    auto area_at = [&](int frac) {
+        AcceleratorConfig c = cfg;
+        c.algo.fixedPoint = fixed::PipelineFormats::forFraction(frac);
+        return m.area(c).total();
+    };
+    double a12 = area_at(12);
+    double a10 = area_at(10);
+    double a8 = area_at(8);
+    EXPECT_NEAR(a12, 23.08, 1.0);
+    EXPECT_NEAR(a10, 19.97, 1.5);
+    EXPECT_NEAR(a8, 15.4, 1.5);
+    EXPECT_GT(a12, a10);
+    EXPECT_GT(a10, a8);
+}
+
+TEST(EnergyArea, AreaScalesWithLanes)
+{
+    EnergyModel m(TechNode::Tsmc65);
+    AcceleratorConfig c16 = AcceleratorConfig::idealMr();
+    AcceleratorConfig c32 = c16;
+    c32.lanes = 32;
+    EXPECT_NEAR(m.area(c32).total() / m.area(c16).total(), 2.0, 0.05);
+}
+
+TEST(EnergyPower, IdealMrOnChipNearPaper)
+{
+    // Table 7: IDEALMR dissipates ~12 W on-chip, DRAM ~6 W, and the
+    // DE-dominated core is the largest on-chip consumer.
+    EnergyModel m(TechNode::Tsmc65);
+    AcceleratorConfig cfg = AcceleratorConfig::idealMr(0.5);
+    auto r = simulateSmall(cfg);
+    auto p = m.power(cfg, r);
+    EXPECT_NEAR(p.onChip(), 12.05, 5.0);
+    EXPECT_NEAR(p.dram, 6.16, 3.0);
+    EXPECT_GT(p.core, p.buffers);
+}
+
+TEST(EnergyPower, IdealBLowestPower)
+{
+    // Table 7: IDEALB is the lowest-power solution (~1.7 W on-chip).
+    EnergyModel m(TechNode::Tsmc65);
+    AcceleratorConfig b = AcceleratorConfig::idealB();
+    AcceleratorConfig mr = AcceleratorConfig::idealMr(0.5);
+    auto rb = simulateSmall(b);
+    auto rmr = simulateSmall(mr);
+    auto pb = m.power(b, rb);
+    auto pmr = m.power(mr, rmr);
+    EXPECT_LT(pb.onChip(), 4.0);
+    EXPECT_LT(pb.onChip(), pmr.onChip());
+}
+
+TEST(EnergyPower, IdealMrMoreEnergyEfficientThanIdealB)
+{
+    // IDEALMR burns more power but finishes ~30x sooner: lower energy.
+    EnergyModel m(TechNode::Tsmc65);
+    AcceleratorConfig b = AcceleratorConfig::idealB();
+    AcceleratorConfig mr = AcceleratorConfig::idealMr(0.5);
+    auto rb = simulateSmall(b);
+    auto rmr = simulateSmall(mr);
+    EXPECT_LT(m.energyJoules(mr, rmr), m.energyJoules(b, rb));
+}
+
+TEST(EnergyPower, TwentyEightNmLowerPower)
+{
+    EnergyModel m65(TechNode::Tsmc65);
+    EnergyModel m28(TechNode::Stm28);
+    AcceleratorConfig cfg = AcceleratorConfig::idealMr(0.5);
+    auto r = simulateSmall(cfg);
+    EXPECT_LT(m28.power(cfg, r).onChip(), m65.power(cfg, r).onChip());
+}
+
+TEST(EnergyPower, SharpeningCostMatchesPaper)
+{
+    // Sec. 7: +0.09 mm^2 and +0.12 W at 65 nm.
+    EnergyModel m(TechNode::Tsmc65);
+    EXPECT_DOUBLE_EQ(m.sharpenAreaMm2(), 0.09);
+    EXPECT_DOUBLE_EQ(m.sharpenPowerW(), 0.12);
+    EnergyModel m28(TechNode::Stm28);
+    EXPECT_LT(m28.sharpenAreaMm2(), 0.09);
+}
+
+TEST(EnergyPower, PrecisionReducesPower)
+{
+    // Table 9 trend: 8-bit fraction saves ~25% power vs 12-bit.
+    EnergyModel m(TechNode::Tsmc65);
+    AcceleratorConfig c12 = AcceleratorConfig::idealMr(0.5);
+    c12.algo.fixedPoint = fixed::PipelineFormats::forFraction(12);
+    AcceleratorConfig c8 = c12;
+    c8.algo.fixedPoint = fixed::PipelineFormats::forFraction(8);
+    auto r = simulateSmall(c12);
+    double p12 = m.power(c12, r).onChip();
+    double p8 = m.power(c8, r).onChip();
+    EXPECT_LT(p8, p12);
+    EXPECT_NEAR(p8 / p12, 9.07 / 12.05, 0.1);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the fixed-point substrate: format quantization,
+ * saturation, scalar arithmetic, and bulk quantization helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixed/fixed.h"
+#include "fixed/format.h"
+#include "fixed/quantize.h"
+#include "image/metrics.h"
+#include "image/synthetic.h"
+
+using ideal::fixed::Fixed;
+using ideal::fixed::Format;
+using ideal::fixed::PipelineFormats;
+
+TEST(Format, ScaleAndRange)
+{
+    Format q(8, 12);
+    EXPECT_EQ(q.magnitudeBits(), 20);
+    EXPECT_DOUBLE_EQ(q.scale(), 4096.0);
+    EXPECT_EQ(q.maxRaw(), (1 << 20) - 1);
+    EXPECT_EQ(q.minRaw(), -(1 << 20));
+}
+
+TEST(Format, QuantizeRoundsToNearest)
+{
+    Format q(8, 4); // grid of 1/16
+    EXPECT_EQ(q.quantize(1.0), 16);
+    EXPECT_EQ(q.quantize(1.03), 16);   // 16.48 -> 16
+    EXPECT_EQ(q.quantize(1.035), 17);  // 16.56 -> 17
+    EXPECT_EQ(q.quantize(-1.035), -17);
+}
+
+TEST(Format, QuantizeSaturates)
+{
+    Format q(4, 4);
+    EXPECT_EQ(q.quantize(1000.0), q.maxRaw());
+    EXPECT_EQ(q.quantize(-1000.0), q.minRaw());
+    EXPECT_DOUBLE_EQ(q.toDouble(q.maxRaw()), 16.0 - 1.0 / 16.0);
+}
+
+TEST(Format, RoundTripErrorBounded)
+{
+    Format q(8, 10);
+    for (double v : {0.0, 0.37, -12.5, 200.123, -255.9}) {
+        double rt = q.roundTrip(v);
+        EXPECT_LE(std::abs(rt - v), 0.5 / q.scale() + 1e-12) << v;
+    }
+}
+
+TEST(Format, StrFormatsQNotation)
+{
+    EXPECT_EQ(Format(11, 12).str(), "Q11.12");
+}
+
+TEST(PipelineFormatsTest, PaperWidths)
+{
+    PipelineFormats f = PipelineFormats::forFraction(12);
+    EXPECT_EQ(f.input.intBits, 8);
+    EXPECT_EQ(f.dct.intBits, 11);
+    EXPECT_EQ(f.haar.intBits, 13);
+    EXPECT_EQ(f.invHaar.intBits, 15);
+    EXPECT_EQ(f.dct.fracBits, 12);
+    EXPECT_THROW(PipelineFormats::forFraction(0), std::invalid_argument);
+    EXPECT_THROW(PipelineFormats::forFraction(40), std::invalid_argument);
+}
+
+TEST(FixedScalar, AddSubExact)
+{
+    Format q(8, 8);
+    Fixed a = Fixed::fromDouble(1.5, q);
+    Fixed b = Fixed::fromDouble(2.25, q);
+    EXPECT_DOUBLE_EQ(a.add(b, q).toDouble(), 3.75);
+    EXPECT_DOUBLE_EQ(a.sub(b, q).toDouble(), -0.75);
+}
+
+TEST(FixedScalar, MulRoundsProduct)
+{
+    Format q(8, 8);
+    Fixed a = Fixed::fromDouble(1.5, q);
+    Fixed b = Fixed::fromDouble(2.5, q);
+    EXPECT_DOUBLE_EQ(a.mul(b, q).toDouble(), 3.75);
+    // 0.00390625 * 0.00390625 = 1.5e-5 rounds to 0 at 8 frac bits.
+    Fixed eps = Fixed(1, q);
+    EXPECT_DOUBLE_EQ(eps.mul(eps, q).toDouble(), 0.0);
+}
+
+TEST(FixedScalar, AddSaturatesAtFormatLimit)
+{
+    Format q(4, 4);
+    Fixed big = Fixed::fromDouble(15.9, q);
+    Fixed sum = big.add(big, q);
+    EXPECT_DOUBLE_EQ(sum.toDouble(), q.toDouble(q.maxRaw()));
+}
+
+TEST(FixedScalar, WiderOutputFormatAvoidsSaturation)
+{
+    Format narrow(4, 4), wide(8, 4);
+    Fixed big = Fixed::fromDouble(15.0, narrow);
+    Fixed sum = big.add(big, wide);
+    EXPECT_DOUBLE_EQ(sum.toDouble(), 30.0);
+}
+
+TEST(FixedScalar, MixedFractionThrows)
+{
+    Fixed a = Fixed::fromDouble(1.0, Format(8, 8));
+    Fixed b = Fixed::fromDouble(1.0, Format(8, 10));
+    EXPECT_THROW(a.add(b, Format(8, 8)), std::invalid_argument);
+    EXPECT_THROW(a.mul(b, Format(8, 8)), std::invalid_argument);
+}
+
+TEST(FixedScalar, MulZeroFraction)
+{
+    Format q(12, 0);
+    Fixed a = Fixed::fromDouble(7, q);
+    Fixed b = Fixed::fromDouble(6, q);
+    EXPECT_DOUBLE_EQ(a.mul(b, q).toDouble(), 42.0);
+}
+
+TEST(Quantize, InPlaceMatchesScalar)
+{
+    Format q(8, 6);
+    std::vector<float> v = {0.117f, -3.864f, 100.49f, -200.51f};
+    std::vector<float> expected;
+    for (float x : v)
+        expected.push_back(static_cast<float>(q.roundTrip(x)));
+    ideal::fixed::quantizeInPlace(std::span<float>(v), q);
+    EXPECT_EQ(v, expected);
+}
+
+TEST(Quantize, ImageQuantizationErrorShrinksWithPrecision)
+{
+    ideal::image::ImageF im(16, 16, 1);
+    ideal::image::SplitMix64 rng(3);
+    for (float &v : im.raw())
+        v = rng.uniform(0.0f, 255.0f);
+    auto err = [&](int frac) {
+        auto q = ideal::fixed::quantizeImage(im, Format(8, frac));
+        return ideal::image::mse(im, q);
+    };
+    EXPECT_GT(err(4), err(8));
+    EXPECT_GT(err(8), err(12));
+}
+
+TEST(Quantize, MseMatchesDefinition)
+{
+    Format q(8, 2);
+    std::vector<float> v = {0.1f, 0.4f};
+    // grid 0.25: 0.1 -> 0 (err 0.1); 0.4 -> 0.5 (err 0.1)
+    double mse = ideal::fixed::quantizationMse(
+        std::span<const float>(v.data(), v.size()), q);
+    EXPECT_NEAR(mse, (0.01 + 0.01) / 2.0, 1e-9);
+}

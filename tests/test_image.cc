@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the image substrate: container semantics, I/O
+ * round-trips, color transforms, synthetic scenes, noise, and metrics.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "image/image.h"
+#include "image/io.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+namespace img = ideal::image;
+
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // namespace
+
+TEST(Image, ConstructZeroInitialized)
+{
+    img::ImageF im(7, 5, 3);
+    EXPECT_EQ(im.width(), 7);
+    EXPECT_EQ(im.height(), 5);
+    EXPECT_EQ(im.channels(), 3);
+    EXPECT_EQ(im.size(), 7u * 5u * 3u);
+    for (float v : im.raw())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Image, InvalidDimensionsThrow)
+{
+    EXPECT_THROW(img::ImageF(0, 5, 1), std::invalid_argument);
+    EXPECT_THROW(img::ImageF(5, -1, 1), std::invalid_argument);
+    EXPECT_THROW(img::ImageF(5, 5, 0), std::invalid_argument);
+}
+
+TEST(Image, PlanarLayout)
+{
+    img::ImageF im(4, 3, 2);
+    im.at(2, 1, 1) = 42.0f;
+    // Plane 1 starts after plane 0's 12 samples.
+    EXPECT_EQ(im.raw()[12 + 1 * 4 + 2], 42.0f);
+    EXPECT_EQ(im.plane(1)[1 * 4 + 2], 42.0f);
+}
+
+TEST(Image, AtClampedEdges)
+{
+    img::ImageF im(3, 3, 1);
+    im.at(0, 0) = 1.0f;
+    im.at(2, 2) = 9.0f;
+    EXPECT_EQ(im.atClamped(-5, -5), 1.0f);
+    EXPECT_EQ(im.atClamped(10, 10), 9.0f);
+}
+
+TEST(Image, CropExtractsWindow)
+{
+    img::ImageF im(6, 6, 1);
+    for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 6; ++x)
+            im.at(x, y) = static_cast<float>(10 * y + x);
+    img::ImageF c = im.crop(2, 3, 3, 2);
+    EXPECT_EQ(c.width(), 3);
+    EXPECT_EQ(c.height(), 2);
+    EXPECT_EQ(c.at(0, 0), 32.0f);
+    EXPECT_EQ(c.at(2, 1), 44.0f);
+}
+
+TEST(Image, CropOutOfRangeThrows)
+{
+    img::ImageF im(6, 6, 1);
+    EXPECT_THROW(im.crop(4, 4, 3, 3), std::out_of_range);
+    EXPECT_THROW(im.crop(-1, 0, 2, 2), std::out_of_range);
+}
+
+TEST(Image, ExtractInsertPlaneRoundTrip)
+{
+    img::ImageF im(4, 4, 3);
+    im.at(1, 2, 2) = 7.0f;
+    img::ImageF p = im.extractPlane(2);
+    EXPECT_EQ(p.channels(), 1);
+    EXPECT_EQ(p.at(1, 2), 7.0f);
+    p.at(0, 0) = 3.0f;
+    im.insertPlane(2, p);
+    EXPECT_EQ(im.at(0, 0, 2), 3.0f);
+}
+
+TEST(Image, InsertPlaneShapeMismatchThrows)
+{
+    img::ImageF im(4, 4, 3);
+    img::ImageF wrong(5, 4, 1);
+    EXPECT_THROW(im.insertPlane(0, wrong), std::invalid_argument);
+}
+
+TEST(Image, U8FloatConversionClampsAndRounds)
+{
+    img::ImageF f(2, 1, 1);
+    f.at(0, 0) = -3.2f;
+    f.at(1, 0) = 270.0f;
+    img::ImageU8 u = img::toU8(f);
+    EXPECT_EQ(u.at(0, 0), 0);
+    EXPECT_EQ(u.at(1, 0), 255);
+    f.at(0, 0) = 99.6f;
+    EXPECT_EQ(img::toU8(f).at(0, 0), 100);
+}
+
+TEST(Image, OpponentColorRoundTrip)
+{
+    img::ImageF rgb = img::makeScene(img::SceneKind::Nature, 16, 16, 3, 7);
+    img::ImageF opp = img::rgbToOpponent(rgb);
+    img::ImageF back = img::opponentToRgb(opp);
+    EXPECT_LT(img::maxAbsDiff(rgb, back), 1e-3);
+}
+
+TEST(ImageIo, PgmRoundTrip)
+{
+    img::ImageU8 im(5, 4, 1);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 5; ++x)
+            im.at(x, y) = static_cast<uint8_t>(13 * y + x);
+    const std::string path = tempPath("ideal_test.pgm");
+    img::writePgm(path, im);
+    img::ImageU8 rt = img::readNetpbm(path);
+    ASSERT_EQ(rt.width(), 5);
+    ASSERT_EQ(rt.height(), 4);
+    EXPECT_EQ(rt.raw(), im.raw());
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmRoundTrip)
+{
+    img::ImageU8 im = img::toU8(
+        img::makeScene(img::SceneKind::Street, 8, 6, 3, 11));
+    const std::string path = tempPath("ideal_test.ppm");
+    img::writeNetpbm(path, im);
+    img::ImageU8 rt = img::readNetpbm(path);
+    EXPECT_EQ(rt.channels(), 3);
+    EXPECT_EQ(rt.raw(), im.raw());
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, RawFloatRoundTrip)
+{
+    img::ImageF im = img::makeScene(img::SceneKind::Texture, 9, 7, 3, 3);
+    const std::string path = tempPath("ideal_test.iraw");
+    img::writeRawFloat(path, im);
+    img::ImageF rt = img::readRawFloat(path);
+    EXPECT_EQ(rt.width(), 9);
+    EXPECT_EQ(rt.channels(), 3);
+    EXPECT_EQ(rt.raw(), im.raw());
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, ReadMissingFileThrows)
+{
+    EXPECT_THROW(img::readNetpbm("/nonexistent/x.pgm"),
+                 std::runtime_error);
+    EXPECT_THROW(img::readRawFloat("/nonexistent/x.iraw"),
+                 std::runtime_error);
+}
+
+TEST(Synthetic, Deterministic)
+{
+    img::ImageF a = img::makeScene(img::SceneKind::Nature, 32, 32, 1, 42);
+    img::ImageF b = img::makeScene(img::SceneKind::Nature, 32, 32, 1, 42);
+    EXPECT_EQ(a.raw(), b.raw());
+    img::ImageF c = img::makeScene(img::SceneKind::Nature, 32, 32, 1, 43);
+    EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(Synthetic, AllKindsInRange)
+{
+    for (auto kind : {img::SceneKind::Nature, img::SceneKind::Street,
+                      img::SceneKind::Texture, img::SceneKind::Uniform,
+                      img::SceneKind::Detail}) {
+        img::ImageF im = img::makeScene(kind, 24, 24, 3, 5);
+        for (float v : im.raw()) {
+            EXPECT_GE(v, 0.0f) << img::toString(kind);
+            EXPECT_LE(v, 255.0f) << img::toString(kind);
+        }
+    }
+}
+
+TEST(Synthetic, UniformIsFlat)
+{
+    img::ImageF im = img::makeScene(img::SceneKind::Uniform, 16, 16, 1, 9);
+    for (float v : im.raw())
+        EXPECT_EQ(v, im.raw()[0]);
+}
+
+TEST(Synthetic, KindNameRoundTrip)
+{
+    EXPECT_EQ(img::sceneKindFromString("street"), img::SceneKind::Street);
+    EXPECT_STREQ(img::toString(img::SceneKind::Detail), "detail");
+    EXPECT_THROW(img::sceneKindFromString("bogus"), std::invalid_argument);
+}
+
+TEST(Synthetic, EvaluationSetShape)
+{
+    auto set = img::makeEvaluationSet(16, 12, 3, 2);
+    EXPECT_EQ(set.size(), 8u);
+    for (const auto &im : set) {
+        EXPECT_EQ(im.width(), 16);
+        EXPECT_EQ(im.height(), 12);
+    }
+}
+
+TEST(Noise, GaussianSigmaApproximatelyCorrect)
+{
+    img::ImageF clean(64, 64, 1);
+    clean.fill(128.0f);
+    img::ImageF noisy = img::addGaussianNoise(clean, 10.0f, 123);
+    double sum = 0, sum2 = 0;
+    for (float v : noisy.raw()) {
+        sum += v - 128.0;
+        sum2 += (v - 128.0) * (v - 128.0);
+    }
+    double n = static_cast<double>(noisy.size());
+    double mean = sum / n;
+    double stddev = std::sqrt(sum2 / n - mean * mean);
+    EXPECT_NEAR(mean, 0.0, 0.5);
+    EXPECT_NEAR(stddev, 10.0, 0.5);
+}
+
+TEST(Noise, Deterministic)
+{
+    img::ImageF clean = img::makeScene(img::SceneKind::Nature, 16, 16, 1, 1);
+    img::ImageF a = img::addGaussianNoise(clean, 25.0f, 77);
+    img::ImageF b = img::addGaussianNoise(clean, 25.0f, 77);
+    EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Noise, SensorNoiseSignalDependent)
+{
+    img::ImageF dark(64, 64, 1), bright(64, 64, 1);
+    dark.fill(20.0f);
+    bright.fill(200.0f);
+    auto spread = [](const img::ImageF &im, float mean) {
+        double acc = 0;
+        for (float v : im.raw())
+            acc += (v - mean) * (v - mean);
+        return std::sqrt(acc / static_cast<double>(im.size()));
+    };
+    img::ImageF nd = img::addSensorNoise(dark, 0.5f, 2.0f, 5);
+    img::ImageF nb = img::addSensorNoise(bright, 0.5f, 2.0f, 5);
+    EXPECT_GT(spread(nb, 200.0f), spread(nd, 20.0f));
+}
+
+TEST(Metrics, IdenticalImages)
+{
+    img::ImageF im = img::makeScene(img::SceneKind::Texture, 16, 16, 1, 2);
+    EXPECT_EQ(img::mse(im, im), 0.0);
+    EXPECT_EQ(img::snrDb(im, im), 300.0);
+    EXPECT_EQ(img::psnrDb(im, im), 300.0);
+    EXPECT_NEAR(img::ssim(im, im), 1.0, 1e-9);
+}
+
+TEST(Metrics, KnownMse)
+{
+    img::ImageF a(2, 2, 1), b(2, 2, 1);
+    b.fill(2.0f);
+    EXPECT_DOUBLE_EQ(img::mse(a, b), 4.0);
+    // PSNR = 10 log10(255^2 / 4)
+    EXPECT_NEAR(img::psnrDb(a, b), 10.0 * std::log10(255.0 * 255.0 / 4.0),
+                1e-9);
+}
+
+TEST(Metrics, SnrDecreasesWithNoise)
+{
+    img::ImageF clean = img::makeScene(img::SceneKind::Nature, 32, 32, 1, 3);
+    img::ImageF n1 = img::addGaussianNoise(clean, 5.0f, 1);
+    img::ImageF n2 = img::addGaussianNoise(clean, 25.0f, 1);
+    EXPECT_GT(img::snrDb(clean, n1), img::snrDb(clean, n2));
+}
+
+TEST(Metrics, ShapeMismatchThrows)
+{
+    img::ImageF a(4, 4, 1), b(5, 4, 1);
+    EXPECT_THROW(img::mse(a, b), std::invalid_argument);
+    EXPECT_THROW(img::snrDb(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, SsimPenalizesStructureLoss)
+{
+    img::ImageF clean = img::makeScene(img::SceneKind::Street, 32, 32, 1, 4);
+    img::ImageF noisy = img::addGaussianNoise(clean, 30.0f, 9);
+    EXPECT_LT(img::ssim(clean, noisy), 0.95);
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the bounded sorted match list (the BM engine's
+ * priority queue MQ) and for block matching with and without
+ * Matches Reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bm3d/blockmatch.h"
+#include "bm3d/matchlist.h"
+#include "bm3d/patchfield.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+using bm3d::Match;
+using bm3d::MatchList;
+
+TEST(MatchList, InsertKeepsSorted)
+{
+    MatchList list(4);
+    list.insert({0, 0, 5.0f});
+    list.insert({1, 0, 1.0f});
+    list.insert({2, 0, 3.0f});
+    ASSERT_EQ(list.size(), 3);
+    EXPECT_FLOAT_EQ(list[0].distance, 1.0f);
+    EXPECT_FLOAT_EQ(list[1].distance, 3.0f);
+    EXPECT_FLOAT_EQ(list[2].distance, 5.0f);
+}
+
+TEST(MatchList, EvictsWorstWhenFull)
+{
+    MatchList list(2);
+    list.insert({0, 0, 5.0f});
+    list.insert({1, 0, 1.0f});
+    EXPECT_FALSE(list.insert({2, 0, 9.0f}));
+    EXPECT_TRUE(list.insert({3, 0, 0.5f}));
+    ASSERT_EQ(list.size(), 2);
+    EXPECT_EQ(list[0].x, 3);
+    EXPECT_EQ(list[1].x, 1);
+}
+
+TEST(MatchList, WorstDistanceInfiniteUntilFull)
+{
+    MatchList list(2);
+    EXPECT_TRUE(std::isinf(list.worstDistance()));
+    list.insert({0, 0, 1.0f});
+    EXPECT_TRUE(std::isinf(list.worstDistance()));
+    list.insert({0, 0, 2.0f});
+    EXPECT_FLOAT_EQ(list.worstDistance(), 2.0f);
+}
+
+TEST(MatchList, StackSizeIsPowerOfTwo)
+{
+    MatchList list(16);
+    EXPECT_EQ(list.stackSize(), 0);
+    for (int i = 0; i < 3; ++i)
+        list.insert({i, 0, static_cast<float>(i)});
+    EXPECT_EQ(list.stackSize(), 2);
+    for (int i = 3; i < 11; ++i)
+        list.insert({i, 0, static_cast<float>(i)});
+    EXPECT_EQ(list.stackSize(), 8);
+    for (int i = 11; i < 16; ++i)
+        list.insert({i, 0, static_cast<float>(i)});
+    EXPECT_EQ(list.stackSize(), 16);
+}
+
+TEST(MatchList, ClearEmpties)
+{
+    MatchList list(4);
+    list.insert({0, 0, 1.0f});
+    list.clear();
+    EXPECT_EQ(list.size(), 0);
+    EXPECT_TRUE(list.empty());
+}
+
+namespace {
+
+/** Fixture: a small image, its DCT field, and a color-domain plane. */
+class BlockMatchTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        plane_ = image::makeScene(image::SceneKind::Nature, 40, 40, 1, 21);
+        dct_ = std::make_unique<transforms::Dct2D>(4);
+        field_ = std::make_unique<bm3d::DctPatchField>(
+            plane_, *dct_, 0.0f, std::nullopt, nullptr);
+    }
+
+    image::ImageF plane_;
+    std::unique_ptr<transforms::Dct2D> dct_;
+    std::unique_ptr<bm3d::DctPatchField> field_;
+};
+
+} // namespace
+
+TEST_F(BlockMatchTest, ReferenceIsAlwaysFirstMatch)
+{
+    bm3d::DctMatchDomain domain(*field_);
+    bm3d::BlockMatcher<bm3d::DctMatchDomain> matcher(domain, 13, 1, 1,
+                                                     1e9f, 16);
+    MatchList out;
+    matcher.search(10, 10, out);
+    ASSERT_GE(out.size(), 1);
+    EXPECT_EQ(out[0].x, 10);
+    EXPECT_EQ(out[0].y, 10);
+    EXPECT_FLOAT_EQ(out[0].distance, 0.0f);
+}
+
+TEST_F(BlockMatchTest, FullSearchEvaluatesWholeWindow)
+{
+    bm3d::DctMatchDomain domain(*field_);
+    bm3d::BlockMatcher<bm3d::DctMatchDomain> matcher(domain, 13, 1, 1,
+                                                     1e9f, 16);
+    MatchList out;
+    // Interior reference: full 13x13 window minus the reference itself.
+    uint64_t evaluated = matcher.search(18, 18, out);
+    EXPECT_EQ(evaluated, 13u * 13u - 1u);
+    // Corner reference: window clipped to 7x7.
+    evaluated = matcher.search(0, 0, out);
+    EXPECT_EQ(evaluated, 7u * 7u - 1u);
+}
+
+TEST_F(BlockMatchTest, MatchesSortedAndWithinWindow)
+{
+    bm3d::DctMatchDomain domain(*field_);
+    bm3d::BlockMatcher<bm3d::DctMatchDomain> matcher(domain, 13, 1, 1,
+                                                     1e9f, 16);
+    MatchList out;
+    matcher.search(18, 18, out);
+    ASSERT_EQ(out.size(), 16);
+    for (int i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1].distance, out[i].distance);
+    for (const Match &m : out) {
+        EXPECT_GE(m.x, 12);
+        EXPECT_LE(m.x, 24);
+        EXPECT_GE(m.y, 12);
+        EXPECT_LE(m.y, 24);
+    }
+}
+
+TEST_F(BlockMatchTest, TauMatchFiltersCandidates)
+{
+    image::ImageF noisy = image::addGaussianNoise(plane_, 40.0f, 5);
+    bm3d::DctPatchField field(noisy, *dct_, 0.0f, std::nullopt, nullptr);
+    bm3d::DctMatchDomain domain(field);
+    bm3d::BlockMatcher<bm3d::DctMatchDomain> strict(domain, 13, 1, 1,
+                                                    1.0f, 16);
+    MatchList out;
+    strict.search(18, 18, out);
+    // With a tiny threshold on a noisy image only the reference stays.
+    EXPECT_LT(out.size(), 16);
+    EXPECT_GE(out.size(), 1);
+}
+
+TEST_F(BlockMatchTest, ReuseSearchEvaluatesFarFewerCandidates)
+{
+    bm3d::DctMatchDomain domain(*field_);
+    bm3d::BlockMatcher<bm3d::DctMatchDomain> matcher(domain, 13, 1, 1,
+                                                     1e9f, 16);
+    MatchList prev, cur;
+    uint64_t full = matcher.search(17, 18, prev);
+    uint64_t reused = matcher.searchReuse(18, 18, prev, cur);
+    EXPECT_LT(reused, full / 2);
+    // Upper bound from the paper: Ns x Ps new column + 16 reused.
+    EXPECT_LE(reused, 13u + 16u);
+    ASSERT_GE(cur.size(), 1);
+    EXPECT_EQ(cur[0].x, 18);
+}
+
+TEST_F(BlockMatchTest, ReuseNeverDuplicatesPositions)
+{
+    bm3d::DctMatchDomain domain(*field_);
+    // Reference near the right edge so the new column overlaps the
+    // previous window (the duplicate-risk case).
+    bm3d::BlockMatcher<bm3d::DctMatchDomain> matcher(domain, 13, 1, 1,
+                                                     1e9f, 16);
+    MatchList prev, cur;
+    matcher.search(35, 18, prev);
+    matcher.searchReuse(36, 18, prev, cur);
+    for (int i = 0; i < cur.size(); ++i)
+        for (int j = i + 1; j < cur.size(); ++j)
+            EXPECT_FALSE(cur[i].x == cur[j].x && cur[i].y == cur[j].y)
+                << "duplicate at " << cur[i].x << "," << cur[i].y;
+}
+
+TEST_F(BlockMatchTest, ColorDomainMatchesDirectComputation)
+{
+    bm3d::ColorMatchDomain domain(plane_, 4);
+    float expect = 0.0f;
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c) {
+            float d = plane_.at(5 + c, 6 + r) - plane_.at(9 + c, 11 + r);
+            expect += d * d;
+        }
+    EXPECT_NEAR(domain.distance(5, 6, 9, 11), expect / 16.0f, 1e-3f);
+}
+
+TEST_F(BlockMatchTest, UniformImageAllDistancesZero)
+{
+    image::ImageF flat(32, 32, 1);
+    flat.fill(99.0f);
+    bm3d::ColorMatchDomain domain(flat, 4);
+    bm3d::BlockMatcher<bm3d::ColorMatchDomain> matcher(domain, 9, 1, 1,
+                                                       100.0f, 16);
+    MatchList out;
+    matcher.search(14, 14, out);
+    EXPECT_EQ(out.size(), 16);
+    for (const Match &m : out)
+        EXPECT_FLOAT_EQ(m.distance, 0.0f);
+}

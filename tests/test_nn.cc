@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the NN substrate (tensors, layers, the ML1/ML2 networks)
+ * and the DaDianNao timing/energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dadiannao.h"
+#include "nn/layers.h"
+#include "nn/networks.h"
+#include "nn/tensor.h"
+
+using namespace ideal::nn;
+
+TEST(Tensor, ShapeAndIndexing)
+{
+    Tensor t(2, 3, 4);
+    EXPECT_EQ(t.size(), 24u);
+    t.at(1, 2, 3) = 5.0f;
+    EXPECT_EQ(t.raw()[1 * 12 + 2 * 4 + 3], 5.0f);
+    EXPECT_THROW(Tensor(0, 1, 1), std::invalid_argument);
+}
+
+TEST(DenseLayer, ForwardComputesAffineMap)
+{
+    DenseLayer layer(3, 2, false, 1);
+    Tensor in(1, 1, 3);
+    in.raw() = {1.0f, 2.0f, 3.0f};
+    Tensor out = layer.forward(in);
+    EXPECT_EQ(out.size(), 2u);
+    // Deterministic seed: forward twice gives identical results.
+    Tensor out2 = layer.forward(in);
+    EXPECT_EQ(out.raw(), out2.raw());
+}
+
+TEST(DenseLayer, ReluClampsNegatives)
+{
+    DenseLayer layer(8, 16, true, 2);
+    Tensor in(1, 1, 8);
+    for (size_t i = 0; i < 8; ++i)
+        in.raw()[i] = -10.0f + static_cast<float>(i);
+    Tensor out = layer.forward(in);
+    for (float v : out.raw())
+        EXPECT_GE(v, 0.0f);
+}
+
+TEST(DenseLayer, MacAndWeightCounts)
+{
+    DenseLayer layer(10, 4, false, 3);
+    EXPECT_EQ(layer.macs(), 40u);
+    EXPECT_EQ(layer.weights(), 44u);
+    EXPECT_EQ(layer.name(), "fc10x4");
+}
+
+TEST(DenseLayer, InputLengthMismatchThrows)
+{
+    DenseLayer layer(4, 2, false, 4);
+    Tensor wrong(1, 1, 5);
+    EXPECT_THROW(layer.forward(wrong), std::invalid_argument);
+}
+
+TEST(Conv2dLayer, PreservesSpatialShape)
+{
+    Conv2dLayer layer(3, 8, 3, true, 16, 5);
+    Tensor in(3, 10, 12);
+    Tensor out = layer.forward(in);
+    EXPECT_EQ(out.channels(), 8);
+    EXPECT_EQ(out.height(), 10);
+    EXPECT_EQ(out.width(), 12);
+}
+
+TEST(Conv2dLayer, MacCountUsesSpatial)
+{
+    Conv2dLayer layer(4, 8, 3, false, 16, 6);
+    EXPECT_EQ(layer.macs(), 16u * 16u * 4u * 8u * 9u);
+    EXPECT_EQ(layer.weights(), 4u * 8u * 9u + 8u);
+}
+
+TEST(Conv2dLayer, IdentityOnZeroInput)
+{
+    Conv2dLayer layer(2, 2, 3, false, 8, 7);
+    Tensor in(2, 8, 8);
+    Tensor out = layer.forward(in);
+    for (float v : out.raw())
+        EXPECT_EQ(v, 0.0f); // zero biases + zero input
+}
+
+TEST(Networks, Ml1MatchesTable5)
+{
+    auto d = makeMl1();
+    EXPECT_EQ(d.net->depth(), 5u);
+    // Table 5: 27.8 M weights.
+    EXPECT_NEAR(static_cast<double>(d.net->totalWeights()) / 1e6, 27.8,
+                0.5);
+    EXPECT_EQ(d.inputTile, 39);
+    EXPECT_EQ(d.outputTile, 17);
+}
+
+TEST(Networks, Ml2MatchesTable5)
+{
+    auto d = makeMl2();
+    EXPECT_EQ(d.net->depth(), 15u);
+    // Table 5: 560 K weights.
+    EXPECT_NEAR(static_cast<double>(d.net->totalWeights()) / 1e3, 560.0,
+                80.0);
+    EXPECT_EQ(d.inputTile, 320);
+    EXPECT_EQ(d.outputTile, 256);
+}
+
+TEST(Networks, Ml1ForwardPassShape)
+{
+    auto d = makeMl1();
+    Tensor in(1, 1, 1522);
+    Tensor out = d.net->forward(in);
+    EXPECT_EQ(out.size(), 289u); // 17 x 17 output patch
+}
+
+TEST(Networks, PassCountCoversImage)
+{
+    auto d = makeMl1();
+    EXPECT_EQ(d.passesForImage(17, 17), 1u);
+    EXPECT_EQ(d.passesForImage(18, 17), 2u);
+    EXPECT_EQ(d.passesForImage(170, 170), 100u);
+}
+
+TEST(DaDianNaoModel, Ml1IsWeightStreamingBound)
+{
+    DaDianNao node;
+    auto d = makeMl1();
+    auto r = node.run(d, 1024, 1024);
+    EXPECT_FALSE(r.weightsResident);
+    EXPECT_GT(r.weightBytesStreamed, 0u);
+    // Streaming 56 MB per pass through a 256 B/cycle port dominates:
+    // per-pass cycles ~= weights * 2 / 256.
+    uint64_t stream_cycles = d.net->totalWeights() * 2 / 256;
+    uint64_t passes = d.passesForImage(1024, 1024);
+    EXPECT_NEAR(static_cast<double>(r.cycles) /
+                    static_cast<double>(passes * stream_cycles),
+                1.0, 0.1);
+}
+
+TEST(DaDianNaoModel, Ml2IsComputeBound)
+{
+    DaDianNao node;
+    auto d = makeMl2();
+    auto r = node.run(d, 1024, 1024);
+    EXPECT_TRUE(r.weightsResident);
+    EXPECT_EQ(r.weightBytesStreamed, 0u);
+}
+
+TEST(DaDianNaoModel, Ml2MuchFasterThanMl1)
+{
+    // Fig. 13b: ML2 on DaDianNao is ~17x faster than ML1.
+    DaDianNao node;
+    auto r1 = node.run(makeMl1(), 2048, 2048);
+    auto r2 = node.run(makeMl2(), 2048, 2048);
+    double ratio = r1.seconds / r2.seconds;
+    EXPECT_GT(ratio, 8.0);
+    EXPECT_LT(ratio, 40.0);
+}
+
+TEST(DaDianNaoModel, PowerNearPaperTable7)
+{
+    DaDianNao node;
+    // Table 7: ML1 ~41 W on-chip; ML2 ~13 W total (9 core + 4 buffer).
+    auto r1 = node.run(makeMl1(), 4096, 4096);
+    EXPECT_NEAR(r1.corePowerW + r1.bufferPowerW, 41.0, 8.0);
+    auto r2 = node.run(makeMl2(), 4096, 4096);
+    EXPECT_NEAR(r2.totalPowerW(), 13.45, 4.0);
+    EXPECT_GT(r2.corePowerW, r2.bufferPowerW);
+}
+
+TEST(DaDianNaoModel, RuntimeLinearInResolution)
+{
+    DaDianNao node;
+    auto d = makeMl2();
+    auto r1 = node.run(d, 1024, 1024);
+    auto r4 = node.run(d, 2048, 2048);
+    EXPECT_NEAR(r4.seconds / r1.seconds, 4.0, 0.5);
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Property-style parameterized sweeps across the library's
+ * configuration space: invariants that must hold for *every*
+ * combination, not just the paper's defaults.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "bm3d/bm3d.h"
+#include "core/accelerator.h"
+#include "core/oracle.h"
+#include "dram/dram.h"
+#include "fixed/format.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+#include "transforms/dct.h"
+#include "transforms/haar.h"
+
+using namespace ideal;
+
+// ---------------------------------------------------------------------
+// BM3D parameter grid: (patch size, ref stride, search window) - the
+// denoiser must improve PSNR and cover every pixel for all of them.
+// ---------------------------------------------------------------------
+
+class Bm3dParamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(Bm3dParamSweep, ImprovesPsnrAndCoversImage)
+{
+    const auto [patch, stride, window] = GetParam();
+    bm3d::Bm3dConfig cfg;
+    cfg.patchSize = patch;
+    cfg.refStride = stride;
+    cfg.searchWindow1 = window;
+    cfg.searchWindow2 = window;
+    cfg.sigma = 25.0f;
+    cfg.validate();
+
+    auto clean = image::makeScene(image::SceneKind::Nature, 40, 40, 1,
+                                  300 + patch * 10 + stride);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 301);
+    bm3d::Bm3d denoiser(cfg);
+    auto result = denoiser.denoise(noisy);
+
+    EXPECT_GT(image::psnrDb(clean, result.output),
+              image::psnrDb(clean, noisy))
+        << "patch=" << patch << " stride=" << stride << " Ns=" << window;
+    // Output must stay in a sane dynamic range everywhere (every pixel
+    // was covered by at least one reference patch or fell back).
+    for (float v : result.output.raw()) {
+        EXPECT_GE(v, -64.0f);
+        EXPECT_LE(v, 320.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Bm3dParamSweep,
+    ::testing::Values(std::make_tuple(2, 1, 9), std::make_tuple(4, 1, 13),
+                      std::make_tuple(4, 2, 13), std::make_tuple(4, 3, 21),
+                      std::make_tuple(8, 1, 13), std::make_tuple(8, 4, 17)));
+
+// ---------------------------------------------------------------------
+// MR factor sweep: candidate count must be monotonically non-increasing
+// in K, and quality must stay within the paper's envelope.
+// ---------------------------------------------------------------------
+
+class MrFactorSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MrFactorSweep, HitsGrowAndQualityHolds)
+{
+    const double k = GetParam();
+    auto clean = image::makeScene(image::SceneKind::Nature, 40, 40, 1, 310);
+    auto noisy = image::addGaussianNoise(clean, 15.0f, 311);
+
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = 15.0f;
+    cfg.searchWindow1 = 13;
+    cfg.searchWindow2 = 11;
+    bm3d::Bm3d plain(cfg);
+    auto r_plain = plain.denoise(noisy);
+
+    cfg.mr.enabled = true;
+    cfg.mr.k = k;
+    bm3d::Bm3d mr(cfg);
+    auto r_mr = mr.denoise(noisy);
+
+    EXPECT_LE(r_mr.profile.mr().bm1Candidates,
+              r_plain.profile.mr().bm1Candidates);
+    EXPECT_GT(image::psnrDb(clean, r_mr.output),
+              image::psnrDb(clean, r_plain.output) - 1.5)
+        << "K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MrFactorSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------------------------
+// Fixed-point format sweep: round-trips through every (int, frac)
+// format must bound the error by half an ulp and saturate cleanly.
+// ---------------------------------------------------------------------
+
+class FormatSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(FormatSweep, RoundTripAndSaturationInvariants)
+{
+    const auto [int_bits, frac_bits] = GetParam();
+    fixed::Format q(int_bits, frac_bits);
+    image::SplitMix64 rng(17);
+    const double limit = std::ldexp(1.0, int_bits);
+    for (int i = 0; i < 200; ++i) {
+        double v = (rng.uniform() * 2.0 - 1.0) * limit * 1.5;
+        double rt = q.roundTrip(v);
+        if (std::abs(v) < limit - 1.0 / q.scale()) {
+            EXPECT_LE(std::abs(rt - v), 0.5 / q.scale() + 1e-12)
+                << q.str() << " v=" << v;
+        } else {
+            // Out of range: must saturate within the format bounds.
+            EXPECT_LE(rt, q.toDouble(q.maxRaw()) + 1e-12);
+            EXPECT_GE(rt, q.toDouble(q.minRaw()) - 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FormatSweep,
+    ::testing::Combine(::testing::Values(4, 8, 11, 13, 15),
+                       ::testing::Values(4, 7, 10, 12)));
+
+// ---------------------------------------------------------------------
+// Transform sweep: for every supported size, orthonormality implies
+// energy preservation and perfect reconstruction.
+// ---------------------------------------------------------------------
+
+class HaarSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HaarSizeSweep, ParsevalHolds)
+{
+    const int n = GetParam();
+    transforms::Haar1D haar(n);
+    image::SplitMix64 rng(600 + n);
+    std::vector<float> in(n), out(n);
+    for (float &v : in)
+        v = rng.uniform(-100.0f, 100.0f);
+    haar.forward(in.data(), out.data());
+    double e_in = 0, e_out = 0;
+    for (int i = 0; i < n; ++i) {
+        e_in += static_cast<double>(in[i]) * in[i];
+        e_out += static_cast<double>(out[i]) * out[i];
+    }
+    EXPECT_NEAR(e_out / e_in, 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarSizeSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+// ---------------------------------------------------------------------
+// DRAM configuration sweep: the timing model must stay causal (finish
+// after enqueue), conserve requests, and respect the bandwidth peak
+// under every topology.
+// ---------------------------------------------------------------------
+
+class DramConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>>
+{
+};
+
+TEST_P(DramConfigSweep, ConservationAndCausality)
+{
+    const auto [channels, banks, frfcfs] = GetParam();
+    dram::DramConfig cfg;
+    cfg.channels = channels;
+    cfg.banksPerChannel = banks;
+    cfg.frfcfs = frfcfs;
+    cfg.validate();
+    dram::DramSystem mem(cfg);
+
+    image::SplitMix64 rng(42);
+    const int total = 300;
+    int issued = 0, completed = 0;
+    sim::Cycle cycle = 0;
+    while ((issued < total || !mem.idle()) && cycle < 1'000'000) {
+        ++cycle;
+        while (issued < total) {
+            sim::Addr addr = (rng.next() % (1 << 22)) & ~63ULL;
+            if (!mem.enqueue(dram::Request{
+                    addr, (issued % 5) == 0,
+                    static_cast<uint64_t>(issued)}, cycle))
+                break;
+            ++issued;
+        }
+        mem.tick(cycle);
+        for (const auto &done : mem.collectCompletions(cycle)) {
+            EXPECT_LE(done.finishedAt, cycle);
+            ++completed;
+        }
+    }
+    EXPECT_EQ(issued, total);
+    EXPECT_EQ(completed, total);
+    EXPECT_EQ(mem.bytesTransferred(), static_cast<uint64_t>(total) * 64);
+    double gbps = static_cast<double>(mem.bytesTransferred()) /
+                  static_cast<double>(cycle);
+    EXPECT_LE(gbps, cfg.peakGBs() * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, DramConfigSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(4, 8),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------
+// Accelerator sweep: for every (variant, lanes) combination the
+// simulator must terminate, be deterministic, and never exceed the
+// memory peak.
+// ---------------------------------------------------------------------
+
+class AcceleratorSweep
+    : public ::testing::TestWithParam<std::tuple<bool, int>>
+{
+};
+
+TEST_P(AcceleratorSweep, TerminatesDeterministically)
+{
+    const auto [is_mr, lanes] = GetParam();
+    core::AcceleratorConfig cfg =
+        is_mr ? core::AcceleratorConfig::idealMr(0.5)
+              : core::AcceleratorConfig::idealB();
+    cfg.lanes = lanes;
+
+    auto clean = image::makeScene(image::SceneKind::Street, 96, 96, 3, 71);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 72);
+    auto a = core::simulateImage(cfg, noisy);
+    auto b = core::simulateImage(cfg, noisy);
+    EXPECT_EQ(a.totalCycles(), b.totalCycles());
+    EXPECT_GT(a.totalCycles(), 0u);
+    EXPECT_LE(a.averageBandwidthGBs(), cfg.dram.peakGBs() * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AcceleratorSweep,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(4, 16, 32)));
+
+// ---------------------------------------------------------------------
+// Oracle sweep: the synthetic workload's realized hit rate must track
+// the requested rate for any stride.
+// ---------------------------------------------------------------------
+
+class OracleRateSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>>
+{
+};
+
+TEST_P(OracleRateSweep, RealizedRateTracksRequested)
+{
+    const auto [rate, stride] = GetParam();
+    bm3d::Bm3dConfig cfg;
+    cfg.mr.enabled = true;
+    cfg.refStride = stride;
+    auto w = core::makeSyntheticWorkload(256, 256, 1, cfg, rate, rate, 5);
+    // The first reference of each row can never hit; tolerance covers
+    // that structural loss plus sampling noise.
+    EXPECT_NEAR(w.stage1.hitRate(), rate, 0.05 + 1.0 / (256.0 / stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, OracleRateSweep,
+    ::testing::Combine(::testing::Values(0.5, 0.9, 0.99),
+                       ::testing::Values(1, 3)));

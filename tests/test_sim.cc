@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: cycle/time conversion,
+ * bounded queues, and the stats registry.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/queue.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+using namespace ideal::sim;
+
+TEST(SimTypes, CyclesToSeconds)
+{
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(1'000'000'000ULL, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(500, 0.5), 1e-6);
+}
+
+TEST(SimTypes, NsToCyclesRoundsUp)
+{
+    EXPECT_EQ(nsToCycles(13.5, 1.0), 14u);
+    EXPECT_EQ(nsToCycles(13.0, 1.0), 13u);
+    EXPECT_EQ(nsToCycles(1.0, 0.5), 1u);
+    EXPECT_EQ(nsToCycles(0.0, 1.0), 0u);
+}
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(3);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, RejectsWhenFullAndCountsStalls)
+{
+    BoundedQueue<int> q(2);
+    q.push(1);
+    q.push(2);
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(3));
+    EXPECT_EQ(q.pushStalls(), 1u);
+    EXPECT_EQ(q.pushes(), 2u);
+    q.pop();
+    EXPECT_TRUE(q.push(3));
+}
+
+TEST(BoundedQueue, FrontPeeksWithoutRemoving)
+{
+    BoundedQueue<int> q(2);
+    q.push(7);
+    EXPECT_EQ(q.front(), 7);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(StatsRegistry, AddAndGet)
+{
+    StatsRegistry s;
+    EXPECT_EQ(s.get("x"), 0.0);
+    EXPECT_FALSE(s.has("x"));
+    s.add("x", 2.0);
+    s.add("x", 3.0);
+    EXPECT_EQ(s.get("x"), 5.0);
+    EXPECT_TRUE(s.has("x"));
+    s.set("x", 1.0);
+    EXPECT_EQ(s.get("x"), 1.0);
+}
+
+TEST(StatsRegistry, MergeSums)
+{
+    StatsRegistry a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 4.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3.0);
+    EXPECT_EQ(a.get("y"), 4.0);
+}
+
+TEST(StatsRegistry, DumpIsSorted)
+{
+    StatsRegistry s;
+    s.add("b", 2);
+    s.add("a", 1);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "a 1\nb 2\n");
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the spatio-temporal (V-BM3D-style) video denoiser:
+ * configuration validation, temporal stacking behaviour, quality
+ * gains from temporal matches, and MR interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bm3d/video.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+
+using namespace ideal;
+using bm3d::VideoBm3d;
+using bm3d::VideoConfig;
+
+namespace {
+
+/** A static scene observed over several frames with fresh noise. */
+std::vector<image::ImageF>
+staticSequence(int frames, int size, float sigma, uint64_t seed,
+               image::ImageF *clean_out = nullptr)
+{
+    image::ImageF clean =
+        image::makeScene(image::SceneKind::Nature, size, size, 1, seed);
+    if (clean_out)
+        *clean_out = clean;
+    std::vector<image::ImageF> seq;
+    for (int f = 0; f < frames; ++f)
+        seq.push_back(image::addGaussianNoise(clean, sigma, seed + 7 + f));
+    return seq;
+}
+
+/** A horizontally panning scene (global motion of `step` px/frame). */
+std::vector<image::ImageF>
+panningSequence(int frames, int size, int step, float sigma,
+                uint64_t seed)
+{
+    image::ImageF wide = image::makeScene(
+        image::SceneKind::Street, size + frames * step, size, 1, seed);
+    std::vector<image::ImageF> seq;
+    for (int f = 0; f < frames; ++f) {
+        image::ImageF frame = wide.crop(f * step, 0, size, size);
+        seq.push_back(image::addGaussianNoise(frame, sigma, seed + f));
+    }
+    return seq;
+}
+
+VideoConfig
+smallVideoConfig(float sigma = 25.0f)
+{
+    VideoConfig cfg;
+    cfg.frame.sigma = sigma;
+    cfg.frame.searchWindow1 = 13;
+    cfg.temporalRadius = 1;
+    cfg.predictiveWindow = 7;
+    return cfg;
+}
+
+} // namespace
+
+TEST(VideoConfig, Validation)
+{
+    VideoConfig cfg = smallVideoConfig();
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.temporalRadius = 5;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = smallVideoConfig();
+    cfg.predictiveWindow = 8; // even
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = smallVideoConfig();
+    cfg.frame.sigma = -1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Video, RejectsBadSequences)
+{
+    VideoBm3d denoiser(smallVideoConfig());
+    EXPECT_THROW(denoiser.denoise({}), std::invalid_argument);
+    std::vector<image::ImageF> mixed = {image::ImageF(32, 32, 1),
+                                        image::ImageF(16, 32, 1)};
+    EXPECT_THROW(denoiser.denoise(mixed), std::invalid_argument);
+}
+
+TEST(Video, DenoisesEveryFrame)
+{
+    image::ImageF clean;
+    auto seq = staticSequence(3, 40, 25.0f, 51, &clean);
+    VideoBm3d denoiser(smallVideoConfig());
+    auto result = denoiser.denoise(seq);
+    ASSERT_EQ(result.frames.size(), 3u);
+    for (const auto &frame : result.frames)
+        EXPECT_GT(image::psnrDb(clean, frame),
+                  image::psnrDb(clean, seq[0]) + 3.0);
+}
+
+TEST(Video, TemporalMatchesUsed)
+{
+    auto seq = staticSequence(3, 40, 25.0f, 52);
+    VideoBm3d denoiser(smallVideoConfig());
+    auto result = denoiser.denoise(seq);
+    // On a static scene, temporal candidates are as good as spatial
+    // ones and should take a visible share of the stacks.
+    EXPECT_GT(result.temporalShare, 0.1);
+}
+
+TEST(Video, TemporalRadiusZeroMatchesSpatialOnly)
+{
+    auto seq = staticSequence(2, 32, 25.0f, 53);
+    VideoConfig cfg = smallVideoConfig();
+    cfg.temporalRadius = 0;
+    VideoBm3d denoiser(cfg);
+    auto result = denoiser.denoise(seq);
+    EXPECT_EQ(result.temporalShare, 0.0);
+}
+
+TEST(Video, TemporalHelpsOnStaticScene)
+{
+    image::ImageF clean;
+    auto seq = staticSequence(3, 48, 25.0f, 54, &clean);
+
+    VideoConfig spatial_only = smallVideoConfig();
+    spatial_only.temporalRadius = 0;
+    auto r_spatial = VideoBm3d(spatial_only).denoise(seq);
+
+    auto r_temporal = VideoBm3d(smallVideoConfig()).denoise(seq);
+
+    // Independent noise across frames: temporal stacking averages it.
+    double psnr_s = image::psnrDb(clean, r_spatial.frames[1]);
+    double psnr_t = image::psnrDb(clean, r_temporal.frames[1]);
+    EXPECT_GT(psnr_t, psnr_s - 0.1);
+}
+
+TEST(Video, HandlesGlobalMotion)
+{
+    auto seq = panningSequence(3, 48, 2, 20.0f, 55);
+    VideoConfig cfg = smallVideoConfig(20.0f);
+    VideoBm3d denoiser(cfg);
+    auto result = denoiser.denoise(seq);
+    // Predictive search should still find temporal matches under a
+    // 2 px/frame pan (within the 7 px predictive window).
+    EXPECT_GT(result.temporalShare, 0.05);
+}
+
+TEST(Video, MrReducesSearchInVideoToo)
+{
+    auto seq = staticSequence(2, 40, 10.0f, 56);
+    VideoConfig cfg = smallVideoConfig(10.0f);
+    cfg.frame.mr.enabled = true;
+    cfg.frame.mr.k = 0.5;
+    auto with_mr = VideoBm3d(cfg).denoise(seq);
+    EXPECT_GT(with_mr.profile.mr().hitRate1(), 0.3);
+
+    cfg.frame.mr.enabled = false;
+    auto without = VideoBm3d(cfg).denoise(seq);
+    EXPECT_LT(with_mr.profile.mr().bm1Candidates,
+              without.profile.mr().bm1Candidates);
+}
+
+TEST(Video, MultiChannelSequences)
+{
+    image::ImageF clean =
+        image::makeScene(image::SceneKind::Texture, 32, 32, 3, 57);
+    std::vector<image::ImageF> seq;
+    for (int f = 0; f < 2; ++f)
+        seq.push_back(image::addGaussianNoise(clean, 25.0f, 58 + f));
+    VideoBm3d denoiser(smallVideoConfig());
+    auto result = denoiser.denoise(seq);
+    EXPECT_EQ(result.frames[0].channels(), 3);
+    EXPECT_GT(image::psnrDb(clean, result.frames[0]),
+              image::psnrDb(clean, seq[0]) + 2.0);
+}
+
+TEST(Video, ProfileAccountsMatchingAndDenoising)
+{
+    auto seq = staticSequence(2, 32, 25.0f, 59);
+    VideoBm3d denoiser(smallVideoConfig());
+    auto result = denoiser.denoise(seq);
+    EXPECT_GT(result.profile.seconds(bm3d::Step::Dct1), 0.0);
+    EXPECT_GT(result.profile.seconds(bm3d::Step::Bm1), 0.0);
+    EXPECT_GT(result.profile.seconds(bm3d::Step::Bm2), 0.0); // temporal
+    EXPECT_GT(result.profile.seconds(bm3d::Step::De1), 0.0);
+}
