@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "parallel/pool.h"
+
 namespace ideal {
 namespace bench {
 
@@ -93,6 +95,10 @@ timingScenes(int size, float sigma)
 baseline::BaselineSuite &
 baselines()
 {
+    // Warm the process-wide worker pool before the first measured run:
+    // every figure then reuses the same threads instead of paying
+    // spawn latency inside its timing loop.
+    parallel::ThreadPool::global();
     static baseline::BaselineSuite suite(fullScale() ? 128 : 96, 25.0f);
     return suite;
 }

@@ -1,10 +1,11 @@
 #include "baseline/baseline.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "image/noise.h"
 #include "image/synthetic.h"
+#include "parallel/pool.h"
 
 namespace ideal {
 namespace baseline {
@@ -46,8 +47,10 @@ BaselineSuite::configFor(Platform platform) const
       case Platform::Gpu:
         break;
       case Platform::CpuThreads:
-        cfg.numThreads = std::max(
-            2u, std::thread::hardware_concurrency());
+        // Shared clamped helper: handles hardware_concurrency() == 0
+        // and caps runaway values; at least two threads so the
+        // platform exercises the multi-threaded path everywhere.
+        cfg.numThreads = std::max(2, parallel::hardwareThreads());
         break;
       case Platform::CpuMr025:
         cfg.mr.enabled = true;

@@ -1,11 +1,12 @@
 #include "bm3d/bm3d.h"
 
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <optional>
 
 #include "bm3d/blockmatch.h"
 #include "bm3d/denoise.h"
+#include "parallel/pool.h"
+#include "parallel/tiles.h"
 #include "transforms/dct.h"
 
 namespace ideal {
@@ -14,18 +15,34 @@ namespace bm3d {
 namespace {
 
 /**
- * Process the reference patches of a band of rows with one matcher and
- * one denoising engine, applying Matches Reuse along each row. This is
- * the same work partitioning IDEALMR uses across its lanes (Sec. 5.3:
- * row granularity keeps MR locality within a worker).
+ * Per-executor scratch of the tiled runner: one denoising engine (DCT
+ * tables, Haar transforms), one profile, and the across-rows MR state
+ * buffer, all reused across every tile the executor runs so the hot
+ * path performs no per-tile heap allocation beyond its aggregator.
+ */
+struct WorkerScratch
+{
+    Profile profile;
+    std::optional<DenoiseEngine> engine;
+    std::vector<MatchList> rowAbove;
+};
+
+/**
+ * Process the reference patches of one 2-D tile with one matcher and
+ * one denoising engine, applying Matches Reuse along each tile row.
+ * This is the same work decomposition IDEALMR uses across its lanes
+ * (Sec. 5.3: row granularity keeps MR locality within a worker), cut
+ * into tiles so the work-stealing pool can balance load and the search
+ * window's working set stays cache-resident.
  */
 template <typename Domain>
 void
-processRows(const Bm3dConfig &cfg, Stage stage,
+processTile(const Bm3dConfig &cfg, Stage stage,
             const BlockMatcher<Domain> &matcher,
             const std::vector<int> &xs, const std::vector<int> &ys,
-            size_t row_begin, size_t row_end, DenoiseEngine &engine,
-            Aggregator &agg, Profile &profile)
+            const parallel::Tile &tile, DenoiseEngine &engine,
+            Aggregator &agg, Profile &profile,
+            std::vector<MatchList> &row_above)
 {
     const Step bm_step =
         stage == Stage::HardThreshold ? Step::Bm1 : Step::Bm2;
@@ -34,20 +51,20 @@ processRows(const Bm3dConfig &cfg, Stage stage,
     MatchList current;
     MatchList previous;
 
-    // Across-rows extension state: last row's match list per column.
+    // Across-rows extension state: last tile row's match list per
+    // column of the tile.
     const bool across_rows = cfg.mr.enabled && cfg.mr.acrossRows;
-    std::vector<MatchList> row_above;
     if (across_rows)
-        row_above.assign(xs.size(), MatchList(cfg.maxMatches));
+        row_above.assign(tile.width(), MatchList(cfg.maxMatches));
     bool have_row_above = false;
 
     MrStats mr;
-    for (size_t yi = row_begin; yi < row_end; ++yi) {
+    for (int yi = tile.y0; yi < tile.y1; ++yi) {
         const int y = ys[yi];
-        const int y_above = yi > row_begin ? ys[yi - 1] : 0;
+        const int y_above = yi > tile.y0 ? ys[yi - 1] : 0;
         bool have_previous = false;
         int prev_x = 0;
-        for (size_t xi = 0; xi < xs.size(); ++xi) {
+        for (int xi = tile.x0; xi < tile.x1; ++xi) {
             const int x = xs[xi];
             bool hit = false;
             bool vert_hit = false;
@@ -75,7 +92,7 @@ processRows(const Bm3dConfig &cfg, Stage stage,
                         hit = true;
                         vert_hit = true;
                         candidates += matcher.searchReuseDown(
-                            x, y, row_above[xi], current);
+                            x, y, row_above[xi - tile.x0], current);
                     }
                 }
                 if (!hit)
@@ -97,7 +114,7 @@ processRows(const Bm3dConfig &cfg, Stage stage,
             have_previous = true;
             prev_x = x;
             if (across_rows)
-                row_above[xi] = current;
+                row_above[xi - tile.x0] = current;
         }
         if (across_rows)
             have_row_above = true;
@@ -118,6 +135,18 @@ processRows(const Bm3dConfig &cfg, Stage stage,
     profile.addOps(bm_step, ops);
 }
 
+/**
+ * Tiled work-stealing runner for one BM3D stage.
+ *
+ * The reference-patch grid is cut into 2-D tiles (a grid that depends
+ * only on image size and cfg.tileGrain, never the thread count); the
+ * shared pool distributes tiles across up to cfg.numThreads executors
+ * with work stealing. Each tile accumulates into its own sub-region
+ * aggregator sized to the tile's contribution footprint; the partial
+ * sums are merged into the full image in tile order afterwards, so the
+ * floating-point addition tree — and therefore the output image — is
+ * identical for every thread count, including single-threaded runs.
+ */
 template <typename Domain>
 image::ImageF
 runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
@@ -133,37 +162,59 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
     const std::vector<int> ys =
         makeRefPositions(domain.positionsY() - 1, cfg.refStride);
 
+    const std::vector<parallel::Tile> tiles =
+        parallel::makeTiles(static_cast<int>(xs.size()),
+                            static_cast<int>(ys.size()), cfg.tileGrain);
     const int threads =
-        std::min<int>(cfg.numThreads, static_cast<int>(ys.size()));
+        std::min<int>(parallel::clampThreads(cfg.numThreads),
+                      static_cast<int>(tiles.size()));
 
+    // Contribution footprint of a tile: matches lie within the search
+    // window of a reference, and each patch extends patchSize pixels.
+    const int half = (cfg.searchWindow(stage) - 1) / 2;
+
+    std::vector<WorkerScratch> workers(std::max(1, threads));
+
+    // Completed tiles are merged into the total eagerly but strictly
+    // in tile order (a cursor advances over consecutive ready tiles),
+    // so memory stays bounded by the out-of-order window while the
+    // addition tree stays identical for every thread count.
     Aggregator total(noisy.width(), noisy.height(), noisy.channels());
-    if (threads <= 1) {
-        DenoiseEngine engine(cfg, stage, noisy, basic, field, &profile);
-        processRows(cfg, stage, matcher, xs, ys, 0, ys.size(), engine,
-                    total, profile);
-    } else {
-        std::mutex merge_mutex;
-        std::vector<std::thread> pool;
-        const size_t rows = ys.size();
-        for (int t = 0; t < threads; ++t) {
-            const size_t begin = rows * t / threads;
-            const size_t end = rows * (t + 1) / threads;
-            pool.emplace_back([&, begin, end]() {
-                Profile local_profile;
-                Aggregator local_agg(noisy.width(), noisy.height(),
-                                     noisy.channels());
-                DenoiseEngine engine(cfg, stage, noisy, basic, field,
-                                     &local_profile);
-                processRows(cfg, stage, matcher, xs, ys, begin, end,
-                            engine, local_agg, local_profile);
-                std::lock_guard<std::mutex> lock(merge_mutex);
-                total.merge(local_agg);
-                profile += local_profile;
-            });
-        }
-        for (auto &th : pool)
-            th.join();
-    }
+    std::vector<std::optional<Aggregator>> pending(tiles.size());
+    std::mutex merge_mutex;
+    size_t merge_cursor = 0;
+
+    parallel::ThreadPool::global().run(
+        static_cast<int>(tiles.size()), threads, [&](int ti, int slot) {
+            WorkerScratch &ws = workers[slot];
+            if (!ws.engine) {
+                ws.engine.emplace(cfg, stage, noisy, basic, field,
+                                  &ws.profile);
+            }
+            const parallel::Tile &tile = tiles[ti];
+            const int x_lo = std::max(0, xs[tile.x0] - half);
+            const int x_hi = std::min(noisy.width(),
+                                      xs[tile.x1 - 1] + half + cfg.patchSize);
+            const int y_lo = std::max(0, ys[tile.y0] - half);
+            const int y_hi = std::min(noisy.height(),
+                                      ys[tile.y1 - 1] + half + cfg.patchSize);
+            Aggregator agg(x_lo, y_lo, x_hi - x_lo, y_hi - y_lo,
+                           noisy.channels());
+            processTile(cfg, stage, matcher, xs, ys, tile, *ws.engine, agg,
+                        ws.profile, ws.rowAbove);
+
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            pending[ti].emplace(std::move(agg));
+            while (merge_cursor < pending.size() &&
+                   pending[merge_cursor]) {
+                total.merge(*pending[merge_cursor]);
+                pending[merge_cursor].reset();
+                ++merge_cursor;
+            }
+        });
+
+    for (const WorkerScratch &ws : workers)
+        profile += ws.profile;
 
     const image::ImageF &fallback = stage == Stage::Wiener ? *basic : noisy;
     return total.finalize(fallback);

@@ -127,8 +127,20 @@ struct Bm3dConfig
      */
     std::optional<fixed::PipelineFormats> fixedPoint;
 
-    /// Number of worker threads (1 = single-thread).
+    /// Number of worker threads (1 = single-thread; 0 or negative
+    /// selects the hardware thread count).
     int numThreads = 1;
+
+    /**
+     * Tile edge of the parallel runner's 2-D decomposition, in
+     * reference-patch grid units. The tile grid depends only on the
+     * image size and this grain — never on the thread count — which is
+     * what makes denoised output bit-identical for any numThreads.
+     * Smaller grains improve load balance and cache locality of the
+     * search window; larger grains lengthen Matches-Reuse runs (MR
+     * state resets at each tile's row starts).
+     */
+    int tileGrain = 64;
 
     /** Validate invariants; throws std::invalid_argument on error. */
     void
@@ -151,8 +163,8 @@ struct Bm3dConfig
             throw std::invalid_argument("MR factor K must be in (0, 1]");
         if (sharpenAlpha < 1.0f)
             throw std::invalid_argument("sharpenAlpha must be >= 1");
-        if (numThreads < 1)
-            throw std::invalid_argument("numThreads must be >= 1");
+        if (tileGrain < 1)
+            throw std::invalid_argument("tileGrain must be >= 1");
     }
 
     /** Search window size of @p stage. */

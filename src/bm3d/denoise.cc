@@ -24,15 +24,23 @@ Aggregator::Aggregator(int width, int height, int channels)
 {
 }
 
+Aggregator::Aggregator(int x0, int y0, int width, int height, int channels)
+    : x0_(x0), y0_(y0), num_(width, height, channels),
+      den_(width, height, channels)
+{
+}
+
 void
 Aggregator::addPatch(int x, int y, int c, int patch_size,
                      const float *pixels, float w)
 {
+    const int lx = x - x0_;
+    const int ly = y - y0_;
     for (int r = 0; r < patch_size; ++r) {
         float *nrow = num_.plane(c) +
-                      static_cast<size_t>(y + r) * num_.width() + x;
+                      static_cast<size_t>(ly + r) * num_.width() + lx;
         float *drow = den_.plane(c) +
-                      static_cast<size_t>(y + r) * den_.width() + x;
+                      static_cast<size_t>(ly + r) * den_.width() + lx;
         for (int col = 0; col < patch_size; ++col) {
             nrow[col] += w * pixels[r * patch_size + col];
             drow[col] += w;
@@ -43,6 +51,9 @@ Aggregator::addPatch(int x, int y, int c, int patch_size,
 image::ImageF
 Aggregator::finalize(const image::ImageF &fallback) const
 {
+    if (x0_ != 0 || y0_ != 0)
+        throw std::logic_error(
+            "Aggregator::finalize: region aggregators cannot finalize");
     image::ImageF out(num_.width(), num_.height(), num_.channels());
     for (size_t i = 0; i < out.size(); ++i) {
         float d = den_.raw()[i];
@@ -54,11 +65,34 @@ Aggregator::finalize(const image::ImageF &fallback) const
 void
 Aggregator::merge(const Aggregator &other)
 {
-    if (!num_.sameShape(other.num_))
-        throw std::invalid_argument("Aggregator::merge: shape mismatch");
-    for (size_t i = 0; i < num_.size(); ++i) {
-        num_.raw()[i] += other.num_.raw()[i];
-        den_.raw()[i] += other.den_.raw()[i];
+    if (num_.channels() != other.num_.channels())
+        throw std::invalid_argument("Aggregator::merge: channel mismatch");
+    const int off_x = other.x0_ - x0_;
+    const int off_y = other.y0_ - y0_;
+    const int ow = other.num_.width();
+    const int oh = other.num_.height();
+    if (off_x < 0 || off_y < 0 || off_x + ow > num_.width() ||
+        off_y + oh > num_.height()) {
+        throw std::invalid_argument(
+            "Aggregator::merge: region not contained");
+    }
+    for (int c = 0; c < num_.channels(); ++c) {
+        for (int r = 0; r < oh; ++r) {
+            float *nrow = num_.plane(c) +
+                          static_cast<size_t>(off_y + r) * num_.width() +
+                          off_x;
+            float *drow = den_.plane(c) +
+                          static_cast<size_t>(off_y + r) * den_.width() +
+                          off_x;
+            const float *onrow =
+                other.num_.plane(c) + static_cast<size_t>(r) * ow;
+            const float *odrow =
+                other.den_.plane(c) + static_cast<size_t>(r) * ow;
+            for (int col = 0; col < ow; ++col) {
+                nrow[col] += onrow[col];
+                drow[col] += odrow[col];
+            }
+        }
     }
 }
 
@@ -174,6 +208,85 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
         }
 
         ShrinkStats total;
+        if (!config_.fixedPoint) {
+            // Row-wise (SoA) float path: the Haar butterflies run
+            // along the stack dimension with the pp coefficient
+            // positions as contiguous vector lanes. Every lane sees
+            // the exact per-position operation sequence, so results
+            // are bit-identical to the transposed form below — minus
+            // the gather/scatter transposes and with vectorizable
+            // inner loops.
+            float thaar[kMaxStack][kMaxCoefs];
+            if (haar)
+                haar->forwardRows(&noisy_coefs[0][0], &thaar[0][0],
+                                  kMaxCoefs, pp);
+            else
+                std::copy(noisy_coefs[0], noisy_coefs[0] + pp, thaar[0]);
+
+            if (stage_ == Stage::HardThreshold) {
+                for (int i = 0; i < stack_size; ++i)
+                    for (int pos = 0; pos < pp; ++pos) {
+                        if (std::abs(thaar[i][pos]) < threshold3d_)
+                            thaar[i][pos] = 0.0f;
+                        else
+                            ++total.nonZero;
+                    }
+            } else {
+                float bhaar[kMaxStack][kMaxCoefs];
+                if (haar)
+                    haar->forwardRows(&basic_coefs[0][0], &bhaar[0][0],
+                                      kMaxCoefs, pp);
+                else
+                    std::copy(basic_coefs[0], basic_coefs[0] + pp,
+                              bhaar[0]);
+                const float s2 = config_.sigma * config_.sigma;
+                for (int i = 0; i < stack_size; ++i)
+                    for (int pos = 0; pos < pp; ++pos) {
+                        const float b = bhaar[i][pos];
+                        const float w = (b * b) / (b * b + s2);
+                        thaar[i][pos] *= w;
+                        total.sumWeightSq +=
+                            static_cast<double>(w) * w;
+                        if (w > 0.5f)
+                            ++total.nonZero;
+                    }
+            }
+
+            // Joint sharpening (paper Sec. 7): alpha-root the shrunk
+            // 3-D spectrum magnitudes relative to the block's largest
+            // coefficient, which is left unchanged.
+            if (config_.sharpenAlpha > 1.0f) {
+                float ref = 0.0f;
+                for (int i = 0; i < stack_size; ++i)
+                    for (int pos = 0; pos < pp; ++pos)
+                        ref = std::max(ref, std::abs(thaar[i][pos]));
+                if (ref > 0.0f) {
+                    const float inv_alpha = 1.0f / config_.sharpenAlpha;
+                    for (int i = 0; i < stack_size; ++i)
+                        for (int pos = 0; pos < pp; ++pos) {
+                            float v = thaar[i][pos];
+                            // Boost only coefficients that survived
+                            // shrinkage as significant: rooting the
+                            // sub-threshold residue (present after the
+                            // Wiener stage, which attenuates rather
+                            // than zeroes) would amplify noise.
+                            if (std::abs(v) < threshold3d_)
+                                continue;
+                            float mag = ref * std::pow(std::abs(v) / ref,
+                                                       inv_alpha);
+                            mag = std::min(mag, std::abs(v) *
+                                                    config_.sharpenMaxBoost);
+                            thaar[i][pos] = std::copysign(mag, v);
+                        }
+                }
+            }
+
+            if (haar)
+                haar->inverseRows(&thaar[0][0], &noisy_coefs[0][0],
+                                  kMaxCoefs, pp);
+            else
+                std::copy(thaar[0], thaar[0] + pp, noisy_coefs[0]);
+        } else {
         for (int pos = 0; pos < pp; ++pos) {
             float zvec[kMaxStack];
             for (int i = 0; i < stack_size; ++i)
@@ -244,6 +357,7 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
             }
             for (int i = 0; i < stack_size; ++i)
                 noisy_coefs[i][pos] = zvec[i];
+        }
         }
 
         float weight;

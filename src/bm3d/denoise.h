@@ -31,23 +31,44 @@ namespace bm3d {
  * produces the estimate, falling back to @p fallback where no patch
  * contributed (cannot happen for full-coverage strides, but guards
  * degenerate configurations).
+ *
+ * An aggregator may cover a sub-region of the image (the tiled
+ * parallel runner gives each tile one sized to the tile's contribution
+ * footprint). Patch coordinates are always full-image coordinates;
+ * region aggregators are merged into the full-image one in tile order,
+ * which is what makes multi-threaded aggregation deterministic.
  */
 class Aggregator
 {
   public:
+    /** Full-image accumulator with origin (0, 0). */
     Aggregator(int width, int height, int channels);
 
-    /** Accumulate a restored patch with weight @p w. */
+    /** Sub-region accumulator with origin (x0, y0) in image coords. */
+    Aggregator(int x0, int y0, int width, int height, int channels);
+
+    int originX() const { return x0_; }
+    int originY() const { return y0_; }
+    int width() const { return num_.width(); }
+    int height() const { return num_.height(); }
+
+    /** Accumulate a restored patch with weight @p w. The patch must
+        lie fully inside this aggregator's region. */
     void addPatch(int x, int y, int c, int patch_size, const float *pixels,
                   float w);
 
-    /** Produce the estimate image. */
+    /** Produce the estimate image (full-image aggregators only). */
     image::ImageF finalize(const image::ImageF &fallback) const;
 
-    /** Merge another aggregator (for multi-threaded runs). */
+    /**
+     * Merge another aggregator whose region is contained in this one
+     * (same-shape full merges and tile-into-image merges alike).
+     */
     void merge(const Aggregator &other);
 
   private:
+    int x0_ = 0;
+    int y0_ = 0;
     image::ImageF num_;
     image::ImageF den_;
 };

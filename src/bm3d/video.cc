@@ -9,6 +9,7 @@
 #include "bm3d/denoise.h"
 #include "bm3d/matchlist.h"
 #include "bm3d/patchfield.h"
+#include "parallel/pool.h"
 #include "transforms/dct.h"
 #include "transforms/haar.h"
 
@@ -105,23 +106,26 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
     for (int s = 2; s <= cfg.maxMatches; s *= 2)
         haars.emplace_back(s);
 
-    // Per-frame channel-0 DCT fields (the DCT1 step, once per frame).
+    parallel::ThreadPool &pool = parallel::ThreadPool::global();
+    const int threads =
+        std::min(parallel::clampThreads(cfg.numThreads), frames);
+
+    // Per-frame channel-0 DCT fields (the DCT1 step): one pool task
+    // per frame, per-task profiles merged in frame order.
     std::vector<std::unique_ptr<DctPatchField>> fields(frames);
     {
-        ScopedTimer timer(result.profile, Step::Dct1);
-        for (int t = 0; t < frames; ++t) {
+        std::vector<Profile> field_profiles(frames);
+        pool.run(frames, threads, [&](int t, int) {
+            ScopedTimer timer(field_profiles[t], Step::Dct1);
             image::ImageF plane0 = noisy[t].extractPlane(0);
             OpCounters ops;
             fields[t] = std::make_unique<DctPatchField>(
                 plane0, dct, tht, cfg.fixedPoint, &ops);
-            result.profile.addOps(Step::Dct1, ops);
-        }
+            field_profiles[t].addOps(Step::Dct1, ops);
+        });
+        for (const Profile &fp : field_profiles)
+            result.profile += fp;
     }
-
-    std::vector<Aggregator> agg;
-    agg.reserve(frames);
-    for (int t = 0; t < frames; ++t)
-        agg.emplace_back(noisy[0].width(), noisy[0].height(), channels);
 
     const auto xs =
         makeRefPositions(fields[0]->positionsX() - 1, cfg.refStride);
@@ -130,11 +134,33 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
     const int pred_half = (config_.predictiveWindow - 1) / 2;
     const float norm = 1.0f / static_cast<float>(pp);
 
-    uint64_t stack_entries = 0;
-    uint64_t temporal_entries = 0;
-    MrStats mr;
+    /**
+     * Per-frame task state. Each reference frame accumulates restored
+     * patches into its own aggregators for the frames its stacks can
+     * touch ([t - radius, t + radius]); the partial sums are merged in
+     * frame order afterwards so the output is bit-identical for any
+     * thread count, exactly like the image path's tile merge.
+     */
+    struct FrameTask
+    {
+        Profile profile;
+        MrStats mr;
+        uint64_t stackEntries = 0;
+        uint64_t temporalEntries = 0;
+        int aggLo = 0;
+        std::vector<Aggregator> aggs;
+    };
+    std::vector<FrameTask> tasks(frames);
 
-    for (int t = 0; t < frames; ++t) {
+    pool.run(frames, threads, [&](int t, int) {
+        FrameTask &task = tasks[t];
+        task.aggLo = std::max(0, t - config_.temporalRadius);
+        const int agg_hi = std::min(frames - 1, t + config_.temporalRadius);
+        task.aggs.reserve(agg_hi - task.aggLo + 1);
+        for (int f = task.aggLo; f <= agg_hi; ++f)
+            task.aggs.emplace_back(noisy[0].width(), noisy[0].height(),
+                                   channels);
+        MrStats mr;
         DctMatchDomain domain(*fields[t]);
         BlockMatcher<DctMatchDomain> matcher(
             domain, cfg.searchWindow1, cfg.searchStride, cfg.refStride,
@@ -151,7 +177,7 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
                 // --- spatial matching in frame t (with MR) ---
                 bool hit = false;
                 {
-                    ScopedTimer timer(result.profile, Step::Bm1);
+                    ScopedTimer timer(task.profile, Step::Bm1);
                     if (cfg.mr.enabled && have_previous) {
                         float d =
                             matcher.referenceDistance(x, y, prev_x, y);
@@ -180,7 +206,7 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
                     stack.insert(TMatch{m.x, m.y, t, m.distance});
 
                 {
-                    ScopedTimer timer(result.profile, Step::Bm2);
+                    ScopedTimer timer(task.profile, Step::Bm2);
                     const float *ref = fields[t]->matchPatch(x, y);
                     // Track the best position from frame to frame.
                     int track_x = x, track_y = y;
@@ -226,7 +252,7 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
                 const int s = stack.stackSize();
                 if (s == 0)
                     continue;
-                ScopedTimer timer(result.profile, Step::De1);
+                ScopedTimer timer(task.profile, Step::De1);
                 const transforms::Haar1D *haar =
                     s >= 2 ? &haars[log2OfPow2(s) - 1] : nullptr;
 
@@ -290,16 +316,37 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
                                              *cfg.fixedPoint);
                         else
                             dct.inverse(coefs[i], pixels);
-                        agg[m.t].addPatch(m.x, m.y, c, p, pixels, weight);
+                        task.aggs[m.t - task.aggLo].addPatch(
+                            m.x, m.y, c, p, pixels, weight);
                     }
                 }
                 for (int i = 0; i < s; ++i) {
-                    ++stack_entries;
+                    ++task.stackEntries;
                     if (stack[i].t != t)
-                        ++temporal_entries;
+                        ++task.temporalEntries;
                 }
             }
         }
+        task.mr = mr;
+    });
+
+    // Deterministic reduction: merge every task's partial aggregates,
+    // profile, and counters in frame order.
+    std::vector<Aggregator> agg;
+    agg.reserve(frames);
+    for (int t = 0; t < frames; ++t)
+        agg.emplace_back(noisy[0].width(), noisy[0].height(), channels);
+    uint64_t stack_entries = 0;
+    uint64_t temporal_entries = 0;
+    MrStats mr;
+    for (int t = 0; t < frames; ++t) {
+        FrameTask &task = tasks[t];
+        result.profile += task.profile;
+        mr += task.mr;
+        stack_entries += task.stackEntries;
+        temporal_entries += task.temporalEntries;
+        for (size_t i = 0; i < task.aggs.size(); ++i)
+            agg[task.aggLo + static_cast<int>(i)].merge(task.aggs[i]);
     }
 
     result.profile.mr() += mr;

@@ -62,6 +62,11 @@ streamStage(const image::ImageF &plane, const bm3d::Bm3dConfig &cfg,
     for (int yi = 0; yi < out.refsY; ++yi) {
         bool have_prev = false;
         for (int xi = 0; xi < out.refsX; ++xi) {
+            // The tiled runner restarts the reuse chain at every tile's
+            // left edge (tile columns start at multiples of tileGrain);
+            // mirror that so hit counts match the functional run.
+            if (xi % cfg.tileGrain == 0)
+                have_prev = false;
             // Build this reference patch's matching-domain descriptor.
             for (int r = 0; r < p; ++r)
                 for (int c = 0; c < p; ++c)
@@ -128,9 +133,9 @@ makeSyntheticWorkload(int width, int height, int channels,
         image::SplitMix64 rng(seed ^ salt);
         for (size_t yi = 0; yi < static_cast<size_t>(st.refsY); ++yi) {
             for (size_t xi = 0; xi < static_cast<size_t>(st.refsX); ++xi) {
-                // The first reference of each row never has a
+                // The first reference of each tile row never has a
                 // predecessor, hence never hits.
-                if (xi == 0)
+                if (xi % static_cast<size_t>(cfg.tileGrain) == 0)
                     continue;
                 st.hit[yi * st.refsX + xi] = rng.uniform() < rate ? 1 : 0;
             }

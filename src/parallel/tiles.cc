@@ -1,0 +1,42 @@
+#include "parallel/tiles.h"
+
+#include <stdexcept>
+
+namespace ideal {
+namespace parallel {
+
+std::vector<Tile>
+makeTiles(int nx, int ny, int grain)
+{
+    if (grain < 1)
+        throw std::invalid_argument("makeTiles: grain must be >= 1");
+    std::vector<Tile> tiles;
+    if (nx <= 0 || ny <= 0)
+        return tiles;
+    const int tiles_x = (nx + grain - 1) / grain;
+    const int tiles_y = (ny + grain - 1) / grain;
+    tiles.reserve(static_cast<size_t>(tiles_x) * tiles_y);
+    for (int ty = 0; ty < tiles_y; ++ty) {
+        for (int tx = 0; tx < tiles_x; ++tx) {
+            Tile t;
+            t.x0 = tx * grain;
+            t.x1 = std::min(nx, t.x0 + grain);
+            t.y0 = ty * grain;
+            t.y1 = std::min(ny, t.y0 + grain);
+            tiles.push_back(t);
+        }
+    }
+    return tiles;
+}
+
+void
+parallelForTiles(ThreadPool &pool, int nx, int ny, int grain, int parallelism,
+                 const std::function<void(const Tile &, int)> &body)
+{
+    const std::vector<Tile> tiles = makeTiles(nx, ny, grain);
+    pool.run(static_cast<int>(tiles.size()), parallelism,
+             [&](int index, int slot) { body(tiles[index], slot); });
+}
+
+} // namespace parallel
+} // namespace ideal

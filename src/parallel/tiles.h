@@ -1,0 +1,55 @@
+#ifndef IDEAL_PARALLEL_TILES_H_
+#define IDEAL_PARALLEL_TILES_H_
+
+/**
+ * @file
+ * Deterministic 2-D tile decomposition on top of the work-stealing
+ * pool. makeTiles() cuts an nx x ny index space into a fixed grid that
+ * depends only on the extents and the grain — never on the thread
+ * count — so a caller that keeps per-tile results and combines them in
+ * tile order produces bit-identical output for any parallelism.
+ * parallelForTiles() runs a body over that grid on a pool.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "parallel/pool.h"
+
+namespace ideal {
+namespace parallel {
+
+/** One tile: half-open index ranges [x0, x1) x [y0, y1). */
+struct Tile
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+
+    int width() const { return x1 - x0; }
+    int height() const { return y1 - y0; }
+};
+
+/**
+ * Cut [0, nx) x [0, ny) into a row-major grid of tiles of at most
+ * grain x grain entries. Empty extents produce no tiles; a grain
+ * larger than the extents produces a single tile. Throws
+ * std::invalid_argument for grain < 1.
+ */
+std::vector<Tile> makeTiles(int nx, int ny, int grain);
+
+/**
+ * Run body(tile, slot) over the tile grid of [0, nx) x [0, ny) with up
+ * to @p parallelism executors of @p pool; @p slot is the executor id
+ * in [0, parallelism), for per-executor scratch. Blocks; rethrows the
+ * first body exception; rejects nested submission (std::logic_error).
+ */
+void parallelForTiles(ThreadPool &pool, int nx, int ny, int grain,
+                      int parallelism,
+                      const std::function<void(const Tile &, int slot)> &body);
+
+} // namespace parallel
+} // namespace ideal
+
+#endif // IDEAL_PARALLEL_TILES_H_

@@ -38,11 +38,38 @@ Dct2D::Dct2D(int n)
             coeffT_[static_cast<size_t>(i) * n + k] = static_cast<float>(c);
         }
     }
+    if (n % 2 == 0) {
+        // DCT rows are symmetric (even k) or antisymmetric (odd k)
+        // about the midpoint, so each 1-D pass folds into two
+        // half-size products. Pack the half matrices contiguously.
+        const int h = n / 2;
+        fwdEven_.resize(static_cast<size_t>(h) * h);
+        fwdOdd_.resize(static_cast<size_t>(h) * h);
+        invEven_.resize(static_cast<size_t>(h) * h);
+        invOdd_.resize(static_cast<size_t>(h) * h);
+        for (int m = 0; m < h; ++m) {
+            for (int i = 0; i < h; ++i) {
+                float e = coeff_[static_cast<size_t>(2 * m) * n + i];
+                float o =
+                    coeff_[static_cast<size_t>(2 * m + 1) * n + i];
+                fwdEven_[static_cast<size_t>(m) * h + i] = e;
+                fwdOdd_[static_cast<size_t>(m) * h + i] = o;
+                invEven_[static_cast<size_t>(i) * h + m] = e;
+                invOdd_[static_cast<size_t>(i) * h + m] = o;
+            }
+        }
+    }
 }
 
 void
-Dct2D::matmul(const float *m, const float *in, float *out) const
+Dct2D::matmul(const float *__restrict m, const float *__restrict in,
+              float *__restrict out) const
 {
+    // Per-element accumulator form. The unrolled scalar chains here
+    // beat a row-accumulation rewrite on small n (measured on 8x8
+    // patches): every output element's chain is independent, so the
+    // out-of-order core extracts more ILP than the vectorized
+    // row-accumulate's two dependent vector accumulators.
     for (int r = 0; r < n_; ++r) {
         const float *mrow = m + static_cast<size_t>(r) * n_;
         for (int c = 0; c < n_; ++c) {
@@ -95,13 +122,86 @@ Dct2D::matmulFixed(const float *m, const float *in, float *out,
 }
 
 void
+Dct2D::passForward(const float *__restrict in,
+                   float *__restrict out) const
+{
+    // Fold x into half-length sums s[i] = x[i] + x[n-1-i] and
+    // differences d[i] = x[i] - x[n-1-i]; the even output rows are a
+    // half-size product with s, the odd rows with d. All n columns
+    // ride along in the inner index, like the EDCT's column-parallel
+    // datapath.
+    const int n = n_, h = n_ / 2;
+    float s[kMaxPatch / 2][kMaxPatch];
+    float d[kMaxPatch / 2][kMaxPatch];
+    for (int i = 0; i < h; ++i) {
+        const float *lo = in + static_cast<size_t>(i) * n;
+        const float *hi = in + static_cast<size_t>(n - 1 - i) * n;
+        for (int c = 0; c < n; ++c) {
+            s[i][c] = lo[c] + hi[c];
+            d[i][c] = lo[c] - hi[c];
+        }
+    }
+    for (int m = 0; m < h; ++m) {
+        const float *erow = fwdEven_.data() + static_cast<size_t>(m) * h;
+        const float *orow = fwdOdd_.data() + static_cast<size_t>(m) * h;
+        float *oute = out + static_cast<size_t>(2 * m) * n;
+        float *outo = out + static_cast<size_t>(2 * m + 1) * n;
+        for (int c = 0; c < n; ++c) {
+            float acc = 0.0f;
+            for (int j = 0; j < h; ++j)
+                acc += erow[j] * s[j][c];
+            oute[c] = acc;
+        }
+        for (int c = 0; c < n; ++c) {
+            float acc = 0.0f;
+            for (int j = 0; j < h; ++j)
+                acc += orow[j] * d[j][c];
+            outo[c] = acc;
+        }
+    }
+}
+
+void
+Dct2D::passInverse(const float *__restrict in,
+                   float *__restrict out) const
+{
+    // Transpose of the forward folding: reconstruct from the even
+    // and odd coefficient rows separately, then unfold the mirror
+    // pair x[i] = e + o, x[n-1-i] = e - o.
+    const int n = n_, h = n_ / 2;
+    for (int i = 0; i < h; ++i) {
+        const float *erow = invEven_.data() + static_cast<size_t>(i) * h;
+        const float *orow = invOdd_.data() + static_cast<size_t>(i) * h;
+        float *lo = out + static_cast<size_t>(i) * n;
+        float *hi = out + static_cast<size_t>(n - 1 - i) * n;
+        for (int c = 0; c < n; ++c) {
+            float e = 0.0f;
+            float o = 0.0f;
+            for (int m = 0; m < h; ++m) {
+                e += erow[m] * in[static_cast<size_t>(2 * m) * n + c];
+                o += orow[m] *
+                     in[static_cast<size_t>(2 * m + 1) * n + c];
+            }
+            lo[c] = e + o;
+            hi[c] = e - o;
+        }
+    }
+}
+
+void
 Dct2D::forward(const float *in, float *out) const
 {
     float t1[kMaxPatch * kMaxPatch];
     float t2[kMaxPatch * kMaxPatch];
-    matmul(coeff_.data(), in, t1);
+    if (fwdEven_.empty()) {
+        matmul(coeff_.data(), in, t1);
+        transpose(t1, t2, n_);
+        matmul(coeff_.data(), t2, out);
+        return;
+    }
+    passForward(in, t1);
     transpose(t1, t2, n_);
-    matmul(coeff_.data(), t2, out);
+    passForward(t2, out);
 }
 
 void
@@ -109,9 +209,15 @@ Dct2D::inverse(const float *in, float *out) const
 {
     float t1[kMaxPatch * kMaxPatch];
     float t2[kMaxPatch * kMaxPatch];
-    matmul(coeffT_.data(), in, t1);
+    if (fwdEven_.empty()) {
+        matmul(coeffT_.data(), in, t1);
+        transpose(t1, t2, n_);
+        matmul(coeffT_.data(), t2, out);
+        return;
+    }
+    passInverse(in, t1);
     transpose(t1, t2, n_);
-    matmul(coeffT_.data(), t2, out);
+    passInverse(t2, out);
 }
 
 void

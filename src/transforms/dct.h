@@ -64,15 +64,35 @@ class Dct2D
 
   private:
     /** One pass: out = M * in (n x n matrices, row-major). */
-    void matmul(const float *m, const float *in, float *out) const;
+    /// @p m, @p in, and @p out may not alias (restrict-qualified so
+    /// the row-accumulation inner loop vectorizes).
+    void matmul(const float *__restrict m, const float *__restrict in,
+                float *__restrict out) const;
 
     /** out = M * in with per-element quantization to @p fmt. */
     void matmulFixed(const float *m, const float *in, float *out,
                      const fixed::Format &fmt) const;
 
+    /**
+     * One forward 1-D pass (out = C * in) using the even/odd
+     * symmetry of the DCT rows: fold the input into sums and
+     * differences, then apply two half-size matrices. Halves the
+     * multiplication count versus matmul(); even n only.
+     */
+    void passForward(const float *__restrict in,
+                     float *__restrict out) const;
+
+    /** One inverse 1-D pass (out = C^T * in), same folding. */
+    void passInverse(const float *__restrict in,
+                     float *__restrict out) const;
+
     int n_;
     std::vector<float> coeff_;  ///< C, row-major
     std::vector<float> coeffT_; ///< C^T, row-major
+    /// Half-size factor matrices for the even/odd split (empty when
+    /// n is odd): fwdEven_[m][i] = C[2m][i], fwdOdd_[m][i] =
+    /// C[2m+1][i]; inv* are their transposes, indexed [i][m].
+    std::vector<float> fwdEven_, fwdOdd_, invEven_, invOdd_;
 };
 
 } // namespace transforms

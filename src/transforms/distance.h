@@ -8,6 +8,14 @@
  * multiplications + M^2 additions. The BM engine hardware computes a
  * full 4x4 patch distance per cycle with 16 subtractors, 16
  * multipliers and a 16-input adder tree.
+ *
+ * The software kernels mirror that adder tree: they accumulate into
+ * four independent lanes in a fixed tree order. The explicit order
+ * keeps results deterministic (no reassociation is left to the
+ * compiler) while making the reduction vectorizable without
+ * -ffast-math — an FP-sum reduction in a plain loop cannot be
+ * vectorized under strict IEEE ordering, which is why the seed's
+ * scalar loop dominated the block-matching profile.
  */
 
 #include <cstddef>
@@ -15,30 +23,87 @@
 namespace ideal {
 namespace transforms {
 
-/** Squared L2 distance between two length-@p len arrays. */
-inline float
-squaredDistance(const float *a, const float *b, int len)
+namespace detail {
+
+/** 4-lane SSD over one run of 4 elements; lanes passed by reference. */
+inline void
+ssdStep4(const float *a, const float *b, float &s0, float &s1, float &s2,
+         float &s3)
 {
-    float acc = 0.0f;
-    for (int i = 0; i < len; ++i) {
-        float d = a[i] - b[i];
-        acc += d * d;
-    }
-    return acc;
+    const float d0 = a[0] - b[0];
+    const float d1 = a[1] - b[1];
+    const float d2 = a[2] - b[2];
+    const float d3 = a[3] - b[3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
 }
 
 /**
- * Squared L2 distance with early termination: stops (and returns a
- * value > @p bound) as soon as the partial sum exceeds @p bound.
- * A common software block-matching optimization; the hardware engine
- * does not need it because the full tree evaluates in one cycle.
+ * SSD over one 16-element block — one hardware adder-tree's worth —
+ * in the fixed lane order s0: {0,4,8,12}, s1: {1,5,9,13}, ..., reduced
+ * as (s0+s1)+(s2+s3).
+ *
+ * noinline is load-bearing: inlined into a caller, GCC fully unrolls
+ * the lane loop and its SLP pass no longer recognises the reduction,
+ * emitting ~48 scalar ops; as a standalone function the loop compiles
+ * to packed subps/mulps/addps. The call per 16 elements is noise next
+ * to that difference.
+ */
+__attribute__((noinline)) inline float
+ssdBlock16(const float *a, const float *b)
+{
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    for (int k = 0; k < 16; k += 4)
+        ssdStep4(a + k, b + k, s0, s1, s2, s3);
+    return (s0 + s1) + (s2 + s3);
+}
+
+} // namespace detail
+
+/**
+ * Squared L2 distance between two length-@p len arrays, summed in a
+ * fixed 4-lane tree order (deterministic for a given @p len).
+ */
+inline float
+squaredDistance(const float *a, const float *b, int len)
+{
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    int i = 0;
+    for (; i + 4 <= len; i += 4)
+        detail::ssdStep4(a + i, b + i, s0, s1, s2, s3);
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        s0 += d * d;
+    }
+    return (s0 + s1) + (s2 + s3);
+}
+
+/**
+ * Squared L2 distance with early termination: returns a partial sum
+ * (> @p bound) once the accumulated distance exceeds @p bound. The
+ * check runs every 16 elements — one hardware adder-tree's worth — so
+ * the common small-patch case (4x4 = 16 coefficients) is a single
+ * branchless vectorizable block, not 16 data-dependent branches.
+ *
+ * Callers may only rely on the exact value when it is <= @p bound;
+ * any early-terminated result compares > @p bound just like the full
+ * sum would (partial sums of squares only grow), so match selection
+ * is identical to evaluating the full distance.
  */
 inline float
 squaredDistanceBounded(const float *a, const float *b, int len, float bound)
 {
     float acc = 0.0f;
-    for (int i = 0; i < len; ++i) {
-        float d = a[i] - b[i];
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        acc += detail::ssdBlock16(a + i, b + i);
+        if (acc > bound)
+            return acc;
+    }
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
         acc += d * d;
         if (acc > bound)
             return acc;

@@ -125,6 +125,71 @@ Haar1D::inverse(const float *in, float *out) const
     std::memcpy(out, buf, sizeof(float) * n_);
 }
 
+void
+Haar1D::forwardRows(const float *in, float *out, int stride,
+                    int width) const
+{
+    // Same butterfly schedule as forward(), with each scalar replaced
+    // by a row of `width` contiguous lanes; every lane therefore sees
+    // exactly the per-column operation sequence and rounds identically.
+    if (width < 1 || width > kMaxLen)
+        throw std::invalid_argument("Haar1D: row width must be 1..64");
+    float buf[kMaxLen][kMaxLen];
+    for (int i = 0; i < n_; ++i)
+        std::memcpy(buf[i], in + static_cast<size_t>(i) * stride,
+                    sizeof(float) * width);
+    const float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+    int len = n_;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const float *even = buf[2 * i];
+            const float *odd = buf[2 * i + 1];
+            float *detail = out + static_cast<size_t>(half + i) * stride;
+            float tmp[kMaxLen];
+            for (int c = 0; c < width; ++c) {
+                tmp[c] = (even[c] + odd[c]) * inv_sqrt2;
+                detail[c] = (even[c] - odd[c]) * inv_sqrt2;
+            }
+            std::memcpy(buf[i], tmp, sizeof(float) * width);
+        }
+        len = half;
+    }
+    std::memcpy(out, buf[0], sizeof(float) * width);
+}
+
+void
+Haar1D::inverseRows(const float *in, float *out, int stride,
+                    int width) const
+{
+    if (width < 1 || width > kMaxLen)
+        throw std::invalid_argument("Haar1D: row width must be 1..64");
+    float buf[kMaxLen][kMaxLen];
+    std::memcpy(buf[0], in, sizeof(float) * width);
+    const float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+    int len = 1;
+    while (len < n_) {
+        float tmp[kMaxLen][kMaxLen];
+        for (int i = 0; i < len; ++i) {
+            const float *approx = buf[i];
+            const float *detail =
+                in + static_cast<size_t>(len + i) * stride;
+            for (int c = 0; c < width; ++c) {
+                const float a = approx[c];
+                const float d = detail[c];
+                tmp[2 * i][c] = (a + d) * inv_sqrt2;
+                tmp[2 * i + 1][c] = (a - d) * inv_sqrt2;
+            }
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            std::memcpy(buf[i], tmp[i], sizeof(float) * width);
+    }
+    for (int i = 0; i < n_; ++i)
+        std::memcpy(out + static_cast<size_t>(i) * stride, buf[i],
+                    sizeof(float) * width);
+}
+
 namespace {
 
 /**

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline/baseline.h"
+#include "parallel/pool.h"
 
 using namespace ideal;
 using baseline::BaselineSuite;
@@ -55,6 +56,8 @@ TEST(Baseline, MrCpuFasterThanPlain)
 
 TEST(Baseline, ThreadsFasterThanSingle)
 {
+    if (parallel::hardwareThreads() < 2)
+        GTEST_SKIP() << "needs >= 2 hardware threads to speed up";
     double single = suite().rate(Platform::CpuVect).secondsPerMp;
     double threads = suite().rate(Platform::CpuThreads).secondsPerMp;
     EXPECT_LT(threads, single);

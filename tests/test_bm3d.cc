@@ -74,7 +74,18 @@ TEST(Bm3dConfig, RejectsBadParameters)
     check([](Bm3dConfig &c) { c.mr.enabled = true; c.mr.k = 0.0; });
     check([](Bm3dConfig &c) { c.mr.enabled = true; c.mr.k = 1.5; });
     check([](Bm3dConfig &c) { c.sharpenAlpha = 0.5f; });
-    check([](Bm3dConfig &c) { c.numThreads = 0; });
+    check([](Bm3dConfig &c) { c.tileGrain = 0; });
+}
+
+TEST(Bm3dConfig, NonPositiveThreadsMeansAuto)
+{
+    // 0 and negative thread counts select the hardware thread count
+    // via the shared clamped helper instead of being rejected.
+    Bm3dConfig cfg;
+    cfg.numThreads = 0;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.numThreads = -3;
+    EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(Bm3d, RejectsTooSmallImage)
@@ -234,9 +245,11 @@ TEST(Bm3d, MultithreadedMatchesSingleThread)
     Bm3d multi(cfg);
     auto r4 = multi.denoise(scene.noisy);
 
-    // Same work partitioned by rows; aggregation is order-independent
-    // up to floating-point addition order.
-    EXPECT_LT(image::maxAbsDiff(r1.output, r4.output), 1e-2);
+    // The tiled runner merges per-tile partial sums in tile order, so
+    // the floating-point addition tree does not depend on the thread
+    // count: outputs are bitwise identical, not merely close.
+    EXPECT_EQ(image::maxAbsDiff(r1.basic, r4.basic), 0.0);
+    EXPECT_EQ(image::maxAbsDiff(r1.output, r4.output), 0.0);
 }
 
 TEST(Bm3d, FixedPointCloseToFloat)

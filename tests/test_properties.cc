@@ -5,6 +5,7 @@
  * combination, not just the paper's defaults.
  */
 
+#include <cstring>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -102,6 +103,86 @@ TEST_P(MrFactorSweep, HitsGrowAndQualityHolds)
 
 INSTANTIATE_TEST_SUITE_P(Ks, MrFactorSweep,
                          ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------------------------
+// Degenerate tiling inputs: the tiled runner must handle reference
+// grids that collapse to a single row, a single column, or a single
+// tile, and stay bitwise thread-count-invariant on all of them.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Denoise with the given extents, grain, and thread count. */
+image::ImageF
+denoiseTiled(int width, int height, int grain, int threads)
+{
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = 25.0f;
+    cfg.searchWindow1 = 13;
+    cfg.searchWindow2 = 11;
+    cfg.tileGrain = grain;
+    cfg.numThreads = threads;
+    auto clean =
+        image::makeScene(image::SceneKind::Texture, width, height, 1, 330);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 331);
+    return bm3d::Bm3d(cfg).denoise(noisy).output;
+}
+
+/** The degenerate shape must work and be thread-count-invariant. */
+void
+expectShapeThreadInvariant(int width, int height, int grain)
+{
+    image::ImageF single = denoiseTiled(width, height, grain, 1);
+    EXPECT_EQ(single.width(), width);
+    EXPECT_EQ(single.height(), height);
+    image::ImageF multi = denoiseTiled(width, height, grain, 5);
+    ASSERT_TRUE(single.sameShape(multi));
+    EXPECT_EQ(std::memcmp(single.raw().data(), multi.raw().data(),
+                          single.raw().size() * sizeof(float)),
+              0)
+        << width << "x" << height << " grain=" << grain;
+}
+
+} // namespace
+
+TEST(TilingEdgeCases, ImageSmallerThanPatchRejected)
+{
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = 25.0f;
+    bm3d::Bm3d denoiser(cfg);
+    image::ImageF tiny(cfg.patchSize - 1, cfg.patchSize - 1, 1);
+    EXPECT_THROW(denoiser.denoise(tiny), std::invalid_argument);
+}
+
+TEST(TilingEdgeCases, SingleRowReferenceGrid)
+{
+    // height == patchSize: the reference grid is 1 x N.
+    expectShapeThreadInvariant(40, 8, 4);
+}
+
+TEST(TilingEdgeCases, SingleColumnReferenceGrid)
+{
+    // width == patchSize: the reference grid is N x 1.
+    expectShapeThreadInvariant(8, 40, 4);
+}
+
+TEST(TilingEdgeCases, ExactPatchSizedImageIsSingleReference)
+{
+    // Exactly one reference position: one tile, any thread count.
+    expectShapeThreadInvariant(8, 8, 4);
+}
+
+TEST(TilingEdgeCases, GrainLargerThanImage)
+{
+    // Grain far beyond the grid extent collapses to a single tile.
+    expectShapeThreadInvariant(32, 32, 10000);
+}
+
+TEST(TilingEdgeCases, UnitGrain)
+{
+    // One reference patch per tile: maximal tile count.
+    expectShapeThreadInvariant(24, 24, 1);
+}
 
 // ---------------------------------------------------------------------
 // Fixed-point format sweep: round-trips through every (int, frac)
