@@ -7,18 +7,67 @@
  * constant); the ARM series uses the paper's measured 5.2x ratio.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bm3d/bm3d.h"
+#include "simd/simd.h"
 
 using namespace ideal;
 using bench::baselines;
 using bench::fmt;
 
+namespace {
+
+/**
+ * One directly-timed denoise of the standard street probe (512 px
+ * under IDEAL_BENCH_SCALE=full, else 256 px), recorded to
+ * BENCH_fig02_cpu_runtime.json. This is the datapoint the PR-to-PR
+ * regression check tracks: absolute seconds on one scene, per-step
+ * kernel times, and quality, tagged with the SIMD level actually
+ * dispatched.
+ */
+void
+recordProbe()
+{
+    const int size = bench::fullScale() ? 512 : 256;
+    image::ImageF clean = image::makeScene(image::SceneKind::Street,
+                                           size, size, 1, 5000);
+    image::ImageF noisy = image::addGaussianNoise(clean, 25.0f, 5001);
+
+    bm3d::Bm3dConfig cfg;
+    cfg.sigma = 25.0f;
+    bm3d::Bm3d denoiser(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    bm3d::Bm3dResult result = denoiser.denoise(noisy);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    bench::BenchRecord rec;
+    rec.name = "fig02_cpu_runtime";
+    rec.wallTimeS = wall;
+    rec.requestedThreads = cfg.numThreads;
+    rec.metrics["probe_px"] = size;
+    rec.metrics["psnr_db"] = image::psnrDb(clean, result.output);
+    rec.metrics["ssim"] = image::ssim(clean, result.output);
+    rec.addProfile(result.profile);
+    rec.write();
+    std::printf("probe: %dx%d street sigma 25 in %.2f s (simd=%s)\n\n",
+                size, size, wall,
+                simd::toString(simd::activeLevel()));
+}
+
+} // namespace
+
 int
 main()
 {
     bench::printHeader("Fig. 2", "CPU runtime vs resolution (<= 16 MP)");
+
+    recordProbe();
 
     const double basic = baselines().rate(baseline::Platform::CpuBasic)
                              .secondsPerMp;

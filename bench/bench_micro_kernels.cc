@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Per-kernel microbenchmark of the src/simd dispatch layer: times
+ * every hot kernel at every dispatch level the CPU supports and
+ * writes BENCH_micro_kernels.json, the regression baseline that
+ * scripts/bench_diff.py compares across commits. `--quick` shrinks
+ * the iteration counts for use as a ctest smoke test (`-L bench`).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/common.h"
+#include "simd/simd.h"
+
+using namespace ideal;
+
+namespace {
+
+/** Deterministic input generator (xorshift64*; no time seeds). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {
+    }
+
+    float
+    uniform(float lo, float hi)
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        const uint64_t r = state_ * 0x2545f4914f6cdd1dull;
+        const double u =
+            static_cast<double>(r >> 11) / 9007199254740992.0;
+        return lo + static_cast<float>(u * (hi - lo));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Keeps results observable so the timed loops cannot be elided. */
+float g_sink = 0.0f;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        quick = quick || std::strcmp(argv[i], "--quick") == 0;
+
+    bench::printHeader("micro-kernels",
+                       "SIMD kernel timings per dispatch level");
+
+    // One pool of 16-float patch descriptors reused by every kernel;
+    // large enough to defeat L1 residency games between levels.
+    // Quick keeps the pool small but the iteration count high enough
+    // that every timed section spans >= a few ms: sub-millisecond
+    // sections jitter past bench_diff.py's 10% threshold on a busy
+    // host from timer noise alone.
+    const int patches = quick ? 1024 : 8192;
+    const int iters = quick ? 600 : 400;
+    Rng rng(12345);
+    std::vector<float> pool(static_cast<size_t>(patches) * 16);
+    for (float &v : pool)
+        v = rng.uniform(-64.0f, 64.0f);
+    std::vector<float> scratch(pool.size());
+    std::vector<float> den(pool.size());
+    std::vector<float> wbuf(16);
+    float dctm[4] = {0.5f, 0.5f, 0.653281482f, 0.270598054f};
+
+    bench::BenchRecord rec;
+    rec.name = "micro_kernels";
+    rec.requestedThreads = 1;
+    rec.metrics["patches"] = patches;
+    rec.metrics["iterations"] = iters;
+    rec.metrics["quick"] = quick ? 1.0 : 0.0;
+
+    const auto t_total = std::chrono::steady_clock::now();
+    std::vector<int> widths = {10, 12, 12, 12};
+    std::vector<std::string> header = {"kernel"};
+    for (int l = 0; l <= static_cast<int>(simd::bestSupported()); ++l)
+        header.push_back(simd::toString(static_cast<simd::Level>(l)));
+    bench::printRow(header, widths);
+
+    struct Timing
+    {
+        std::string kernel;
+        std::vector<double> ms;
+    };
+    std::vector<Timing> rows = {
+        {"ssd", {}},        {"ssd_batch", {}},  {"dct4_fwd", {}},
+        {"dct4_inv", {}},   {"haar_pair", {}},  {"hard_thr", {}},
+        {"wiener", {}},     {"aggregate", {}},
+    };
+
+    for (int l = 0; l <= static_cast<int>(simd::bestSupported()); ++l) {
+        const auto level = static_cast<simd::Level>(l);
+        const simd::KernelTable &k = simd::kernelsFor(level);
+        const std::string suffix = std::string("_") + simd::toString(level);
+        int row = 0;
+        // Best-of-5: the minimum over repetitions is far more stable
+        // than a single pass on a shared/noisy host, which matters
+        // because bench_diff.py flags >10% deltas.
+        auto record = [&](auto &&body) {
+            double best = 1e300;
+            for (int rep = 0; rep < 5; ++rep) {
+                const auto t = std::chrono::steady_clock::now();
+                body();
+                best = std::min(best, msSince(t));
+            }
+            rows[row].ms.push_back(best);
+            rec.kernelTimesMs[rows[row].kernel + suffix] = best;
+            ++row;
+        };
+
+        // Bounded SSD of every patch against patch 0 (the block-match
+        // inner loop shape).
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 1; i < patches; ++i)
+                    g_sink += k.ssdBounded(pool.data(),
+                                           pool.data() + 16 * i, 16,
+                                           1e9f);
+        });
+
+        // Batched SSD, 8 candidates per call.
+        record([&] {
+            float out[8];
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i + 8 <= patches; i += 8) {
+                    k.ssdBatch16(pool.data(), pool.data() + 16 * i, 8,
+                                 out);
+                    g_sink += out[0] + out[7];
+                }
+        });
+
+        // Forward / inverse 4x4 DCT per patch.
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i < patches; ++i)
+                    k.dct4Forward(pool.data() + 16 * i,
+                                  scratch.data() + 16 * i, dctm, dctm);
+        });
+        g_sink += scratch[0];
+
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i < patches; ++i)
+                    k.dct4Inverse(scratch.data() + 16 * i,
+                                  scratch.data() + 16 * i, dctm, dctm);
+        });
+        g_sink += scratch[1];
+
+        // One Haar butterfly over adjacent 16-lane rows.
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i + 2 <= patches; i += 2)
+                    k.haarForwardPair(pool.data() + 16 * i,
+                                      pool.data() + 16 * (i + 1),
+                                      scratch.data() + 16 * i,
+                                      scratch.data() + 16 * (i + 1),
+                                      0.70710678f, 16);
+        });
+        g_sink += scratch[2];
+
+        // Shrinkage + aggregation over the pool.
+        std::copy(pool.begin(), pool.end(), scratch.begin());
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i < patches; ++i)
+                    g_sink += static_cast<float>(k.hardThreshold(
+                        scratch.data() + 16 * i, 16, 8.0f));
+        });
+
+        // wienerApply shrinks its input in place (w < 1), so feeding
+        // it its own output drives the values denormal within a few
+        // dozen iterations and the microcoded denormal handling, not
+        // the kernel, dominates (and jitters). Refresh the input each
+        // iteration; the uniform 64 KB copy is noise at this scale.
+        record([&] {
+            for (int it = 0; it < iters; ++it) {
+                std::copy(pool.begin(), pool.end(), scratch.begin());
+                for (int i = 0; i < patches; ++i)
+                    g_sink += static_cast<float>(
+                        k.wienerApply(scratch.data() + 16 * i,
+                                      pool.data() + 16 * i, wbuf.data(),
+                                      16, 625.0f));
+            }
+        });
+
+        std::fill(den.begin(), den.end(), 0.0f);
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i < patches; ++i)
+                    k.aggregateAdd(scratch.data() + 16 * i,
+                                   den.data() + 16 * i,
+                                   pool.data() + 16 * i, 0.25f, 16);
+        });
+        g_sink += den[0];
+    }
+
+    for (const Timing &r : rows) {
+        std::vector<std::string> cells = {r.kernel};
+        for (double ms : r.ms)
+            cells.push_back(bench::fmt(ms, 2));
+        bench::printRow(cells, widths);
+    }
+    std::printf("(total ms per kernel for %d x %d calls; sink=%g)\n",
+                iters, patches, static_cast<double>(g_sink));
+
+    rec.wallTimeS = msSince(t_total) / 1e3;
+    rec.write();
+    return 0;
+}

@@ -4,8 +4,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "parallel/pool.h"
+#include "simd/simd.h"
+
+#ifndef IDEAL_GIT_SHA
+#define IDEAL_GIT_SHA "unknown"
+#endif
 
 namespace ideal {
 namespace bench {
@@ -145,6 +151,69 @@ simulateScaled(const core::AcceleratorConfig &cfg, int width, int height,
     result.activity.dramBlocks = static_cast<uint64_t>(
         static_cast<double>(strip.activity.dramBlocks) * scale);
     return result;
+}
+
+namespace {
+
+/** Emit {"key": value, ...} for a string->double map. */
+void
+writeJsonMap(std::FILE *f, const char *key,
+             const std::map<std::string, double> &values, bool last)
+{
+    std::fprintf(f, "  \"%s\": {", key);
+    bool first = true;
+    for (const auto &[k, v] : values) {
+        std::fprintf(f, "%s\n    \"%s\": %.17g", first ? "" : ",",
+                     k.c_str(), v);
+        first = false;
+    }
+    std::fprintf(f, "%s}%s\n", values.empty() ? "" : "\n  ",
+                 last ? "" : ",");
+}
+
+} // namespace
+
+void
+BenchRecord::addProfile(const bm3d::Profile &profile)
+{
+    for (int i = 0; i < bm3d::kNumSteps; ++i) {
+        const auto step = static_cast<bm3d::Step>(i);
+        const std::string label = bm3d::toString(step);
+        kernelTimesMs[label] += profile.seconds(step) * 1e3;
+        ops[label + "_ops"] +=
+            static_cast<double>(profile.ops(step).total());
+    }
+}
+
+std::string
+BenchRecord::path() const
+{
+    const char *dir = std::getenv("IDEAL_BENCH_DIR");
+    std::string p = dir != nullptr && dir[0] != '\0' ? dir : ".";
+    return p + "/BENCH_" + name + ".json";
+}
+
+void
+BenchRecord::write() const
+{
+    const std::string file = path();
+    std::FILE *f = std::fopen(file.c_str(), "w");
+    if (f == nullptr)
+        throw std::runtime_error("BenchRecord: cannot write " + file);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"name\": \"%s\",\n", name.c_str());
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", IDEAL_GIT_SHA);
+    std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+                 simd::toString(simd::activeLevel()));
+    std::fprintf(f, "  \"threads\": %d,\n",
+                 parallel::clampThreads(requestedThreads));
+    std::fprintf(f, "  \"wall_time_s\": %.17g,\n", wallTimeS);
+    writeJsonMap(f, "metrics", metrics, false);
+    writeJsonMap(f, "kernel_times_ms", kernelTimesMs, false);
+    writeJsonMap(f, "ops", ops, true);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", file.c_str());
 }
 
 void

@@ -18,10 +18,12 @@
  * Set IDEAL_BENCH_SCALE=full for bigger workloads.
  */
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "baseline/baseline.h"
+#include "bm3d/profile.h"
 #include "core/accelerator.h"
 #include "image/image.h"
 #include "image/metrics.h"
@@ -82,6 +84,38 @@ core::SimResult simulateScaled(const core::AcceleratorConfig &cfg,
                                int width, int height,
                                image::SceneKind kind = image::SceneKind::Nature,
                                float sigma = 25.0f, uint64_t seed = 4242);
+
+/**
+ * Machine-readable record of one benchmark run. write() emits
+ * BENCH_<name>.json (into IDEAL_BENCH_DIR when set, else the working
+ * directory) with the run's wall time, per-step kernel times and op
+ * counts, quality metrics, the active SIMD dispatch level, the
+ * *resolved* thread count, and the git sha of the build — everything
+ * scripts/bench_diff.py needs to compare two runs.
+ */
+struct BenchRecord
+{
+    std::string name;     ///< artifact id, e.g. "fig02_cpu_runtime"
+    double wallTimeS = 0.0;
+    /**
+     * Requested worker count; <= 0 means "all hardware threads". The
+     * JSON records the resolved count (parallel::clampThreads), never
+     * this sentinel, so records stay self-describing across hosts.
+     */
+    int requestedThreads = 0;
+    std::map<std::string, double> metrics;       ///< PSNR/SSIM/rates
+    std::map<std::string, double> kernelTimesMs; ///< per-step times
+    std::map<std::string, double> ops;           ///< per-step op counts
+
+    /** Fold a profile's per-step seconds and op totals into the maps. */
+    void addProfile(const bm3d::Profile &profile);
+
+    /** Destination path: $IDEAL_BENCH_DIR/BENCH_<name>.json. */
+    std::string path() const;
+
+    /** Write the JSON record; prints the path written to stdout. */
+    void write() const;
+};
 
 /** Megapixels of a width x height image. */
 inline double

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json records and fail on kernel-time regressions.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Exits non-zero when any kernel time (or the wall time) in CANDIDATE is
+more than THRESHOLD slower than in BASELINE. Keys present in only one
+record are reported but do not fail the comparison — kernels come and
+go across PRs; only shared kernels are regression-checked.
+
+The records are produced by the C++ bench harness (bench/common.cc,
+BenchRecord::write): every bench binary writes BENCH_<name>.json with
+wall time, per-step kernel times, quality metrics, the resolved thread
+count, the active SIMD level and the git sha of the build.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        record = json.load(f)
+    for key in ("name", "wall_time_s", "kernel_times_ms"):
+        if key not in record:
+            sys.exit(f"{path}: not a bench record (missing '{key}')")
+    return record
+
+
+def compare_context(base, cand):
+    """Warn when the records are not apples-to-apples."""
+    warnings = []
+    for key in ("simd_level", "threads", "name"):
+        if base.get(key) != cand.get(key):
+            warnings.append(
+                f"  context mismatch: {key} = {base.get(key)!r} vs "
+                f"{cand.get(key)!r}"
+            )
+    return warnings
+
+
+def compare_times(base, cand, threshold):
+    """Return (rows, regressions) over shared kernel-time keys."""
+    base_t = dict(base["kernel_times_ms"])
+    cand_t = dict(cand["kernel_times_ms"])
+    base_t["wall_time_s"] = base["wall_time_s"] * 1e3
+    cand_t["wall_time_s"] = cand["wall_time_s"] * 1e3
+
+    rows = []
+    regressions = []
+    for key in sorted(set(base_t) | set(cand_t)):
+        if key not in base_t:
+            rows.append((key, None, cand_t[key], "new"))
+            continue
+        if key not in cand_t:
+            rows.append((key, base_t[key], None, "gone"))
+            continue
+        b, c = base_t[key], cand_t[key]
+        ratio = c / b if b > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = f"REGRESSION ({ratio:.2f}x)"
+            regressions.append(key)
+        elif ratio < 1.0 - threshold:
+            status = f"improved ({ratio:.2f}x)"
+        rows.append((key, b, c, status))
+    return rows, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json records."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional slowdown that counts as a regression "
+        "(default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    print(
+        f"baseline : {base['name']} @ {base.get('git_sha', '?')} "
+        f"(simd={base.get('simd_level', '?')}, "
+        f"threads={base.get('threads', '?')})"
+    )
+    print(
+        f"candidate: {cand['name']} @ {cand.get('git_sha', '?')} "
+        f"(simd={cand.get('simd_level', '?')}, "
+        f"threads={cand.get('threads', '?')})"
+    )
+    for warning in compare_context(base, cand):
+        print(warning)
+    print()
+
+    rows, regressions = compare_times(base, cand, args.threshold)
+    width = max(len(key) for key, *_ in rows) if rows else 10
+    print(f"{'kernel':<{width}}  {'base ms':>12}  {'cand ms':>12}  status")
+    for key, b, c, status in rows:
+        bs = f"{b:.3f}" if b is not None else "-"
+        cs = f"{c:.3f}" if c is not None else "-"
+        print(f"{key:<{width}}  {bs:>12}  {cs:>12}  {status}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nOK: no kernel regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

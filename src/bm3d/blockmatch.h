@@ -57,6 +57,31 @@ class DctMatchDomain
                    len, bound / norm_) * norm_;
     }
 
+    /** True when patches are the 16-float descriptors ssdBatch16 wants. */
+    bool
+    supportsBatch() const
+    {
+        return field_.patchSize() * field_.patchSize() == 16;
+    }
+
+    /**
+     * Normalized distances of the contiguous x-run
+     * [x0, x0 + count) at row @p y against the reference patch at
+     * (xr, yr); count <= 8. Requires supportsBatch(). Values agree
+     * bitwise with distance()/distanceBounded() — at 16 elements all
+     * three SSD kernels share one accumulation order.
+     */
+    void
+    distanceBatch(int xr, int yr, int x0, int y, int count,
+                  float *out) const
+    {
+        transforms::squaredDistanceBatch16(field_.matchPatch(xr, yr),
+                                           field_.matchPatch(x0, y),
+                                           count, out);
+        for (int i = 0; i < count; ++i)
+            out[i] *= norm_;
+    }
+
   private:
     const DctPatchField &field_;
     float norm_;
@@ -118,6 +143,29 @@ class ColorMatchDomain
                    patch(ax, ay), patch(bx, by), patchSize_ * patchSize_,
                    bound / norm_) *
                norm_;
+    }
+
+    /** True when patches are the 16-float descriptors ssdBatch16 wants. */
+    bool
+    supportsBatch() const
+    {
+        return patchSize_ * patchSize_ == 16;
+    }
+
+    /**
+     * Normalized distances of the contiguous x-run
+     * [x0, x0 + count) at row @p y against the reference patch at
+     * (xr, yr); count <= 8. Requires supportsBatch(). Values agree
+     * bitwise with distance()/distanceBounded().
+     */
+    void
+    distanceBatch(int xr, int yr, int x0, int y, int count,
+                  float *out) const
+    {
+        transforms::squaredDistanceBatch16(patch(xr, yr), patch(x0, y),
+                                           count, out);
+        for (int i = 0; i < count; ++i)
+            out[i] *= norm_;
     }
 
   private:
@@ -182,6 +230,24 @@ class BlockMatcher
         const int x_hi = std::min(domain_.positionsX() - 1, xr + half_);
         const int y_lo = std::max(0, yr - half_);
         const int y_hi = std::min(domain_.positionsY() - 1, yr + half_);
+        if (searchStride_ == 1 && domain_.supportsBatch()) {
+            // Batched scan: each window row is a contiguous run of
+            // candidate descriptors, scored 8 per kernel call. The
+            // reference row splits into the runs before and after the
+            // reference patch. Selection is identical to the bounded
+            // scalar path: at 16 elements the bounded kernel cannot
+            // exit early, so both paths compare the exact distance
+            // against tauMatch.
+            for (int y = y_lo; y <= y_hi; ++y) {
+                if (y == yr) {
+                    considerRun(xr, yr, x_lo, xr - 1, y, out, evaluated);
+                    considerRun(xr, yr, xr + 1, x_hi, y, out, evaluated);
+                } else {
+                    considerRun(xr, yr, x_lo, x_hi, y, out, evaluated);
+                }
+            }
+            return evaluated;
+        }
         for (int y = y_lo; y <= y_hi; y += searchStride_) {
             for (int x = x_lo; x <= x_hi; x += searchStride_) {
                 if (x == xr && y == yr)
@@ -289,6 +355,26 @@ class BlockMatcher
     float tauMatch() const { return tauMatch_; }
 
   private:
+    /**
+     * Batched consideration of the run [x0, x1] at row @p y (empty
+     * when x0 > x1). Requires domain_.supportsBatch().
+     */
+    void
+    considerRun(int xr, int yr, int x0, int x1, int y, MatchList &out,
+                uint64_t &evaluated) const
+    {
+        float d[8];
+        for (int x = x0; x <= x1; x += 8) {
+            const int count = std::min(8, x1 - x + 1);
+            domain_.distanceBatch(xr, yr, x, y, count, d);
+            for (int i = 0; i < count; ++i) {
+                if (d[i] < tauMatch_)
+                    out.insert(Match{x + i, y, d[i]});
+            }
+            evaluated += count;
+        }
+    }
+
     void
     consider(int xr, int yr, int x, int y, MatchList &out) const
     {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/simd.h"
+
 namespace ideal {
 namespace bm3d {
 
@@ -36,15 +38,14 @@ Aggregator::addPatch(int x, int y, int c, int patch_size,
 {
     const int lx = x - x0_;
     const int ly = y - y0_;
+    const simd::KernelTable &k = simd::kernels();
     for (int r = 0; r < patch_size; ++r) {
         float *nrow = num_.plane(c) +
                       static_cast<size_t>(ly + r) * num_.width() + lx;
         float *drow = den_.plane(c) +
                       static_cast<size_t>(ly + r) * den_.width() + lx;
-        for (int col = 0; col < patch_size; ++col) {
-            nrow[col] += w * pixels[r * patch_size + col];
-            drow[col] += w;
-        }
+        k.aggregateAdd(nrow, drow, pixels + r * patch_size, w,
+                       patch_size);
     }
 }
 
@@ -223,14 +224,11 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
             else
                 std::copy(noisy_coefs[0], noisy_coefs[0] + pp, thaar[0]);
 
+            const simd::KernelTable &kt = simd::kernels();
             if (stage_ == Stage::HardThreshold) {
                 for (int i = 0; i < stack_size; ++i)
-                    for (int pos = 0; pos < pp; ++pos) {
-                        if (std::abs(thaar[i][pos]) < threshold3d_)
-                            thaar[i][pos] = 0.0f;
-                        else
-                            ++total.nonZero;
-                    }
+                    total.nonZero +=
+                        kt.hardThreshold(thaar[i], pp, threshold3d_);
             } else {
                 float bhaar[kMaxStack][kMaxCoefs];
                 if (haar)
@@ -240,16 +238,17 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
                     std::copy(basic_coefs[0], basic_coefs[0] + pp,
                               bhaar[0]);
                 const float s2 = config_.sigma * config_.sigma;
-                for (int i = 0; i < stack_size; ++i)
-                    for (int pos = 0; pos < pp; ++pos) {
-                        const float b = bhaar[i][pos];
-                        const float w = (b * b) / (b * b + s2);
-                        thaar[i][pos] *= w;
+                float wbuf[kMaxCoefs];
+                for (int i = 0; i < stack_size; ++i) {
+                    total.nonZero +=
+                        kt.wienerApply(thaar[i], bhaar[i], wbuf, pp, s2);
+                    // The double-precision weight accumulation stays
+                    // scalar and sequential, in the same i-major,
+                    // pos-minor order as always.
+                    for (int pos = 0; pos < pp; ++pos)
                         total.sumWeightSq +=
-                            static_cast<double>(w) * w;
-                        if (w > 0.5f)
-                            ++total.nonZero;
-                    }
+                            static_cast<double>(wbuf[pos]) * wbuf[pos];
+                }
             }
 
             // Joint sharpening (paper Sec. 7): alpha-root the shrunk

@@ -36,7 +36,14 @@ class MatchList
   public:
     static constexpr int kCapacity = 16;
 
-    explicit MatchList(int capacity = kCapacity) : capacity_(capacity)
+    explicit MatchList(int capacity = kCapacity)
+        // Clamping (rather than just asserting) keeps the compiler's
+        // value-range analysis aware that capacity_ is in [1, 16], so
+        // entries_[size_ - 1] in inlined callers is provably in
+        // bounds.
+        : capacity_(capacity < 1          ? 1
+                    : capacity > kCapacity ? kCapacity
+                                           : capacity)
     {
         assert(capacity >= 1 && capacity <= kCapacity);
     }

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * AVX2 kernels (256-bit). The 8 canonical SSD lanes live in a single
+ * __m256 whose extract/add/movehl fold is exactly the canonical tree;
+ * the 4x4 DCT passes process two rows per register. Compiled with
+ * -mavx2 -ffp-contract=off (and no -mfma); bitwise parity with the
+ * scalar table is enforced by tests/test_simd.cc.
+ */
+
+#include "simd/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace ideal {
+namespace simd {
+namespace detail {
+
+namespace {
+
+/**
+ * Canonical fold of the 8 lanes of @p acc:
+ * ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7)).
+ */
+inline float
+fold8(__m256 acc)
+{
+    const __m128 t = _mm_add_ps(_mm256_castps256_ps128(acc),
+                                _mm256_extractf128_ps(acc, 1));
+    const __m128 u = _mm_add_ps(t, _mm_movehl_ps(t, t));
+    const __m128 r = _mm_add_ss(
+        u, _mm_shuffle_ps(u, u, _MM_SHUFFLE(1, 1, 1, 1)));
+    return _mm_cvtss_f32(r);
+}
+
+inline float
+ssdBlock16(const float *a, const float *b)
+{
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a), _mm256_loadu_ps(b));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + 8), _mm256_loadu_ps(b + 8));
+    const __m256 acc =
+        _mm256_add_ps(_mm256_mul_ps(d0, d0), _mm256_mul_ps(d1, d1));
+    return fold8(acc);
+}
+
+float
+ssd(const float *a, const float *b, int len)
+{
+    __m256 acc = _mm256_setzero_ps();
+    int i = 0;
+    for (; i + 8 <= len; i += 8) {
+        const __m256 d =
+            _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+    }
+    float r = fold8(acc);
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        r += d * d;
+    }
+    return r;
+}
+
+float
+ssdFull(const float *a, const float *b, int len)
+{
+    float acc = 0.0f;
+    int i = 0;
+    for (; i + 16 <= len; i += 16)
+        acc += ssdBlock16(a + i, b + i);
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+float
+ssdBounded(const float *a, const float *b, int len, float bound)
+{
+    float acc = 0.0f;
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        acc += ssdBlock16(a + i, b + i);
+        if (acc > bound)
+            return acc;
+    }
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+        if (acc > bound)
+            return acc;
+    }
+    return acc;
+}
+
+void
+ssdBatch16(const float *ref, const float *cands, int count, float *out)
+{
+    const __m256 r0 = _mm256_loadu_ps(ref);
+    const __m256 r1 = _mm256_loadu_ps(ref + 8);
+    for (int i = 0; i < count; ++i) {
+        const float *c = cands + 16 * i;
+        const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(c), r0);
+        const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(c + 8), r1);
+        const __m256 acc =
+            _mm256_add_ps(_mm256_mul_ps(d0, d0), _mm256_mul_ps(d1, d1));
+        out[i] = fold8(acc);
+    }
+}
+
+/** [coef_lo broadcast | coef_hi broadcast] */
+inline __m256
+pair(float lo, float hi)
+{
+    return _mm256_set_m128(_mm_set1_ps(hi), _mm_set1_ps(lo));
+}
+
+/** low128(v) + high128(v), per lane. */
+inline __m128
+halfAdd(__m256 v)
+{
+    return _mm_add_ps(_mm256_castps256_ps128(v),
+                      _mm256_extractf128_ps(v, 1));
+}
+
+inline void
+dct4Pass(const float *in, float *out, const float *even, const float *odd)
+{
+    // [row0|row1] and [row3|row2] give S = [s0|s1], D = [d0|d1]
+    // with one vertical add/sub each.
+    const __m256 r01 = _mm256_loadu_ps(in);
+    const __m256 r32 = _mm256_set_m128(_mm_loadu_ps(in + 8),
+                                       _mm_loadu_ps(in + 12));
+    const __m256 s = _mm256_add_ps(r01, r32);
+    const __m256 d = _mm256_sub_ps(r01, r32);
+    _mm_storeu_ps(out, halfAdd(_mm256_mul_ps(s, pair(even[0], even[1]))));
+    _mm_storeu_ps(out + 4,
+                  halfAdd(_mm256_mul_ps(d, pair(odd[0], odd[1]))));
+    _mm_storeu_ps(out + 8,
+                  halfAdd(_mm256_mul_ps(s, pair(even[2], even[3]))));
+    _mm_storeu_ps(out + 12,
+                  halfAdd(_mm256_mul_ps(d, pair(odd[2], odd[3]))));
+}
+
+inline void
+dct4PassInv(const float *in, float *out, const float *even,
+            const float *odd)
+{
+    // E = [e(i=0)|e(i=1)], O likewise; lo rows = E+O = [out0|out1],
+    // hi rows = E-O = [out3|out2].
+    const __m256 r0 = _mm256_broadcast_ps(
+        reinterpret_cast<const __m128 *>(in));
+    const __m256 r1 = _mm256_broadcast_ps(
+        reinterpret_cast<const __m128 *>(in + 4));
+    const __m256 r2 = _mm256_broadcast_ps(
+        reinterpret_cast<const __m128 *>(in + 8));
+    const __m256 r3 = _mm256_broadcast_ps(
+        reinterpret_cast<const __m128 *>(in + 12));
+    const __m256 e =
+        _mm256_add_ps(_mm256_mul_ps(pair(even[0], even[2]), r0),
+                      _mm256_mul_ps(pair(even[1], even[3]), r2));
+    const __m256 o =
+        _mm256_add_ps(_mm256_mul_ps(pair(odd[0], odd[2]), r1),
+                      _mm256_mul_ps(pair(odd[1], odd[3]), r3));
+    const __m256 lo = _mm256_add_ps(e, o);
+    const __m256 hi = _mm256_sub_ps(e, o);
+    _mm256_storeu_ps(out, lo);
+    _mm_storeu_ps(out + 12, _mm256_castps256_ps128(hi));
+    _mm_storeu_ps(out + 8, _mm256_extractf128_ps(hi, 1));
+}
+
+inline void
+transpose4(const float *in, float *out)
+{
+    __m128 r0 = _mm_loadu_ps(in);
+    __m128 r1 = _mm_loadu_ps(in + 4);
+    __m128 r2 = _mm_loadu_ps(in + 8);
+    __m128 r3 = _mm_loadu_ps(in + 12);
+    _MM_TRANSPOSE4_PS(r0, r1, r2, r3);
+    _mm_storeu_ps(out, r0);
+    _mm_storeu_ps(out + 4, r1);
+    _mm_storeu_ps(out + 8, r2);
+    _mm_storeu_ps(out + 12, r3);
+}
+
+void
+dct4Forward(const float *in, float *out, const float *fwd_even,
+            const float *fwd_odd)
+{
+    float t1[16], t2[16];
+    dct4Pass(in, t1, fwd_even, fwd_odd);
+    transpose4(t1, t2);
+    dct4Pass(t2, out, fwd_even, fwd_odd);
+}
+
+void
+dct4Inverse(const float *in, float *out, const float *inv_even,
+            const float *inv_odd)
+{
+    float t1[16], t2[16];
+    dct4PassInv(in, t1, inv_even, inv_odd);
+    transpose4(t1, t2);
+    dct4PassInv(t2, out, inv_even, inv_odd);
+}
+
+void
+haarForwardPair(const float *even, const float *odd, float *approx,
+                float *detail, float factor, int width)
+{
+    const __m256 f = _mm256_set1_ps(factor);
+    int c = 0;
+    for (; c + 8 <= width; c += 8) {
+        const __m256 e = _mm256_loadu_ps(even + c);
+        const __m256 o = _mm256_loadu_ps(odd + c);
+        _mm256_storeu_ps(approx + c,
+                         _mm256_mul_ps(_mm256_add_ps(e, o), f));
+        _mm256_storeu_ps(detail + c,
+                         _mm256_mul_ps(_mm256_sub_ps(e, o), f));
+    }
+    for (; c < width; ++c) {
+        const float e = even[c];
+        const float o = odd[c];
+        approx[c] = (e + o) * factor;
+        detail[c] = (e - o) * factor;
+    }
+}
+
+void
+haarInversePair(const float *approx, const float *detail, float *out_even,
+                float *out_odd, float factor, int width)
+{
+    const __m256 f = _mm256_set1_ps(factor);
+    int c = 0;
+    for (; c + 8 <= width; c += 8) {
+        const __m256 a = _mm256_loadu_ps(approx + c);
+        const __m256 d = _mm256_loadu_ps(detail + c);
+        _mm256_storeu_ps(out_even + c,
+                         _mm256_mul_ps(_mm256_add_ps(a, d), f));
+        _mm256_storeu_ps(out_odd + c,
+                         _mm256_mul_ps(_mm256_sub_ps(a, d), f));
+    }
+    for (; c < width; ++c) {
+        const float a = approx[c];
+        const float d = detail[c];
+        out_even[c] = (a + d) * factor;
+        out_odd[c] = (a - d) * factor;
+    }
+}
+
+int
+hardThreshold(float *v, int count, float threshold)
+{
+    const __m256 abs_mask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    const __m256 thr = _mm256_set1_ps(threshold);
+    int kept = 0;
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m256 x = _mm256_loadu_ps(v + i);
+        // |x| < thr (ordered: NaN compares false, so NaN is kept —
+        // same as scalar std::abs(x) < thr).
+        const __m256 below = _mm256_cmp_ps(_mm256_and_ps(x, abs_mask),
+                                           thr, _CMP_LT_OQ);
+        _mm256_storeu_ps(v + i, _mm256_andnot_ps(below, x));
+        kept += 8 - _mm_popcnt_u32(static_cast<unsigned>(
+                        _mm256_movemask_ps(below)));
+    }
+    for (; i < count; ++i) {
+        if (std::fabs(v[i]) < threshold)
+            v[i] = 0.0f;
+        else
+            ++kept;
+    }
+    return kept;
+}
+
+int
+wienerApply(float *v, const float *b, float *w, int count, float sigma2)
+{
+    const __m256 s2 = _mm256_set1_ps(sigma2);
+    const __m256 half = _mm256_set1_ps(0.5f);
+    int strong = 0;
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m256 bv = _mm256_loadu_ps(b + i);
+        const __m256 b2 = _mm256_mul_ps(bv, bv);
+        const __m256 wv = _mm256_div_ps(b2, _mm256_add_ps(b2, s2));
+        _mm256_storeu_ps(w + i, wv);
+        _mm256_storeu_ps(v + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(v + i), wv));
+        strong += _mm_popcnt_u32(static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_cmp_ps(wv, half, _CMP_GT_OQ))));
+    }
+    for (; i < count; ++i) {
+        const float b2 = b[i] * b[i];
+        const float wi = b2 / (b2 + sigma2);
+        w[i] = wi;
+        v[i] *= wi;
+        if (wi > 0.5f)
+            ++strong;
+    }
+    return strong;
+}
+
+void
+aggregateAdd(float *num, float *den, const float *pix, float weight,
+             int count)
+{
+    const __m256 wv = _mm256_set1_ps(weight);
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m256 n = _mm256_loadu_ps(num + i);
+        const __m256 p = _mm256_loadu_ps(pix + i);
+        _mm256_storeu_ps(num + i,
+                         _mm256_add_ps(n, _mm256_mul_ps(wv, p)));
+        _mm256_storeu_ps(den + i,
+                         _mm256_add_ps(_mm256_loadu_ps(den + i), wv));
+    }
+    for (; i < count; ++i) {
+        num[i] += weight * pix[i];
+        den[i] += weight;
+    }
+}
+
+const KernelTable kAvx2TableStorage = {
+    ssd,           ssdBounded,      ssdFull,       ssdBatch16,
+    dct4Forward,   dct4Inverse,     haarForwardPair, haarInversePair,
+    hardThreshold, wienerApply,     aggregateAdd,
+};
+
+} // namespace
+
+const KernelTable &kAvx2Table = kAvx2TableStorage;
+
+} // namespace detail
+} // namespace simd
+} // namespace ideal
+
+#else // !x86
+
+namespace ideal {
+namespace simd {
+namespace detail {
+
+const KernelTable &kAvx2Table = kScalarTable;
+
+} // namespace detail
+} // namespace simd
+} // namespace ideal
+
+#endif

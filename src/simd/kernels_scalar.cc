@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Scalar reference kernels — the canonical semantics every SIMD level
+ * must reproduce bitwise (simd.h's reduction-order rule). Written in
+ * the exact operation order the vector variants use: 8 accumulator
+ * lanes for the SSD tree, per-lane vertical sequences everywhere
+ * else, and never a fused multiply-add (this TU is compiled with
+ * -ffp-contract=off and baseline ISA).
+ */
+
+#include "simd/kernels.h"
+
+#include <cmath>
+
+namespace ideal {
+namespace simd {
+namespace detail {
+
+namespace {
+
+/**
+ * The canonical horizontal fold of the 8 SSD lanes. Matches the
+ * 128-bit reduction sequence: lo+hi vertical add, movehl add,
+ * scalar lane add.
+ */
+inline float
+fold8(const float s[8])
+{
+    const float t0 = s[0] + s[4];
+    const float t1 = s[1] + s[5];
+    const float t2 = s[2] + s[6];
+    const float t3 = s[3] + s[7];
+    const float u0 = t0 + t2;
+    const float u1 = t1 + t3;
+    return u0 + u1;
+}
+
+/** One 16-element block: lanes j += d_j^2 then d_{8+j}^2, fold. */
+inline float
+ssdBlock16(const float *a, const float *b)
+{
+    float s[8];
+    for (int j = 0; j < 8; ++j) {
+        const float d = a[j] - b[j];
+        s[j] = d * d;
+    }
+    for (int j = 0; j < 8; ++j) {
+        const float d = a[8 + j] - b[8 + j];
+        s[j] += d * d;
+    }
+    return fold8(s);
+}
+
+float
+ssd(const float *a, const float *b, int len)
+{
+    float s[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+    int i = 0;
+    for (; i + 8 <= len; i += 8) {
+        for (int j = 0; j < 8; ++j) {
+            const float d = a[i + j] - b[i + j];
+            s[j] += d * d;
+        }
+    }
+    float r = fold8(s);
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        r += d * d;
+    }
+    return r;
+}
+
+float
+ssdFull(const float *a, const float *b, int len)
+{
+    float acc = 0.0f;
+    int i = 0;
+    for (; i + 16 <= len; i += 16)
+        acc += ssdBlock16(a + i, b + i);
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+float
+ssdBounded(const float *a, const float *b, int len, float bound)
+{
+    float acc = 0.0f;
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        acc += ssdBlock16(a + i, b + i);
+        if (acc > bound)
+            return acc;
+    }
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+        if (acc > bound)
+            return acc;
+    }
+    return acc;
+}
+
+void
+ssdBatch16(const float *ref, const float *cands, int count, float *out)
+{
+    for (int i = 0; i < count; ++i)
+        out[i] = ssdBlock16(ref, cands + 16 * i);
+}
+
+/**
+ * Folded 4x4 DCT row pass (both halves of the 2-D transform use it):
+ * fold rows into mirror sums/differences, then two half-size
+ * products with all 4 columns riding along as lanes.
+ */
+inline void
+dct4Pass(const float *in, float *out, const float *even, const float *odd)
+{
+    float s0[4], s1[4], d0[4], d1[4];
+    for (int c = 0; c < 4; ++c) {
+        s0[c] = in[c] + in[12 + c];
+        s1[c] = in[4 + c] + in[8 + c];
+        d0[c] = in[c] - in[12 + c];
+        d1[c] = in[4 + c] - in[8 + c];
+    }
+    for (int c = 0; c < 4; ++c)
+        out[c] = even[0] * s0[c] + even[1] * s1[c];
+    for (int c = 0; c < 4; ++c)
+        out[4 + c] = odd[0] * d0[c] + odd[1] * d1[c];
+    for (int c = 0; c < 4; ++c)
+        out[8 + c] = even[2] * s0[c] + even[3] * s1[c];
+    for (int c = 0; c < 4; ++c)
+        out[12 + c] = odd[2] * d0[c] + odd[3] * d1[c];
+}
+
+/** Inverse row pass: reconstruct the mirror pair from even/odd rows. */
+inline void
+dct4PassInv(const float *in, float *out, const float *even,
+            const float *odd)
+{
+    for (int i = 0; i < 2; ++i) {
+        float *lo = out + 4 * i;
+        float *hi = out + 4 * (3 - i);
+        for (int c = 0; c < 4; ++c) {
+            const float e = even[2 * i] * in[c] +
+                            even[2 * i + 1] * in[8 + c];
+            const float o = odd[2 * i] * in[4 + c] +
+                            odd[2 * i + 1] * in[12 + c];
+            lo[c] = e + o;
+            hi[c] = e - o;
+        }
+    }
+}
+
+inline void
+transpose4(const float *in, float *out)
+{
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            out[c * 4 + r] = in[r * 4 + c];
+}
+
+void
+dct4Forward(const float *in, float *out, const float *fwd_even,
+            const float *fwd_odd)
+{
+    float t1[16], t2[16];
+    dct4Pass(in, t1, fwd_even, fwd_odd);
+    transpose4(t1, t2);
+    dct4Pass(t2, out, fwd_even, fwd_odd);
+}
+
+void
+dct4Inverse(const float *in, float *out, const float *inv_even,
+            const float *inv_odd)
+{
+    float t1[16], t2[16];
+    dct4PassInv(in, t1, inv_even, inv_odd);
+    transpose4(t1, t2);
+    dct4PassInv(t2, out, inv_even, inv_odd);
+}
+
+void
+haarForwardPair(const float *even, const float *odd, float *approx,
+                float *detail, float factor, int width)
+{
+    for (int c = 0; c < width; ++c) {
+        const float e = even[c];
+        const float o = odd[c];
+        approx[c] = (e + o) * factor;
+        detail[c] = (e - o) * factor;
+    }
+}
+
+void
+haarInversePair(const float *approx, const float *detail, float *out_even,
+                float *out_odd, float factor, int width)
+{
+    for (int c = 0; c < width; ++c) {
+        const float a = approx[c];
+        const float d = detail[c];
+        out_even[c] = (a + d) * factor;
+        out_odd[c] = (a - d) * factor;
+    }
+}
+
+int
+hardThreshold(float *v, int count, float threshold)
+{
+    int kept = 0;
+    for (int i = 0; i < count; ++i) {
+        if (std::abs(v[i]) < threshold)
+            v[i] = 0.0f;
+        else
+            ++kept;
+    }
+    return kept;
+}
+
+int
+wienerApply(float *v, const float *b, float *w, int count, float sigma2)
+{
+    int strong = 0;
+    for (int i = 0; i < count; ++i) {
+        const float b2 = b[i] * b[i];
+        const float wi = b2 / (b2 + sigma2);
+        w[i] = wi;
+        v[i] *= wi;
+        if (wi > 0.5f)
+            ++strong;
+    }
+    return strong;
+}
+
+void
+aggregateAdd(float *num, float *den, const float *pix, float weight,
+             int count)
+{
+    for (int i = 0; i < count; ++i) {
+        num[i] += weight * pix[i];
+        den[i] += weight;
+    }
+}
+
+} // namespace
+
+const KernelTable kScalarTable = {
+    ssd,           ssdBounded,      ssdFull,       ssdBatch16,
+    dct4Forward,   dct4Inverse,     haarForwardPair, haarInversePair,
+    hardThreshold, wienerApply,     aggregateAdd,
+};
+
+} // namespace detail
+} // namespace simd
+} // namespace ideal

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * SSE4.2 kernels (128-bit). The 8 canonical SSD lanes live in two
+ * __m128 accumulators; every vertical kernel processes 4 lanes per
+ * step with scalar tails that repeat the reference order. Compiled
+ * with -msse4.2 -ffp-contract=off; bitwise parity with the scalar
+ * table is enforced by tests/test_simd.cc.
+ */
+
+#include "simd/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <nmmintrin.h>
+
+#include <cmath>
+
+namespace ideal {
+namespace simd {
+namespace detail {
+
+namespace {
+
+/** Fold [t0..t3] as (t0+t2) + (t1+t3) — the canonical 128-bit fold. */
+inline float
+fold4(__m128 t)
+{
+    const __m128 u = _mm_add_ps(t, _mm_movehl_ps(t, t));
+    const __m128 r = _mm_add_ss(
+        u, _mm_shuffle_ps(u, u, _MM_SHUFFLE(1, 1, 1, 1)));
+    return _mm_cvtss_f32(r);
+}
+
+/** Fold the two 4-lane halves of the canonical 8-lane tree. */
+inline float
+fold8(__m128 lo, __m128 hi)
+{
+    return fold4(_mm_add_ps(lo, hi));
+}
+
+inline void
+ssdStep8(const float *a, const float *b, __m128 &lo, __m128 &hi)
+{
+    const __m128 d0 = _mm_sub_ps(_mm_loadu_ps(a), _mm_loadu_ps(b));
+    const __m128 d1 = _mm_sub_ps(_mm_loadu_ps(a + 4), _mm_loadu_ps(b + 4));
+    lo = _mm_add_ps(lo, _mm_mul_ps(d0, d0));
+    hi = _mm_add_ps(hi, _mm_mul_ps(d1, d1));
+}
+
+inline float
+ssdBlock16(const float *a, const float *b)
+{
+    const __m128 d0 = _mm_sub_ps(_mm_loadu_ps(a), _mm_loadu_ps(b));
+    const __m128 d1 = _mm_sub_ps(_mm_loadu_ps(a + 4), _mm_loadu_ps(b + 4));
+    const __m128 d2 = _mm_sub_ps(_mm_loadu_ps(a + 8), _mm_loadu_ps(b + 8));
+    const __m128 d3 =
+        _mm_sub_ps(_mm_loadu_ps(a + 12), _mm_loadu_ps(b + 12));
+    const __m128 lo =
+        _mm_add_ps(_mm_mul_ps(d0, d0), _mm_mul_ps(d2, d2));
+    const __m128 hi =
+        _mm_add_ps(_mm_mul_ps(d1, d1), _mm_mul_ps(d3, d3));
+    return fold8(lo, hi);
+}
+
+float
+ssd(const float *a, const float *b, int len)
+{
+    __m128 lo = _mm_setzero_ps();
+    __m128 hi = _mm_setzero_ps();
+    int i = 0;
+    for (; i + 8 <= len; i += 8)
+        ssdStep8(a + i, b + i, lo, hi);
+    float r = fold8(lo, hi);
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        r += d * d;
+    }
+    return r;
+}
+
+float
+ssdFull(const float *a, const float *b, int len)
+{
+    float acc = 0.0f;
+    int i = 0;
+    for (; i + 16 <= len; i += 16)
+        acc += ssdBlock16(a + i, b + i);
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+float
+ssdBounded(const float *a, const float *b, int len, float bound)
+{
+    float acc = 0.0f;
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        acc += ssdBlock16(a + i, b + i);
+        if (acc > bound)
+            return acc;
+    }
+    for (; i < len; ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+        if (acc > bound)
+            return acc;
+    }
+    return acc;
+}
+
+void
+ssdBatch16(const float *ref, const float *cands, int count, float *out)
+{
+    const __m128 r0 = _mm_loadu_ps(ref);
+    const __m128 r1 = _mm_loadu_ps(ref + 4);
+    const __m128 r2 = _mm_loadu_ps(ref + 8);
+    const __m128 r3 = _mm_loadu_ps(ref + 12);
+    for (int i = 0; i < count; ++i) {
+        const float *c = cands + 16 * i;
+        const __m128 d0 = _mm_sub_ps(_mm_loadu_ps(c), r0);
+        const __m128 d1 = _mm_sub_ps(_mm_loadu_ps(c + 4), r1);
+        const __m128 d2 = _mm_sub_ps(_mm_loadu_ps(c + 8), r2);
+        const __m128 d3 = _mm_sub_ps(_mm_loadu_ps(c + 12), r3);
+        const __m128 lo =
+            _mm_add_ps(_mm_mul_ps(d0, d0), _mm_mul_ps(d2, d2));
+        const __m128 hi =
+            _mm_add_ps(_mm_mul_ps(d1, d1), _mm_mul_ps(d3, d3));
+        out[i] = fold8(lo, hi);
+    }
+}
+
+inline void
+dct4Pass(const float *in, float *out, const float *even, const float *odd)
+{
+    const __m128 r0 = _mm_loadu_ps(in);
+    const __m128 r1 = _mm_loadu_ps(in + 4);
+    const __m128 r2 = _mm_loadu_ps(in + 8);
+    const __m128 r3 = _mm_loadu_ps(in + 12);
+    const __m128 s0 = _mm_add_ps(r0, r3);
+    const __m128 s1 = _mm_add_ps(r1, r2);
+    const __m128 d0 = _mm_sub_ps(r0, r3);
+    const __m128 d1 = _mm_sub_ps(r1, r2);
+    _mm_storeu_ps(out,
+                  _mm_add_ps(_mm_mul_ps(_mm_set1_ps(even[0]), s0),
+                             _mm_mul_ps(_mm_set1_ps(even[1]), s1)));
+    _mm_storeu_ps(out + 4,
+                  _mm_add_ps(_mm_mul_ps(_mm_set1_ps(odd[0]), d0),
+                             _mm_mul_ps(_mm_set1_ps(odd[1]), d1)));
+    _mm_storeu_ps(out + 8,
+                  _mm_add_ps(_mm_mul_ps(_mm_set1_ps(even[2]), s0),
+                             _mm_mul_ps(_mm_set1_ps(even[3]), s1)));
+    _mm_storeu_ps(out + 12,
+                  _mm_add_ps(_mm_mul_ps(_mm_set1_ps(odd[2]), d0),
+                             _mm_mul_ps(_mm_set1_ps(odd[3]), d1)));
+}
+
+inline void
+dct4PassInv(const float *in, float *out, const float *even,
+            const float *odd)
+{
+    const __m128 r0 = _mm_loadu_ps(in);
+    const __m128 r1 = _mm_loadu_ps(in + 4);
+    const __m128 r2 = _mm_loadu_ps(in + 8);
+    const __m128 r3 = _mm_loadu_ps(in + 12);
+    for (int i = 0; i < 2; ++i) {
+        const __m128 e =
+            _mm_add_ps(_mm_mul_ps(_mm_set1_ps(even[2 * i]), r0),
+                       _mm_mul_ps(_mm_set1_ps(even[2 * i + 1]), r2));
+        const __m128 o =
+            _mm_add_ps(_mm_mul_ps(_mm_set1_ps(odd[2 * i]), r1),
+                       _mm_mul_ps(_mm_set1_ps(odd[2 * i + 1]), r3));
+        _mm_storeu_ps(out + 4 * i, _mm_add_ps(e, o));
+        _mm_storeu_ps(out + 4 * (3 - i), _mm_sub_ps(e, o));
+    }
+}
+
+inline void
+transpose4(const float *in, float *out)
+{
+    __m128 r0 = _mm_loadu_ps(in);
+    __m128 r1 = _mm_loadu_ps(in + 4);
+    __m128 r2 = _mm_loadu_ps(in + 8);
+    __m128 r3 = _mm_loadu_ps(in + 12);
+    _MM_TRANSPOSE4_PS(r0, r1, r2, r3);
+    _mm_storeu_ps(out, r0);
+    _mm_storeu_ps(out + 4, r1);
+    _mm_storeu_ps(out + 8, r2);
+    _mm_storeu_ps(out + 12, r3);
+}
+
+void
+dct4Forward(const float *in, float *out, const float *fwd_even,
+            const float *fwd_odd)
+{
+    float t1[16], t2[16];
+    dct4Pass(in, t1, fwd_even, fwd_odd);
+    transpose4(t1, t2);
+    dct4Pass(t2, out, fwd_even, fwd_odd);
+}
+
+void
+dct4Inverse(const float *in, float *out, const float *inv_even,
+            const float *inv_odd)
+{
+    float t1[16], t2[16];
+    dct4PassInv(in, t1, inv_even, inv_odd);
+    transpose4(t1, t2);
+    dct4PassInv(t2, out, inv_even, inv_odd);
+}
+
+void
+haarForwardPair(const float *even, const float *odd, float *approx,
+                float *detail, float factor, int width)
+{
+    const __m128 f = _mm_set1_ps(factor);
+    int c = 0;
+    for (; c + 4 <= width; c += 4) {
+        const __m128 e = _mm_loadu_ps(even + c);
+        const __m128 o = _mm_loadu_ps(odd + c);
+        _mm_storeu_ps(approx + c, _mm_mul_ps(_mm_add_ps(e, o), f));
+        _mm_storeu_ps(detail + c, _mm_mul_ps(_mm_sub_ps(e, o), f));
+    }
+    for (; c < width; ++c) {
+        const float e = even[c];
+        const float o = odd[c];
+        approx[c] = (e + o) * factor;
+        detail[c] = (e - o) * factor;
+    }
+}
+
+void
+haarInversePair(const float *approx, const float *detail, float *out_even,
+                float *out_odd, float factor, int width)
+{
+    const __m128 f = _mm_set1_ps(factor);
+    int c = 0;
+    for (; c + 4 <= width; c += 4) {
+        const __m128 a = _mm_loadu_ps(approx + c);
+        const __m128 d = _mm_loadu_ps(detail + c);
+        _mm_storeu_ps(out_even + c, _mm_mul_ps(_mm_add_ps(a, d), f));
+        _mm_storeu_ps(out_odd + c, _mm_mul_ps(_mm_sub_ps(a, d), f));
+    }
+    for (; c < width; ++c) {
+        const float a = approx[c];
+        const float d = detail[c];
+        out_even[c] = (a + d) * factor;
+        out_odd[c] = (a - d) * factor;
+    }
+}
+
+int
+hardThreshold(float *v, int count, float threshold)
+{
+    const __m128 abs_mask =
+        _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+    const __m128 thr = _mm_set1_ps(threshold);
+    int kept = 0;
+    int i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m128 x = _mm_loadu_ps(v + i);
+        // below = |x| < thr (NaN compares false, i.e. NaN is kept —
+        // same as the scalar std::abs(x) < thr).
+        const __m128 below = _mm_cmplt_ps(_mm_and_ps(x, abs_mask), thr);
+        _mm_storeu_ps(v + i, _mm_andnot_ps(below, x));
+        kept += 4 - _mm_popcnt_u32(
+                        static_cast<unsigned>(_mm_movemask_ps(below)));
+    }
+    for (; i < count; ++i) {
+        if (std::fabs(v[i]) < threshold)
+            v[i] = 0.0f;
+        else
+            ++kept;
+    }
+    return kept;
+}
+
+int
+wienerApply(float *v, const float *b, float *w, int count, float sigma2)
+{
+    const __m128 s2 = _mm_set1_ps(sigma2);
+    const __m128 half = _mm_set1_ps(0.5f);
+    int strong = 0;
+    int i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m128 bv = _mm_loadu_ps(b + i);
+        const __m128 b2 = _mm_mul_ps(bv, bv);
+        const __m128 wv = _mm_div_ps(b2, _mm_add_ps(b2, s2));
+        _mm_storeu_ps(w + i, wv);
+        _mm_storeu_ps(v + i, _mm_mul_ps(_mm_loadu_ps(v + i), wv));
+        strong += _mm_popcnt_u32(static_cast<unsigned>(
+            _mm_movemask_ps(_mm_cmpgt_ps(wv, half))));
+    }
+    for (; i < count; ++i) {
+        const float b2 = b[i] * b[i];
+        const float wi = b2 / (b2 + sigma2);
+        w[i] = wi;
+        v[i] *= wi;
+        if (wi > 0.5f)
+            ++strong;
+    }
+    return strong;
+}
+
+void
+aggregateAdd(float *num, float *den, const float *pix, float weight,
+             int count)
+{
+    const __m128 wv = _mm_set1_ps(weight);
+    int i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m128 n = _mm_loadu_ps(num + i);
+        const __m128 p = _mm_loadu_ps(pix + i);
+        _mm_storeu_ps(num + i, _mm_add_ps(n, _mm_mul_ps(wv, p)));
+        _mm_storeu_ps(den + i,
+                      _mm_add_ps(_mm_loadu_ps(den + i), wv));
+    }
+    for (; i < count; ++i) {
+        num[i] += weight * pix[i];
+        den[i] += weight;
+    }
+}
+
+const KernelTable kSseTableStorage = {
+    ssd,           ssdBounded,      ssdFull,       ssdBatch16,
+    dct4Forward,   dct4Inverse,     haarForwardPair, haarInversePair,
+    hardThreshold, wienerApply,     aggregateAdd,
+};
+
+} // namespace
+
+const KernelTable &kSseTable = kSseTableStorage;
+
+} // namespace detail
+} // namespace simd
+} // namespace ideal
+
+#else // !x86
+
+namespace ideal {
+namespace simd {
+namespace detail {
+
+const KernelTable &kSseTable = kScalarTable;
+
+} // namespace detail
+} // namespace simd
+} // namespace ideal
+
+#endif

@@ -1,0 +1,180 @@
+#ifndef IDEAL_SIMD_SIMD_H_
+#define IDEAL_SIMD_SIMD_H_
+
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the BM3D hot path.
+ *
+ * One implementation of every hot kernel exists per instruction-set
+ * level (scalar / SSE4.2 / AVX2); the best level the CPU supports is
+ * selected once at startup via CPUID and can be overridden with
+ * IDEAL_SIMD=scalar|sse|avx2 (requests above what the CPU supports
+ * clamp down with a warning). Library code calls through the active
+ * KernelTable, so a single baseline-ISA build adapts to the machine
+ * it lands on.
+ *
+ * ## The reduction-order rule
+ *
+ * Every kernel is bitwise-deterministic across dispatch levels: for
+ * the same inputs, the scalar, SSE and AVX2 variants return identical
+ * bits. Two mechanisms make that possible:
+ *
+ * 1. *Vertical* operations (the DCT passes, Haar butterflies,
+ *    shrinkage, aggregation) touch each lane independently, so any
+ *    vector width computes the exact scalar sequence per element.
+ *    The only rule is that no variant may fuse a multiply-add (the
+ *    kernel translation units are compiled with -ffp-contract=off
+ *    and without -mfma).
+ *
+ * 2. *Horizontal* reductions (the SSD distance) fix one canonical
+ *    adder tree: 8 accumulator lanes, element k accumulating into
+ *    lane k%8 in element order, folded as
+ *        ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7)).
+ *    The scalar variant keeps 8 scalar accumulators, SSE emulates the
+ *    8 lanes with two __m128, and AVX2 holds them in one __m256 whose
+ *    standard extract/add/movehl fold produces exactly that tree.
+ *    Trailing elements (len % 8) are always added sequentially after
+ *    the fold, in every variant.
+ *
+ * Because the tree is fixed per kernel *and* per length, output is
+ * also invariant under thread count (kernels are pure functions),
+ * preserving the tiled runner's determinism guarantee.
+ */
+
+namespace ideal {
+namespace simd {
+
+/** Instruction-set level of a kernel table, in increasing order. */
+enum class Level {
+    Scalar = 0, ///< portable C++, no intrinsics
+    Sse = 1,    ///< SSE4.2 (128-bit)
+    Avx2 = 2,   ///< AVX2 (256-bit)
+};
+
+/** Lower-case level name ("scalar", "sse", "avx2"). */
+const char *toString(Level level);
+
+/**
+ * The set of hot kernels. All pointers are always non-null; the
+ * scalar table is the reference semantics every other level must
+ * reproduce bitwise.
+ */
+struct KernelTable
+{
+    /**
+     * Squared L2 distance over @p len elements with the canonical
+     * 8-lane tree applied once over the whole array (single fold,
+     * sequential tail).
+     */
+    float (*ssd)(const float *a, const float *b, int len);
+
+    /**
+     * Squared L2 distance accumulated per 16-element block (one
+     * 8-lane tree fold per block, blocks summed sequentially),
+     * early-returning a partial sum once it exceeds @p bound. Partial
+     * results are only guaranteed to compare > @p bound.
+     */
+    float (*ssdBounded)(const float *a, const float *b, int len,
+                        float bound);
+
+    /**
+     * Same block-wise accumulation order as ssdBounded but with no
+     * early exit: the exact full distance. For len == 16 this equals
+     * both ssd and ssdBounded(bound=inf) bitwise.
+     */
+    float (*ssdFull)(const float *a, const float *b, int len);
+
+    /**
+     * Batched 16-element SSD: out[i] = ssdFull(ref, cands + 16*i, 16)
+     * for i in [0, count). @p cands is a contiguous array of @p count
+     * 16-float patch descriptors (the patch-field layout). count <= 8.
+     */
+    void (*ssdBatch16)(const float *ref, const float *cands, int count,
+                       float *out);
+
+    /**
+     * Full 2-D folded 4x4 DCT forward: row pass, transpose, row pass.
+     * @p fwd_even / @p fwd_odd are the 2x2 half matrices packed
+     * row-major (Dct2D's fwdEven_/fwdOdd_ for n == 4).
+     */
+    void (*dct4Forward)(const float *in, float *out,
+                        const float *fwd_even, const float *fwd_odd);
+
+    /** Full 2-D folded 4x4 DCT inverse (invEven_/invOdd_ layout). */
+    void (*dct4Inverse)(const float *in, float *out,
+                        const float *inv_even, const float *inv_odd);
+
+    /**
+     * One Haar butterfly over @p width lanes:
+     * approx[c] = (even[c] + odd[c]) * factor,
+     * detail[c] = (even[c] - odd[c]) * factor.
+     * approx may alias even (each lane is read before it is written).
+     */
+    void (*haarForwardPair)(const float *even, const float *odd,
+                            float *approx, float *detail, float factor,
+                            int width);
+
+    /**
+     * One inverse Haar butterfly over @p width lanes:
+     * out_even[c] = (approx[c] + detail[c]) * factor,
+     * out_odd[c]  = (approx[c] - detail[c]) * factor.
+     * Outputs must not alias the inputs.
+     */
+    void (*haarInversePair)(const float *approx, const float *detail,
+                            float *out_even, float *out_odd, float factor,
+                            int width);
+
+    /**
+     * Hard threshold in place: v[i] with |v[i]| < threshold becomes
+     * +0.0f. Returns the number of surviving (non-zeroed) elements.
+     */
+    int (*hardThreshold)(float *v, int count, float threshold);
+
+    /**
+     * Wiener shrinkage: w[i] = b[i]^2 / (b[i]^2 + sigma2),
+     * v[i] *= w[i]; the weights are stored to @p w so the caller can
+     * accumulate sum(w^2) in double precision in its own fixed order.
+     * Returns the count of w[i] > 0.5 (the hardware-countable
+     * "non-zero" analogue).
+     */
+    int (*wienerApply)(float *v, const float *b, float *w, int count,
+                       float sigma2);
+
+    /**
+     * Weighted aggregation row: num[i] += weight * pix[i],
+     * den[i] += weight.
+     */
+    void (*aggregateAdd)(float *num, float *den, const float *pix,
+                         float weight, int count);
+};
+
+/** Best level this CPU supports (probed once). */
+Level bestSupported();
+
+/**
+ * The active dispatch level. Resolved on first use: bestSupported(),
+ * lowered by IDEAL_SIMD if set.
+ */
+Level activeLevel();
+
+/**
+ * Test hook: force the active level (clamped to bestSupported()).
+ * Not thread-safe against kernels in flight — call only from tests
+ * and benchmarks between runs.
+ */
+void setLevel(Level level);
+
+/** The kernel table of the active level. */
+const KernelTable &kernels();
+
+/**
+ * The kernel table of @p level, clamped to bestSupported(). Lets
+ * parity tests and microbenchmarks address a specific level without
+ * changing the active dispatch.
+ */
+const KernelTable &kernelsFor(Level level);
+
+} // namespace simd
+} // namespace ideal
+
+#endif // IDEAL_SIMD_SIMD_H_

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fixed/fixed.h"
+#include "simd/simd.h"
 
 namespace ideal {
 namespace transforms {
@@ -191,6 +192,14 @@ Dct2D::passInverse(const float *__restrict in,
 void
 Dct2D::forward(const float *in, float *out) const
 {
+    if (n_ == 4) {
+        // The 4x4 hot path runs entirely inside the SIMD layer (both
+        // passes and the transpose) so one dispatch covers the whole
+        // 2-D transform.
+        simd::kernels().dct4Forward(in, out, fwdEven_.data(),
+                                    fwdOdd_.data());
+        return;
+    }
     float t1[kMaxPatch * kMaxPatch];
     float t2[kMaxPatch * kMaxPatch];
     if (fwdEven_.empty()) {
@@ -207,6 +216,11 @@ Dct2D::forward(const float *in, float *out) const
 void
 Dct2D::inverse(const float *in, float *out) const
 {
+    if (n_ == 4) {
+        simd::kernels().dct4Inverse(in, out, invEven_.data(),
+                                    invOdd_.data());
+        return;
+    }
     float t1[kMaxPatch * kMaxPatch];
     float t2[kMaxPatch * kMaxPatch];
     if (fwdEven_.empty()) {

@@ -9,75 +9,27 @@
  * full 4x4 patch distance per cycle with 16 subtractors, 16
  * multipliers and a 16-input adder tree.
  *
- * The software kernels mirror that adder tree: they accumulate into
- * four independent lanes in a fixed tree order. The explicit order
- * keeps results deterministic (no reassociation is left to the
- * compiler) while making the reduction vectorizable without
- * -ffast-math — an FP-sum reduction in a plain loop cannot be
- * vectorized under strict IEEE ordering, which is why the seed's
- * scalar loop dominated the block-matching profile.
+ * The software kernels mirror that adder tree through the runtime-
+ * dispatched SIMD layer (src/simd): 8 accumulator lanes folded in one
+ * canonical order, identical bitwise at every dispatch level (see
+ * simd.h's reduction-order rule). These wrappers exist so callers
+ * keep a plain-function API and so the dispatch indirection is paid
+ * once per call, not once per 16 elements.
  */
 
-#include <cstddef>
+#include "simd/simd.h"
 
 namespace ideal {
 namespace transforms {
 
-namespace detail {
-
-/** 4-lane SSD over one run of 4 elements; lanes passed by reference. */
-inline void
-ssdStep4(const float *a, const float *b, float &s0, float &s1, float &s2,
-         float &s3)
-{
-    const float d0 = a[0] - b[0];
-    const float d1 = a[1] - b[1];
-    const float d2 = a[2] - b[2];
-    const float d3 = a[3] - b[3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-}
-
 /**
- * SSD over one 16-element block — one hardware adder-tree's worth —
- * in the fixed lane order s0: {0,4,8,12}, s1: {1,5,9,13}, ..., reduced
- * as (s0+s1)+(s2+s3).
- *
- * noinline is load-bearing: inlined into a caller, GCC fully unrolls
- * the lane loop and its SLP pass no longer recognises the reduction,
- * emitting ~48 scalar ops; as a standalone function the loop compiles
- * to packed subps/mulps/addps. The call per 16 elements is noise next
- * to that difference.
- */
-__attribute__((noinline)) inline float
-ssdBlock16(const float *a, const float *b)
-{
-    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-    for (int k = 0; k < 16; k += 4)
-        ssdStep4(a + k, b + k, s0, s1, s2, s3);
-    return (s0 + s1) + (s2 + s3);
-}
-
-} // namespace detail
-
-/**
- * Squared L2 distance between two length-@p len arrays, summed in a
- * fixed 4-lane tree order (deterministic for a given @p len).
+ * Squared L2 distance between two length-@p len arrays, summed in the
+ * canonical 8-lane tree order (deterministic for a given @p len).
  */
 inline float
 squaredDistance(const float *a, const float *b, int len)
 {
-    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-    int i = 0;
-    for (; i + 4 <= len; i += 4)
-        detail::ssdStep4(a + i, b + i, s0, s1, s2, s3);
-    for (; i < len; ++i) {
-        const float d = a[i] - b[i];
-        s0 += d * d;
-    }
-    return (s0 + s1) + (s2 + s3);
+    return simd::kernels().ssd(a, b, len);
 }
 
 /**
@@ -95,20 +47,32 @@ squaredDistance(const float *a, const float *b, int len)
 inline float
 squaredDistanceBounded(const float *a, const float *b, int len, float bound)
 {
-    float acc = 0.0f;
-    int i = 0;
-    for (; i + 16 <= len; i += 16) {
-        acc += detail::ssdBlock16(a + i, b + i);
-        if (acc > bound)
-            return acc;
-    }
-    for (; i < len; ++i) {
-        const float d = a[i] - b[i];
-        acc += d * d;
-        if (acc > bound)
-            return acc;
-    }
-    return acc;
+    return simd::kernels().ssdBounded(a, b, len, bound);
+}
+
+/**
+ * Exact squared L2 distance in the same per-16-block accumulation
+ * order as squaredDistanceBounded (no early exit). For len == 16 all
+ * three kernels agree bitwise, which is what lets the batched
+ * block-matching path and the bounded path select identical matches.
+ */
+inline float
+squaredDistanceFull(const float *a, const float *b, int len)
+{
+    return simd::kernels().ssdFull(a, b, len);
+}
+
+/**
+ * Batched 16-element SSD against one reference descriptor:
+ * out[i] = squaredDistanceFull(ref, cands + 16*i, 16) for
+ * i in [0, count), count <= 8. @p cands must be contiguous
+ * 16-float descriptors (the patch-field layout).
+ */
+inline void
+squaredDistanceBatch16(const float *ref, const float *cands, int count,
+                       float *out)
+{
+    simd::kernels().ssdBatch16(ref, cands, count, out);
 }
 
 } // namespace transforms

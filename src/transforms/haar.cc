@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fixed/fixed.h"
+#include "simd/simd.h"
 
 namespace ideal {
 namespace transforms {
@@ -139,20 +140,17 @@ Haar1D::forwardRows(const float *in, float *out, int stride,
         std::memcpy(buf[i], in + static_cast<size_t>(i) * stride,
                     sizeof(float) * width);
     const float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+    const simd::KernelTable &k = simd::kernels();
     int len = n_;
     while (len > 1) {
         const int half = len / 2;
-        for (int i = 0; i < half; ++i) {
-            const float *even = buf[2 * i];
-            const float *odd = buf[2 * i + 1];
-            float *detail = out + static_cast<size_t>(half + i) * stride;
-            float tmp[kMaxLen];
-            for (int c = 0; c < width; ++c) {
-                tmp[c] = (even[c] + odd[c]) * inv_sqrt2;
-                detail[c] = (even[c] - odd[c]) * inv_sqrt2;
-            }
-            std::memcpy(buf[i], tmp, sizeof(float) * width);
-        }
+        // Writing the approximations in place into buf[i] is safe:
+        // butterfly i reads rows 2i and 2i+1 and writes row i, and
+        // every later butterfly reads rows >= 2i + 2.
+        for (int i = 0; i < half; ++i)
+            k.haarForwardPair(buf[2 * i], buf[2 * i + 1], buf[i],
+                              out + static_cast<size_t>(half + i) * stride,
+                              inv_sqrt2, width);
         len = half;
     }
     std::memcpy(out, buf[0], sizeof(float) * width);
@@ -167,20 +165,15 @@ Haar1D::inverseRows(const float *in, float *out, int stride,
     float buf[kMaxLen][kMaxLen];
     std::memcpy(buf[0], in, sizeof(float) * width);
     const float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+    const simd::KernelTable &k = simd::kernels();
     int len = 1;
     while (len < n_) {
         float tmp[kMaxLen][kMaxLen];
-        for (int i = 0; i < len; ++i) {
-            const float *approx = buf[i];
-            const float *detail =
-                in + static_cast<size_t>(len + i) * stride;
-            for (int c = 0; c < width; ++c) {
-                const float a = approx[c];
-                const float d = detail[c];
-                tmp[2 * i][c] = (a + d) * inv_sqrt2;
-                tmp[2 * i + 1][c] = (a - d) * inv_sqrt2;
-            }
-        }
+        for (int i = 0; i < len; ++i)
+            k.haarInversePair(buf[i],
+                              in + static_cast<size_t>(len + i) * stride,
+                              tmp[2 * i], tmp[2 * i + 1], inv_sqrt2,
+                              width);
         len *= 2;
         for (int i = 0; i < len; ++i)
             std::memcpy(buf[i], tmp[i], sizeof(float) * width);

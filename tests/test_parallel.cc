@@ -21,6 +21,7 @@
 #include "image/synthetic.h"
 #include "parallel/pool.h"
 #include "parallel/tiles.h"
+#include "simd/simd.h"
 
 using namespace ideal;
 using parallel::ThreadPool;
@@ -178,8 +179,9 @@ TEST(Tiles, GridPartitionsIndexSpaceInRowMajorOrder)
     // Row-major: y0 non-decreasing, x0 increasing within a row.
     for (size_t i = 1; i < tiles.size(); ++i) {
         EXPECT_GE(tiles[i].y0, tiles[i - 1].y0);
-        if (tiles[i].y0 == tiles[i - 1].y0)
+        if (tiles[i].y0 == tiles[i - 1].y0) {
             EXPECT_GT(tiles[i].x0, tiles[i - 1].x0);
+        }
     }
 }
 
@@ -277,6 +279,17 @@ determinismConfig()
     return cfg;
 }
 
+/** Restores the startup dispatch level when a scope ends. */
+class ScopedSimdLevel
+{
+  public:
+    ScopedSimdLevel() : saved_(simd::activeLevel()) {}
+    ~ScopedSimdLevel() { simd::setLevel(saved_); }
+
+  private:
+    simd::Level saved_;
+};
+
 void
 checkDeterministicAcrossThreadCounts(bm3d::Bm3dConfig cfg,
                                      int channels = 1)
@@ -288,15 +301,28 @@ checkDeterministicAcrossThreadCounts(bm3d::Bm3dConfig cfg,
     cfg.numThreads = 1;
     auto reference = bm3d::Bm3d(cfg).denoise(noisy);
 
-    const int counts[] = {2, 7, parallel::hardwareThreads()};
-    for (int threads : counts) {
-        cfg.numThreads = threads;
-        auto run = bm3d::Bm3d(cfg).denoise(noisy);
-        SCOPED_TRACE(testing::Message() << "threads=" << threads);
-        // basic = hard-threshold stage, output = Wiener stage.
-        expectBitwiseEqual(reference.basic, run.basic, "basic estimate");
-        expectBitwiseEqual(reference.output, run.output, "final output");
-        expectSameOps(reference.profile, run.profile);
+    // The determinism contract is two-dimensional since the SIMD layer
+    // landed: output must be bitwise identical across thread counts AND
+    // across dispatch levels (scalar / SSE / AVX2 keep the exact scalar
+    // reduction order). Sweep every level the CPU supports at every
+    // thread count against the one reference run.
+    ScopedSimdLevel restore;
+    const int counts[] = {1, 2, 7, parallel::hardwareThreads()};
+    for (int l = 0; l <= static_cast<int>(simd::bestSupported()); ++l) {
+        simd::setLevel(static_cast<simd::Level>(l));
+        for (int threads : counts) {
+            cfg.numThreads = threads;
+            auto run = bm3d::Bm3d(cfg).denoise(noisy);
+            SCOPED_TRACE(testing::Message()
+                         << "simd=" << simd::toString(simd::activeLevel())
+                         << " threads=" << threads);
+            // basic = hard-threshold stage, output = Wiener stage.
+            expectBitwiseEqual(reference.basic, run.basic,
+                               "basic estimate");
+            expectBitwiseEqual(reference.output, run.output,
+                               "final output");
+            expectSameOps(reference.profile, run.profile);
+        }
     }
 }
 

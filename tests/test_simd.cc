@@ -1,0 +1,587 @@
+/**
+ * @file
+ * Bitwise parity suite for the runtime-dispatched SIMD kernel layer:
+ * every kernel, at every level the CPU supports, must reproduce the
+ * scalar reference bit for bit — on random inputs, on adversarial
+ * saturating/overflow inputs, and on sign-of-zero / NaN / infinity
+ * edge cases. Also covers the dispatch mechanics (setLevel clamping,
+ * kernelsFor addressing) and cross-checks the integrated transforms
+ * (Dct2D, Haar1D) across levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "simd/simd.h"
+#include "transforms/dct.h"
+#include "transforms/distance.h"
+#include "transforms/haar.h"
+
+using namespace ideal;
+
+namespace {
+
+/** Deterministic xorshift64* generator (seeds fixed per test). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 1) {}
+
+    uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    float
+    uniform(float lo, float hi)
+    {
+        const double u =
+            static_cast<double>(next() >> 11) / 9007199254740992.0;
+        return lo + static_cast<float>(u * (hi - lo));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+std::vector<simd::Level>
+availableLevels()
+{
+    std::vector<simd::Level> levels;
+    for (int l = 0; l <= static_cast<int>(simd::bestSupported()); ++l)
+        levels.push_back(static_cast<simd::Level>(l));
+    return levels;
+}
+
+/** EXPECT bit equality of two floats (distinguishes -0.0, NaN bits). */
+void
+expectBitEqual(float a, float b, const char *what, int index)
+{
+    uint32_t ba, bb;
+    std::memcpy(&ba, &a, 4);
+    std::memcpy(&bb, &b, 4);
+    EXPECT_EQ(ba, bb) << what << " [" << index << "]: " << a << " vs "
+                      << b;
+}
+
+void
+expectBitEqual(const float *a, const float *b, int count, const char *what)
+{
+    for (int i = 0; i < count; ++i)
+        expectBitEqual(a[i], b[i], what, i);
+}
+
+/**
+ * Input families for the parity sweeps. "Saturating" stresses the
+ * reduction order: values large enough that partial sums round
+ * differently under any reassociation, plus cancellation pairs.
+ */
+std::vector<std::vector<float>>
+inputFamilies(Rng &rng, int len)
+{
+    std::vector<std::vector<float>> families;
+
+    std::vector<float> plain(len);
+    for (float &v : plain)
+        v = rng.uniform(-255.0f, 255.0f);
+    families.push_back(plain);
+
+    std::vector<float> tiny(len);
+    for (float &v : tiny)
+        v = rng.uniform(-1e-5f, 1e-5f);
+    families.push_back(tiny);
+
+    std::vector<float> huge(len);
+    for (float &v : huge)
+        v = rng.uniform(-1e18f, 1e18f); // squares near FLT_MAX
+    families.push_back(huge);
+
+    std::vector<float> mixed(len);
+    for (int i = 0; i < len; ++i)
+        mixed[i] = (i % 2 == 0) ? rng.uniform(1e15f, 1e18f)
+                                : rng.uniform(-1e-3f, 1e-3f);
+    families.push_back(mixed);
+
+    std::vector<float> zeros(len, 0.0f);
+    for (int i = 0; i < len; i += 3)
+        zeros[i] = -0.0f;
+    families.push_back(zeros);
+
+    return families;
+}
+
+class SimdParity : public ::testing::Test
+{
+  protected:
+    void TearDown() override { simd::setLevel(simd::bestSupported()); }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Dispatch mechanics.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdParity, LevelNamesAreStable)
+{
+    EXPECT_STREQ(simd::toString(simd::Level::Scalar), "scalar");
+    EXPECT_STREQ(simd::toString(simd::Level::Sse), "sse");
+    EXPECT_STREQ(simd::toString(simd::Level::Avx2), "avx2");
+}
+
+TEST_F(SimdParity, SetLevelRoundTripsAndClamps)
+{
+    for (simd::Level level : availableLevels()) {
+        simd::setLevel(level);
+        EXPECT_EQ(simd::activeLevel(), level);
+    }
+    // A request above what the CPU supports clamps down.
+    simd::setLevel(simd::Level::Avx2);
+    EXPECT_LE(simd::activeLevel(), simd::bestSupported());
+}
+
+TEST_F(SimdParity, KernelsForMatchesActiveTable)
+{
+    for (simd::Level level : availableLevels()) {
+        simd::setLevel(level);
+        EXPECT_EQ(&simd::kernels(), &simd::kernelsFor(level));
+    }
+}
+
+TEST_F(SimdParity, KernelTablesAreFullyPopulated)
+{
+    for (simd::Level level : availableLevels()) {
+        const simd::KernelTable &k = simd::kernelsFor(level);
+        EXPECT_NE(k.ssd, nullptr);
+        EXPECT_NE(k.ssdBounded, nullptr);
+        EXPECT_NE(k.ssdFull, nullptr);
+        EXPECT_NE(k.ssdBatch16, nullptr);
+        EXPECT_NE(k.dct4Forward, nullptr);
+        EXPECT_NE(k.dct4Inverse, nullptr);
+        EXPECT_NE(k.haarForwardPair, nullptr);
+        EXPECT_NE(k.haarInversePair, nullptr);
+        EXPECT_NE(k.hardThreshold, nullptr);
+        EXPECT_NE(k.wienerApply, nullptr);
+        EXPECT_NE(k.aggregateAdd, nullptr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SSD kernels.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdParity, SsdMatchesScalarBitwise)
+{
+    Rng rng(101);
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    for (int len : {1, 3, 7, 8, 9, 15, 16, 17, 24, 33, 64, 100}) {
+        for (const auto &a : inputFamilies(rng, len)) {
+            std::vector<float> b(len);
+            for (float &v : b)
+                v = rng.uniform(-255.0f, 255.0f);
+            const float expected = ref.ssd(a.data(), b.data(), len);
+            for (simd::Level level : availableLevels()) {
+                const float got = simd::kernelsFor(level).ssd(
+                    a.data(), b.data(), len);
+                SCOPED_TRACE(testing::Message()
+                             << "level=" << simd::toString(level)
+                             << " len=" << len);
+                expectBitEqual(expected, got, "ssd", 0);
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, SsdBoundedMatchesScalarBitwiseIncludingEarlyExit)
+{
+    Rng rng(202);
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    for (int len : {8, 16, 32, 48, 100}) {
+        for (const auto &a : inputFamilies(rng, len)) {
+            std::vector<float> b(len);
+            for (float &v : b)
+                v = rng.uniform(-255.0f, 255.0f);
+            const float full = ref.ssdFull(a.data(), b.data(), len);
+            // Bounds that never trigger, always trigger, and trigger
+            // mid-way exercise each early-exit position.
+            for (float bound : {std::numeric_limits<float>::infinity(),
+                                full * 2.0f, full, full * 0.5f,
+                                full * 0.1f, 0.0f}) {
+                const float expected = ref.ssdBounded(a.data(), b.data(),
+                                                      len, bound);
+                for (simd::Level level : availableLevels()) {
+                    const float got = simd::kernelsFor(level).ssdBounded(
+                        a.data(), b.data(), len, bound);
+                    SCOPED_TRACE(testing::Message()
+                                 << "level=" << simd::toString(level)
+                                 << " len=" << len << " bound=" << bound);
+                    expectBitEqual(expected, got, "ssdBounded", 0);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, SsdVariantsAgreeBitwiseAtPatchLength16)
+{
+    // The contract the batched block-matching path relies on: at 16
+    // elements, ssd, ssdFull and ssdBounded (any bound) are the same
+    // reduction tree, at every level.
+    Rng rng(303);
+    for (int trial = 0; trial < 50; ++trial) {
+        float a[16], b[16];
+        for (int i = 0; i < 16; ++i) {
+            a[i] = rng.uniform(-1e4f, 1e4f);
+            b[i] = rng.uniform(-1e4f, 1e4f);
+        }
+        for (simd::Level level : availableLevels()) {
+            const simd::KernelTable &k = simd::kernelsFor(level);
+            const float plain = k.ssd(a, b, 16);
+            const float full = k.ssdFull(a, b, 16);
+            const float bounded = k.ssdBounded(a, b, 16, plain * 0.5f);
+            SCOPED_TRACE(simd::toString(level));
+            expectBitEqual(plain, full, "ssd vs ssdFull", trial);
+            expectBitEqual(plain, bounded, "ssd vs ssdBounded", trial);
+        }
+    }
+}
+
+TEST_F(SimdParity, SsdBatch16MatchesSsdFullPerCandidate)
+{
+    Rng rng(404);
+    float ref_patch[16];
+    std::vector<float> cands(16 * 8);
+    for (float &v : ref_patch)
+        v = rng.uniform(-255.0f, 255.0f);
+    for (float &v : cands)
+        v = rng.uniform(-255.0f, 255.0f);
+
+    for (simd::Level level : availableLevels()) {
+        const simd::KernelTable &k = simd::kernelsFor(level);
+        for (int count = 1; count <= 8; ++count) {
+            float out[8];
+            k.ssdBatch16(ref_patch, cands.data(), count, out);
+            for (int i = 0; i < count; ++i) {
+                const float expected =
+                    k.ssdFull(ref_patch, cands.data() + 16 * i, 16);
+                SCOPED_TRACE(testing::Message()
+                             << "level=" << simd::toString(level)
+                             << " count=" << count);
+                expectBitEqual(expected, out[i], "ssdBatch16", i);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DCT kernels.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdParity, Dct4KernelsMatchScalarBitwise)
+{
+    Rng rng(505);
+    // The real folded half-matrices for n = 4 (values only matter for
+    // realism; parity must hold for any coefficients).
+    const float even[4] = {0.5f, 0.5f, 0.65328148f, -0.27059805f};
+    const float odd[4] = {0.65328148f, 0.27059805f, 0.27059805f,
+                          -0.65328148f};
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<std::vector<float>> families = inputFamilies(rng, 16);
+        for (const auto &in : families) {
+            float expected[16], got[16];
+            ref.dct4Forward(in.data(), expected, even, odd);
+            for (simd::Level level : availableLevels()) {
+                simd::kernelsFor(level).dct4Forward(in.data(), got, even,
+                                                    odd);
+                SCOPED_TRACE(simd::toString(level));
+                expectBitEqual(expected, got, 16, "dct4Forward");
+            }
+            ref.dct4Inverse(in.data(), expected, even, odd);
+            for (simd::Level level : availableLevels()) {
+                simd::kernelsFor(level).dct4Inverse(in.data(), got, even,
+                                                    odd);
+                SCOPED_TRACE(simd::toString(level));
+                expectBitEqual(expected, got, 16, "dct4Inverse");
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, Dct2DTransformIdenticalAcrossLevels)
+{
+    // Integration: the real Dct2D(4) must produce identical bits at
+    // every dispatch level (forward and inverse).
+    Rng rng(606);
+    transforms::Dct2D dct(4);
+    float in[16];
+    for (float &v : in)
+        v = rng.uniform(-255.0f, 255.0f);
+
+    simd::setLevel(simd::Level::Scalar);
+    float fwd_ref[16], inv_ref[16];
+    dct.forward(in, fwd_ref);
+    dct.inverse(fwd_ref, inv_ref);
+
+    for (simd::Level level : availableLevels()) {
+        simd::setLevel(level);
+        float fwd[16], inv[16];
+        dct.forward(in, fwd);
+        dct.inverse(fwd, inv);
+        SCOPED_TRACE(simd::toString(level));
+        expectBitEqual(fwd_ref, fwd, 16, "Dct2D::forward");
+        expectBitEqual(inv_ref, inv, 16, "Dct2D::inverse");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Haar kernels.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdParity, HaarPairKernelsMatchScalarBitwise)
+{
+    Rng rng(707);
+    const float factor = 1.0f / std::sqrt(2.0f);
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    for (int width : {1, 3, 4, 7, 8, 15, 16, 31, 64}) {
+        for (const auto &even : inputFamilies(rng, width)) {
+            std::vector<float> odd(width);
+            for (float &v : odd)
+                v = rng.uniform(-255.0f, 255.0f);
+            std::vector<float> a_ref(width), d_ref(width);
+            ref.haarForwardPair(even.data(), odd.data(), a_ref.data(),
+                                d_ref.data(), factor, width);
+            for (simd::Level level : availableLevels()) {
+                std::vector<float> a(width), d(width);
+                simd::kernelsFor(level).haarForwardPair(
+                    even.data(), odd.data(), a.data(), d.data(), factor,
+                    width);
+                SCOPED_TRACE(testing::Message()
+                             << "level=" << simd::toString(level)
+                             << " width=" << width);
+                expectBitEqual(a_ref.data(), a.data(), width, "approx");
+                expectBitEqual(d_ref.data(), d.data(), width, "detail");
+            }
+
+            std::vector<float> e_ref(width), o_ref(width);
+            ref.haarInversePair(even.data(), odd.data(), e_ref.data(),
+                                o_ref.data(), factor, width);
+            for (simd::Level level : availableLevels()) {
+                std::vector<float> e(width), o(width);
+                simd::kernelsFor(level).haarInversePair(
+                    even.data(), odd.data(), e.data(), o.data(), factor,
+                    width);
+                SCOPED_TRACE(testing::Message()
+                             << "level=" << simd::toString(level)
+                             << " width=" << width);
+                expectBitEqual(e_ref.data(), e.data(), width, "out_even");
+                expectBitEqual(o_ref.data(), o.data(), width, "out_odd");
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, HaarForwardPairSupportsApproxAliasingEven)
+{
+    // forwardRows writes the approximation row in place over its even
+    // input; the kernel contract allows approx == even.
+    Rng rng(808);
+    const float factor = 1.0f / std::sqrt(2.0f);
+    for (int width : {4, 8, 16, 33}) {
+        std::vector<float> even(width), odd(width);
+        for (int i = 0; i < width; ++i) {
+            even[i] = rng.uniform(-255.0f, 255.0f);
+            odd[i] = rng.uniform(-255.0f, 255.0f);
+        }
+        for (simd::Level level : availableLevels()) {
+            std::vector<float> sep_a(width), sep_d(width);
+            const simd::KernelTable &k = simd::kernelsFor(level);
+            k.haarForwardPair(even.data(), odd.data(), sep_a.data(),
+                              sep_d.data(), factor, width);
+            std::vector<float> aliased = even;
+            std::vector<float> d(width);
+            k.haarForwardPair(aliased.data(), odd.data(), aliased.data(),
+                              d.data(), factor, width);
+            SCOPED_TRACE(testing::Message()
+                         << "level=" << simd::toString(level)
+                         << " width=" << width);
+            expectBitEqual(sep_a.data(), aliased.data(), width,
+                           "aliased approx");
+            expectBitEqual(sep_d.data(), d.data(), width, "detail");
+        }
+    }
+}
+
+TEST_F(SimdParity, Haar1DRowsIdenticalAcrossLevels)
+{
+    // Integration: the 16-point row-wise Haar used by the denoising
+    // engine must produce identical bits at every dispatch level.
+    Rng rng(909);
+    transforms::Haar1D haar(16);
+    const int width = 16;
+    std::vector<float> in(16 * width);
+    for (float &v : in)
+        v = rng.uniform(-255.0f, 255.0f);
+
+    simd::setLevel(simd::Level::Scalar);
+    std::vector<float> fwd_ref(in.size()), inv_ref(in.size());
+    haar.forwardRows(in.data(), fwd_ref.data(), width, width);
+    haar.inverseRows(fwd_ref.data(), inv_ref.data(), width, width);
+
+    for (simd::Level level : availableLevels()) {
+        simd::setLevel(level);
+        std::vector<float> fwd(in.size()), inv(in.size());
+        haar.forwardRows(in.data(), fwd.data(), width, width);
+        haar.inverseRows(fwd.data(), inv.data(), width, width);
+        SCOPED_TRACE(simd::toString(level));
+        expectBitEqual(fwd_ref.data(), fwd.data(),
+                       static_cast<int>(fwd.size()), "forwardRows");
+        expectBitEqual(inv_ref.data(), inv.data(),
+                       static_cast<int>(inv.size()), "inverseRows");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shrinkage and aggregation kernels.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdParity, HardThresholdMatchesScalarBitwiseAndByCount)
+{
+    const float thr = 10.0f;
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    // Straddle the threshold, include exact ties (kept: < is strict),
+    // signed zeros, NaN (kept: the comparison is false) and infinities.
+    const std::vector<float> base = {0.0f,   -0.0f, 5.0f,  -5.0f, 10.0f,
+                                     -10.0f, 9.99f, 10.01f, 1e30f, -1e30f,
+                                     inf,    -inf,  nan,    -2.5f, 64.0f,
+                                     -11.0f, 3.0f};
+    for (int count : {1, 4, 8, 16, 17}) {
+        std::vector<float> ref_v(base.begin(), base.begin() + count);
+        const int ref_kept = simd::kernelsFor(simd::Level::Scalar)
+                                 .hardThreshold(ref_v.data(), count, thr);
+        for (simd::Level level : availableLevels()) {
+            std::vector<float> v(base.begin(), base.begin() + count);
+            const int kept = simd::kernelsFor(level).hardThreshold(
+                v.data(), count, thr);
+            SCOPED_TRACE(testing::Message()
+                         << "level=" << simd::toString(level)
+                         << " count=" << count);
+            EXPECT_EQ(ref_kept, kept);
+            expectBitEqual(ref_v.data(), v.data(), count, "thresholded");
+        }
+    }
+}
+
+TEST_F(SimdParity, HardThresholdZeroesToPositiveZero)
+{
+    // The zeroed coefficients must be +0.0f (their bit pattern feeds
+    // the bitwise determinism contract downstream).
+    for (simd::Level level : availableLevels()) {
+        float v[8] = {-0.5f, 0.5f, -0.0f, 0.0f, -3.0f, 3.0f, -7.9f, 7.9f};
+        simd::kernelsFor(level).hardThreshold(v, 8, 8.0f);
+        for (int i = 0; i < 8; ++i) {
+            uint32_t bits;
+            std::memcpy(&bits, &v[i], 4);
+            EXPECT_EQ(bits, 0u)
+                << simd::toString(level) << " [" << i << "]";
+        }
+    }
+}
+
+TEST_F(SimdParity, WienerApplyMatchesScalarBitwise)
+{
+    Rng rng(1111);
+    const float s2 = 625.0f; // sigma 25
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    for (int count : {1, 4, 8, 16, 19}) {
+        for (const auto &b : inputFamilies(rng, count)) {
+            std::vector<float> v0(count);
+            for (float &v : v0)
+                v = rng.uniform(-255.0f, 255.0f);
+
+            std::vector<float> v_ref = v0, w_ref(count);
+            const int strong_ref = ref.wienerApply(
+                v_ref.data(), b.data(), w_ref.data(), count, s2);
+            for (simd::Level level : availableLevels()) {
+                std::vector<float> v = v0, w(count);
+                const int strong = simd::kernelsFor(level).wienerApply(
+                    v.data(), b.data(), w.data(), count, s2);
+                SCOPED_TRACE(testing::Message()
+                             << "level=" << simd::toString(level)
+                             << " count=" << count);
+                EXPECT_EQ(strong_ref, strong);
+                expectBitEqual(v_ref.data(), v.data(), count, "v");
+                expectBitEqual(w_ref.data(), w.data(), count, "w");
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, AggregateAddMatchesScalarBitwise)
+{
+    Rng rng(1212);
+    for (int count : {1, 3, 4, 8, 16, 21}) {
+        std::vector<float> num0(count), den0(count), pix(count);
+        for (int i = 0; i < count; ++i) {
+            num0[i] = rng.uniform(-1e4f, 1e4f);
+            den0[i] = rng.uniform(0.0f, 1e4f);
+            pix[i] = rng.uniform(-255.0f, 255.0f);
+        }
+        const float weight = rng.uniform(0.01f, 1.0f);
+
+        std::vector<float> num_ref = num0, den_ref = den0;
+        simd::kernelsFor(simd::Level::Scalar)
+            .aggregateAdd(num_ref.data(), den_ref.data(), pix.data(),
+                          weight, count);
+        for (simd::Level level : availableLevels()) {
+            std::vector<float> num = num0, den = den0;
+            simd::kernelsFor(level).aggregateAdd(
+                num.data(), den.data(), pix.data(), weight, count);
+            SCOPED_TRACE(testing::Message()
+                         << "level=" << simd::toString(level)
+                         << " count=" << count);
+            expectBitEqual(num_ref.data(), num.data(), count, "num");
+            expectBitEqual(den_ref.data(), den.data(), count, "den");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// distance.h wrappers follow the active level.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdParity, DistanceWrappersDispatchOnActiveLevel)
+{
+    Rng rng(1313);
+    float a[33], b[33];
+    for (int i = 0; i < 33; ++i) {
+        a[i] = rng.uniform(-255.0f, 255.0f);
+        b[i] = rng.uniform(-255.0f, 255.0f);
+    }
+    simd::setLevel(simd::Level::Scalar);
+    const float d_ref = transforms::squaredDistance(a, b, 33);
+    const float f_ref = transforms::squaredDistanceFull(a, b, 33);
+    const float bd_ref = transforms::squaredDistanceBounded(
+        a, b, 33, f_ref * 0.25f);
+    for (simd::Level level : availableLevels()) {
+        simd::setLevel(level);
+        SCOPED_TRACE(simd::toString(level));
+        expectBitEqual(d_ref, transforms::squaredDistance(a, b, 33),
+                       "squaredDistance", 0);
+        expectBitEqual(f_ref, transforms::squaredDistanceFull(a, b, 33),
+                       "squaredDistanceFull", 0);
+        expectBitEqual(
+            bd_ref,
+            transforms::squaredDistanceBounded(a, b, 33, f_ref * 0.25f),
+            "squaredDistanceBounded", 0);
+    }
+}
