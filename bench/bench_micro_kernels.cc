@@ -104,10 +104,17 @@ main(int argc, char **argv)
         std::vector<double> ms;
     };
     std::vector<Timing> rows = {
-        {"ssd", {}},        {"ssd_batch", {}},  {"dct4_fwd", {}},
-        {"dct4_inv", {}},   {"haar_pair", {}},  {"hard_thr", {}},
-        {"wiener", {}},     {"aggregate", {}},
+        {"ssd", {}},        {"ssd_batch", {}},  {"ssd_soa_batch", {}},
+        {"dct4_fwd", {}},   {"dct4_inv", {}},   {"haar_pair", {}},
+        {"hard_thr", {}},   {"wiener", {}},     {"aggregate", {}},
+        {"merge_add", {}},
     };
+
+    // Coefficient-major view of the pool for the SoA kernels: plane k
+    // holds coefficient k of every "candidate position".
+    std::vector<const float *> soa_planes(16);
+    for (int k = 0; k < 16; ++k)
+        soa_planes[k] = pool.data() + static_cast<size_t>(k) * patches;
 
     for (int l = 0; l <= static_cast<int>(simd::bestSupported()); ++l) {
         const auto level = static_cast<simd::Level>(l);
@@ -147,6 +154,19 @@ main(int argc, char **argv)
                     k.ssdBatch16(pool.data(), pool.data() + 16 * i, 8,
                                  out);
                     g_sink += out[0] + out[7];
+                }
+        });
+
+        // Batched SoA SSD over window-row-sized runs of candidates
+        // (the coefficient-major block-matching hot path: one dispatch
+        // per run).
+        record([&] {
+            float out[64];
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i + 64 <= patches; i += 64) {
+                    k.ssdSoaBatch(pool.data(), soa_planes.data(),
+                                  static_cast<size_t>(i), 16, 64, out);
+                    g_sink += out[0] + out[63];
                 }
         });
 
@@ -213,6 +233,15 @@ main(int argc, char **argv)
                                    pool.data() + 16 * i, 0.25f, 16);
         });
         g_sink += den[0];
+
+        // Fused accumulator merge over full pool-sized rows (the
+        // tile-into-image aggregation merge).
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                k.mergeAdd(scratch.data(), den.data(), pool.data(),
+                           pool.data(), patches * 16);
+        });
+        g_sink += den[1];
     }
 
     for (const Timing &r : rows) {

@@ -2,12 +2,21 @@
 """Compare two BENCH_*.json records and fail on kernel-time regressions.
 
 Usage:
-    scripts/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+    scripts/bench_diff.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.10] [--tolerance 0.10]
 
-Exits non-zero when any kernel time (or the wall time) in CANDIDATE is
-more than THRESHOLD slower than in BASELINE. Keys present in only one
-record are reported but do not fail the comparison — kernels come and
-go across PRs; only shared kernels are regression-checked.
+Exits non-zero when any kernel time in CANDIDATE is more than THRESHOLD
+slower than in BASELINE, or when the end-to-end wall time is more than
+TOLERANCE slower. Keys present in only one record are reported but do
+not fail the comparison — kernels come and go across PRs; only shared
+kernels are regression-checked.
+
+The wall-time comparison is separate from the per-kernel table because
+the two answer different questions: the kernel table localizes *where*
+a regression lives, while the wall-time line is the end-to-end contract
+("the run as a whole must not get slower"). --tolerance lets a caller
+loosen or tighten that contract independently of the per-kernel gate
+(e.g. a refactor that deliberately shifts time between steps).
 
 The records are produced by the C++ bench harness (bench/common.cc,
 BenchRecord::write): every bench binary writes BENCH_<name>.json with
@@ -45,8 +54,6 @@ def compare_times(base, cand, threshold):
     """Return (rows, regressions) over shared kernel-time keys."""
     base_t = dict(base["kernel_times_ms"])
     cand_t = dict(cand["kernel_times_ms"])
-    base_t["wall_time_s"] = base["wall_time_s"] * 1e3
-    cand_t["wall_time_s"] = cand["wall_time_s"] * 1e3
 
     rows = []
     regressions = []
@@ -69,6 +76,27 @@ def compare_times(base, cand, threshold):
     return rows, regressions
 
 
+def compare_wall(base, cand, tolerance):
+    """Return (message, regressed) for the end-to-end wall time."""
+    b, c = base["wall_time_s"], cand["wall_time_s"]
+    if b <= 0:
+        return f"wall time: baseline {b:.3f}s is not positive; skipped", False
+    ratio = c / b
+    if ratio > 1.0 + tolerance:
+        return (
+            f"wall time: {b:.3f}s -> {c:.3f}s "
+            f"REGRESSION ({ratio:.2f}x, tolerance {tolerance:.0%})",
+            True,
+        )
+    if ratio < 1.0:
+        return (
+            f"wall time: {b:.3f}s -> {c:.3f}s "
+            f"(speedup {b / c:.2f}x)",
+            False,
+        )
+    return f"wall time: {b:.3f}s -> {c:.3f}s (ratio {ratio:.2f}x, ok)", False
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare two BENCH_*.json records."
@@ -79,10 +107,18 @@ def main():
         "--threshold",
         type=float,
         default=0.10,
-        help="fractional slowdown that counts as a regression "
+        help="fractional per-kernel slowdown that counts as a regression "
         "(default 0.10 = 10%%)",
     )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="fractional end-to-end wall-time slowdown that counts as a "
+        "regression (defaults to --threshold)",
+    )
     args = parser.parse_args()
+    tolerance = args.tolerance if args.tolerance is not None else args.threshold
 
     base = load(args.baseline)
     cand = load(args.candidate)
@@ -109,13 +145,24 @@ def main():
         cs = f"{c:.3f}" if c is not None else "-"
         print(f"{key:<{width}}  {bs:>12}  {cs:>12}  {status}")
 
+    wall_msg, wall_regressed = compare_wall(base, cand, tolerance)
+    print()
+    print(wall_msg)
+
+    failed = bool(regressions) or wall_regressed
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
             f"{args.threshold:.0%}: {', '.join(regressions)}"
         )
+    if wall_regressed:
+        print(
+            f"FAIL: wall time regressed more than {tolerance:.0%}"
+        )
+    if failed:
         return 1
-    print(f"\nOK: no kernel regressed more than {args.threshold:.0%}")
+    print(f"\nOK: no kernel regressed more than {args.threshold:.0%}; "
+          f"wall time within {tolerance:.0%}")
     return 0
 
 

@@ -8,9 +8,17 @@
  * BM1 measures distances between hard-thresholded DCT patches while
  * BM2 measures them between color-domain patches of the intermediate
  * image (Paths A and B).
+ *
+ * Both domains expose their descriptors coefficient-major (SoA): the
+ * distance of 8 adjacent candidates against a reference loads one
+ * contiguous 8-float lane per coefficient (src/simd ssdSoaBatch)
+ * instead of eight position-major descriptors. The matcher gathers
+ * the reference descriptor once per search and streams the window
+ * rows through the batch kernel.
  */
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -28,160 +36,165 @@ class DctMatchDomain
 {
   public:
     explicit DctMatchDomain(const DctPatchField &field)
-        : field_(field),
-          norm_(1.0f / static_cast<float>(field.patchSize() *
-                                          field.patchSize()))
+        : field_(field), coefs_(field.coefs()),
+          norm_(1.0f / static_cast<float>(field.coefs()))
     {
     }
 
     int positionsX() const { return field_.positionsX(); }
     int positionsY() const { return field_.positionsY(); }
+    int patchCoefs() const { return coefs_; }
 
     /** Normalized squared distance between patches at two top-lefts. */
     float
     distance(int ax, int ay, int bx, int by) const
     {
-        int len = field_.patchSize() * field_.patchSize();
-        return transforms::squaredDistance(field_.matchPatch(ax, ay),
-                                           field_.matchPatch(bx, by),
-                                           len) * norm_;
+        return transforms::squaredDistanceSoa(
+                   field_.matchPlanes(), field_.matchOffset(ax, ay),
+                   field_.matchPlanes(), field_.matchOffset(bx, by),
+                   coefs_) *
+               norm_;
     }
 
     /** Distance with early exit once it exceeds @p bound. */
     float
     distanceBounded(int ax, int ay, int bx, int by, float bound) const
     {
-        int len = field_.patchSize() * field_.patchSize();
-        return transforms::squaredDistanceBounded(
-                   field_.matchPatch(ax, ay), field_.matchPatch(bx, by),
-                   len, bound / norm_) * norm_;
+        return transforms::squaredDistanceSoaBounded(
+                   field_.matchPlanes(), field_.matchOffset(ax, ay),
+                   field_.matchPlanes(), field_.matchOffset(bx, by),
+                   coefs_, bound / norm_) *
+               norm_;
     }
 
-    /** True when patches are the 16-float descriptors ssdBatch16 wants. */
-    bool
-    supportsBatch() const
+    /** The SoA batch kernel handles every patch size. */
+    bool supportsBatch() const { return true; }
+
+    /** Gather the reference descriptor at (x, y) (patchCoefs floats). */
+    void
+    gatherRef(int x, int y, float *out) const
     {
-        return field_.patchSize() * field_.patchSize() == 16;
+        field_.gatherMatchPatch(x, y, out);
     }
 
     /**
-     * Normalized distances of the contiguous x-run
-     * [x0, x0 + count) at row @p y against the reference patch at
-     * (xr, yr); count <= 8. Requires supportsBatch(). Values agree
-     * bitwise with distance()/distanceBounded() — at 16 elements all
-     * three SSD kernels share one accumulation order.
+     * Normalized distances of the contiguous x-run [x0, x0 + count)
+     * at row @p y against the gathered reference descriptor @p ref.
+     * Exact values — bitwise equal to distance(), and below the bound
+     * also to distanceBounded() (partial early-exit sums only ever
+     * compare greater), so batched and per-candidate selection pick
+     * identical matches.
      */
     void
-    distanceBatch(int xr, int yr, int x0, int y, int count,
+    distanceBatch(const float *ref, int x0, int y, int count,
                   float *out) const
     {
-        transforms::squaredDistanceBatch16(field_.matchPatch(xr, yr),
-                                           field_.matchPatch(x0, y),
-                                           count, out);
+        transforms::squaredDistanceSoaBatch(ref, field_.matchPlanes(),
+                                            field_.matchOffset(x0, y),
+                                            coefs_, count, out);
         for (int i = 0; i < count; ++i)
             out[i] *= norm_;
     }
 
   private:
     const DctPatchField &field_;
+    int coefs_;
     float norm_;
 };
 
-/** Matching domain over color-domain pixels (BM2, Path B). */
+/**
+ * Matching domain over color-domain pixels (BM2, Path B).
+ *
+ * Coefficient plane (r, c) of the color domain at position (x, y) is
+ * just pixel (x + c, y + r), so the pp "planes" are pp shifted
+ * zero-copy views of the image plane: plane k = r * PD + c starts at
+ * base + r * W + c and uses the pixel row stride. No descriptor array
+ * is materialized (the previous eager copy was a PD^2 x memory
+ * blow-up); the domain is a view and @p plane must outlive it.
+ */
 class ColorMatchDomain
 {
   public:
-    /**
-     * Copies every patch of @p plane into a contiguous descriptor
-     * array once (PD^2 floats per position, the same layout the DCT
-     * domain gets from its patch field). Matching then runs the same
-     * contiguous vectorized distance kernel in both stages instead of
-     * a strided row walk; the copy is a single pass over the plane and
-     * is immutable afterwards, so the domain can be shared read-only
-     * across worker threads.
-     */
     ColorMatchDomain(const image::ImageF &plane, int patch_size)
-        : patchSize_(patch_size),
+        : patchSize_(patch_size), coefs_(patch_size * patch_size),
           positionsX_(plane.width() - patch_size + 1),
           positionsY_(plane.height() - patch_size + 1),
+          rowStride_(plane.width()),
           norm_(1.0f / static_cast<float>(patch_size * patch_size))
     {
-        const int pp = patch_size * patch_size;
         const float *base = plane.plane(0);
-        const int w = plane.width();
-        patches_.resize(static_cast<size_t>(positionsX_) * positionsY_ *
-                        pp);
-        for (int y = 0; y < positionsY_; ++y)
-            for (int x = 0; x < positionsX_; ++x) {
-                float *dst = patches_.data() +
-                             (static_cast<size_t>(y) * positionsX_ + x) *
-                                 pp;
-                for (int r = 0; r < patch_size; ++r) {
-                    const float *src =
-                        base + static_cast<size_t>(y + r) * w + x;
-                    std::copy(src, src + patch_size,
-                              dst + static_cast<size_t>(r) * patch_size);
-                }
-            }
+        planes_.resize(coefs_);
+        for (int r = 0; r < patch_size; ++r)
+            for (int c = 0; c < patch_size; ++c)
+                planes_[r * patch_size + c] =
+                    base + static_cast<size_t>(r) * rowStride_ + c;
     }
 
     int positionsX() const { return positionsX_; }
     int positionsY() const { return positionsY_; }
+    int patchCoefs() const { return coefs_; }
 
     float
     distance(int ax, int ay, int bx, int by) const
     {
-        return transforms::squaredDistance(patch(ax, ay), patch(bx, by),
-                                           patchSize_ * patchSize_) *
+        return transforms::squaredDistanceSoa(planes_.data(),
+                                              offset(ax, ay),
+                                              planes_.data(),
+                                              offset(bx, by), coefs_) *
                norm_;
     }
 
     float
     distanceBounded(int ax, int ay, int bx, int by, float bound) const
     {
-        return transforms::squaredDistanceBounded(
-                   patch(ax, ay), patch(bx, by), patchSize_ * patchSize_,
-                   bound / norm_) *
+        return transforms::squaredDistanceSoaBounded(
+                   planes_.data(), offset(ax, ay), planes_.data(),
+                   offset(bx, by), coefs_, bound / norm_) *
                norm_;
     }
 
-    /** True when patches are the 16-float descriptors ssdBatch16 wants. */
-    bool
-    supportsBatch() const
+    /** The SoA batch kernel handles every patch size. */
+    bool supportsBatch() const { return true; }
+
+    /** Gather the reference descriptor at (x, y) (patchCoefs floats). */
+    void
+    gatherRef(int x, int y, float *out) const
     {
-        return patchSize_ * patchSize_ == 16;
+        const size_t off = offset(x, y);
+        for (int k = 0; k < coefs_; ++k)
+            out[k] = planes_[k][off];
     }
 
     /**
-     * Normalized distances of the contiguous x-run
-     * [x0, x0 + count) at row @p y against the reference patch at
-     * (xr, yr); count <= 8. Requires supportsBatch(). Values agree
-     * bitwise with distance()/distanceBounded().
+     * Normalized distances of the contiguous x-run [x0, x0 + count)
+     * at row @p y against the gathered reference @p ref. Same
+     * exactness contract as DctMatchDomain::distanceBatch.
      */
     void
-    distanceBatch(int xr, int yr, int x0, int y, int count,
+    distanceBatch(const float *ref, int x0, int y, int count,
                   float *out) const
     {
-        transforms::squaredDistanceBatch16(patch(xr, yr), patch(x0, y),
-                                           count, out);
+        transforms::squaredDistanceSoaBatch(ref, planes_.data(),
+                                            offset(x0, y), coefs_, count,
+                                            out);
         for (int i = 0; i < count; ++i)
             out[i] *= norm_;
     }
 
   private:
-    const float *
-    patch(int x, int y) const
+    size_t
+    offset(int x, int y) const
     {
-        return patches_.data() +
-               (static_cast<size_t>(y) * positionsX_ + x) * patchSize_ *
-                   patchSize_;
+        return static_cast<size_t>(y) * rowStride_ + x;
     }
 
     int patchSize_;
+    int coefs_;
     int positionsX_;
     int positionsY_;
+    size_t rowStride_;
     float norm_;
-    std::vector<float> patches_;
+    std::vector<const float *> planes_; ///< zero-copy shifted views
 };
 
 /**
@@ -231,19 +244,21 @@ class BlockMatcher
         const int y_lo = std::max(0, yr - half_);
         const int y_hi = std::min(domain_.positionsY() - 1, yr + half_);
         if (searchStride_ == 1 && domain_.supportsBatch()) {
-            // Batched scan: each window row is a contiguous run of
-            // candidate descriptors, scored 8 per kernel call. The
-            // reference row splits into the runs before and after the
-            // reference patch. Selection is identical to the bounded
-            // scalar path: at 16 elements the bounded kernel cannot
-            // exit early, so both paths compare the exact distance
-            // against tauMatch.
+            // Batched scan: the reference descriptor is gathered once,
+            // then each window row is a contiguous run of candidates
+            // scored 8 per kernel call. The reference row splits into
+            // the runs before and after the reference patch. Selection
+            // is identical to the bounded scalar path: the batch
+            // kernel returns exact distances, and any bounded early
+            // exit only happens above the acceptance bound.
+            float ref[64];
+            domain_.gatherRef(xr, yr, ref);
             for (int y = y_lo; y <= y_hi; ++y) {
                 if (y == yr) {
-                    considerRun(xr, yr, x_lo, xr - 1, y, out, evaluated);
-                    considerRun(xr, yr, xr + 1, x_hi, y, out, evaluated);
+                    considerRun(ref, x_lo, xr - 1, y, out, evaluated);
+                    considerRun(ref, xr + 1, x_hi, y, out, evaluated);
                 } else {
-                    considerRun(xr, yr, x_lo, x_hi, y, out, evaluated);
+                    considerRun(ref, x_lo, x_hi, y, out, evaluated);
                 }
             }
             return evaluated;
@@ -357,16 +372,19 @@ class BlockMatcher
   private:
     /**
      * Batched consideration of the run [x0, x1] at row @p y (empty
-     * when x0 > x1). Requires domain_.supportsBatch().
+     * when x0 > x1) against the gathered reference @p ref: one
+     * distanceBatch dispatch per kChunk candidates (whole window rows
+     * in practice). Requires domain_.supportsBatch().
      */
     void
-    considerRun(int xr, int yr, int x0, int x1, int y, MatchList &out,
+    considerRun(const float *ref, int x0, int x1, int y, MatchList &out,
                 uint64_t &evaluated) const
     {
-        float d[8];
-        for (int x = x0; x <= x1; x += 8) {
-            const int count = std::min(8, x1 - x + 1);
-            domain_.distanceBatch(xr, yr, x, y, count, d);
+        constexpr int kChunk = 128; // multiple of 8; > any usual window
+        float d[kChunk];
+        for (int x = x0; x <= x1; x += kChunk) {
+            const int count = std::min(kChunk, x1 - x + 1);
+            domain_.distanceBatch(ref, x, y, count, d);
             for (int i = 0; i < count; ++i) {
                 if (d[i] < tauMatch_)
                     out.insert(Match{x + i, y, d[i]});

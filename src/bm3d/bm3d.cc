@@ -192,14 +192,15 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
                                   &ws.profile);
             }
             const parallel::Tile &tile = tiles[ti];
-            const int x_lo = std::max(0, xs[tile.x0] - half);
-            const int x_hi = std::min(noisy.width(),
-                                      xs[tile.x1 - 1] + half + cfg.patchSize);
-            const int y_lo = std::max(0, ys[tile.y0] - half);
-            const int y_hi = std::min(noisy.height(),
-                                      ys[tile.y1 - 1] + half + cfg.patchSize);
-            Aggregator agg(x_lo, y_lo, x_hi - x_lo, y_hi - y_lo,
-                           noisy.channels());
+            // Halo-expanded patch positions this tile's stacks can
+            // reach; the pixel footprint extends patchSize past the
+            // last position.
+            const parallel::Region r = parallel::expandTile(
+                tile, xs, ys, half, domain.positionsX() - 1,
+                domain.positionsY() - 1);
+            Aggregator agg(r.x0, r.y0, r.x1 + cfg.patchSize - r.x0,
+                           r.y1 + cfg.patchSize - r.y0, noisy.channels());
+            ws.engine->prepareTile(r.x0, r.y0, r.x1, r.y1);
             processTile(cfg, stage, matcher, xs, ys, tile, *ws.engine, agg,
                         ws.profile, ws.rowAbove);
 

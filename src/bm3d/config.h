@@ -104,6 +104,16 @@ struct Bm3dConfig
     /// CPU implementation of Fig. 2 disables this.
     bool boundedDistance = true;
 
+    /// Software optimization mirroring the paper's "compute the DCT of
+    /// all possible patches once" insight (Fig. 1b, DCT1): cache
+    /// forward DCTs of every patch position a tile's stacks can reach
+    /// (noisy + basic planes, all channels) and gather stacks from the
+    /// cache instead of re-transforming per stack membership. Output
+    /// is bitwise identical either way — the cache holds the very same
+    /// dct.forward results; disabling is a memory/compute trade-off
+    /// knob for ablations.
+    bool transformOnce = true;
+
     MrConfig mr;
 
     /**

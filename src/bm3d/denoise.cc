@@ -77,6 +77,7 @@ Aggregator::merge(const Aggregator &other)
         throw std::invalid_argument(
             "Aggregator::merge: region not contained");
     }
+    const simd::KernelTable &k = simd::kernels();
     for (int c = 0; c < num_.channels(); ++c) {
         for (int r = 0; r < oh; ++r) {
             float *nrow = num_.plane(c) +
@@ -89,10 +90,7 @@ Aggregator::merge(const Aggregator &other)
                 other.num_.plane(c) + static_cast<size_t>(r) * ow;
             const float *odrow =
                 other.den_.plane(c) + static_cast<size_t>(r) * ow;
-            for (int col = 0; col < ow; ++col) {
-                nrow[col] += onrow[col];
-                drow[col] += odrow[col];
-            }
+            k.mergeAdd(nrow, drow, onrow, odrow, ow);
         }
     }
 }
@@ -111,17 +109,24 @@ DenoiseEngine::DenoiseEngine(const Bm3dConfig &config, Stage stage,
         haars_.emplace_back(s);
 }
 
-void
+uint64_t
 DenoiseEngine::gatherStack(const image::ImageF &src,
                            const MatchList &matches, int stack_size, int c,
-                           bool reuse_field, float coefs[][kMaxCoefs])
+                           bool reuse_field, const TileDctField *tile,
+                           float coefs[][kMaxCoefs])
 {
     const int pp = config_.patchSize * config_.patchSize;
     float pixels[kMaxCoefs];
+    uint64_t executed = 0;
     for (int i = 0; i < stack_size; ++i) {
         const Match &m = matches[i];
         if (reuse_field && dctField_ != nullptr) {
             const float *p = dctField_->patch(m.x, m.y);
+            std::copy(p, p + pp, coefs[i]);
+            continue;
+        }
+        if (tile != nullptr && tile->covers(m.x, m.y)) {
+            const float *p = tile->patch(m.x, m.y);
             std::copy(p, p + pp, coefs[i]);
             continue;
         }
@@ -136,6 +141,53 @@ DenoiseEngine::gatherStack(const image::ImageF &src,
             dct_.forwardFixed(pixels, coefs[i], *config_.fixedPoint);
         else
             dct_.forward(pixels, coefs[i]);
+        ++executed;
+    }
+    return executed;
+}
+
+void
+DenoiseEngine::prepareTile(int x0, int y0, int x1, int y1)
+{
+    tilesValid_ = false;
+    if (!config_.transformOnce)
+        return;
+    const int chans = noisy_.channels();
+    const bool wiener = stage_ == Stage::Wiener;
+    // Stage 1 keeps channel 0 on the global Path-C field; only the
+    // color channels profit from a tile cache there.
+    const int c0 = (!wiener && dctField_ != nullptr) ? 1 : 0;
+    if (!wiener && c0 >= chans)
+        return;
+
+    const Step step = wiener ? Step::Dct2 : Step::De1;
+    std::optional<ScopedTimer> timer;
+    if (profile_)
+        timer.emplace(*profile_, step);
+
+    noisyTiles_.resize(chans);
+    if (wiener)
+        basicTiles_.resize(chans);
+    uint64_t dcts = 0;
+    for (int c = c0; c < chans; ++c)
+        dcts += noisyTiles_[c].build(noisy_, c, dct_, config_.fixedPoint,
+                                     x0, y0, x1, y1);
+    if (wiener) {
+        for (int c = 0; c < chans; ++c)
+            dcts += basicTiles_[c].build(*basic_, c, dct_,
+                                         config_.fixedPoint, x0, y0, x1,
+                                         y1);
+    }
+    tilesValid_ = true;
+
+    if (profile_) {
+        OpCounters ops;
+        const uint64_t n = config_.patchSize;
+        ops.multiplies += dcts * 2 * n * n * n;
+        ops.additions += dcts * 2 * n * n * (n - 1);
+        ops.memoryReads += dcts * n * n;
+        ops.memoryWrites += dcts * n * n;
+        profile_->addOps(step, ops);
     }
 }
 
@@ -189,23 +241,31 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
     float basic_coefs[kMaxStack][kMaxCoefs];
     float tdom[kMaxCoefs][kMaxStack];
     float bdom[kMaxStack];
+    uint64_t forward_dcts = 0; // actually executed (not served by a cache)
 
     for (int c = 0; c < noisy_.channels(); ++c) {
         // Stage 1 reuses the channel-0 DCT field (Path C); everything
-        // else is transformed on the fly (Paths D and the color
-        // channels).
+        // else resolves through the transform-once tile caches and
+        // falls back to on-the-fly transforms.
         const bool reuse =
             stage_ == Stage::HardThreshold && c == 0 && dctField_;
+        const TileDctField *ntile =
+            tilesValid_ ? &noisyTiles_[c] : nullptr;
+        const TileDctField *btile =
+            tilesValid_ && stage_ == Stage::Wiener ? &basicTiles_[c]
+                                                   : nullptr;
         if (stage_ == Stage::Wiener && profile_) {
             ScopedTimer dct_timer(*profile_, Step::Dct2);
-            gatherStack(noisy_, matches, stack_size, c, false, noisy_coefs);
-            gatherStack(*basic_, matches, stack_size, c, false,
-                        basic_coefs);
+            forward_dcts += gatherStack(noisy_, matches, stack_size, c,
+                                        false, ntile, noisy_coefs);
+            forward_dcts += gatherStack(*basic_, matches, stack_size, c,
+                                        false, btile, basic_coefs);
         } else {
-            gatherStack(noisy_, matches, stack_size, c, reuse, noisy_coefs);
+            forward_dcts += gatherStack(noisy_, matches, stack_size, c,
+                                        reuse, ntile, noisy_coefs);
             if (stage_ == Stage::Wiener)
-                gatherStack(*basic_, matches, stack_size, c, false,
-                            basic_coefs);
+                forward_dcts += gatherStack(*basic_, matches, stack_size,
+                                            c, false, btile, basic_coefs);
         }
 
         ShrinkStats total;
@@ -384,10 +444,20 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
         const uint64_t chans = noisy_.channels();
         const uint64_t n = p;
         const uint64_t s = stack_size;
-        // DCT gathers (forward; doubled for the Wiener stage).
-        uint64_t dcts = chans * s * (stage_ == Stage::Wiener ? 2 : 1);
-        ops.multiplies += dcts * 2 * n * n * n;
-        ops.additions += dcts * 2 * n * n * (n - 1);
+        // Forward-DCT gathers: only the transforms actually executed —
+        // stack members served by the Path-C field or a transform-once
+        // tile cache cost a coefficient copy, not a DCT. The Wiener
+        // stage's gathers run (and are charged) under DCT2; stage 1's
+        // belong to DE1.
+        if (stage_ == Stage::Wiener) {
+            OpCounters fwd;
+            fwd.multiplies += forward_dcts * 2 * n * n * n;
+            fwd.additions += forward_dcts * 2 * n * n * (n - 1);
+            profile_->addOps(Step::Dct2, fwd);
+        } else {
+            ops.multiplies += forward_dcts * 2 * n * n * n;
+            ops.additions += forward_dcts * 2 * n * n * (n - 1);
+        }
         // Haar forward + inverse in matrix form (256 + 256 for s = 16).
         ops.multiplies += chans * pp * 2 * s * s;
         ops.additions += chans * pp * 2 * s * s;

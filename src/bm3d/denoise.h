@@ -99,14 +99,38 @@ class DenoiseEngine
      */
     void processStack(const MatchList &matches, Aggregator &agg);
 
+    /**
+     * Transform-once: (re)build the per-tile DCT caches over the
+     * inclusive patch-position range [x0, x1] x [y0, y1] — the tile
+     * plus the matching halo its stacks can reach. The Wiener stage
+     * caches every channel of both the noisy and the basic image
+     * (charged to DCT2); stage 1 caches the color channels of the
+     * noisy image (channel 0 stays on the global Path-C field).
+     * gatherStack then copies cached coefficients instead of running
+     * a forward DCT per stack membership. Positions outside the built
+     * range fall back to on-the-fly transforms, so correctness never
+     * depends on the halo; output is bitwise identical with the
+     * caches disabled (config.transformOnce = false), which clears
+     * them. The caches are worker-local arenas: call once per tile,
+     * steady-state rebuilds allocate nothing.
+     */
+    void prepareTile(int x0, int y0, int x1, int y1);
+
   private:
     static constexpr int kMaxStack = MatchList::kCapacity;
     static constexpr int kMaxCoefs = 64; // up to 8x8 patches
 
-    /** Gather the DCT-domain stack of channel @p c from image @p src. */
-    void gatherStack(const image::ImageF &src, const MatchList &matches,
-                     int stack_size, int c, bool reuse_field,
-                     float coefs[][kMaxCoefs]);
+    /**
+     * Gather the DCT-domain stack of channel @p c from image @p src,
+     * resolving each member from the global Path-C field (when
+     * @p reuse_field), then the tile cache @p tile (when it covers the
+     * position), then an on-the-fly forward DCT.
+     * @return the number of forward DCTs actually executed
+     */
+    uint64_t gatherStack(const image::ImageF &src, const MatchList &matches,
+                         int stack_size, int c, bool reuse_field,
+                         const TileDctField *tile,
+                         float coefs[][kMaxCoefs]);
 
     /** Shrink one z-vector in place; returns per-vector stats. */
     struct ShrinkStats
@@ -127,6 +151,12 @@ class DenoiseEngine
     transforms::Dct2D dct_;
     std::vector<transforms::Haar1D> haars_; ///< sizes 2, 4, 8, 16
     float threshold3d_;
+
+    /// Transform-once tile caches, one per channel (unbuilt entries
+    /// cover no positions and are simply skipped).
+    std::vector<TileDctField> noisyTiles_;
+    std::vector<TileDctField> basicTiles_;
+    bool tilesValid_ = false;
 };
 
 } // namespace bm3d

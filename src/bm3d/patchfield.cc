@@ -1,5 +1,6 @@
 #include "bm3d/patchfield.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -33,23 +34,50 @@ DctPatchField::DctPatchField(
     if (posX_ <= 0 || posY_ <= 0)
         throw std::invalid_argument("DctPatchField: image < patch size");
 
-    raw_.resize(static_cast<size_t>(posX_) * posY_ * coefs_);
-    if (threshold > 0.0f)
-        thresholded_.resize(raw_.size());
+    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
+    raw_.resize(plane_stride * coefs_);
+    match_.resize(plane_stride * coefs_);
+    matchPlanes_.resize(coefs_);
+    for (int k = 0; k < coefs_; ++k)
+        matchPlanes_[k] = match_.data() + static_cast<size_t>(k) *
+                                              plane_stride;
 
+    // The SoA scatter is blocked over x: transform up to kBlock
+    // consecutive positions first, then write each coefficient plane's
+    // kBlock values as one contiguous run. A per-position scatter
+    // touches coefs_ distinct cache lines (the planes sit ~posX*posY
+    // floats apart); blocking turns that into coefs_ short sequential
+    // bursts, which the store buffer handles far better. The values
+    // are identical either way, so the field is bitwise unchanged.
+    constexpr int kBlock = 8;
     float pixels[64];
+    float tbuf[64][kBlock];
     for (int y = 0; y < posY_; ++y) {
-        for (int x = 0; x < posX_; ++x) {
-            extractPatch(plane, x, y, patchSize_, pixels);
-            float *dst = raw_.data() + index(x, y);
-            if (fixed_point)
-                dct.forwardFixed(pixels, dst, *fixed_point);
-            else
-                dct.forward(pixels, dst);
-            if (threshold > 0.0f) {
-                float *m = thresholded_.data() + index(x, y);
-                for (int i = 0; i < coefs_; ++i)
-                    m[i] = std::abs(dst[i]) < threshold ? 0.0f : dst[i];
+        for (int x0 = 0; x0 < posX_; x0 += kBlock) {
+            const int nb = std::min(kBlock, posX_ - x0);
+            for (int j = 0; j < nb; ++j) {
+                const int x = x0 + j;
+                extractPatch(plane, x, y, patchSize_, pixels);
+                float *dst = raw_.data() + index(x, y);
+                if (fixed_point)
+                    dct.forwardFixed(pixels, dst, *fixed_point);
+                else
+                    dct.forward(pixels, dst);
+                for (int k = 0; k < coefs_; ++k) {
+                    const float c = dst[k];
+                    tbuf[k][j] =
+                        (threshold > 0.0f && std::abs(c) < threshold)
+                            ? 0.0f
+                            : c;
+                }
+            }
+            const size_t off = matchOffset(x0, y);
+            for (int k = 0; k < coefs_; ++k) {
+                float *out =
+                    match_.data() + static_cast<size_t>(k) * plane_stride +
+                    off;
+                for (int j = 0; j < nb; ++j)
+                    out[j] = tbuf[k][j];
             }
         }
     }
@@ -63,12 +91,51 @@ DctPatchField::DctPatchField(
         ops->multiplies += patches * 2 * n * n * n;
         ops->additions += patches * 2 * n * n * (n - 1);
         ops->memoryReads += patches * n * n;
-        ops->memoryWrites += patches * n * n;
-        if (threshold > 0.0f) {
+        // Raw store plus the matching-plane scatter.
+        ops->memoryWrites += patches * n * n * 2;
+        if (threshold > 0.0f)
             ops->comparisons += patches * n * n;
-            ops->memoryWrites += patches * n * n;
+    }
+}
+
+uint64_t
+TileDctField::build(const image::ImageF &src, int c,
+                    const transforms::Dct2D &dct,
+                    const std::optional<fixed::PipelineFormats> &fixed_point,
+                    int x0, int y0, int x1, int y1)
+{
+    const int p = dct.size();
+    coefs_ = p * p;
+    x0_ = x0;
+    y0_ = y0;
+    width_ = x1 - x0 + 1;
+    height_ = y1 - y0 + 1;
+    if (width_ <= 0 || height_ <= 0)
+        throw std::invalid_argument("TileDctField: empty range");
+    store_.resize(static_cast<size_t>(width_) * height_ * coefs_);
+
+    const float *base = src.plane(c);
+    const int w = src.width();
+    float pixels[64];
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+            for (int r = 0; r < p; ++r) {
+                const float *row =
+                    base + static_cast<size_t>(y + r) * w + x;
+                for (int cc = 0; cc < p; ++cc)
+                    pixels[r * p + cc] = row[cc];
+            }
+            float *dst = store_.data() +
+                         (static_cast<size_t>(y - y0_) * width_ +
+                          (x - x0_)) *
+                             coefs_;
+            if (fixed_point)
+                dct.forwardFixed(pixels, dst, *fixed_point);
+            else
+                dct.forward(pixels, dst);
         }
     }
+    return static_cast<uint64_t>(width_) * height_;
 }
 
 } // namespace bm3d

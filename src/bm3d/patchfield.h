@@ -3,12 +3,16 @@
 
 /**
  * @file
- * Precomputed per-position DCT patch field — the software analogue of
+ * Precomputed per-position DCT patch fields — the software analogue of
  * the DCT1 step ("computing the DCT transformation of all possible
  * patches") plus the hard-threshold applied before matching distances
- * in BM1 (paper Fig. 1b, Path A).
+ * in BM1 (paper Fig. 1b, Path A), and the per-tile transform-once
+ * cache that extends the same idea to the Wiener stage and the color
+ * channels.
  */
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -25,8 +29,15 @@ namespace bm3d {
  *
  * Position (x, y) is a patch top-left corner; valid positions are
  * 0 <= x <= width - patchSize (same for y). Two coefficient sets are
- * kept: the raw DCT (used by the denoising engine, Path C) and the
- * hard-thresholded DCT (used for matching distances).
+ * kept in two layouts:
+ *
+ *  - the raw DCT, position-major (AoS: the 16 coefficients of one
+ *    patch are contiguous), consumed patch-at-a-time by the denoising
+ *    engine (Path C);
+ *  - the hard-thresholded matching copy, coefficient-major (SoA: one
+ *    posX x posY plane per coefficient), so the block matcher's
+ *    8-candidate SSD batch loads one contiguous 8-float lane per
+ *    coefficient instead of eight strided descriptors.
  */
 class DctPatchField
 {
@@ -38,7 +49,7 @@ class DctPatchField
      * @param dct         transform for the configured patch size
      * @param threshold   Tht; coefficients with |c| < Tht are zeroed in
      *                    the matching copy. 0 disables thresholding (the
-     *                    matching copy then aliases the raw copy).
+     *                    matching copy then equals the raw coefficients).
      * @param fixed_point when set, the DCT uses the fixed-point datapath
      * @param ops         optional operation counters to accumulate into
      */
@@ -50,20 +61,41 @@ class DctPatchField
     int positionsX() const { return posX_; }
     int positionsY() const { return posY_; }
     int patchSize() const { return patchSize_; }
+    int coefs() const { return coefs_; }
 
-    /** Raw DCT coefficients of the patch at top-left (x, y). */
+    /** Raw DCT coefficients of the patch at top-left (x, y) (AoS). */
     const float *
     patch(int x, int y) const
     {
         return raw_.data() + index(x, y);
     }
 
-    /** Hard-thresholded coefficients used for matching. */
-    const float *
-    matchPatch(int x, int y) const
+    /**
+     * The pp hard-thresholded coefficient planes used for matching:
+     * matchPlanes()[k][matchOffset(x, y)] is coefficient k of the
+     * patch at (x, y). All planes share one offset scheme, so a run of
+     * adjacent candidates is contiguous in every plane.
+     */
+    const float *const *matchPlanes() const { return matchPlanes_.data(); }
+
+    /** Offset of position (x, y) inside every matching plane. */
+    size_t
+    matchOffset(int x, int y) const
     {
-        const auto &store = thresholded_.empty() ? raw_ : thresholded_;
-        return store.data() + index(x, y);
+        return static_cast<size_t>(y) * posX_ + x;
+    }
+
+    /**
+     * Gather the thresholded descriptor of (x, y) into @p out
+     * (coefs() floats, AoS) — for batched matching references and for
+     * parity tests against the plane layout.
+     */
+    void
+    gatherMatchPatch(int x, int y, float *out) const
+    {
+        const size_t off = matchOffset(x, y);
+        for (int k = 0; k < coefs_; ++k)
+            out[k] = matchPlanes_[k][off];
     }
 
   private:
@@ -78,7 +110,59 @@ class DctPatchField
     int posX_;
     int posY_;
     std::vector<float> raw_;
-    std::vector<float> thresholded_;
+    std::vector<float> match_;               ///< SoA coefficient planes
+    std::vector<const float *> matchPlanes_; ///< plane base pointers
+};
+
+/**
+ * Tile-local raw-DCT coefficient cache (AoS), the stage-2 /
+ * color-channel "transform once" path: a worker rebuilds it per tile
+ * over the halo-extended position range its matches can reach, and
+ * the denoising engine then copies cached coefficients instead of
+ * re-running a forward DCT for every stack membership (each position
+ * participates in up to (window/step)^2 stacks). The backing storage
+ * is an arena — build() reuses the previous tile's capacity, so
+ * steady-state tiles allocate nothing.
+ */
+class TileDctField
+{
+  public:
+    TileDctField() = default;
+
+    /**
+     * (Re)build the cache for channel @p c of @p src over the
+     * inclusive position range [x0, x1] x [y0, y1].
+     * @return the number of forward DCTs executed (for op accounting)
+     */
+    uint64_t build(const image::ImageF &src, int c,
+                   const transforms::Dct2D &dct,
+                   const std::optional<fixed::PipelineFormats> &fixed_point,
+                   int x0, int y0, int x1, int y1);
+
+    /** True when (x, y) lies inside the built range. */
+    bool
+    covers(int x, int y) const
+    {
+        return x >= x0_ && x < x0_ + width_ && y >= y0_ &&
+               y < y0_ + height_;
+    }
+
+    /** Cached raw DCT coefficients of the patch at (x, y) (AoS). */
+    const float *
+    patch(int x, int y) const
+    {
+        return store_.data() +
+               (static_cast<size_t>(y - y0_) * width_ + (x - x0_)) *
+                   coefs_;
+    }
+
+  private:
+    int x0_ = 0;
+    int y0_ = 0;
+    int width_ = 0;
+    int height_ = 0;
+    int coefs_ = 0;
+    std::vector<float> store_;
 };
 
 /** Copy the patch at top-left (x, y) of @p plane into @p out (row-major). */

@@ -207,7 +207,8 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
 
                 {
                     ScopedTimer timer(task.profile, Step::Bm2);
-                    const float *ref = fields[t]->matchPatch(x, y);
+                    float ref[64];
+                    fields[t]->gatherMatchPatch(x, y, ref);
                     // Track the best position from frame to frame.
                     int track_x = x, track_y = y;
                     for (int dt = 1; dt <= config_.temporalRadius; ++dt) {
@@ -224,22 +225,30 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
                                                 track_y + pred_half);
                             float best = 1e30f;
                             int bx = track_x, by = track_y;
-                            for (int yy = y_lo; yy <= y_hi; ++yy)
-                                for (int xx = x_lo; xx <= x_hi; ++xx) {
-                                    float d = transforms::squaredDistance(
-                                                  ref,
-                                                  f.matchPatch(xx, yy),
-                                                  pp) * norm;
-                                    ++mr.bm2Candidates;
-                                    if (d < cfg.tauMatch1)
-                                        stack.insert(
-                                            TMatch{xx, yy, tn, d});
-                                    if (d < best) {
-                                        best = d;
-                                        bx = xx;
-                                        by = yy;
+                            float dist[8];
+                            for (int yy = y_lo; yy <= y_hi; ++yy) {
+                                for (int xx = x_lo; xx <= x_hi;
+                                     xx += 8) {
+                                    const int cnt =
+                                        std::min(8, x_hi - xx + 1);
+                                    transforms::squaredDistanceSoaBatch(
+                                        ref, f.matchPlanes(),
+                                        f.matchOffset(xx, yy), pp, cnt,
+                                        dist);
+                                    mr.bm2Candidates += cnt;
+                                    for (int i = 0; i < cnt; ++i) {
+                                        const float d = dist[i] * norm;
+                                        if (d < cfg.tauMatch1)
+                                            stack.insert(TMatch{
+                                                xx + i, yy, tn, d});
+                                        if (d < best) {
+                                            best = d;
+                                            bx = xx + i;
+                                            by = yy;
+                                        }
                                     }
                                 }
+                            }
                             if (dir > 0) {
                                 track_x = bx;
                                 track_y = by;

@@ -1,5 +1,6 @@
 #include "parallel/tiles.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ideal {
@@ -27,6 +28,20 @@ makeTiles(int nx, int ny, int grain)
         }
     }
     return tiles;
+}
+
+Region
+expandTile(const Tile &tile, const std::vector<int> &xs,
+           const std::vector<int> &ys, int halo, int max_x, int max_y)
+{
+    if (tile.width() <= 0 || tile.height() <= 0)
+        throw std::invalid_argument("expandTile: empty tile");
+    Region r;
+    r.x0 = std::max(0, xs[tile.x0] - halo);
+    r.x1 = std::min(max_x, xs[tile.x1 - 1] + halo);
+    r.y0 = std::max(0, ys[tile.y0] - halo);
+    r.y1 = std::min(max_y, ys[tile.y1 - 1] + halo);
+    return r;
 }
 
 void

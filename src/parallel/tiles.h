@@ -39,6 +39,30 @@ struct Tile
  */
 std::vector<Tile> makeTiles(int nx, int ny, int grain);
 
+/** An inclusive 2-D index region [x0, x1] x [y0, y1]. */
+struct Region
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+};
+
+/**
+ * Halo-expanded footprint of @p tile: the tile's index ranges mapped
+ * through the coordinate tables @p xs / @p ys (tile indices address
+ * entries of those tables, e.g. reference-patch positions), expanded
+ * by @p halo coordinates on every side and clamped to
+ * [0, max_x] x [0, max_y]. This is the region a tile's work can
+ * touch when each index reaches at most @p halo away — the BM3D
+ * runner uses it both for sizing a tile's aggregation footprint and
+ * for the position range of the transform-once caches. The tile must
+ * be non-empty.
+ */
+Region expandTile(const Tile &tile, const std::vector<int> &xs,
+                  const std::vector<int> &ys, int halo, int max_x,
+                  int max_y);
+
 /**
  * Run body(tile, slot) over the tile grid of [0, nx) x [0, ny) with up
  * to @p parallelism executors of @p pool; @p slot is the executor id

@@ -114,6 +114,124 @@ ssdBatch16(const float *ref, const float *cands, int count, float *out)
     }
 }
 
+/**
+ * Scalar canonical fold of 8 lanes (the SoA pair kernel walks strided
+ * per-coefficient values, so there is nothing to vectorize — the
+ * scalar sequence IS the reference order and keeps bitwise parity).
+ */
+inline float
+fold8Scalar(const float s[8])
+{
+    const float t0 = s[0] + s[4];
+    const float t1 = s[1] + s[5];
+    const float t2 = s[2] + s[6];
+    const float t3 = s[3] + s[7];
+    const float u0 = t0 + t2;
+    const float u1 = t1 + t3;
+    return u0 + u1;
+}
+
+float
+ssdSoa(const float *const *pa, size_t off_a, const float *const *pb,
+       size_t off_b, int len, float bound)
+{
+    float acc = 0.0f;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        float s[8];
+        for (int j = 0; j < 8; ++j) {
+            const float d = pa[k + j][off_a] - pb[k + j][off_b];
+            s[j] = d * d;
+        }
+        for (int j = 0; j < 8; ++j) {
+            const float d = pa[k + 8 + j][off_a] - pb[k + 8 + j][off_b];
+            s[j] += d * d;
+        }
+        acc += fold8Scalar(s);
+        if (acc > bound)
+            return acc;
+    }
+    for (; k < len; ++k) {
+        const float d = pa[k][off_a] - pb[k][off_b];
+        acc += d * d;
+        if (acc > bound)
+            return acc;
+    }
+    return acc;
+}
+
+/** One scalar SoA candidate (partial-vector batch tail). */
+inline float
+ssdSoaOne(const float *ref, const float *const *planes, size_t off,
+          int len)
+{
+    float acc = 0.0f;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        float s[8];
+        for (int j = 0; j < 8; ++j) {
+            const float d = ref[k + j] - planes[k + j][off];
+            s[j] = d * d;
+        }
+        for (int j = 0; j < 8; ++j) {
+            const float d = ref[k + 8 + j] - planes[k + 8 + j][off];
+            s[j] += d * d;
+        }
+        acc += fold8Scalar(s);
+    }
+    for (; k < len; ++k) {
+        const float d = ref[k] - planes[k][off];
+        acc += d * d;
+    }
+    return acc;
+}
+
+void
+ssdSoaBatch(const float *ref, const float *const *planes, size_t off,
+            int len, int count, float *out)
+{
+    // Eight candidates per pass: the 8 canonical accumulator lanes of
+    // each candidate live across 8 __m256 registers (candidate =
+    // vector lane); every coefficient plane is one contiguous 8-float
+    // load and the block fold is purely vertical, so the per-lane
+    // operation sequence equals the scalar reference exactly.
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const size_t o = off + static_cast<size_t>(i);
+        __m256 acc = _mm256_setzero_ps();
+        int k = 0;
+        for (; k + 16 <= len; k += 16) {
+            __m256 s[8];
+            for (int j = 0; j < 8; ++j) {
+                const __m256 d =
+                    _mm256_sub_ps(_mm256_set1_ps(ref[k + j]),
+                                  _mm256_loadu_ps(planes[k + j] + o));
+                s[j] = _mm256_mul_ps(d, d);
+            }
+            for (int j = 0; j < 8; ++j) {
+                const __m256 d =
+                    _mm256_sub_ps(_mm256_set1_ps(ref[k + 8 + j]),
+                                  _mm256_loadu_ps(planes[k + 8 + j] + o));
+                s[j] = _mm256_add_ps(s[j], _mm256_mul_ps(d, d));
+            }
+            const __m256 u0 = _mm256_add_ps(_mm256_add_ps(s[0], s[4]),
+                                            _mm256_add_ps(s[2], s[6]));
+            const __m256 u1 = _mm256_add_ps(_mm256_add_ps(s[1], s[5]),
+                                            _mm256_add_ps(s[3], s[7]));
+            acc = _mm256_add_ps(acc, _mm256_add_ps(u0, u1));
+        }
+        for (; k < len; ++k) {
+            const __m256 d =
+                _mm256_sub_ps(_mm256_set1_ps(ref[k]),
+                              _mm256_loadu_ps(planes[k] + o));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        _mm256_storeu_ps(out + i, acc);
+    }
+    for (; i < count; ++i)
+        out[i] = ssdSoaOne(ref, planes, off + static_cast<size_t>(i), len);
+}
+
 /** [coef_lo broadcast | coef_hi broadcast] */
 inline __m256
 pair(float lo, float hi)
@@ -328,10 +446,30 @@ aggregateAdd(float *num, float *den, const float *pix, float weight,
     }
 }
 
+void
+mergeAdd(float *num, float *den, const float *onum, const float *oden,
+         int count)
+{
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        _mm256_storeu_ps(num + i,
+                         _mm256_add_ps(_mm256_loadu_ps(num + i),
+                                       _mm256_loadu_ps(onum + i)));
+        _mm256_storeu_ps(den + i,
+                         _mm256_add_ps(_mm256_loadu_ps(den + i),
+                                       _mm256_loadu_ps(oden + i)));
+    }
+    for (; i < count; ++i) {
+        num[i] += onum[i];
+        den[i] += oden[i];
+    }
+}
+
 const KernelTable kAvx2TableStorage = {
     ssd,           ssdBounded,      ssdFull,       ssdBatch16,
-    dct4Forward,   dct4Inverse,     haarForwardPair, haarInversePair,
-    hardThreshold, wienerApply,     aggregateAdd,
+    ssdSoa,        ssdSoaBatch,     dct4Forward,   dct4Inverse,
+    haarForwardPair, haarInversePair, hardThreshold, wienerApply,
+    aggregateAdd,  mergeAdd,
 };
 
 } // namespace

@@ -110,6 +110,74 @@ ssdBatch16(const float *ref, const float *cands, int count, float *out)
         out[i] = ssdBlock16(ref, cands + 16 * i);
 }
 
+float
+ssdSoa(const float *const *pa, size_t off_a, const float *const *pb,
+       size_t off_b, int len, float bound)
+{
+    float acc = 0.0f;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        float s[8];
+        for (int j = 0; j < 8; ++j) {
+            const float d = pa[k + j][off_a] - pb[k + j][off_b];
+            s[j] = d * d;
+        }
+        for (int j = 0; j < 8; ++j) {
+            const float d = pa[k + 8 + j][off_a] - pb[k + 8 + j][off_b];
+            s[j] += d * d;
+        }
+        acc += fold8(s);
+        if (acc > bound)
+            return acc;
+    }
+    for (; k < len; ++k) {
+        const float d = pa[k][off_a] - pb[k][off_b];
+        acc += d * d;
+        if (acc > bound)
+            return acc;
+    }
+    return acc;
+}
+
+/**
+ * One candidate of the SoA batch; shared by every partial-vector tail.
+ * Identical operation sequence to ssdSoa (the bound checks there do
+ * not change any arithmetic), so batch results equal single-pair
+ * results bitwise.
+ */
+inline float
+ssdSoaOne(const float *ref, const float *const *planes, size_t off,
+          int len)
+{
+    float acc = 0.0f;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        float s[8];
+        for (int j = 0; j < 8; ++j) {
+            const float d = ref[k + j] - planes[k + j][off];
+            s[j] = d * d;
+        }
+        for (int j = 0; j < 8; ++j) {
+            const float d = ref[k + 8 + j] - planes[k + 8 + j][off];
+            s[j] += d * d;
+        }
+        acc += fold8(s);
+    }
+    for (; k < len; ++k) {
+        const float d = ref[k] - planes[k][off];
+        acc += d * d;
+    }
+    return acc;
+}
+
+void
+ssdSoaBatch(const float *ref, const float *const *planes, size_t off,
+            int len, int count, float *out)
+{
+    for (int i = 0; i < count; ++i)
+        out[i] = ssdSoaOne(ref, planes, off + static_cast<size_t>(i), len);
+}
+
 /**
  * Folded 4x4 DCT row pass (both halves of the 2-D transform use it):
  * fold rows into mirror sums/differences, then two half-size
@@ -244,12 +312,23 @@ aggregateAdd(float *num, float *den, const float *pix, float weight,
     }
 }
 
+void
+mergeAdd(float *num, float *den, const float *onum, const float *oden,
+         int count)
+{
+    for (int i = 0; i < count; ++i) {
+        num[i] += onum[i];
+        den[i] += oden[i];
+    }
+}
+
 } // namespace
 
 const KernelTable kScalarTable = {
     ssd,           ssdBounded,      ssdFull,       ssdBatch16,
-    dct4Forward,   dct4Inverse,     haarForwardPair, haarInversePair,
-    hardThreshold, wienerApply,     aggregateAdd,
+    ssdSoa,        ssdSoaBatch,     dct4Forward,   dct4Inverse,
+    haarForwardPair, haarInversePair, hardThreshold, wienerApply,
+    aggregateAdd,  mergeAdd,
 };
 
 } // namespace detail

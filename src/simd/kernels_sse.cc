@@ -132,6 +132,122 @@ ssdBatch16(const float *ref, const float *cands, int count, float *out)
     }
 }
 
+/**
+ * Scalar canonical fold of 8 lanes (the SoA pair kernel walks strided
+ * per-coefficient values, so there is nothing to vectorize — the
+ * scalar sequence IS the reference order and keeps bitwise parity).
+ */
+inline float
+fold8Scalar(const float s[8])
+{
+    const float t0 = s[0] + s[4];
+    const float t1 = s[1] + s[5];
+    const float t2 = s[2] + s[6];
+    const float t3 = s[3] + s[7];
+    const float u0 = t0 + t2;
+    const float u1 = t1 + t3;
+    return u0 + u1;
+}
+
+float
+ssdSoa(const float *const *pa, size_t off_a, const float *const *pb,
+       size_t off_b, int len, float bound)
+{
+    float acc = 0.0f;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        float s[8];
+        for (int j = 0; j < 8; ++j) {
+            const float d = pa[k + j][off_a] - pb[k + j][off_b];
+            s[j] = d * d;
+        }
+        for (int j = 0; j < 8; ++j) {
+            const float d = pa[k + 8 + j][off_a] - pb[k + 8 + j][off_b];
+            s[j] += d * d;
+        }
+        acc += fold8Scalar(s);
+        if (acc > bound)
+            return acc;
+    }
+    for (; k < len; ++k) {
+        const float d = pa[k][off_a] - pb[k][off_b];
+        acc += d * d;
+        if (acc > bound)
+            return acc;
+    }
+    return acc;
+}
+
+/** One scalar SoA candidate (partial-vector batch tail). */
+inline float
+ssdSoaOne(const float *ref, const float *const *planes, size_t off,
+          int len)
+{
+    float acc = 0.0f;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        float s[8];
+        for (int j = 0; j < 8; ++j) {
+            const float d = ref[k + j] - planes[k + j][off];
+            s[j] = d * d;
+        }
+        for (int j = 0; j < 8; ++j) {
+            const float d = ref[k + 8 + j] - planes[k + 8 + j][off];
+            s[j] += d * d;
+        }
+        acc += fold8Scalar(s);
+    }
+    for (; k < len; ++k) {
+        const float d = ref[k] - planes[k][off];
+        acc += d * d;
+    }
+    return acc;
+}
+
+void
+ssdSoaBatch(const float *ref, const float *const *planes, size_t off,
+            int len, int count, float *out)
+{
+    // Four candidates per pass: the 8 canonical accumulator lanes of
+    // each candidate live across 8 __m128 registers (candidate =
+    // vector lane), so the block fold is purely vertical and the
+    // per-lane operation sequence equals the scalar reference exactly.
+    int i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const size_t o = off + static_cast<size_t>(i);
+        __m128 acc = _mm_setzero_ps();
+        int k = 0;
+        for (; k + 16 <= len; k += 16) {
+            __m128 s[8];
+            for (int j = 0; j < 8; ++j) {
+                const __m128 d =
+                    _mm_sub_ps(_mm_set1_ps(ref[k + j]),
+                               _mm_loadu_ps(planes[k + j] + o));
+                s[j] = _mm_mul_ps(d, d);
+            }
+            for (int j = 0; j < 8; ++j) {
+                const __m128 d =
+                    _mm_sub_ps(_mm_set1_ps(ref[k + 8 + j]),
+                               _mm_loadu_ps(planes[k + 8 + j] + o));
+                s[j] = _mm_add_ps(s[j], _mm_mul_ps(d, d));
+            }
+            const __m128 u0 = _mm_add_ps(_mm_add_ps(s[0], s[4]),
+                                         _mm_add_ps(s[2], s[6]));
+            const __m128 u1 = _mm_add_ps(_mm_add_ps(s[1], s[5]),
+                                         _mm_add_ps(s[3], s[7]));
+            acc = _mm_add_ps(acc, _mm_add_ps(u0, u1));
+        }
+        for (; k < len; ++k) {
+            const __m128 d = _mm_sub_ps(_mm_set1_ps(ref[k]),
+                                        _mm_loadu_ps(planes[k] + o));
+            acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+        }
+        _mm_storeu_ps(out + i, acc);
+    }
+    for (; i < count; ++i)
+        out[i] = ssdSoaOne(ref, planes, off + static_cast<size_t>(i), len);
+}
+
 inline void
 dct4Pass(const float *in, float *out, const float *even, const float *odd)
 {
@@ -323,10 +439,28 @@ aggregateAdd(float *num, float *den, const float *pix, float weight,
     }
 }
 
+void
+mergeAdd(float *num, float *den, const float *onum, const float *oden,
+         int count)
+{
+    int i = 0;
+    for (; i + 4 <= count; i += 4) {
+        _mm_storeu_ps(num + i, _mm_add_ps(_mm_loadu_ps(num + i),
+                                          _mm_loadu_ps(onum + i)));
+        _mm_storeu_ps(den + i, _mm_add_ps(_mm_loadu_ps(den + i),
+                                          _mm_loadu_ps(oden + i)));
+    }
+    for (; i < count; ++i) {
+        num[i] += onum[i];
+        den[i] += oden[i];
+    }
+}
+
 const KernelTable kSseTableStorage = {
     ssd,           ssdBounded,      ssdFull,       ssdBatch16,
-    dct4Forward,   dct4Inverse,     haarForwardPair, haarInversePair,
-    hardThreshold, wienerApply,     aggregateAdd,
+    ssdSoa,        ssdSoaBatch,     dct4Forward,   dct4Inverse,
+    haarForwardPair, haarInversePair, hardThreshold, wienerApply,
+    aggregateAdd,  mergeAdd,
 };
 
 } // namespace

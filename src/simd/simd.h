@@ -41,6 +41,8 @@
  * preserving the tiled runner's determinism guarantee.
  */
 
+#include <cstddef>
+
 namespace ideal {
 namespace simd {
 
@@ -91,6 +93,38 @@ struct KernelTable
      */
     void (*ssdBatch16)(const float *ref, const float *cands, int count,
                        float *out);
+
+    /**
+     * Squared L2 distance between two patches stored coefficient-major
+     * (SoA): coefficient k of patch a is pa[k][off_a], of patch b
+     * pb[k][off_b]. Accumulated per 16-coefficient block in the
+     * canonical 8-lane tree (lane k%8, fold, blocks summed
+     * sequentially, sequential tail) — the exact ssdBounded order —
+     * with early exit once the partial sum exceeds @p bound (pass
+     * +inf for the exact ssdFull-ordered distance). The two pointer
+     * arrays may differ, so cross-field distances (video matching)
+     * use the same kernel.
+     */
+    float (*ssdSoa)(const float *const *pa, size_t off_a,
+                    const float *const *pb, size_t off_b, int len,
+                    float bound);
+
+    /**
+     * Batched SoA SSD: out[i] = exact distance between the gathered
+     * reference descriptor @p ref (len contiguous floats) and the
+     * candidate at planes[k][off + i], for i in [0, count); @p count
+     * is arbitrary (callers pass whole window-row runs — one dispatch
+     * per run). Candidates are processed in groups of 8 from i = 0
+     * with the partial last group handled per candidate, so results
+     * are independent of how a caller chunks a run as long as chunks
+     * are multiples of 8. Candidates i are adjacent in every
+     * coefficient plane, so each coefficient is one contiguous vector
+     * load. Per candidate the accumulation order is exactly ssdSoa
+     * with bound = +inf, so batch and single-pair results agree
+     * bitwise at every dispatch level.
+     */
+    void (*ssdSoaBatch)(const float *ref, const float *const *planes,
+                        size_t off, int len, int count, float *out);
 
     /**
      * Full 2-D folded 4x4 DCT forward: row pass, transpose, row pass.
@@ -146,6 +180,14 @@ struct KernelTable
      */
     void (*aggregateAdd)(float *num, float *den, const float *pix,
                          float weight, int count);
+
+    /**
+     * Aggregator tile-merge row: num[i] += onum[i], den[i] += oden[i].
+     * Purely vertical, so any vector width reproduces the scalar
+     * per-element sequence.
+     */
+    void (*mergeAdd)(float *num, float *den, const float *onum,
+                     const float *oden, int count);
 };
 
 /** Best level this CPU supports (probed once). */

@@ -17,6 +17,9 @@
  * once per call, not once per 16 elements.
  */
 
+#include <cstddef>
+#include <limits>
+
 #include "simd/simd.h"
 
 namespace ideal {
@@ -73,6 +76,48 @@ squaredDistanceBatch16(const float *ref, const float *cands, int count,
                        float *out)
 {
     simd::kernels().ssdBatch16(ref, cands, count, out);
+}
+
+/**
+ * Exact squared L2 distance between two coefficient-major (SoA)
+ * patches: coefficient k of patch a is pa[k][off_a], of b
+ * pb[k][off_b]. Accumulated in the squaredDistanceFull per-16-block
+ * order. The two plane sets may belong to different fields (video
+ * matching across frames).
+ */
+inline float
+squaredDistanceSoa(const float *const *pa, size_t off_a,
+                   const float *const *pb, size_t off_b, int len)
+{
+    return simd::kernels().ssdSoa(pa, off_a, pb, off_b, len,
+                                  std::numeric_limits<float>::infinity());
+}
+
+/**
+ * SoA distance with early termination past @p bound; same contract as
+ * squaredDistanceBounded (partial results only compare > bound).
+ */
+inline float
+squaredDistanceSoaBounded(const float *const *pa, size_t off_a,
+                          const float *const *pb, size_t off_b, int len,
+                          float bound)
+{
+    return simd::kernels().ssdSoa(pa, off_a, pb, off_b, len, bound);
+}
+
+/**
+ * Batched SoA SSD against a gathered reference descriptor:
+ * out[i] = squaredDistanceSoa of the candidate at planes[k][off + i],
+ * i in [0, count) for arbitrary count (pass whole window-row runs —
+ * one dispatch per run). Adjacent candidates are adjacent in every
+ * coefficient plane (one contiguous vector lane per coefficient),
+ * which is what makes this the block-matching hot kernel.
+ */
+inline void
+squaredDistanceSoaBatch(const float *ref, const float *const *planes,
+                        size_t off, int len, int count, float *out)
+{
+    simd::kernels().ssdSoaBatch(ref, planes, off, len, count, out);
 }
 
 } // namespace transforms

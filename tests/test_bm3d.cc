@@ -388,3 +388,65 @@ TEST(Bm3dMr, AcrossRowsDisabledHasNoVertHits)
     EXPECT_EQ(r.profile.mr().bm1VertHits, 0u);
     EXPECT_EQ(r.profile.mr().bm2VertHits, 0u);
 }
+
+TEST(Bm3d, TransformOnceBitwiseIdenticalToOnTheFly)
+{
+    // The tile DCT caches hold the very same dct.forward outputs the
+    // on-the-fly gathers would compute, so enabling them must not
+    // change a single bit of either stage's output.
+    auto scene = makeTestScene(image::SceneKind::Street, 40, 25.0f, 24);
+    Bm3dConfig cfg = smallConfig();
+    cfg.tileGrain = 8; // several tiles, so halos and edges are hit
+    Bm3d cached(cfg);
+    auto r_cached = cached.denoise(scene.noisy);
+
+    cfg.transformOnce = false;
+    Bm3d direct(cfg);
+    auto r_direct = direct.denoise(scene.noisy);
+
+    EXPECT_EQ(image::maxAbsDiff(r_cached.basic, r_direct.basic), 0.0);
+    EXPECT_EQ(image::maxAbsDiff(r_cached.output, r_direct.output), 0.0);
+}
+
+TEST(Bm3d, TransformOnceBitwiseIdenticalColorMrMultithreaded)
+{
+    // Same contract under the full feature mix: three channels (the
+    // stage-1 color-channel caches are exercised), Matches Reuse with
+    // the across-rows extension, and a multi-threaded tiled run.
+    auto scene =
+        makeTestScene(image::SceneKind::Nature, 40, 25.0f, 25, 3);
+    Bm3dConfig cfg = smallConfig();
+    cfg.tileGrain = 8;
+    cfg.numThreads = 4;
+    cfg.mr.enabled = true;
+    cfg.mr.acrossRows = true;
+    Bm3d cached(cfg);
+    auto r_cached = cached.denoise(scene.noisy);
+
+    cfg.transformOnce = false;
+    Bm3d direct(cfg);
+    auto r_direct = direct.denoise(scene.noisy);
+
+    EXPECT_EQ(image::maxAbsDiff(r_cached.basic, r_direct.basic), 0.0);
+    EXPECT_EQ(image::maxAbsDiff(r_cached.output, r_direct.output), 0.0);
+}
+
+TEST(Bm3d, TransformOnceDoesNotInflateDctOpCount)
+{
+    // Satellite check on the op accounting: with the caches on, the
+    // forward-DCT ops charged per stack must drop (each position is
+    // transformed once per tile instead of once per stack
+    // membership), never rise.
+    auto scene = makeTestScene(image::SceneKind::Street, 40, 25.0f, 26);
+    Bm3dConfig cfg = smallConfig();
+    Bm3d cached(cfg);
+    auto r_cached = cached.denoise(scene.noisy);
+
+    cfg.transformOnce = false;
+    Bm3d direct(cfg);
+    auto r_direct = direct.denoise(scene.noisy);
+
+    const uint64_t ops_cached = r_cached.profile.ops(Step::Dct2).total();
+    const uint64_t ops_direct = r_direct.profile.ops(Step::Dct2).total();
+    EXPECT_LT(ops_cached, ops_direct);
+}

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
 #include "bm3d/blockmatch.h"
 #include "bm3d/matchlist.h"
 #include "bm3d/patchfield.h"
@@ -211,4 +214,124 @@ TEST_F(BlockMatchTest, UniformImageAllDistancesZero)
     EXPECT_EQ(out.size(), 16);
     for (const Match &m : out)
         EXPECT_FLOAT_EQ(m.distance, 0.0f);
+}
+
+TEST_F(BlockMatchTest, SoaFieldMatchesDirectDctAtEveryPosition)
+{
+    // The coefficient-major matching layout must hold exactly the same
+    // values as a direct per-patch forward DCT (plus hard threshold),
+    // at every position including the image edges where the halo of
+    // valid top-lefts ends.
+    const float threshold = 40.0f;
+    bm3d::DctPatchField thresholded(plane_, *dct_, threshold, std::nullopt,
+                                    nullptr);
+    float pixels[16], direct[16], gathered[16];
+    for (int y = 0; y < field_->positionsY(); ++y) {
+        for (int x = 0; x < field_->positionsX(); ++x) {
+            bm3d::extractPatch(plane_, x, y, 4, pixels);
+            dct_->forward(pixels, direct);
+            const float *raw = field_->patch(x, y);
+            field_->gatherMatchPatch(x, y, gathered);
+            for (int k = 0; k < 16; ++k) {
+                ASSERT_EQ(raw[k], direct[k])
+                    << "raw (" << x << "," << y << ") k=" << k;
+                // threshold 0: the matching copy equals the raw DCT.
+                ASSERT_EQ(gathered[k], direct[k])
+                    << "match (" << x << "," << y << ") k=" << k;
+            }
+            thresholded.gatherMatchPatch(x, y, gathered);
+            for (int k = 0; k < 16; ++k) {
+                const float want =
+                    std::abs(direct[k]) < threshold ? 0.0f : direct[k];
+                ASSERT_EQ(gathered[k], want)
+                    << "thresholded (" << x << "," << y << ") k=" << k;
+            }
+        }
+    }
+}
+
+TEST_F(BlockMatchTest, SoaPlanesShareOneOffsetScheme)
+{
+    // matchPlanes()[k][matchOffset(x, y)] is the documented access
+    // path the SSD kernels use; cross-check it against the gather.
+    const float *const *planes = field_->matchPlanes();
+    float gathered[16];
+    const std::pair<int, int> positions[] = {
+        {0, 0}, {36, 0}, {0, 36}, {36, 36}, {17, 23}};
+    for (auto [x, y] : positions) {
+        field_->gatherMatchPatch(x, y, gathered);
+        const size_t off = field_->matchOffset(x, y);
+        for (int k = 0; k < 16; ++k)
+            ASSERT_EQ(planes[k][off], gathered[k])
+                << "(" << x << "," << y << ") k=" << k;
+    }
+}
+
+TEST_F(BlockMatchTest, DomainBatchDistancesMatchSingleBitwise)
+{
+    // The batched window-row path must pick the same matches as the
+    // per-candidate path, which it does by producing bitwise-equal
+    // distances.
+    bm3d::DctMatchDomain dct_dom(*field_);
+    bm3d::ColorMatchDomain color_dom(plane_, 4);
+    auto check = [&](const auto &dom, const char *name) {
+        float ref[64];
+        float d[64];
+        const int nx = dom.positionsX();
+        const std::pair<int, int> refs[] = {
+            {0, 0}, {nx - 1, dom.positionsY() - 1}, {11, 7}};
+        for (auto [xr, yr] : refs) {
+            dom.gatherRef(xr, yr, ref);
+            for (int y : {0, yr, dom.positionsY() - 1}) {
+                dom.distanceBatch(ref, 0, y, nx, d);
+                for (int x = 0; x < nx; ++x)
+                    ASSERT_EQ(d[x], dom.distance(xr, yr, x, y))
+                        << name << " ref(" << xr << "," << yr << ") cand("
+                        << x << "," << y << ")";
+            }
+        }
+    };
+    check(dct_dom, "dct");
+    check(color_dom, "color");
+}
+
+TEST_F(BlockMatchTest, TileDctFieldMatchesDirectDctAndTracksCoverage)
+{
+    bm3d::TileDctField tile;
+    // A range flush against the right image edge (positions run to 36
+    // for a 40-wide plane and 4x4 patches).
+    uint64_t dcts = tile.build(plane_, 0, *dct_, std::nullopt, 30, 0, 36, 5);
+    EXPECT_EQ(dcts, 7u * 6u);
+    EXPECT_TRUE(tile.covers(30, 0));
+    EXPECT_TRUE(tile.covers(36, 5));
+    EXPECT_FALSE(tile.covers(29, 0));
+    EXPECT_FALSE(tile.covers(30, 6));
+    EXPECT_FALSE(tile.covers(37, 5));
+
+    float pixels[16], direct[16];
+    for (int y = 0; y <= 5; ++y)
+        for (int x = 30; x <= 36; ++x) {
+            bm3d::extractPatch(plane_, x, y, 4, pixels);
+            dct_->forward(pixels, direct);
+            const float *cached = tile.patch(x, y);
+            for (int k = 0; k < 16; ++k)
+                ASSERT_EQ(cached[k], direct[k])
+                    << "(" << x << "," << y << ") k=" << k;
+        }
+
+    // Arena reuse: rebuilding over a different (smaller) range must
+    // forget the old coverage and serve the new one.
+    dcts = tile.build(plane_, 0, *dct_, std::nullopt, 0, 10, 3, 12);
+    EXPECT_EQ(dcts, 4u * 3u);
+    EXPECT_FALSE(tile.covers(30, 2));
+    EXPECT_TRUE(tile.covers(0, 10));
+    for (int y = 10; y <= 12; ++y)
+        for (int x = 0; x <= 3; ++x) {
+            bm3d::extractPatch(plane_, x, y, 4, pixels);
+            dct_->forward(pixels, direct);
+            const float *cached = tile.patch(x, y);
+            for (int k = 0; k < 16; ++k)
+                ASSERT_EQ(cached[k], direct[k])
+                    << "(" << x << "," << y << ") k=" << k;
+        }
 }

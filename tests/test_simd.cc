@@ -171,6 +171,9 @@ TEST_F(SimdParity, KernelTablesAreFullyPopulated)
         EXPECT_NE(k.hardThreshold, nullptr);
         EXPECT_NE(k.wienerApply, nullptr);
         EXPECT_NE(k.aggregateAdd, nullptr);
+        EXPECT_NE(k.ssdSoa, nullptr);
+        EXPECT_NE(k.ssdSoaBatch, nullptr);
+        EXPECT_NE(k.mergeAdd, nullptr);
     }
 }
 
@@ -277,6 +280,212 @@ TEST_F(SimdParity, SsdBatch16MatchesSsdFullPerCandidate)
                              << " count=" << count);
                 expectBitEqual(expected, out[i], "ssdBatch16", i);
             }
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Coefficient-major (SoA) fixture: @p len planes of @p positions
+ * candidates each, plus the pointer array the kernels take. slot(k, i)
+ * is coefficient k of candidate i.
+ */
+struct SoaPlanes
+{
+    SoaPlanes(int len, int positions)
+        : positions(positions),
+          store(static_cast<size_t>(len) * positions), planes(len)
+    {
+        for (int k = 0; k < len; ++k)
+            planes[k] = store.data() + static_cast<size_t>(k) * positions;
+    }
+
+    float &
+    slot(int k, int i)
+    {
+        return store[static_cast<size_t>(k) * positions + i];
+    }
+
+    int positions;
+    std::vector<float> store;
+    std::vector<const float *> planes;
+};
+
+} // namespace
+
+TEST_F(SimdParity, SsdSoaMatchesScalarBitwiseIncludingEarlyExit)
+{
+    Rng rng(1414);
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    for (int len : {1, 7, 9, 16, 25, 33, 64}) {
+        for (const auto &a : inputFamilies(rng, len)) {
+            SoaPlanes pa(len, 3), pb(len, 3);
+            const size_t off_a = 1, off_b = 2;
+            for (int k = 0; k < len; ++k) {
+                for (int i = 0; i < 3; ++i) {
+                    pa.slot(k, i) = rng.uniform(-255.0f, 255.0f);
+                    pb.slot(k, i) = rng.uniform(-255.0f, 255.0f);
+                }
+                pa.slot(k, static_cast<int>(off_a)) = a[k];
+            }
+            const float full = ref.ssdSoa(
+                pa.planes.data(), off_a, pb.planes.data(), off_b, len,
+                std::numeric_limits<float>::infinity());
+            for (float bound : {std::numeric_limits<float>::infinity(),
+                                full * 2.0f, full, full * 0.5f, 0.0f}) {
+                const float expected =
+                    ref.ssdSoa(pa.planes.data(), off_a, pb.planes.data(),
+                               off_b, len, bound);
+                for (simd::Level level : availableLevels()) {
+                    const float got = simd::kernelsFor(level).ssdSoa(
+                        pa.planes.data(), off_a, pb.planes.data(), off_b,
+                        len, bound);
+                    SCOPED_TRACE(testing::Message()
+                                 << "level=" << simd::toString(level)
+                                 << " len=" << len << " bound=" << bound);
+                    expectBitEqual(expected, got, "ssdSoa", 0);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, SsdSoaAgreesWithSsdFullOnGatheredDescriptors)
+{
+    // The layout-independence contract: the SoA distance equals the
+    // position-major ssdFull of the gathered descriptors bit for bit,
+    // at every level (same per-16-block reduction tree).
+    Rng rng(1515);
+    for (int len : {4, 9, 16, 32, 48}) {
+        SoaPlanes pa(len, 4), pb(len, 4);
+        std::vector<float> a(len), b(len);
+        for (int k = 0; k < len; ++k) {
+            for (int i = 0; i < 4; ++i) {
+                pa.slot(k, i) = rng.uniform(-1e4f, 1e4f);
+                pb.slot(k, i) = rng.uniform(-1e4f, 1e4f);
+            }
+            a[k] = pa.slot(k, 3);
+            b[k] = pb.slot(k, 0);
+        }
+        for (simd::Level level : availableLevels()) {
+            const simd::KernelTable &k = simd::kernelsFor(level);
+            const float soa =
+                k.ssdSoa(pa.planes.data(), 3, pb.planes.data(), 0, len,
+                         std::numeric_limits<float>::infinity());
+            const float aos = k.ssdFull(a.data(), b.data(), len);
+            SCOPED_TRACE(testing::Message()
+                         << "level=" << simd::toString(level)
+                         << " len=" << len);
+            expectBitEqual(aos, soa, "ssdSoa vs ssdFull", 0);
+        }
+    }
+}
+
+TEST_F(SimdParity, SsdSoaBatchMatchesSsdSoaPerCandidate)
+{
+    Rng rng(1616);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    for (int len : {9, 16, 33}) {
+        for (int count : {1, 3, 7, 8, 9, 16, 20, 49}) {
+            SoaPlanes planes(len, count);
+            std::vector<float> ref_desc(len);
+            for (int k = 0; k < len; ++k) {
+                ref_desc[k] = rng.uniform(-255.0f, 255.0f);
+                for (int i = 0; i < count; ++i)
+                    planes.slot(k, i) = rng.uniform(-255.0f, 255.0f);
+            }
+            // Edge-case candidates: signed zeros and NaN lanes must
+            // propagate identically through the vector and the scalar
+            // tail paths.
+            planes.slot(0, 0) = -0.0f;
+            if (count > 1)
+                planes.slot(len - 1, 1) = nan;
+            const simd::KernelTable &ref =
+                simd::kernelsFor(simd::Level::Scalar);
+            std::vector<float> expected(count);
+            ref.ssdSoaBatch(ref_desc.data(), planes.planes.data(), 0, len,
+                            count, expected.data());
+            for (simd::Level level : availableLevels()) {
+                const simd::KernelTable &k = simd::kernelsFor(level);
+                std::vector<float> out(count, -1.0f);
+                k.ssdSoaBatch(ref_desc.data(), planes.planes.data(), 0,
+                              len, count, out.data());
+                SCOPED_TRACE(testing::Message()
+                             << "level=" << simd::toString(level)
+                             << " len=" << len << " count=" << count);
+                expectBitEqual(expected.data(), out.data(), count,
+                               "ssdSoaBatch vs scalar");
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, SsdSoaBatchEqualsSingleCandidateSsdSoa)
+{
+    // batch[i] must be bitwise the single-pair ssdSoa of candidate i:
+    // build a reference that itself lives in a plane set so both
+    // kernels see identical operands.
+    Rng rng(1717);
+    const float inf = std::numeric_limits<float>::infinity();
+    for (int len : {16, 25}) {
+        const int count = 13;
+        SoaPlanes planes(len, count);
+        SoaPlanes refp(len, 1);
+        std::vector<float> ref_desc(len);
+        for (int k = 0; k < len; ++k) {
+            for (int i = 0; i < count; ++i)
+                planes.slot(k, i) = rng.uniform(-1e3f, 1e3f);
+            ref_desc[k] = rng.uniform(-1e3f, 1e3f);
+            refp.slot(k, 0) = ref_desc[k];
+        }
+        for (simd::Level level : availableLevels()) {
+            const simd::KernelTable &k = simd::kernelsFor(level);
+            float out[16];
+            k.ssdSoaBatch(ref_desc.data(), planes.planes.data(), 0, len,
+                          count, out);
+            for (int i = 0; i < count; ++i) {
+                const float single =
+                    k.ssdSoa(refp.planes.data(), 0, planes.planes.data(),
+                             static_cast<size_t>(i), len, inf);
+                SCOPED_TRACE(testing::Message()
+                             << "level=" << simd::toString(level)
+                             << " len=" << len << " i=" << i);
+                expectBitEqual(single, out[i], "batch vs single", i);
+            }
+        }
+    }
+}
+
+TEST_F(SimdParity, MergeAddMatchesScalarBitwise)
+{
+    Rng rng(1818);
+    for (int count : {1, 3, 4, 7, 8, 16, 21, 64}) {
+        std::vector<float> num0(count), den0(count), onum(count),
+            oden(count);
+        for (int i = 0; i < count; ++i) {
+            num0[i] = rng.uniform(-1e4f, 1e4f);
+            den0[i] = rng.uniform(0.0f, 1e4f);
+            onum[i] = rng.uniform(-1e4f, 1e4f);
+            oden[i] = rng.uniform(0.0f, 1e4f);
+        }
+        num0[0] = -0.0f;
+        onum[0] = 0.0f;
+
+        std::vector<float> num_ref = num0, den_ref = den0;
+        simd::kernelsFor(simd::Level::Scalar)
+            .mergeAdd(num_ref.data(), den_ref.data(), onum.data(),
+                      oden.data(), count);
+        for (simd::Level level : availableLevels()) {
+            std::vector<float> num = num0, den = den0;
+            simd::kernelsFor(level).mergeAdd(num.data(), den.data(),
+                                             onum.data(), oden.data(),
+                                             count);
+            SCOPED_TRACE(testing::Message()
+                         << "level=" << simd::toString(level)
+                         << " count=" << count);
+            expectBitEqual(num_ref.data(), num.data(), count, "num");
+            expectBitEqual(den_ref.data(), den.data(), count, "den");
         }
     }
 }
