@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "parallel/pool.h"
 #include "simd/simd.h"
 
@@ -210,7 +211,23 @@ BenchRecord::write() const
     std::fprintf(f, "  \"wall_time_s\": %.17g,\n", wallTimeS);
     writeJsonMap(f, "metrics", metrics, false);
     writeJsonMap(f, "kernel_times_ms", kernelTimesMs, false);
-    writeJsonMap(f, "ops", ops, true);
+    writeJsonMap(f, "ops", ops, false);
+
+    // Global observability snapshot at write time: counters (merge
+    // sums — op/event totals bench_diff.py can gate on with
+    // --ops-tolerance) separated from level metrics (gauges + peaks,
+    // which are not comparable as sums).
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    for (const auto &[k, m] : snap.all()) {
+        if (m.kind == obs::MetricKind::Counter)
+            counters[k] = m.value;
+        else
+            gauges[k] = m.value;
+    }
+    writeJsonMap(f, "counters", counters, false);
+    writeJsonMap(f, "gauges", gauges, true);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", file.c_str());

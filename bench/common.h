@@ -90,8 +90,11 @@ core::SimResult simulateScaled(const core::AcceleratorConfig &cfg,
  * BENCH_<name>.json (into IDEAL_BENCH_DIR when set, else the working
  * directory) with the run's wall time, per-step kernel times and op
  * counts, quality metrics, the active SIMD dispatch level, the
- * *resolved* thread count, and the git sha of the build — everything
- * scripts/bench_diff.py needs to compare two runs.
+ * *resolved* thread count, the git sha of the build, and a snapshot of
+ * the global obs::MetricsRegistry split into "counters" (summable op
+ * and event totals, gated by scripts/bench_diff.py --ops-tolerance)
+ * and "gauges" (levels and peaks) — everything scripts/bench_diff.py
+ * needs to compare two runs.
  */
 struct BenchRecord
 {

@@ -3,13 +3,21 @@
 
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json \
-        [--threshold 0.10] [--tolerance 0.10]
+        [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0]
 
 Exits non-zero when any kernel time in CANDIDATE is more than THRESHOLD
 slower than in BASELINE, or when the end-to-end wall time is more than
 TOLERANCE slower. Keys present in only one record are reported but do
 not fail the comparison — kernels come and go across PRs; only shared
 kernels are regression-checked.
+
+--ops-tolerance additionally gates the *operation counts* (the "ops"
+per-step totals plus the "counters" snapshot of the observability
+registry): unlike times, op counts are deterministic, so the natural
+tolerance is 0.0 — any drift in multiply/add/comparison totals means
+the algorithm changed, not the machine. The gate is off unless the
+flag is given, because records written before the counters were
+embedded would otherwise fail vacuously.
 
 The wall-time comparison is separate from the per-kernel table because
 the two answer different questions: the kernel table localizes *where*
@@ -76,6 +84,40 @@ def compare_times(base, cand, threshold):
     return rows, regressions
 
 
+def compare_ops(base, cand, tolerance):
+    """Return (rows, regressions) over shared op-count keys.
+
+    Draws from both the per-step "ops" map and the observability
+    "counters" snapshot (records from before PR 4 lack the latter).
+    Keys present in only one record are reported, never failed.
+    """
+    base_ops = dict(base.get("ops", {}))
+    base_ops.update(base.get("counters", {}))
+    cand_ops = dict(cand.get("ops", {}))
+    cand_ops.update(cand.get("counters", {}))
+
+    rows = []
+    drifted = []
+    for key in sorted(set(base_ops) | set(cand_ops)):
+        if key not in base_ops:
+            rows.append((key, None, cand_ops[key], "new"))
+            continue
+        if key not in cand_ops:
+            rows.append((key, base_ops[key], None, "gone"))
+            continue
+        b, c = base_ops[key], cand_ops[key]
+        if b == c:
+            rows.append((key, b, c, "ok"))
+            continue
+        rel = (c - b) / abs(b) if b != 0 else float("inf")
+        if abs(rel) > tolerance:
+            rows.append((key, b, c, f"DRIFT ({rel:+.2%})"))
+            drifted.append(key)
+        else:
+            rows.append((key, b, c, f"ok ({rel:+.2%})"))
+    return rows, drifted
+
+
 def compare_wall(base, cand, tolerance):
     """Return (message, regressed) for the end-to-end wall time."""
     b, c = base["wall_time_s"], cand["wall_time_s"]
@@ -117,6 +159,14 @@ def main():
         help="fractional end-to-end wall-time slowdown that counts as a "
         "regression (defaults to --threshold)",
     )
+    parser.add_argument(
+        "--ops-tolerance",
+        type=float,
+        default=None,
+        help="fractional drift in op counts ('ops' + 'counters') that "
+        "counts as a failure; op counts are deterministic, so 0.0 is the "
+        "natural value (gate off when the flag is absent)",
+    )
     args = parser.parse_args()
     tolerance = args.tolerance if args.tolerance is not None else args.threshold
 
@@ -145,15 +195,32 @@ def main():
         cs = f"{c:.3f}" if c is not None else "-"
         print(f"{key:<{width}}  {bs:>12}  {cs:>12}  {status}")
 
+    drifted = []
+    if args.ops_tolerance is not None:
+        ops_rows, drifted = compare_ops(base, cand, args.ops_tolerance)
+        if ops_rows:
+            width = max(len(key) for key, *_ in ops_rows)
+            print()
+            print(f"{'op count':<{width}}  {'base':>16}  {'cand':>16}  status")
+            for key, b, c, status in ops_rows:
+                bs = f"{b:.6g}" if b is not None else "-"
+                cs = f"{c:.6g}" if c is not None else "-"
+                print(f"{key:<{width}}  {bs:>16}  {cs:>16}  {status}")
+
     wall_msg, wall_regressed = compare_wall(base, cand, tolerance)
     print()
     print(wall_msg)
 
-    failed = bool(regressions) or wall_regressed
+    failed = bool(regressions) or wall_regressed or bool(drifted)
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
             f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+    if drifted:
+        print(
+            f"FAIL: {len(drifted)} op count(s) drifted more than "
+            f"{args.ops_tolerance:.0%}: {', '.join(drifted)}"
         )
     if wall_regressed:
         print(

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by the obs tracer.
+
+Usage:
+    scripts/check_trace.py TRACE.json [--require-events N]
+
+Checks that the file is what chrome://tracing and Perfetto will accept
+from src/obs/trace.cc (DESIGN.md §8):
+
+  - parses as JSON with a "traceEvents" list;
+  - every event carries name/cat/ph/pid/tid/ts with sane types, a
+    phase in {B, E, C, I}, and a non-negative timestamp;
+  - per (pid, tid), "B"/"E" phases balance like parentheses and each
+    "E" closes the innermost open "B" of the same name — RAII spans
+    cannot legally interleave on one thread;
+  - counter ("C") events carry a numeric args value.
+
+Exits non-zero with a diagnostic on the first violation. CI runs this
+against a small traced bench run so a formatting regression in the
+flush path fails the build rather than Perfetto imports months later.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "C", "I"}
+
+
+def fail(msg):
+    sys.exit(f"FAIL: {msg}")
+
+
+def check_event(i, ev):
+    """Structural checks on one event; returns its (pid, tid) key."""
+    if not isinstance(ev, dict):
+        fail(f"event {i}: not an object")
+    for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+        if key not in ev:
+            fail(f"event {i}: missing '{key}': {ev!r}")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        fail(f"event {i}: name must be a non-empty string")
+    if ev["ph"] not in VALID_PHASES:
+        fail(f"event {i}: phase {ev['ph']!r} not in {sorted(VALID_PHASES)}")
+    if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+        fail(f"event {i}: ts must be a non-negative number, got {ev['ts']!r}")
+    if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+        fail(f"event {i}: pid/tid must be integers")
+    if ev["ph"] == "C":
+        args = ev.get("args")
+        if not isinstance(args, dict) or not any(
+            isinstance(v, (int, float)) for v in args.values()
+        ):
+            fail(f"event {i}: counter event needs a numeric args value")
+    return (ev["pid"], ev["tid"])
+
+
+def check_balance(events):
+    """Per-thread B/E events must nest like parentheses."""
+    stacks = {}
+    for i, ev in enumerate(events):
+        key = (ev["pid"], ev["tid"])
+        stack = stacks.setdefault(key, [])
+        if ev["ph"] == "B":
+            stack.append((i, ev["name"]))
+        elif ev["ph"] == "E":
+            if not stack:
+                fail(
+                    f"event {i}: 'E' for {ev['name']!r} on tid {key[1]} "
+                    f"with no open span"
+                )
+            j, open_name = stack.pop()
+            if open_name != ev["name"]:
+                fail(
+                    f"event {i}: 'E' for {ev['name']!r} closes span "
+                    f"{open_name!r} opened at event {j} (tid {key[1]})"
+                )
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            j, name = stack[-1]
+            fail(
+                f"tid {tid}: {len(stack)} unclosed span(s); innermost "
+                f"{name!r} opened at event {j}"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a Chrome trace-event JSON file."
+    )
+    parser.add_argument("trace")
+    parser.add_argument(
+        "--require-events",
+        type=int,
+        default=1,
+        help="minimum number of trace events expected (default 1; an "
+        "instrumented run that produced an empty trace is itself a bug)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{args.trace}: no 'traceEvents' key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{args.trace}: 'traceEvents' is not a list")
+
+    threads = set()
+    phases = {}
+    for i, ev in enumerate(events):
+        threads.add(check_event(i, ev))
+        phases[ev["ph"]] = phases.get(ev["ph"], 0) + 1
+
+    # Events are sorted per thread by the writer; sort globally by ts
+    # before the balance check so interleaved threads don't alias.
+    # Stable sort keeps same-ts B before E (flush order is per-buffer,
+    # B recorded first).
+    ordered = sorted(events, key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    check_balance(ordered)
+
+    if len(events) < args.require_events:
+        fail(
+            f"{args.trace}: {len(events)} event(s), expected at least "
+            f"{args.require_events}"
+        )
+
+    phase_summary = ", ".join(f"{p}={n}" for p, n in sorted(phases.items()))
+    print(
+        f"OK: {args.trace}: {len(events)} events across "
+        f"{len(threads)} thread(s) ({phase_summary})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@
 
 #include "bm3d/blockmatch.h"
 #include "bm3d/denoise.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/pool.h"
 #include "parallel/tiles.h"
 #include "transforms/dct.h"
@@ -120,6 +122,23 @@ processTile(const Bm3dConfig &cfg, Stage stage,
             have_row_above = true;
     }
     profile.mr() += mr;
+
+    // Per-worker MR counters into the process-wide registry: each
+    // executor writes its own shard (no contention), one update per
+    // tile. Fig. 10's hit rates are then readable from any embedding
+    // harness without threading a Profile through it.
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    if (stage == Stage::HardThreshold) {
+        reg.add("bm3d.mr.bm1Refs", static_cast<double>(mr.bm1Refs));
+        reg.add("bm3d.mr.bm1Hits", static_cast<double>(mr.bm1Hits));
+        reg.add("bm3d.mr.bm1Candidates",
+                static_cast<double>(mr.bm1Candidates));
+    } else {
+        reg.add("bm3d.mr.bm2Refs", static_cast<double>(mr.bm2Refs));
+        reg.add("bm3d.mr.bm2Hits", static_cast<double>(mr.bm2Hits));
+        reg.add("bm3d.mr.bm2Candidates",
+                static_cast<double>(mr.bm2Candidates));
+    }
 
     // Block-matching op accounting: each candidate distance costs
     // PD^2 subtract + multiply + add (Eq. 2).
@@ -247,6 +266,9 @@ Bm3d::runStage(Stage stage, const image::ImageF &noisy,
         noisy.height() < config_.patchSize) {
         throw std::invalid_argument("Bm3d: image smaller than patch");
     }
+    obs::Span stage_span(stage == Stage::HardThreshold ? "bm3d.stage1"
+                                                       : "bm3d.stage2",
+                         "bm3d");
     transforms::Dct2D dct(config_.patchSize);
     if (stage == Stage::HardThreshold) {
         // DCT1: transform every patch of the matching channel once

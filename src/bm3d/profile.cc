@@ -18,5 +18,40 @@ toString(Step step)
     return "?";
 }
 
+obs::MetricsSnapshot
+Profile::snapshot(const std::string &prefix) const
+{
+    obs::MetricsSnapshot snap;
+    for (int i = 0; i < kNumSteps; ++i) {
+        const auto step = static_cast<Step>(i);
+        const std::string base = prefix + "." + toString(step);
+        snap.add(base + ".seconds", seconds(step));
+        const OpCounters &o = ops(step);
+        snap.add(base + ".ops.multiplies",
+                 static_cast<double>(o.multiplies));
+        snap.add(base + ".ops.additions", static_cast<double>(o.additions));
+        snap.add(base + ".ops.comparisons",
+                 static_cast<double>(o.comparisons));
+        snap.add(base + ".ops.memoryReads",
+                 static_cast<double>(o.memoryReads));
+        snap.add(base + ".ops.memoryWrites",
+                 static_cast<double>(o.memoryWrites));
+    }
+    const std::string mr_base = prefix + ".mr";
+    snap.add(mr_base + ".bm1Hits", static_cast<double>(mr_.bm1Hits));
+    snap.add(mr_base + ".bm1Refs", static_cast<double>(mr_.bm1Refs));
+    snap.add(mr_base + ".bm2Hits", static_cast<double>(mr_.bm2Hits));
+    snap.add(mr_base + ".bm2Refs", static_cast<double>(mr_.bm2Refs));
+    snap.add(mr_base + ".bm1Candidates",
+             static_cast<double>(mr_.bm1Candidates));
+    snap.add(mr_base + ".bm2Candidates",
+             static_cast<double>(mr_.bm2Candidates));
+    snap.add(mr_base + ".bm1VertHits",
+             static_cast<double>(mr_.bm1VertHits));
+    snap.add(mr_base + ".bm2VertHits",
+             static_cast<double>(mr_.bm2VertHits));
+    return snap;
+}
+
 } // namespace bm3d
 } // namespace ideal

@@ -14,6 +14,9 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ideal {
 namespace bm3d {
 
@@ -162,19 +165,39 @@ class Profile
         return *this;
     }
 
+    /**
+     * Export to the observability interchange format under
+     * hierarchical dotted names: <prefix>.<STEP>.seconds,
+     * <prefix>.<STEP>.ops.<class>, <prefix>.mr.<counter> — everything
+     * a counter (profiles sum when workers merge). Profile itself
+     * stays array-backed: it is per-worker hot-path state, updated
+     * once per reference patch; the adapter boundary to the registry
+     * is this snapshot.
+     */
+    obs::MetricsSnapshot snapshot(const std::string &prefix = "bm3d") const;
+
   private:
     std::array<double, kNumSteps> seconds_{};
     std::array<OpCounters, kNumSteps> ops_{};
     MrStats mr_;
 };
 
-/** RAII wall-clock timer adding its lifetime to a profile step. */
+/**
+ * RAII wall-clock timer adding its lifetime to a profile step.
+ *
+ * Doubles as the six paper steps' trace instrumentation: under
+ * IDEAL_TRACE + IDEAL_TRACE_STEPS=1 each timer also emits a "step"
+ * category span named after the step (DCT1..DE2). The timers fire per
+ * reference patch, so step spans multiply trace size by the
+ * reference count — that is why the category is opt-in; when tracing
+ * is off the span member costs one relaxed load.
+ */
 class ScopedTimer
 {
   public:
     ScopedTimer(Profile &profile, Step step)
         : profile_(profile), step_(step),
-          start_(std::chrono::steady_clock::now())
+          start_(std::chrono::steady_clock::now()), span_(toString(step))
     {
     }
 
@@ -192,6 +215,7 @@ class ScopedTimer
     Profile &profile_;
     Step step_;
     std::chrono::steady_clock::time_point start_;
+    obs::StepSpan span_;
 };
 
 } // namespace bm3d

@@ -7,6 +7,8 @@
 
 #include "bm3d/bm3d.h"
 #include "dram/dram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ideal {
 namespace core {
@@ -576,6 +578,9 @@ StageSim::tickLane(int lane_idx, Lane &lane, sim::Cycle now)
 sim::Cycle
 StageSim::run(sim::Cycle start_cycle)
 {
+    obs::Span span(stage_ == bm3d::Stage::HardThreshold ? "sim.stage1"
+                                                        : "sim.stage2",
+                   "sim");
     std::vector<Lane> lanes(lanes_);
     nextRow_ = 0;
     sim::Cycle cycle = start_cycle;
@@ -593,6 +598,13 @@ StageSim::run(sim::Cycle start_cycle)
         return mem_.idle();
     };
 
+    // DRAM queue occupancy: peak tracked every cycle (a max-stat, so
+    // merging results never sums it); occupancy sampled into the trace
+    // as a Perfetto counter track, decimated to keep traces bounded.
+    constexpr sim::Cycle kTraceSampleCycles = 4096;
+    int queue_peak = 0;
+    const bool tracing = obs::Tracer::globalEnabled();
+
     while (!all_done() && cycle < limit) {
         ++cycle;
         mem_.tick(cycle);
@@ -606,6 +618,10 @@ StageSim::run(sim::Cycle start_cycle)
         }
         for (int i = 0; i < lanes_; ++i)
             tickLane(i, lanes[i], cycle);
+        queue_peak = std::max(queue_peak, mem_.inFlight());
+        if (tracing && cycle % kTraceSampleCycles == 0)
+            obs::Tracer::global().counter(
+                "dram.inFlight", static_cast<double>(mem_.inFlight()));
     }
 
     // Fold lane counters into the stats registry.
@@ -635,6 +651,9 @@ StageSim::run(sim::Cycle start_cycle)
                static_cast<double>(stall_col));
     stats_.add(std::string(prefix) + ".queueStall",
                static_cast<double>(stall_q));
+    stats_.add(std::string(prefix) + ".ticks",
+               static_cast<double>(cycle - start_cycle));
+    stats_.setMax("dram.queue.peak", static_cast<double>(queue_peak));
     return cycle;
 }
 
@@ -671,6 +690,12 @@ simulate(const AcceleratorConfig &cfg, const Workload &workload)
     result.stats.set("dram.avgLatency", mem.averageLatency());
     result.stats.set("dram.bytes",
                      static_cast<double>(mem.bytesTransferred()));
+
+    // Mirror the run's stats into the process-wide registry so the
+    // bench harness embeds them in BENCH_*.json without each bench
+    // threading its SimResult through (counters accumulate across
+    // simulate() calls; gauges keep the latest run's value).
+    obs::MetricsRegistry::global().merge(result.stats.snapshot(), "sim.");
     return result;
 }
 

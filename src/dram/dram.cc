@@ -61,6 +61,12 @@ DramSystem::enqueue(const Request &request, sim::Cycle now)
     Channel &ch = channels_[channelOf(request.addr)];
     ch.queue.push_back(Pending{request, now});
     ++inFlight_;
+    // Controller occupancy high-water marks. Max-stats: merging the
+    // stats of several runs keeps the peak instead of summing it.
+    stats_.setMax("dram.queue.peakInFlight",
+                  static_cast<double>(inFlight_));
+    stats_.setMax("dram.queue.peakChannelDepth",
+                  static_cast<double>(ch.queue.size()));
     return true;
 }
 

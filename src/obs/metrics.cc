@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace ideal {
+namespace obs {
+
+const char *
+toString(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Max: return "max";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------
+
+Metric &
+MetricsSnapshot::slot(const std::string &name, MetricKind kind)
+{
+    auto [it, inserted] = metrics_.try_emplace(name);
+    if (inserted)
+        it->second.kind = kind;
+    return it->second;
+}
+
+void
+MetricsSnapshot::add(const std::string &name, double delta)
+{
+    slot(name, MetricKind::Counter).value += delta;
+}
+
+void
+MetricsSnapshot::set(const std::string &name, double value)
+{
+    slot(name, MetricKind::Gauge).value = value;
+}
+
+void
+MetricsSnapshot::setMax(const std::string &name, double value)
+{
+    Metric &m = slot(name, MetricKind::Max);
+    if (value > m.value)
+        m.value = value;
+}
+
+double
+MetricsSnapshot::value(const std::string &name) const
+{
+    auto it = metrics_.find(name);
+    return it == metrics_.end() ? 0.0 : it->second.value;
+}
+
+MetricKind
+MetricsSnapshot::kind(const std::string &name) const
+{
+    auto it = metrics_.find(name);
+    return it == metrics_.end() ? MetricKind::Counter : it->second.kind;
+}
+
+bool
+MetricsSnapshot::has(const std::string &name) const
+{
+    return metrics_.count(name) > 0;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other,
+                       const std::string &prefix)
+{
+    for (const auto &[name, metric] : other.metrics_) {
+        const std::string key = prefix.empty() ? name : prefix + name;
+        // The incoming entry's kind decides the merge rule; a
+        // pre-existing entry keeps its declared kind.
+        switch (metric.kind) {
+          case MetricKind::Counter:
+            slot(key, MetricKind::Counter).value += metric.value;
+            break;
+          case MetricKind::Gauge:
+            slot(key, MetricKind::Gauge).value = metric.value;
+            break;
+          case MetricKind::Max: {
+            Metric &m = slot(key, MetricKind::Max);
+            if (metric.value > m.value)
+                m.value = metric.value;
+            break;
+          }
+        }
+    }
+}
+
+void
+MetricsSnapshot::dump(std::ostream &os) const
+{
+    for (const auto &[name, metric] : metrics_)
+        os << name << " " << metric.value << " " << toString(metric.kind)
+           << "\n";
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+struct MetricsRegistry::Shard
+{
+    /// Locked by the owning thread per write (uncontended) and by
+    /// snapshot()/reset() readers; never by other writers.
+    std::mutex mutex;
+    MetricsSnapshot snap;
+};
+
+namespace {
+
+std::atomic<uint64_t> g_next_registry_id{1};
+
+/**
+ * Per-thread shard cache, keyed by process-unique registry id (never
+ * by address: an id is never reused, so a destroyed registry's stale
+ * entries can never alias a new one).
+ */
+thread_local std::unordered_map<uint64_t, MetricsRegistry::Shard *>
+    t_shards;
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(g_next_registry_id.fetch_add(1)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard &
+MetricsRegistry::localShard()
+{
+    auto it = t_shards.find(id_);
+    if (it != t_shards.end())
+        return *it->second;
+    auto shard = std::make_unique<Shard>();
+    Shard *raw = shard.get();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::move(shard));
+    }
+    t_shards.emplace(id_, raw);
+    return *raw;
+}
+
+void
+MetricsRegistry::add(const std::string &name, double delta)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.snap.add(name, delta);
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.snap.set(name, value);
+}
+
+void
+MetricsRegistry::setMax(const std::string &name, double value)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.snap.setMax(name, value);
+}
+
+void
+MetricsRegistry::merge(const MetricsSnapshot &snapshot,
+                       const std::string &prefix)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.snap.merge(snapshot, prefix);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot result;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        result.merge(shard->snap);
+    }
+    return result;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        shard->snap.clear();
+    }
+}
+
+namespace {
+
+/**
+ * IDEAL_METRICS=<path>: dump the global registry at process exit.
+ * Constructing the registry *inside* this object's constructor orders
+ * it earlier in static-initialization order, so it is destroyed later
+ * than (and is still alive in) our destructor.
+ */
+struct MetricsDumpAtExit
+{
+    std::string path;
+
+    MetricsDumpAtExit()
+    {
+        MetricsRegistry::global();
+        const char *env = std::getenv("IDEAL_METRICS");
+        if (env != nullptr && env[0] != '\0')
+            path = env;
+    }
+
+    ~MetricsDumpAtExit()
+    {
+        if (path.empty())
+            return;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return;
+        const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+        for (const auto &[name, metric] : snap.all())
+            std::fprintf(f, "%s %.17g %s\n", name.c_str(), metric.value,
+                         toString(metric.kind));
+        std::fclose(f);
+    }
+};
+
+const MetricsDumpAtExit g_metrics_dump;
+
+} // namespace
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace obs
+} // namespace ideal

@@ -1,0 +1,168 @@
+#ifndef IDEAL_OBS_METRICS_H_
+#define IDEAL_OBS_METRICS_H_
+
+/**
+ * @file
+ * Thread-safe hierarchical metrics: the unified accounting substrate
+ * for the software BM3D pipeline, the parallel runner, and the cycle
+ * simulators (DESIGN.md §8).
+ *
+ * Two layers:
+ *
+ *  - MetricsSnapshot: a plain (not thread-safe) map of dotted names to
+ *    typed values. This is the interchange format: registries produce
+ *    snapshots, snapshots merge kind-correctly, the bench harness
+ *    serializes them into BENCH_*.json.
+ *
+ *  - MetricsRegistry: a concurrent accumulator. Each writing thread
+ *    gets its own shard, so workers (pool executors, simulator
+ *    drivers) never contend on a shared map; snapshot() folds all
+ *    shards into one MetricsSnapshot under the registry lock.
+ *
+ * Metric kinds make merge semantics explicit — the previous
+ * sim::StatsRegistry summed everything on merge, silently doubling
+ * values that had been written with set() (e.g. dram.avgLatency when
+ * two SimResults were combined):
+ *
+ *  - Counter (add): merge sums. Event counts, op counts, seconds.
+ *  - Gauge (set): merge overwrites with the incoming value. Level
+ *    samples, derived averages.
+ *  - Max (setMax): merge takes the maximum. Peaks such as queue
+ *    occupancy high-water marks.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ideal {
+namespace obs {
+
+/** Merge semantics of one named metric. */
+enum class MetricKind : uint8_t {
+    Counter, ///< add(): deltas accumulate; merge sums
+    Gauge,   ///< set(): last write wins; merge overwrites
+    Max,     ///< setMax(): merge keeps the maximum
+};
+
+/** Printable kind name ("counter" / "gauge" / "max"). */
+const char *toString(MetricKind kind);
+
+/** One named value with its merge rule. */
+struct Metric
+{
+    MetricKind kind = MetricKind::Counter;
+    double value = 0.0;
+};
+
+/**
+ * A point-in-time set of named metrics. Not thread-safe: use a
+ * MetricsRegistry for concurrent accumulation and snapshot() it.
+ */
+class MetricsSnapshot
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at 0). */
+    void add(const std::string &name, double delta);
+
+    /** Set gauge @p name to @p value. */
+    void set(const std::string &name, double value);
+
+    /** Raise max-metric @p name to at least @p value. */
+    void setMax(const std::string &name, double value);
+
+    /** Value of @p name, or 0 if never written. */
+    double value(const std::string &name) const;
+
+    /** Kind of @p name (Counter if never written). */
+    MetricKind kind(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+    bool empty() const { return metrics_.empty(); }
+    const std::map<std::string, Metric> &all() const { return metrics_; }
+
+    /**
+     * Fold @p other into this snapshot, each entry under its own kind:
+     * counters sum, gauges overwrite, max entries keep the maximum.
+     * @p prefix is prepended to every incoming name (hierarchical
+     * nesting, e.g. merge(simStats, "sim.")).
+     */
+    void merge(const MetricsSnapshot &other, const std::string &prefix = "");
+
+    void clear() { metrics_.clear(); }
+
+    /** Print "name value kind" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    /** Find-or-create @p name; a pre-existing entry keeps its kind. */
+    Metric &slot(const std::string &name, MetricKind kind);
+
+    std::map<std::string, Metric> metrics_;
+};
+
+/**
+ * Concurrent metrics accumulator with shard-per-thread storage.
+ *
+ * The first write from a thread allocates that thread's shard (one
+ * uncontended mutex + one MetricsSnapshot); subsequent writes from the
+ * same thread hit a thread-local pointer, so steady-state accumulation
+ * never touches a shared lock. snapshot() folds the shards in creation
+ * order — deterministic for counters and max metrics; a gauge written
+ * by several threads resolves to the latest-created shard's value, so
+ * keep gauges single-writer or use setMax.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * The process-wide registry every instrumentation site reports
+     * to. Dumped at exit to the file named by IDEAL_METRICS, when set.
+     */
+    static MetricsRegistry &global();
+
+    /** Add @p delta to counter @p name in this thread's shard. */
+    void add(const std::string &name, double delta);
+
+    /** Set gauge @p name in this thread's shard. */
+    void set(const std::string &name, double value);
+
+    /** Raise max-metric @p name in this thread's shard. */
+    void setMax(const std::string &name, double value);
+
+    /** Fold a whole snapshot (kind-correctly) into this thread's shard. */
+    void merge(const MetricsSnapshot &snapshot,
+               const std::string &prefix = "");
+
+    /** Merged view over every shard. */
+    MetricsSnapshot snapshot() const;
+
+    /** Clear every shard (snapshot afterwards is empty). */
+    void reset();
+
+    /// Per-thread accumulation shard; defined in metrics.cc (public
+    /// only so the file-scope thread-local cache can name it).
+    struct Shard;
+
+  private:
+    Shard &localShard();
+
+    const uint64_t id_; ///< process-unique, keys the thread-local cache
+    mutable std::mutex mutex_; ///< guards shards_ (list, not contents)
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace obs
+} // namespace ideal
+
+#endif // IDEAL_OBS_METRICS_H_

@@ -1,0 +1,273 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ideal {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_trace_steps{false};
+} // namespace detail
+
+/** Per-thread event buffer. */
+struct Tracer::Buffer
+{
+    /// Locked by the owning thread per append (uncontended) and by
+    /// flush; contention only at stop().
+    std::mutex mutex;
+    uint32_t tid = 0; ///< assigned in buffer-creation order
+    std::vector<TraceEvent> events;
+};
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+/// Per-thread buffer cache, keyed by process-unique tracer id (ids are
+/// never reused, so stale entries of destroyed tracers cannot alias).
+thread_local std::unordered_map<uint64_t, Tracer::Buffer *> t_buffers;
+
+} // namespace
+
+Tracer::Tracer() : id_(g_next_tracer_id.fetch_add(1)), isGlobal_(false) {}
+
+Tracer::Tracer(GlobalTag) : id_(g_next_tracer_id.fetch_add(1)), isGlobal_(true)
+{
+    const char *env = std::getenv("IDEAL_TRACE");
+    if (env != nullptr && env[0] != '\0')
+        start(env);
+}
+
+Tracer::~Tracer()
+{
+    stop();
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer{GlobalTag{}};
+    return tracer;
+}
+
+namespace {
+
+/// Force the global tracer (and its IDEAL_TRACE probe) to initialize
+/// at program start, so globalEnabled() is accurate from the first
+/// span and the flush-at-exit destructor is registered.
+const struct TracerInit
+{
+    TracerInit() { Tracer::global(); }
+} g_tracer_init;
+
+} // namespace
+
+Tracer::Buffer &
+Tracer::localBuffer()
+{
+    auto it = t_buffers.find(id_);
+    if (it != t_buffers.end())
+        return *it->second;
+    auto buffer = std::make_unique<Buffer>();
+    Buffer *raw = buffer.get();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        raw->tid = static_cast<uint32_t>(buffers_.size());
+        buffers_.push_back(std::move(buffer));
+    }
+    t_buffers.emplace(id_, raw);
+    return *raw;
+}
+
+void
+Tracer::start(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!sink_.empty())
+        flushLocked();
+    sink_ = path;
+    epoch_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+    if (isGlobal_) {
+        const char *steps = std::getenv("IDEAL_TRACE_STEPS");
+        detail::g_trace_steps.store(
+            steps != nullptr && steps[0] != '\0' &&
+                std::string(steps) != "0",
+            std::memory_order_relaxed);
+        detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
+Tracer::stop()
+{
+    // Disable before flushing so concurrent spans stop appending; a
+    // span straddling stop() loses its E event (documented: quiesce
+    // instrumented work before stopping).
+    enabled_.store(false, std::memory_order_relaxed);
+    if (isGlobal_)
+        detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!sink_.empty())
+        flushLocked();
+    sink_.clear();
+}
+
+void
+Tracer::setStepTracing(bool on)
+{
+    detail::g_trace_steps.store(on, std::memory_order_relaxed);
+}
+
+std::string
+Tracer::path() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sink_;
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        n += buffer->events.size();
+    }
+    return n;
+}
+
+void
+Tracer::record(const TraceEvent &event)
+{
+    Buffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(event);
+}
+
+void
+Tracer::begin(const char *name, const char *cat, const char *argKey,
+              double argValue)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.phase = 'B';
+    e.tsUs = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count();
+    e.argKey = argKey;
+    e.argValue = argValue;
+    record(e);
+}
+
+void
+Tracer::end(const char *name, const char *cat)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.phase = 'E';
+    e.tsUs = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count();
+    record(e);
+}
+
+void
+Tracer::counter(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.cat = "counter";
+    e.phase = 'C';
+    e.tsUs = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count();
+    e.argKey = "value";
+    e.argValue = value;
+    record(e);
+}
+
+void
+Tracer::instant(const char *name, const char *cat)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.phase = 'I';
+    e.tsUs = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count();
+    record(e);
+}
+
+void
+Tracer::flushLocked()
+{
+    std::FILE *f = std::fopen(sink_.c_str(), "w");
+    if (f == nullptr)
+        return; // tracing must never take the process down
+    std::fprintf(f, "{\"traceEvents\":[");
+    bool first = true;
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        for (const TraceEvent &e : buffer->events) {
+            std::fprintf(f, "%s\n{\"name\":\"%s\",\"cat\":\"%s\","
+                            "\"ph\":\"%c\",\"pid\":1,\"tid\":%u,"
+                            "\"ts\":%.3f",
+                         first ? "" : ",", e.name, e.cat, e.phase,
+                         buffer->tid, e.tsUs);
+            if (e.argKey != nullptr)
+                std::fprintf(f, ",\"args\":{\"%s\":%.17g}", e.argKey,
+                             e.argValue);
+            std::fprintf(f, "}");
+            first = false;
+        }
+        buffer->events.clear();
+    }
+    std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+    std::fclose(f);
+}
+
+Span::Span(Tracer &tracer, const char *name, const char *cat)
+{
+    if (name == nullptr || !tracer.enabled())
+        return;
+    tracer_ = &tracer;
+    name_ = name;
+    cat_ = cat;
+    tracer_->begin(name_, cat_);
+}
+
+void
+Span::open(const char *name, const char *cat, const char *argKey,
+           double argValue)
+{
+    tracer_ = &Tracer::global();
+    name_ = name;
+    cat_ = cat;
+    tracer_->begin(name_, cat_, argKey, argValue);
+}
+
+void
+Span::close()
+{
+    tracer_->end(name_, cat_);
+}
+
+} // namespace obs
+} // namespace ideal

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ideal {
 namespace parallel {
 
@@ -172,6 +174,10 @@ ThreadPool::executeTask(Batch &batch, int index, int slot)
     if (!batch.abort.load(std::memory_order_relaxed)) {
         t_inside_task = true;
         try {
+            // One span per task = per tile for the BM3D runner; the
+            // index arg lets a Perfetto query join spans back to the
+            // deterministic tile grid.
+            obs::Span span("pool.task", "pool", "index", index);
             batch.fn(index, slot);
         } catch (...) {
             {

@@ -6,12 +6,23 @@
  * Named statistics registry for the cycle-level simulators, in the
  * spirit of gem5's stats package: modules register counters under
  * hierarchical dotted names; harnesses read or print them after a run.
+ *
+ * Since the unified observability layer landed (DESIGN.md §8) this is
+ * a thin adapter over obs::MetricsSnapshot, which makes the merge
+ * semantics kind-correct: values accumulated with add() are counters
+ * and sum on merge, while values written with set() are gauges and are
+ * overwritten (the historical merge() summed everything, silently
+ * doubling gauges like dram.avgLatency when two results were
+ * combined). setMax() values keep the maximum, for peaks such as
+ * queue occupancy high-water marks.
  */
 
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace ideal {
 namespace sim {
@@ -24,51 +35,71 @@ class StatsRegistry
     void
     add(const std::string &name, double delta)
     {
-        counters_[name] += delta;
+        snap_.add(name, delta);
     }
 
-    /** Set counter @p name to @p value. */
+    /** Set gauge @p name to @p value (merge overwrites, never sums). */
     void
     set(const std::string &name, double value)
     {
-        counters_[name] = value;
+        snap_.set(name, value);
+    }
+
+    /** Raise max-stat @p name to at least @p value (merge keeps max). */
+    void
+    setMax(const std::string &name, double value)
+    {
+        snap_.setMax(name, value);
     }
 
     /** Value of @p name, or 0 if never touched. */
     double
     get(const std::string &name) const
     {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0.0 : it->second;
+        return snap_.value(name);
     }
 
     bool
     has(const std::string &name) const
     {
-        return counters_.count(name) > 0;
+        return snap_.has(name);
     }
 
-    const std::map<std::string, double> &all() const { return counters_; }
+    /** Flattened name -> value view (kinds dropped). */
+    std::map<std::string, double>
+    all() const
+    {
+        std::map<std::string, double> values;
+        for (const auto &[name, metric] : snap_.all())
+            values.emplace(name, metric.value);
+        return values;
+    }
 
     /** Print "name value" lines, sorted by name. */
     void
     dump(std::ostream &os) const
     {
-        for (const auto &[name, value] : counters_)
-            os << name << " " << value << "\n";
+        for (const auto &[name, metric] : snap_.all())
+            os << name << " " << metric.value << "\n";
     }
 
+    /**
+     * Fold @p other into this registry, per metric kind: counters
+     * sum, gauges take the incoming value, max-stats keep the larger.
+     */
     void
     merge(const StatsRegistry &other)
     {
-        for (const auto &[name, value] : other.counters_)
-            counters_[name] += value;
+        snap_.merge(other.snap_);
     }
 
-    void clear() { counters_.clear(); }
+    void clear() { snap_.clear(); }
+
+    /** The typed snapshot (for bench embedding / obs export). */
+    const obs::MetricsSnapshot &snapshot() const { return snap_; }
 
   private:
-    std::map<std::string, double> counters_;
+    obs::MetricsSnapshot snap_;
 };
 
 } // namespace sim

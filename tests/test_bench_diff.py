@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_diff.py (registered as a ctest).
+
+Covers the comparison primitives directly (tolerance edges, keys
+present in only one record, the deterministic op-count gate) and the
+end-to-end exit code through main() on synthetic records.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "scripts"),
+)
+import bench_diff  # noqa: E402
+
+
+def record(**overrides):
+    """A minimal valid bench record; fields overridable per test."""
+    base = {
+        "name": "fig02_cpu_runtime",
+        "git_sha": "abc123",
+        "simd_level": "avx2",
+        "threads": 8,
+        "wall_time_s": 10.0,
+        "metrics": {},
+        "kernel_times_ms": {"DCT1": 100.0, "BM1": 200.0},
+        "ops": {"DCT1_ops": 1000.0, "BM1_ops": 2000.0},
+        "counters": {"bm3d.mr.bm1Refs": 64009.0},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestLoad(unittest.TestCase):
+    def test_load_valid_record(self):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as f:
+            json.dump(record(), f)
+            path = f.name
+        try:
+            self.assertEqual(bench_diff.load(path)["name"], "fig02_cpu_runtime")
+        finally:
+            os.unlink(path)
+
+    def test_load_rejects_non_record(self):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as f:
+            json.dump({"name": "x"}, f)  # missing wall_time_s etc.
+            path = f.name
+        try:
+            with self.assertRaises(SystemExit):
+                bench_diff.load(path)
+        finally:
+            os.unlink(path)
+
+
+class TestCompareTimes(unittest.TestCase):
+    def test_identical_records_pass(self):
+        rows, regressions = bench_diff.compare_times(record(), record(), 0.10)
+        self.assertEqual(regressions, [])
+        self.assertTrue(all(status == "ok" for *_, status in rows))
+
+    def test_slowdown_over_threshold_fails(self):
+        cand = record(kernel_times_ms={"DCT1": 125.0, "BM1": 200.0})
+        rows, regressions = bench_diff.compare_times(record(), cand, 0.10)
+        self.assertEqual(regressions, ["DCT1"])
+
+    def test_slowdown_within_threshold_passes(self):
+        cand = record(kernel_times_ms={"DCT1": 109.0, "BM1": 200.0})
+        _, regressions = bench_diff.compare_times(record(), cand, 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_missing_kernels_reported_not_failed(self):
+        # Kernels come and go across PRs: "new" and "gone" rows must
+        # never fail the gate on their own.
+        cand = record(kernel_times_ms={"DCT1": 100.0, "DE1": 50.0})
+        rows, regressions = bench_diff.compare_times(record(), cand, 0.10)
+        self.assertEqual(regressions, [])
+        statuses = {key: status for key, _, _, status in rows}
+        self.assertEqual(statuses["BM1"], "gone")
+        self.assertEqual(statuses["DE1"], "new")
+
+    def test_zero_baseline_time_is_regression_when_candidate_positive(self):
+        base = record(kernel_times_ms={"DCT1": 0.0})
+        cand = record(kernel_times_ms={"DCT1": 1.0})
+        _, regressions = bench_diff.compare_times(base, cand, 0.10)
+        self.assertEqual(regressions, ["DCT1"])
+
+
+class TestCompareOps(unittest.TestCase):
+    def test_exact_match_passes_at_zero_tolerance(self):
+        _, drifted = bench_diff.compare_ops(record(), record(), 0.0)
+        self.assertEqual(drifted, [])
+
+    def test_any_drift_fails_at_zero_tolerance(self):
+        cand = record(ops={"DCT1_ops": 1001.0, "BM1_ops": 2000.0})
+        _, drifted = bench_diff.compare_ops(record(), cand, 0.0)
+        self.assertEqual(drifted, ["DCT1_ops"])
+
+    def test_counters_snapshot_is_gated_too(self):
+        cand = record(counters={"bm3d.mr.bm1Refs": 64010.0})
+        _, drifted = bench_diff.compare_ops(record(), cand, 0.0)
+        self.assertEqual(drifted, ["bm3d.mr.bm1Refs"])
+
+    def test_drift_within_tolerance_passes(self):
+        cand = record(ops={"DCT1_ops": 1040.0, "BM1_ops": 2000.0})
+        _, drifted = bench_diff.compare_ops(record(), cand, 0.05)
+        self.assertEqual(drifted, [])
+
+    def test_missing_keys_reported_not_failed(self):
+        # Records from before the counters were embedded have no
+        # "counters" map at all; the gate must not fail vacuously.
+        base = record()
+        del base["counters"]
+        rows, drifted = bench_diff.compare_ops(base, record(), 0.0)
+        self.assertEqual(drifted, [])
+        statuses = {key: status for key, _, _, status in rows}
+        self.assertEqual(statuses["bm3d.mr.bm1Refs"], "new")
+
+
+class TestCompareWall(unittest.TestCase):
+    def test_within_tolerance(self):
+        cand = record(wall_time_s=10.5)
+        _, regressed = bench_diff.compare_wall(record(), cand, 0.10)
+        self.assertFalse(regressed)
+
+    def test_over_tolerance(self):
+        cand = record(wall_time_s=11.5)
+        _, regressed = bench_diff.compare_wall(record(), cand, 0.10)
+        self.assertTrue(regressed)
+
+    def test_speedup_passes(self):
+        cand = record(wall_time_s=5.0)
+        msg, regressed = bench_diff.compare_wall(record(), cand, 0.10)
+        self.assertFalse(regressed)
+        self.assertIn("speedup", msg)
+
+
+class TestCompareContext(unittest.TestCase):
+    def test_mismatched_context_warns(self):
+        cand = record(simd_level="scalar", threads=1)
+        warnings = bench_diff.compare_context(record(), cand)
+        self.assertEqual(len(warnings), 2)
+
+    def test_matching_context_is_silent(self):
+        self.assertEqual(bench_diff.compare_context(record(), record()), [])
+
+
+class TestMain(unittest.TestCase):
+    def run_main(self, base, cand, *flags):
+        paths = []
+        for rec in (base, cand):
+            f = tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False
+            )
+            json.dump(rec, f)
+            f.close()
+            paths.append(f.name)
+        argv_saved = sys.argv
+        sys.argv = ["bench_diff.py", *paths, *flags]
+        try:
+            return bench_diff.main()
+        finally:
+            sys.argv = argv_saved
+            for p in paths:
+                os.unlink(p)
+
+    def test_identical_records_exit_zero(self):
+        self.assertEqual(self.run_main(record(), record()), 0)
+
+    def test_kernel_regression_exits_nonzero(self):
+        cand = record(kernel_times_ms={"DCT1": 150.0, "BM1": 200.0})
+        self.assertEqual(self.run_main(record(), cand), 1)
+
+    def test_ops_gate_off_by_default(self):
+        cand = record(ops={"DCT1_ops": 9999.0, "BM1_ops": 2000.0})
+        self.assertEqual(self.run_main(record(), cand), 0)
+
+    def test_ops_gate_fails_on_drift(self):
+        cand = record(ops={"DCT1_ops": 9999.0, "BM1_ops": 2000.0})
+        self.assertEqual(
+            self.run_main(record(), cand, "--ops-tolerance", "0.0"), 1
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()

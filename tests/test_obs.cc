@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit tests for the observability layer (DESIGN.md §8): kind-correct
+ * metric merging, exact multi-threaded counter accumulation in the
+ * sharded registry, and Chrome-trace emission that parses back with
+ * balanced, properly nested B/E span pairs per thread.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+using namespace ideal::obs;
+
+// ---------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------
+
+TEST(MetricsSnapshot, CounterAccumulates)
+{
+    MetricsSnapshot s;
+    EXPECT_FALSE(s.has("x"));
+    EXPECT_EQ(s.value("x"), 0.0);
+    s.add("x", 2.0);
+    s.add("x", 3.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_EQ(s.value("x"), 5.0);
+    EXPECT_EQ(s.kind("x"), MetricKind::Counter);
+}
+
+TEST(MetricsSnapshot, GaugeLastWriteWins)
+{
+    MetricsSnapshot s;
+    s.set("level", 7.0);
+    s.set("level", 3.0);
+    EXPECT_EQ(s.value("level"), 3.0);
+    EXPECT_EQ(s.kind("level"), MetricKind::Gauge);
+}
+
+TEST(MetricsSnapshot, MaxKeepsHighWaterMark)
+{
+    MetricsSnapshot s;
+    s.setMax("peak", 5.0);
+    s.setMax("peak", 2.0);
+    EXPECT_EQ(s.value("peak"), 5.0);
+    s.setMax("peak", 9.0);
+    EXPECT_EQ(s.value("peak"), 9.0);
+    EXPECT_EQ(s.kind("peak"), MetricKind::Max);
+}
+
+TEST(MetricsSnapshot, MergeIsKindCorrect)
+{
+    MetricsSnapshot a;
+    a.add("events", 10.0);
+    a.set("level", 1.0);
+    a.setMax("peak", 4.0);
+
+    MetricsSnapshot b;
+    b.add("events", 5.0);
+    b.set("level", 2.0);
+    b.setMax("peak", 3.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.value("events"), 15.0); // counters sum
+    EXPECT_EQ(a.value("level"), 2.0);   // gauges overwrite
+    EXPECT_EQ(a.value("peak"), 4.0);    // max keeps the maximum
+}
+
+// Regression for the bug this layer replaces: sim::StatsRegistry::merge
+// summed every entry, so a gauge written with set() doubled each time
+// two results were combined (e.g. dram.avgLatency).
+TEST(MetricsSnapshot, RepeatedMergeDoesNotDoubleGauges)
+{
+    MetricsSnapshot total;
+    MetricsSnapshot run;
+    run.set("avgLatency", 42.0);
+    total.merge(run);
+    total.merge(run);
+    total.merge(run);
+    EXPECT_EQ(total.value("avgLatency"), 42.0);
+}
+
+TEST(MetricsSnapshot, MergePrefixNestsNames)
+{
+    MetricsSnapshot inner;
+    inner.add("ticks", 100.0);
+    MetricsSnapshot outer;
+    outer.merge(inner, "sim.");
+    EXPECT_TRUE(outer.has("sim.ticks"));
+    EXPECT_EQ(outer.value("sim.ticks"), 100.0);
+}
+
+TEST(MetricsSnapshot, DumpIsSortedWithKinds)
+{
+    MetricsSnapshot s;
+    s.set("b", 2.0);
+    s.add("a", 1.0);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "a 1 counter\nb 2 gauge\n");
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, ExactTotalsUnderEightThreads)
+{
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            for (int i = 0; i < kIters; ++i)
+                reg.add("events", 1.0);
+            reg.setMax("peak", static_cast<double>(t));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    const MetricsSnapshot snap = reg.snapshot();
+    // Integer-valued doubles accumulate exactly in this range, so the
+    // total must be exact — not approximately — correct.
+    EXPECT_EQ(snap.value("events"), static_cast<double>(kThreads * kIters));
+    EXPECT_EQ(snap.kind("events"), MetricKind::Counter);
+    EXPECT_EQ(snap.value("peak"), static_cast<double>(kThreads - 1));
+}
+
+TEST(MetricsRegistry, MergeSnapshotIsKindCorrect)
+{
+    MetricsRegistry reg;
+    MetricsSnapshot run;
+    run.add("reads", 8.0);
+    run.set("avgLatency", 12.0);
+    reg.merge(run, "sim.");
+    reg.merge(run, "sim.");
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.value("sim.reads"), 16.0);      // counter summed
+    EXPECT_EQ(snap.value("sim.avgLatency"), 12.0); // gauge not doubled
+}
+
+TEST(MetricsRegistry, ResetClears)
+{
+    MetricsRegistry reg;
+    reg.add("x", 1.0);
+    reg.reset();
+    EXPECT_TRUE(reg.snapshot().empty());
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** One parsed-back trace event (subset of fields the tests check). */
+struct ParsedEvent
+{
+    std::string name;
+    std::string cat;
+    char phase = '?';
+    int tid = -1;
+    double ts = -1.0;
+    bool hasArgs = false;
+};
+
+/** Extract "key":"value" from one JSON object line. */
+std::string
+jsonStringField(const std::string &line, const std::string &key)
+{
+    const std::string marker = "\"" + key + "\":\"";
+    const size_t at = line.find(marker);
+    if (at == std::string::npos)
+        return "";
+    const size_t begin = at + marker.size();
+    const size_t end = line.find('"', begin);
+    return line.substr(begin, end - begin);
+}
+
+/** Extract "key":<number> from one JSON object line. */
+double
+jsonNumberField(const std::string &line, const std::string &key)
+{
+    const std::string marker = "\"" + key + "\":";
+    const size_t at = line.find(marker);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::stod(line.substr(at + marker.size()));
+}
+
+/**
+ * Minimal parse-back of the tracer's output: the writer emits exactly
+ * one event object per line between the traceEvents brackets, so a
+ * line-oriented field extractor is a faithful reader of this format
+ * (scripts/check_trace.py does the full-JSON version).
+ */
+std::vector<ParsedEvent>
+parseTrace(const std::string &path, std::string *header,
+           std::string *footer)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::vector<ParsedEvent> events;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("{\"traceEvents\":[", 0) == 0) {
+            *header = line;
+            continue;
+        }
+        if (line.rfind("],", 0) == 0) {
+            *footer = line;
+            continue;
+        }
+        if (line.rfind("{\"name\"", 0) != 0)
+            continue;
+        ParsedEvent e;
+        e.name = jsonStringField(line, "name");
+        e.cat = jsonStringField(line, "cat");
+        const std::string ph = jsonStringField(line, "ph");
+        e.phase = ph.empty() ? '?' : ph[0];
+        e.tid = static_cast<int>(jsonNumberField(line, "tid"));
+        e.ts = jsonNumberField(line, "ts");
+        e.hasArgs = line.find("\"args\":{") != std::string::npos;
+        events.push_back(e);
+    }
+    return events;
+}
+
+std::string
+tempTracePath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+} // namespace
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    {
+        Span span(tracer, "work", "test");
+        tracer.counter("gauge", 1.0);
+        tracer.instant("mark", "test");
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Tracer, NullNameSpanIsInert)
+{
+    Tracer tracer;
+    tracer.start(tempTracePath("obs_inert.json"));
+    {
+        Span span(tracer, nullptr, "test");
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    tracer.stop();
+    std::remove(tempTracePath("obs_inert.json").c_str());
+}
+
+TEST(Tracer, EmitsBalancedNestedSpansAcrossThreads)
+{
+    const std::string path = tempTracePath("obs_trace.json");
+    Tracer tracer;
+    tracer.start(path);
+    EXPECT_TRUE(tracer.enabled());
+    EXPECT_EQ(tracer.path(), path);
+
+    {
+        Span outer(tracer, "outer", "test");
+        Span inner(tracer, "inner", "test");
+        tracer.counter("occupancy", 3.0);
+        tracer.instant("mark", "test");
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&tracer] {
+            for (int i = 0; i < 8; ++i) {
+                Span a(tracer, "worker", "test");
+                Span b(tracer, "nested", "test");
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    // 2 B/E pairs on the main thread + 4 threads * 8 iterations * 2
+    // pairs, plus one counter and one instant.
+    EXPECT_EQ(tracer.eventCount(), 2u * 2 + 4 * 8 * 2 * 2 + 2);
+    tracer.stop();
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_TRUE(tracer.path().empty());
+
+    std::string header;
+    std::string footer;
+    const std::vector<ParsedEvent> events =
+        parseTrace(path, &header, &footer);
+    EXPECT_EQ(header, "{\"traceEvents\":[");
+    EXPECT_EQ(footer, "],\"displayTimeUnit\":\"ms\"}");
+    ASSERT_EQ(events.size(), 2u * 2 + 4 * 8 * 2 * 2 + 2);
+
+    // Per-tid B/E events must nest like parentheses with matching
+    // names; RAII spans cannot legally interleave on one thread.
+    std::map<int, std::vector<std::string>> stacks;
+    for (const ParsedEvent &e : events) {
+        EXPECT_GE(e.ts, 0.0);
+        EXPECT_FALSE(e.name.empty());
+        switch (e.phase) {
+          case 'B':
+            stacks[e.tid].push_back(e.name);
+            break;
+          case 'E': {
+            auto &stack = stacks[e.tid];
+            ASSERT_FALSE(stack.empty())
+                << "'E' " << e.name << " with no open span on tid "
+                << e.tid;
+            EXPECT_EQ(stack.back(), e.name);
+            stack.pop_back();
+            break;
+          }
+          case 'C':
+            EXPECT_TRUE(e.hasArgs)
+                << "counter event without args value";
+            break;
+          case 'I':
+            break;
+          default:
+            FAIL() << "unexpected phase " << e.phase;
+        }
+    }
+    for (const auto &[tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+
+    std::remove(path.c_str());
+}
+
+TEST(Tracer, StopFlushesAndSecondStartReplacesSink)
+{
+    const std::string first = tempTracePath("obs_first.json");
+    const std::string second = tempTracePath("obs_second.json");
+    Tracer tracer;
+    tracer.start(first);
+    {
+        Span span(tracer, "one", "test");
+    }
+    tracer.start(second); // flushes "one" into first, resets epoch
+    {
+        Span span(tracer, "two", "test");
+    }
+    tracer.stop();
+
+    std::string header;
+    std::string footer;
+    const auto events_first = parseTrace(first, &header, &footer);
+    ASSERT_EQ(events_first.size(), 2u);
+    EXPECT_EQ(events_first[0].name, "one");
+    const auto events_second = parseTrace(second, &header, &footer);
+    ASSERT_EQ(events_second.size(), 2u);
+    EXPECT_EQ(events_second[0].name, "two");
+
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+}

@@ -10,15 +10,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bm3d/bm3d.h"
 #include "image/noise.h"
 #include "image/synthetic.h"
+#include "obs/trace.h"
 #include "parallel/pool.h"
 #include "parallel/tiles.h"
 #include "simd/simd.h"
@@ -353,6 +356,44 @@ TEST(Determinism, MrAcrossRowsBitwiseIdenticalAcrossThreadCounts)
     cfg.mr.k = 0.5;
     cfg.mr.acrossRows = true;
     checkDeterministicAcrossThreadCounts(cfg);
+}
+
+TEST(Determinism, TracingDoesNotChangeOutput)
+{
+    // Observability must be pure observation: the same run with the
+    // span tracer recording (including the fine-grained per-step
+    // category) must produce bitwise-identical output to an untraced
+    // run. A tracer that perturbed scheduling into different merge
+    // orders, or touched image state, would show up here.
+    bm3d::Bm3dConfig cfg = determinismConfig();
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+    cfg.numThreads = 2;
+    image::ImageF clean =
+        image::makeScene(image::SceneKind::Street, 128, 128, 1, 90);
+    image::ImageF noisy = image::addGaussianNoise(clean, cfg.sigma, 91);
+
+    ASSERT_FALSE(obs::Tracer::globalEnabled());
+    auto untraced = bm3d::Bm3d(cfg).denoise(noisy);
+
+    const std::string trace_path =
+        testing::TempDir() + "parallel_trace_determinism.json";
+    obs::Tracer::global().start(trace_path);
+    obs::Tracer::global().setStepTracing(true);
+    auto traced = bm3d::Bm3d(cfg).denoise(noisy);
+    obs::Tracer::global().setStepTracing(false);
+    const size_t traced_events = obs::Tracer::global().eventCount();
+    obs::Tracer::global().stop();
+    ASSERT_FALSE(obs::Tracer::globalEnabled());
+
+    // The traced run must actually have recorded something (stage +
+    // tile + step spans), or this test checks nothing.
+    EXPECT_GT(traced_events, 0u);
+    expectBitwiseEqual(untraced.basic, traced.basic, "basic estimate");
+    expectBitwiseEqual(untraced.output, traced.output, "final output");
+    expectSameOps(untraced.profile, traced.profile);
+
+    std::remove(trace_path.c_str());
 }
 
 TEST(Determinism, AutoThreadCountMatchesSingleThread)

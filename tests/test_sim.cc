@@ -85,6 +85,35 @@ TEST(StatsRegistry, MergeSums)
     EXPECT_EQ(a.get("y"), 4.0);
 }
 
+// Regression: merge() used to sum every entry regardless of how it
+// was written, so a value stored with set() doubled each time two
+// registries were combined (e.g. dram.avgLatency when aggregating
+// SimResults). Merging is now kind-correct via obs::MetricsSnapshot.
+TEST(StatsRegistry, MergeDoesNotDoubleSetValues)
+{
+    StatsRegistry total, run;
+    run.set("dram.avgLatency", 42.0);
+    run.add("dram.reads", 10.0);
+    total.merge(run);
+    total.merge(run);
+    EXPECT_EQ(total.get("dram.avgLatency"), 42.0); // gauge: overwritten
+    EXPECT_EQ(total.get("dram.reads"), 20.0);      // counter: summed
+}
+
+TEST(StatsRegistry, SetMaxKeepsPeakAcrossMerge)
+{
+    StatsRegistry a, b;
+    a.setMax("dram.queue.peak", 5.0);
+    a.setMax("dram.queue.peak", 2.0);
+    EXPECT_EQ(a.get("dram.queue.peak"), 5.0);
+    b.setMax("dram.queue.peak", 3.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("dram.queue.peak"), 5.0); // peak, not 8.0
+    b.setMax("dram.queue.peak", 9.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("dram.queue.peak"), 9.0);
+}
+
 TEST(StatsRegistry, DumpIsSorted)
 {
     StatsRegistry s;
