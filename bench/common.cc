@@ -172,6 +172,20 @@ writeJsonMap(std::FILE *f, const char *key,
                  last ? "" : ",");
 }
 
+/** Nearest-rank percentile of an ascending-sorted sample vector. */
+double
+percentileSorted(const std::vector<double> &sorted, double pct)
+{
+    const size_t n = sorted.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted[rank - 1];
+}
+
 } // namespace
 
 void
@@ -212,6 +226,24 @@ BenchRecord::write() const
     writeJsonMap(f, "metrics", metrics, false);
     writeJsonMap(f, "kernel_times_ms", kernelTimesMs, false);
     writeJsonMap(f, "ops", ops, false);
+
+    // Streaming latency distribution (nearest-rank percentiles).
+    // Always emitted so the record schema is stable; empty when the
+    // bench recorded no per-frame latencies.
+    std::map<std::string, double> latency;
+    if (!frameLatenciesMs.empty()) {
+        std::vector<double> sorted = frameLatenciesMs;
+        std::sort(sorted.begin(), sorted.end());
+        double sum = 0.0;
+        for (double v : sorted)
+            sum += v;
+        latency["p50"] = percentileSorted(sorted, 50.0);
+        latency["p95"] = percentileSorted(sorted, 95.0);
+        latency["p99"] = percentileSorted(sorted, 99.0);
+        latency["mean"] = sum / static_cast<double>(sorted.size());
+        latency["max"] = sorted.back();
+    }
+    writeJsonMap(f, "latency_ms", latency, false);
 
     // Global observability snapshot at write time: counters (merge
     // sums — op/event totals bench_diff.py can gate on with

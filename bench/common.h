@@ -110,6 +110,14 @@ struct BenchRecord
     std::map<std::string, double> kernelTimesMs; ///< per-step times
     std::map<std::string, double> ops;           ///< per-step op counts
 
+    /**
+     * Per-frame latencies of a streaming run, in frame order. The JSON
+     * gets a "latency_ms" object with nearest-rank p50/p95/p99 plus
+     * mean and max (empty when no latencies were recorded), which
+     * scripts/bench_diff.py --latency-tolerance gates like wall time.
+     */
+    std::vector<double> frameLatenciesMs;
+
     /** Fold a profile's per-step seconds and op totals into the maps. */
     void addProfile(const bm3d::Profile &profile);
 

@@ -3,7 +3,8 @@
 
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json \
-        [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0]
+        [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0] \
+        [--latency-tolerance 0.10]
 
 Exits non-zero when any kernel time in CANDIDATE is more than THRESHOLD
 slower than in BASELINE, or when the end-to-end wall time is more than
@@ -73,7 +74,9 @@ def compare_times(base, cand, threshold):
             rows.append((key, base_t[key], None, "gone"))
             continue
         b, c = base_t[key], cand_t[key]
-        ratio = c / b if b > 0 else float("inf")
+        # A step both runs skipped (0 ms either side, e.g. Wiener-off
+        # records) is equal, not infinitely slower.
+        ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
         status = "ok"
         if ratio > 1.0 + threshold:
             status = f"REGRESSION ({ratio:.2f}x)"
@@ -116,6 +119,37 @@ def compare_ops(base, cand, tolerance):
         else:
             rows.append((key, b, c, f"ok ({rel:+.2%})"))
     return rows, drifted
+
+
+def compare_latency(base, cand, tolerance):
+    """Return (rows, regressions) over shared latency percentiles.
+
+    Streaming records carry a "latency_ms" object (p50/p95/p99/mean/
+    max, bench/common.cc); batch records and pre-PR-5 records have it
+    empty or absent, in which case there is nothing to gate.
+    """
+    base_l = dict(base.get("latency_ms", {}))
+    cand_l = dict(cand.get("latency_ms", {}))
+
+    rows = []
+    regressions = []
+    for key in sorted(set(base_l) | set(cand_l)):
+        if key not in base_l:
+            rows.append((key, None, cand_l[key], "new"))
+            continue
+        if key not in cand_l:
+            rows.append((key, base_l[key], None, "gone"))
+            continue
+        b, c = base_l[key], cand_l[key]
+        ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = f"REGRESSION ({ratio:.2f}x)"
+            regressions.append(key)
+        elif ratio < 1.0 - tolerance:
+            status = f"improved ({ratio:.2f}x)"
+        rows.append((key, b, c, status))
+    return rows, regressions
 
 
 def compare_wall(base, cand, tolerance):
@@ -167,6 +201,14 @@ def main():
         "counts as a failure; op counts are deterministic, so 0.0 is the "
         "natural value (gate off when the flag is absent)",
     )
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=None,
+        help="fractional slowdown in streaming latency percentiles "
+        "('latency_ms': p50/p95/p99/...) that counts as a regression "
+        "(gate off when the flag is absent)",
+    )
     args = parser.parse_args()
     tolerance = args.tolerance if args.tolerance is not None else args.threshold
 
@@ -207,11 +249,33 @@ def main():
                 cs = f"{c:.6g}" if c is not None else "-"
                 print(f"{key:<{width}}  {bs:>16}  {cs:>16}  {status}")
 
+    lat_regressions = []
+    if args.latency_tolerance is not None:
+        lat_rows, lat_regressions = compare_latency(
+            base, cand, args.latency_tolerance
+        )
+        if lat_rows:
+            width = max(len(key) for key, *_ in lat_rows)
+            print()
+            print(
+                f"{'latency':<{width}}  {'base ms':>12}  {'cand ms':>12}  "
+                "status"
+            )
+            for key, b, c, status in lat_rows:
+                bs = f"{b:.3f}" if b is not None else "-"
+                cs = f"{c:.3f}" if c is not None else "-"
+                print(f"{key:<{width}}  {bs:>12}  {cs:>12}  {status}")
+
     wall_msg, wall_regressed = compare_wall(base, cand, tolerance)
     print()
     print(wall_msg)
 
-    failed = bool(regressions) or wall_regressed or bool(drifted)
+    failed = (
+        bool(regressions)
+        or wall_regressed
+        or bool(drifted)
+        or bool(lat_regressions)
+    )
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
@@ -221,6 +285,12 @@ def main():
         print(
             f"FAIL: {len(drifted)} op count(s) drifted more than "
             f"{args.ops_tolerance:.0%}: {', '.join(drifted)}"
+        )
+    if lat_regressions:
+        print(
+            f"FAIL: {len(lat_regressions)} latency percentile(s) regressed "
+            f"more than {args.latency_tolerance:.0%}: "
+            f"{', '.join(lat_regressions)}"
         )
     if wall_regressed:
         print(

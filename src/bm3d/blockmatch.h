@@ -25,6 +25,7 @@
 #include "bm3d/config.h"
 #include "bm3d/matchlist.h"
 #include "bm3d/patchfield.h"
+#include "bm3d/seeding.h"
 #include "image/image.h"
 #include "transforms/distance.h"
 
@@ -356,6 +357,73 @@ class BlockMatcher
                 consider(xr, yr, x, y, out);
                 ++evaluated;
             }
+        }
+        return evaluated;
+    }
+
+    /**
+     * Temporally seeded search (streaming runtime): scan only the
+     * small odd @p seed_window around the reference, then re-score the
+     * previous frame's @p seeds at their old positions (clipped to the
+     * full Ns window, skipping positions the verification window
+     * already covered). Static content keeps its stack through the
+     * seeds; small motion is caught by the window. Candidate order is
+     * deterministic (window rows top-down, then seeds in stored
+     * order), so output is reproducible across thread counts and —
+     * the batch kernel returning exact distances — SIMD levels.
+     * @return number of candidate distances evaluated
+     */
+    uint64_t
+    searchSeeded(int xr, int yr, const SeedPos *seeds, int num_seeds,
+                 int seed_window, MatchList &out) const
+    {
+        out = MatchList(maxMatches_);
+        out.insert(Match{xr, yr, 0.0f});
+        uint64_t evaluated = 0;
+
+        const int sh = std::min(half_, (seed_window - 1) / 2);
+        const int wx_lo = std::max(0, xr - sh);
+        const int wx_hi = std::min(domain_.positionsX() - 1, xr + sh);
+        const int wy_lo = std::max(0, yr - sh);
+        const int wy_hi = std::min(domain_.positionsY() - 1, yr + sh);
+
+        if (searchStride_ == 1 && domain_.supportsBatch()) {
+            float ref[64];
+            domain_.gatherRef(xr, yr, ref);
+            for (int y = wy_lo; y <= wy_hi; ++y) {
+                if (y == yr) {
+                    considerRun(ref, wx_lo, xr - 1, y, out, evaluated);
+                    considerRun(ref, xr + 1, wx_hi, y, out, evaluated);
+                } else {
+                    considerRun(ref, wx_lo, wx_hi, y, out, evaluated);
+                }
+            }
+        } else {
+            for (int y = wy_lo; y <= wy_hi; y += searchStride_) {
+                for (int x = wx_lo; x <= wx_hi; x += searchStride_) {
+                    if (x == xr && y == yr)
+                        continue;
+                    consider(xr, yr, x, y, out);
+                    ++evaluated;
+                }
+            }
+        }
+
+        const int x_lo = std::max(0, xr - half_);
+        const int x_hi = std::min(domain_.positionsX() - 1, xr + half_);
+        const int y_lo = std::max(0, yr - half_);
+        const int y_hi = std::min(domain_.positionsY() - 1, yr + half_);
+        for (int i = 0; i < num_seeds; ++i) {
+            const int sx = seeds[i].x;
+            const int sy = seeds[i].y;
+            if (sx == xr && sy == yr)
+                continue;
+            if (sx >= wx_lo && sx <= wx_hi && sy >= wy_lo && sy <= wy_hi)
+                continue; // already scored by the verification window
+            if (sx < x_lo || sx > x_hi || sy < y_lo || sy > y_hi)
+                continue; // drifted outside the full search window
+            consider(xr, yr, sx, sy, out);
+            ++evaluated;
         }
         return evaluated;
     }

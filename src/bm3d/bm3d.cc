@@ -1,14 +1,18 @@
 #include "bm3d/bm3d.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
+#include <type_traits>
 
 #include "bm3d/blockmatch.h"
 #include "bm3d/denoise.h"
+#include "bm3d/seeding.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/pool.h"
 #include "parallel/tiles.h"
+#include "runtime/arena.h"
 #include "transforms/dct.h"
 
 namespace ideal {
@@ -39,12 +43,12 @@ struct WorkerScratch
  */
 template <typename Domain>
 void
-processTile(const Bm3dConfig &cfg, Stage stage,
+processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
             const BlockMatcher<Domain> &matcher,
             const std::vector<int> &xs, const std::vector<int> &ys,
             const parallel::Tile &tile, DenoiseEngine &engine,
             Aggregator &agg, Profile &profile,
-            std::vector<MatchList> &row_above)
+            std::vector<MatchList> &row_above, TemporalSeed *seed)
 {
     const Step bm_step =
         stage == Stage::HardThreshold ? Step::Bm1 : Step::Bm2;
@@ -60,6 +64,15 @@ processTile(const Bm3dConfig &cfg, Stage stage,
         row_above.assign(tile.width(), MatchList(cfg.maxMatches));
     bool have_row_above = false;
 
+    // Temporal seeding only applies to BM1 over the DCT matching
+    // domain (the streaming runtime never seeds the Wiener stage).
+    constexpr bool kSeedableDomain =
+        std::is_same_v<Domain, DctMatchDomain>;
+    [[maybe_unused]] const size_t grid_x = xs.size();
+    [[maybe_unused]] const int seed_coefs = domain.patchCoefs();
+    [[maybe_unused]] uint64_t seed_refs = 0;
+    [[maybe_unused]] uint64_t seed_hits = 0;
+
     MrStats mr;
     for (int yi = tile.y0; yi < tile.y1; ++yi) {
         const int y = ys[yi];
@@ -70,9 +83,27 @@ processTile(const Bm3dConfig &cfg, Stage stage,
             const int x = xs[xi];
             bool hit = false;
             bool vert_hit = false;
+            bool seed_hit = false;
             uint64_t candidates = 0;
+            [[maybe_unused]] const size_t ref_idx =
+                static_cast<size_t>(yi) * grid_x + xi;
             {
                 ScopedTimer timer(profile, bm_step);
+                [[maybe_unused]] float desc_tmp[64];
+                [[maybe_unused]] float *desc = nullptr;
+                if constexpr (kSeedableDomain) {
+                    if (seed != nullptr) {
+                        // Gather this reference's descriptor once: it
+                        // is both the value stored for frame t+1's
+                        // closeness check and the left side of frame
+                        // t's check against the stored t-1 descriptor.
+                        desc = seed->current != nullptr
+                                   ? seed->current->refDesc.data() +
+                                         ref_idx * seed_coefs
+                                   : desc_tmp;
+                        domain.gatherRef(x, y, desc);
+                    }
+                }
                 if (cfg.mr.enabled && have_previous) {
                     // The MR check: is the current reference patch
                     // close enough to the previous one to reuse its
@@ -97,12 +128,62 @@ processTile(const Bm3dConfig &cfg, Stage stage,
                             x, y, row_above[xi - tile.x0], current);
                     }
                 }
+                if constexpr (kSeedableDomain) {
+                    if (!hit && seed != nullptr &&
+                        seed->previous != nullptr) {
+                        // Temporal MR check: compare against the
+                        // *previous frame's* descriptor at this grid
+                        // cell. Scalar accumulation keeps the check —
+                        // and therefore match selection — independent
+                        // of the active SIMD level.
+                        ++seed_refs;
+                        const float *prev_desc =
+                            seed->previous->refDesc.data() +
+                            ref_idx * seed_coefs;
+                        float ssd = 0.0f;
+                        for (int k = 0; k < seed_coefs; ++k) {
+                            const float diff = desc[k] - prev_desc[k];
+                            ssd += diff * diff;
+                        }
+                        ++candidates;
+                        const float d =
+                            ssd / static_cast<float>(seed_coefs);
+                        if (d < seed->reuseBound) {
+                            hit = true;
+                            seed_hit = true;
+                            ++seed_hits;
+                            candidates += matcher.searchSeeded(
+                                x, y, seed->previous->cell(ref_idx),
+                                seed->previous->count[ref_idx],
+                                seed->window, current);
+                        }
+                    }
+                }
                 if (!hit)
                     candidates += matcher.search(x, y, current);
+                if constexpr (kSeedableDomain) {
+                    if (seed != nullptr && seed->current != nullptr) {
+                        // Remember this frame's matches for frame t+1.
+                        SeedStore &cs = *seed->current;
+                        SeedPos *slot =
+                            cs.pos.data() + ref_idx * cs.capacity();
+                        const int n = std::min(
+                            current.size(),
+                            cs.capacity());
+                        for (int i = 0; i < n; ++i) {
+                            slot[i] = SeedPos{
+                                static_cast<uint16_t>(current[i].x),
+                                static_cast<uint16_t>(current[i].y)};
+                        }
+                        cs.count[ref_idx] = static_cast<uint8_t>(n);
+                    }
+                }
             }
             if (stage == Stage::HardThreshold) {
                 ++mr.bm1Refs;
-                mr.bm1Hits += hit ? 1 : 0;
+                // Seed hits are counted separately; MR stats keep
+                // their single-frame (Fig. 10) meaning.
+                mr.bm1Hits += (hit && !seed_hit) ? 1 : 0;
                 mr.bm1VertHits += vert_hit ? 1 : 0;
                 mr.bm1Candidates += candidates;
             } else {
@@ -139,6 +220,14 @@ processTile(const Bm3dConfig &cfg, Stage stage,
         reg.add("bm3d.mr.bm2Candidates",
                 static_cast<double>(mr.bm2Candidates));
     }
+    if constexpr (kSeedableDomain) {
+        if (seed != nullptr && seed->previous != nullptr) {
+            seed->refs.fetch_add(seed_refs, std::memory_order_relaxed);
+            seed->hits.fetch_add(seed_hits, std::memory_order_relaxed);
+            reg.add("bm3d.seed.refs", static_cast<double>(seed_refs));
+            reg.add("bm3d.seed.hits", static_cast<double>(seed_hits));
+        }
+    }
 
     // Block-matching op accounting: each candidate distance costs
     // PD^2 subtract + multiply + add (Eq. 2).
@@ -170,7 +259,8 @@ template <typename Domain>
 image::ImageF
 runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
                    const image::ImageF &noisy, const image::ImageF *basic,
-                   const DctPatchField *field, Profile &profile)
+                   const DctPatchField *field, Profile &profile,
+                   const StageOptions &opts)
 {
     BlockMatcher<Domain> matcher(
         domain, cfg.searchWindow(stage), cfg.searchStride, cfg.refStride,
@@ -198,7 +288,13 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
     // in tile order (a cursor advances over consecutive ready tiles),
     // so memory stays bounded by the out-of-order window while the
     // addition tree stays identical for every thread count.
-    Aggregator total(noisy.width(), noisy.height(), noisy.channels());
+    // The full-image accumulator and the final output recycle through
+    // the caller's arena (streaming runtime); the per-tile aggregators
+    // deliberately stay on the plain heap — their acquire/release
+    // order depends on work stealing, which would make the arena's
+    // steady-state miss count nondeterministic.
+    Aggregator total(noisy.width(), noisy.height(), noisy.channels(),
+                     opts.arena);
     std::vector<std::optional<Aggregator>> pending(tiles.size());
     std::mutex merge_mutex;
     size_t merge_cursor = 0;
@@ -208,7 +304,7 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
             WorkerScratch &ws = workers[slot];
             if (!ws.engine) {
                 ws.engine.emplace(cfg, stage, noisy, basic, field,
-                                  &ws.profile);
+                                  &ws.profile, opts.arena);
             }
             const parallel::Tile &tile = tiles[ti];
             // Halo-expanded patch positions this tile's stacks can
@@ -220,8 +316,9 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
             Aggregator agg(r.x0, r.y0, r.x1 + cfg.patchSize - r.x0,
                            r.y1 + cfg.patchSize - r.y0, noisy.channels());
             ws.engine->prepareTile(r.x0, r.y0, r.x1, r.y1);
-            processTile(cfg, stage, matcher, xs, ys, tile, *ws.engine, agg,
-                        ws.profile, ws.rowAbove);
+            processTile(cfg, stage, domain, matcher, xs, ys, tile,
+                        *ws.engine, agg, ws.profile, ws.rowAbove,
+                        opts.seed);
 
             std::lock_guard<std::mutex> lock(merge_mutex);
             pending[ti].emplace(std::move(agg));
@@ -237,7 +334,7 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
         profile += ws.profile;
 
     const image::ImageF &fallback = stage == Stage::Wiener ? *basic : noisy;
-    return total.finalize(fallback);
+    return total.finalize(fallback, opts.arena);
 }
 
 } // namespace
@@ -262,6 +359,14 @@ image::ImageF
 Bm3d::runStage(Stage stage, const image::ImageF &noisy,
                const image::ImageF *basic, Profile &profile) const
 {
+    return runStage(stage, noisy, basic, profile, StageOptions{});
+}
+
+image::ImageF
+Bm3d::runStage(Stage stage, const image::ImageF &noisy,
+               const image::ImageF *basic, Profile &profile,
+               const StageOptions &opts) const
+{
     if (noisy.width() < config_.patchSize ||
         noisy.height() < config_.patchSize) {
         throw std::invalid_argument("Bm3d: image smaller than patch");
@@ -271,30 +376,50 @@ Bm3d::runStage(Stage stage, const image::ImageF &noisy,
                          "bm3d");
     transforms::Dct2D dct(config_.patchSize);
     if (stage == Stage::HardThreshold) {
+        if (opts.field != nullptr) {
+            // Streaming runtime: the prepass already computed DCT1 on
+            // another thread (overlapping the previous frame's
+            // stage 2), and accounts its time/ops itself.
+            DctMatchDomain domain(*opts.field);
+            return runStageWithDomain(config_, stage, domain, noisy,
+                                      basic, opts.field, profile, opts);
+        }
         // DCT1: transform every patch of the matching channel once
         // (Path A); the field also serves the denoiser via Path C.
-        std::unique_ptr<DctPatchField> field;
+        DctPatchField field;
         {
             ScopedTimer timer(profile, Step::Dct1);
             OpCounters ops;
             image::ImageF plane0 = noisy.extractPlane(0);
-            field = std::make_unique<DctPatchField>(
-                plane0, dct, config_.lambda2d * config_.sigma,
-                config_.fixedPoint, &ops);
+            field.build(plane0, dct, config_.lambda2d * config_.sigma,
+                        config_.fixedPoint, &ops, opts.arena);
             profile.addOps(Step::Dct1, ops);
         }
-        DctMatchDomain domain(*field);
+        DctMatchDomain domain(field);
         return runStageWithDomain(config_, stage, domain, noisy, basic,
-                                  field.get(), profile);
+                                  &field, profile, opts);
     }
     // Wiener stage: matching runs in the color domain of the basic
     // estimate (Path B); no patch field is needed.
     if (basic == nullptr)
         throw std::invalid_argument("Wiener stage requires basic estimate");
-    image::ImageF basic_plane0 = basic->extractPlane(0);
+    image::ImageF basic_plane0;
+    if (opts.arena != nullptr) {
+        const size_t n =
+            static_cast<size_t>(basic->width()) * basic->height();
+        basic_plane0.adopt(basic->width(), basic->height(), 1,
+                           opts.arena->acquire(n));
+        const float *src = basic->plane(0);
+        std::copy(src, src + n, basic_plane0.plane(0));
+    } else {
+        basic_plane0 = basic->extractPlane(0);
+    }
     ColorMatchDomain domain(basic_plane0, config_.patchSize);
-    return runStageWithDomain(config_, stage, domain, noisy, basic, nullptr,
-                              profile);
+    image::ImageF out = runStageWithDomain(config_, stage, domain, noisy,
+                                           basic, nullptr, profile, opts);
+    if (opts.arena != nullptr)
+        opts.arena->release(basic_plane0.takeStorage());
+    return out;
 }
 
 Bm3dResult

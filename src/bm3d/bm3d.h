@@ -16,7 +16,40 @@
 #include "image/image.h"
 
 namespace ideal {
+namespace runtime {
+class BufferArena;
+} // namespace runtime
+
 namespace bm3d {
+
+class DctPatchField;
+struct TemporalSeed;
+
+/**
+ * Optional plumbing of a runStage() call, used by the streaming
+ * runtime (src/runtime). All members default to "off"; the plain
+ * runStage overload forwards an empty StageOptions, and every
+ * combination produces bitwise-identical output except an active
+ * `seed` (which changes which candidates BM1 scores).
+ */
+struct StageOptions
+{
+    /**
+     * Prebuilt channel-0 DCT field for the hard-threshold stage (the
+     * streaming prepass computes it on a different thread, overlapping
+     * the previous frame's stage-2/aggregation). When set, runStage
+     * skips its own DCT1 pass; the caller keeps the field alive and
+     * accounts its Dct1 time/ops.
+     */
+    const DctPatchField *field = nullptr;
+
+    /// Recycle the large per-call buffers (aggregator planes, tile
+    /// caches, output image, Wiener matching plane) through this arena.
+    runtime::BufferArena *arena = nullptr;
+
+    /// Temporal match seeding I/O (stage 1 only; see bm3d/seeding.h).
+    TemporalSeed *seed = nullptr;
+};
 
 /** Output of a denoising run. */
 struct Bm3dResult
@@ -53,6 +86,11 @@ class Bm3d
     image::ImageF runStage(Stage stage, const image::ImageF &noisy,
                            const image::ImageF *basic,
                            Profile &profile) const;
+
+    /** runStage with streaming-runtime plumbing (see StageOptions). */
+    image::ImageF runStage(Stage stage, const image::ImageF &noisy,
+                           const image::ImageF *basic, Profile &profile,
+                           const StageOptions &opts) const;
 
   private:
     Bm3dConfig config_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/arena.h"
 #include "simd/simd.h"
 
 namespace ideal {
@@ -21,15 +22,60 @@ log2OfPow2(int v)
 
 } // namespace
 
-Aggregator::Aggregator(int width, int height, int channels)
-    : num_(width, height, channels), den_(width, height, channels)
+Aggregator::Aggregator(int width, int height, int channels,
+                       runtime::BufferArena *arena)
+    : Aggregator(0, 0, width, height, channels, arena)
 {
 }
 
-Aggregator::Aggregator(int x0, int y0, int width, int height, int channels)
-    : x0_(x0), y0_(y0), num_(width, height, channels),
-      den_(width, height, channels)
+Aggregator::Aggregator(int x0, int y0, int width, int height, int channels,
+                       runtime::BufferArena *arena)
+    : x0_(x0), y0_(y0), arena_(arena)
 {
+    if (arena_ != nullptr) {
+        const size_t n =
+            static_cast<size_t>(width) * height * channels;
+        num_.adopt(width, height, channels, arena_->acquire(n));
+        den_.adopt(width, height, channels, arena_->acquire(n));
+        num_.fill(0.0f);
+        den_.fill(0.0f);
+    } else {
+        num_ = image::ImageF(width, height, channels);
+        den_ = image::ImageF(width, height, channels);
+    }
+}
+
+Aggregator::Aggregator(Aggregator &&other) noexcept
+    : x0_(other.x0_), y0_(other.y0_), num_(std::move(other.num_)),
+      den_(std::move(other.den_)), arena_(other.arena_)
+{
+    other.arena_ = nullptr;
+}
+
+Aggregator &
+Aggregator::operator=(Aggregator &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (arena_ != nullptr) {
+        arena_->release(num_.takeStorage());
+        arena_->release(den_.takeStorage());
+    }
+    x0_ = other.x0_;
+    y0_ = other.y0_;
+    num_ = std::move(other.num_);
+    den_ = std::move(other.den_);
+    arena_ = other.arena_;
+    other.arena_ = nullptr;
+    return *this;
+}
+
+Aggregator::~Aggregator()
+{
+    if (arena_ != nullptr) {
+        arena_->release(num_.takeStorage());
+        arena_->release(den_.takeStorage());
+    }
 }
 
 void
@@ -50,12 +96,21 @@ Aggregator::addPatch(int x, int y, int c, int patch_size,
 }
 
 image::ImageF
-Aggregator::finalize(const image::ImageF &fallback) const
+Aggregator::finalize(const image::ImageF &fallback,
+                     runtime::BufferArena *out_arena) const
 {
     if (x0_ != 0 || y0_ != 0)
         throw std::logic_error(
             "Aggregator::finalize: region aggregators cannot finalize");
-    image::ImageF out(num_.width(), num_.height(), num_.channels());
+    image::ImageF out;
+    if (out_arena != nullptr) {
+        out.adopt(num_.width(), num_.height(), num_.channels(),
+                  out_arena->acquire(num_.size()));
+    } else {
+        out = image::ImageF(num_.width(), num_.height(), num_.channels());
+    }
+    // Every sample is written, so the arena buffer's unspecified
+    // contents never leak through.
     for (size_t i = 0; i < out.size(); ++i) {
         float d = den_.raw()[i];
         out.raw()[i] = d > 0.0f ? num_.raw()[i] / d : fallback.raw()[i];
@@ -98,9 +153,11 @@ Aggregator::merge(const Aggregator &other)
 DenoiseEngine::DenoiseEngine(const Bm3dConfig &config, Stage stage,
                              const image::ImageF &noisy,
                              const image::ImageF *basic,
-                             const DctPatchField *dctField, Profile *profile)
+                             const DctPatchField *dctField, Profile *profile,
+                             runtime::BufferArena *arena)
     : config_(config), stage_(stage), noisy_(noisy), basic_(basic),
-      dctField_(dctField), profile_(profile), dct_(config.patchSize),
+      dctField_(dctField), profile_(profile), arena_(arena),
+      dct_(config.patchSize),
       threshold3d_(config.lambda3d * config.sigma)
 {
     if (stage == Stage::Wiener && basic_ == nullptr)
@@ -171,12 +228,12 @@ DenoiseEngine::prepareTile(int x0, int y0, int x1, int y1)
     uint64_t dcts = 0;
     for (int c = c0; c < chans; ++c)
         dcts += noisyTiles_[c].build(noisy_, c, dct_, config_.fixedPoint,
-                                     x0, y0, x1, y1);
+                                     x0, y0, x1, y1, arena_);
     if (wiener) {
         for (int c = 0; c < chans; ++c)
             dcts += basicTiles_[c].build(*basic_, c, dct_,
                                          config_.fixedPoint, x0, y0, x1,
-                                         y1);
+                                         y1, arena_);
     }
     tilesValid_ = true;
 

@@ -23,6 +23,10 @@
 #include "transforms/haar.h"
 
 namespace ideal {
+namespace runtime {
+class BufferArena;
+} // namespace runtime
+
 namespace bm3d {
 
 /**
@@ -37,15 +41,30 @@ namespace bm3d {
  * footprint). Patch coordinates are always full-image coordinates;
  * region aggregators are merged into the full-image one in tile order,
  * which is what makes multi-threaded aggregation deterministic.
+ *
+ * When constructed with a BufferArena, the accumulator planes are
+ * drawn from (and on destruction returned to) the arena, so streamed
+ * frames recycle them; the planes are zero-filled either way and the
+ * arithmetic is unchanged, keeping output bitwise identical.
  */
 class Aggregator
 {
   public:
     /** Full-image accumulator with origin (0, 0). */
-    Aggregator(int width, int height, int channels);
+    Aggregator(int width, int height, int channels,
+               runtime::BufferArena *arena = nullptr);
 
     /** Sub-region accumulator with origin (x0, y0) in image coords. */
-    Aggregator(int x0, int y0, int width, int height, int channels);
+    Aggregator(int x0, int y0, int width, int height, int channels,
+               runtime::BufferArena *arena = nullptr);
+
+    Aggregator(const Aggregator &) = delete;
+    Aggregator &operator=(const Aggregator &) = delete;
+    Aggregator(Aggregator &&other) noexcept;
+    Aggregator &operator=(Aggregator &&other) noexcept;
+
+    /** Releases the accumulator planes back to the arena, if any. */
+    ~Aggregator();
 
     int originX() const { return x0_; }
     int originY() const { return y0_; }
@@ -57,8 +76,14 @@ class Aggregator
     void addPatch(int x, int y, int c, int patch_size, const float *pixels,
                   float w);
 
-    /** Produce the estimate image (full-image aggregators only). */
-    image::ImageF finalize(const image::ImageF &fallback) const;
+    /**
+     * Produce the estimate image (full-image aggregators only). With
+     * @p out_arena, the output image's storage is drawn from it (the
+     * caller recycles it via Image::takeStorage or
+     * StreamDenoiser::recycle).
+     */
+    image::ImageF finalize(const image::ImageF &fallback,
+                           runtime::BufferArena *out_arena = nullptr) const;
 
     /**
      * Merge another aggregator whose region is contained in this one
@@ -71,6 +96,7 @@ class Aggregator
     int y0_ = 0;
     image::ImageF num_;
     image::ImageF den_;
+    runtime::BufferArena *arena_ = nullptr; ///< owns the plane storage
 };
 
 /**
@@ -88,10 +114,13 @@ class DenoiseEngine
      * @param dctField stage-1 channel-0 DCT field (Path C); may be
      *                 null for the Wiener stage
      * @param profile  optional profile for DCT2/DE timing + op counts
+     * @param arena    optional buffer arena the transform-once tile
+     *                 caches recycle their storage through
      */
     DenoiseEngine(const Bm3dConfig &config, Stage stage,
                   const image::ImageF &noisy, const image::ImageF *basic,
-                  const DctPatchField *dctField, Profile *profile);
+                  const DctPatchField *dctField, Profile *profile,
+                  runtime::BufferArena *arena = nullptr);
 
     /**
      * Denoise the stack described by @p matches and accumulate the
@@ -147,6 +176,7 @@ class DenoiseEngine
     const image::ImageF *basic_;
     const DctPatchField *dctField_;
     Profile *profile_;
+    runtime::BufferArena *arena_;
 
     transforms::Dct2D dct_;
     std::vector<transforms::Haar1D> haars_; ///< sizes 2, 4, 8, 16

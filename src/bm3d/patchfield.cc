@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/arena.h"
+
 namespace ideal {
 namespace bm3d {
 
@@ -25,22 +27,72 @@ DctPatchField::DctPatchField(
     float threshold,
     const std::optional<fixed::PipelineFormats> &fixed_point,
     OpCounters *ops)
-    : patchSize_(dct.size()), coefs_(patchSize_ * patchSize_),
-      posX_(plane.width() - patchSize_ + 1),
-      posY_(plane.height() - patchSize_ + 1)
 {
-    if (plane.channels() != 1)
-        throw std::invalid_argument("DctPatchField: expected 1 channel");
+    build(plane, dct, threshold, fixed_point, ops, nullptr);
+}
+
+DctPatchField::~DctPatchField()
+{
+    if (arena_ != nullptr) {
+        arena_->release(std::move(raw_));
+        arena_->release(std::move(match_));
+    }
+}
+
+void
+DctPatchField::prepare(int plane_width, int plane_height,
+                       const transforms::Dct2D &dct,
+                       runtime::BufferArena *arena)
+{
+    patchSize_ = dct.size();
+    coefs_ = patchSize_ * patchSize_;
+    posX_ = plane_width - patchSize_ + 1;
+    posY_ = plane_height - patchSize_ + 1;
     if (posX_ <= 0 || posY_ <= 0)
         throw std::invalid_argument("DctPatchField: image < patch size");
 
+    if (arena_ != nullptr && arena != arena_) {
+        // Rebinding to a different arena: surrender the old storage to
+        // the previous owner first.
+        arena_->release(std::move(raw_));
+        arena_->release(std::move(match_));
+    }
+    arena_ = arena;
+
     const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
-    raw_.resize(plane_stride * coefs_);
-    match_.resize(plane_stride * coefs_);
+    const size_t n = plane_stride * coefs_;
+    if (arena_ != nullptr) {
+        arena_->ensure(raw_, n);
+        arena_->ensure(match_, n);
+    } else {
+        raw_.resize(n);
+        match_.resize(n);
+    }
     matchPlanes_.resize(coefs_);
     for (int k = 0; k < coefs_; ++k)
         matchPlanes_[k] = match_.data() + static_cast<size_t>(k) *
                                               plane_stride;
+}
+
+uint64_t
+DctPatchField::fillRows(
+    const image::ImageF &plane, const transforms::Dct2D &dct,
+    float threshold,
+    const std::optional<fixed::PipelineFormats> &fixed_point, int y0,
+    int y1)
+{
+    if (plane.channels() != 1)
+        throw std::invalid_argument("DctPatchField: expected 1 channel");
+    if (plane.width() - patchSize_ + 1 != posX_ ||
+        plane.height() - patchSize_ + 1 != posY_) {
+        throw std::invalid_argument("DctPatchField: plane/prepare mismatch");
+    }
+    y0 = std::max(y0, 0);
+    y1 = std::min(y1, posY_);
+    if (y0 >= y1)
+        return 0;
+
+    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
 
     // The SoA scatter is blocked over x: transform up to kBlock
     // consecutive positions first, then write each coefficient plane's
@@ -52,7 +104,7 @@ DctPatchField::DctPatchField(
     constexpr int kBlock = 8;
     float pixels[64];
     float tbuf[64][kBlock];
-    for (int y = 0; y < posY_; ++y) {
+    for (int y = y0; y < y1; ++y) {
         for (int x0 = 0; x0 < posX_; x0 += kBlock) {
             const int nb = std::min(kBlock, posX_ - x0);
             for (int j = 0; j < nb; ++j) {
@@ -81,28 +133,76 @@ DctPatchField::DctPatchField(
             }
         }
     }
+    return static_cast<uint64_t>(y1 - y0) * posX_;
+}
 
-    if (ops) {
-        // Each 2-D DCT is two n x n matrix products: 2 * n^3 multiplies
-        // and adds (paper Sec. 2.1: 64 + 64 for n = 4 per 1-D pass).
-        const uint64_t patches =
-            static_cast<uint64_t>(posX_) * posY_;
-        const uint64_t n = patchSize_;
-        ops->multiplies += patches * 2 * n * n * n;
-        ops->additions += patches * 2 * n * n * (n - 1);
-        ops->memoryReads += patches * n * n;
-        // Raw store plus the matching-plane scatter.
-        ops->memoryWrites += patches * n * n * 2;
-        if (threshold > 0.0f)
-            ops->comparisons += patches * n * n;
-    }
+void
+DctPatchField::build(const image::ImageF &plane,
+                     const transforms::Dct2D &dct, float threshold,
+                     const std::optional<fixed::PipelineFormats> &fixed_point,
+                     OpCounters *ops, runtime::BufferArena *arena)
+{
+    prepare(plane.width(), plane.height(), dct, arena);
+    const uint64_t patches =
+        fillRows(plane, dct, threshold, fixed_point, 0, posY_);
+    if (ops)
+        countOps(patches, patchSize_, threshold > 0.0f, ops);
+}
+
+void
+DctPatchField::countOps(uint64_t patches, int patch_size, bool thresholded,
+                        OpCounters *ops)
+{
+    // Each 2-D DCT is two n x n matrix products: 2 * n^3 multiplies
+    // and adds (paper Sec. 2.1: 64 + 64 for n = 4 per 1-D pass).
+    const uint64_t n = static_cast<uint64_t>(patch_size);
+    ops->multiplies += patches * 2 * n * n * n;
+    ops->additions += patches * 2 * n * n * (n - 1);
+    ops->memoryReads += patches * n * n;
+    // Raw store plus the matching-plane scatter.
+    ops->memoryWrites += patches * n * n * 2;
+    if (thresholded)
+        ops->comparisons += patches * n * n;
+}
+
+TileDctField::TileDctField(TileDctField &&other) noexcept
+    : x0_(other.x0_), y0_(other.y0_), width_(other.width_),
+      height_(other.height_), coefs_(other.coefs_),
+      store_(std::move(other.store_)), arena_(other.arena_)
+{
+    other.arena_ = nullptr;
+}
+
+TileDctField &
+TileDctField::operator=(TileDctField &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (arena_ != nullptr)
+        arena_->release(std::move(store_));
+    x0_ = other.x0_;
+    y0_ = other.y0_;
+    width_ = other.width_;
+    height_ = other.height_;
+    coefs_ = other.coefs_;
+    store_ = std::move(other.store_);
+    arena_ = other.arena_;
+    other.arena_ = nullptr;
+    return *this;
+}
+
+TileDctField::~TileDctField()
+{
+    if (arena_ != nullptr)
+        arena_->release(std::move(store_));
 }
 
 uint64_t
 TileDctField::build(const image::ImageF &src, int c,
                     const transforms::Dct2D &dct,
                     const std::optional<fixed::PipelineFormats> &fixed_point,
-                    int x0, int y0, int x1, int y1)
+                    int x0, int y0, int x1, int y1,
+                    runtime::BufferArena *arena)
 {
     const int p = dct.size();
     coefs_ = p * p;
@@ -112,7 +212,14 @@ TileDctField::build(const image::ImageF &src, int c,
     height_ = y1 - y0 + 1;
     if (width_ <= 0 || height_ <= 0)
         throw std::invalid_argument("TileDctField: empty range");
-    store_.resize(static_cast<size_t>(width_) * height_ * coefs_);
+    if (arena_ != nullptr && arena != arena_)
+        arena_->release(std::move(store_));
+    arena_ = arena;
+    const size_t n = static_cast<size_t>(width_) * height_ * coefs_;
+    if (arena_ != nullptr)
+        arena_->ensure(store_, n);
+    else
+        store_.resize(n);
 
     const float *base = src.plane(c);
     const int w = src.width();

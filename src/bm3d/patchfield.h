@@ -22,6 +22,10 @@
 #include "transforms/dct.h"
 
 namespace ideal {
+namespace runtime {
+class BufferArena;
+} // namespace runtime
+
 namespace bm3d {
 
 /**
@@ -57,6 +61,48 @@ class DctPatchField
                   float threshold,
                   const std::optional<fixed::PipelineFormats> &fixed_point,
                   OpCounters *ops);
+
+    /** Empty field; prepare() + fillRows() or build() before use. */
+    DctPatchField() = default;
+
+    DctPatchField(const DctPatchField &) = delete;
+    DctPatchField &operator=(const DctPatchField &) = delete;
+
+    /** Releases the coefficient storage back to the arena, if any. */
+    ~DctPatchField();
+
+    /**
+     * Size the field for a plane_width x plane_height plane (patch
+     * size taken from @p dct) without computing coefficients. When
+     * @p arena is given, the coefficient storage is drawn from it —
+     * and returned to it on destruction or the next prepare() — so a
+     * persistent field re-prepared every frame allocates only once.
+     */
+    void prepare(int plane_width, int plane_height,
+                 const transforms::Dct2D &dct,
+                 runtime::BufferArena *arena = nullptr);
+
+    /**
+     * Compute the coefficients of position rows [y0, y1) of a prepared
+     * field. Disjoint row bands are independent, so callers may fill
+     * them from parallel tasks; the result is bitwise identical to any
+     * other banding (each position's values depend only on the plane).
+     * @return the number of patches transformed (for op accounting)
+     */
+    uint64_t fillRows(const image::ImageF &plane,
+                      const transforms::Dct2D &dct, float threshold,
+                      const std::optional<fixed::PipelineFormats> &fixed_point,
+                      int y0, int y1);
+
+    /** prepare() + fillRows() over every row: the ctor, reusable. */
+    void build(const image::ImageF &plane, const transforms::Dct2D &dct,
+               float threshold,
+               const std::optional<fixed::PipelineFormats> &fixed_point,
+               OpCounters *ops, runtime::BufferArena *arena = nullptr);
+
+    /** Accumulate the op cost of @p patches forward DCTs + scatter. */
+    static void countOps(uint64_t patches, int patch_size,
+                         bool thresholded, OpCounters *ops);
 
     int positionsX() const { return posX_; }
     int positionsY() const { return posY_; }
@@ -105,13 +151,14 @@ class DctPatchField
         return (static_cast<size_t>(y) * posX_ + x) * coefs_;
     }
 
-    int patchSize_;
-    int coefs_;
-    int posX_;
-    int posY_;
+    int patchSize_ = 0;
+    int coefs_ = 0;
+    int posX_ = 0;
+    int posY_ = 0;
     std::vector<float> raw_;
     std::vector<float> match_;               ///< SoA coefficient planes
     std::vector<const float *> matchPlanes_; ///< plane base pointers
+    runtime::BufferArena *arena_ = nullptr;  ///< owns raw_/match_ storage
 };
 
 /**
@@ -128,16 +175,26 @@ class TileDctField
 {
   public:
     TileDctField() = default;
+    TileDctField(const TileDctField &) = delete;
+    TileDctField &operator=(const TileDctField &) = delete;
+    TileDctField(TileDctField &&other) noexcept;
+    TileDctField &operator=(TileDctField &&other) noexcept;
+
+    /** Releases the cache storage back to the arena, if any. */
+    ~TileDctField();
 
     /**
      * (Re)build the cache for channel @p c of @p src over the
-     * inclusive position range [x0, x1] x [y0, y1].
+     * inclusive position range [x0, x1] x [y0, y1]. When @p arena is
+     * given, storage is drawn from (and on destruction returned to)
+     * it, so a streaming run recycles worker caches across frames.
      * @return the number of forward DCTs executed (for op accounting)
      */
     uint64_t build(const image::ImageF &src, int c,
                    const transforms::Dct2D &dct,
                    const std::optional<fixed::PipelineFormats> &fixed_point,
-                   int x0, int y0, int x1, int y1);
+                   int x0, int y0, int x1, int y1,
+                   runtime::BufferArena *arena = nullptr);
 
     /** True when (x, y) lies inside the built range. */
     bool
@@ -163,6 +220,7 @@ class TileDctField
     int height_ = 0;
     int coefs_ = 0;
     std::vector<float> store_;
+    runtime::BufferArena *arena_ = nullptr; ///< owns store_'s storage
 };
 
 /** Copy the patch at top-left (x, y) of @p plane into @p out (row-major). */

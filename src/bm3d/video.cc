@@ -110,21 +110,51 @@ VideoBm3d::denoise(const std::vector<image::ImageF> &noisy) const
     const int threads =
         std::min(parallel::clampThreads(cfg.numThreads), frames);
 
-    // Per-frame channel-0 DCT fields (the DCT1 step): one pool task
-    // per frame, per-task profiles merged in frame order.
+    // Per-frame channel-0 DCT fields (the DCT1 step). Tasks are
+    // frame x row-band, not one per frame: a short clip (or a single
+    // frame) no longer caps the prepass at `frames` executors, and
+    // bands give the work stealer something to balance. Disjoint
+    // bands of a prepared field are independent, so any banding is
+    // bitwise identical to the single-task build.
     std::vector<std::unique_ptr<DctPatchField>> fields(frames);
     {
-        std::vector<Profile> field_profiles(frames);
-        pool.run(frames, threads, [&](int t, int) {
-            ScopedTimer timer(field_profiles[t], Step::Dct1);
-            image::ImageF plane0 = noisy[t].extractPlane(0);
-            OpCounters ops;
-            fields[t] = std::make_unique<DctPatchField>(
-                plane0, dct, tht, cfg.fixedPoint, &ops);
-            field_profiles[t].addOps(Step::Dct1, ops);
-        });
-        for (const Profile &fp : field_profiles)
-            result.profile += fp;
+        const int prepass_threads = parallel::clampThreads(cfg.numThreads);
+        std::vector<image::ImageF> planes;
+        planes.reserve(frames);
+        {
+            ScopedTimer setup_timer(result.profile, Step::Dct1);
+            for (int t = 0; t < frames; ++t) {
+                planes.push_back(noisy[t].extractPlane(0));
+                fields[t] = std::make_unique<DctPatchField>();
+                fields[t]->prepare(planes[t].width(), planes[t].height(),
+                                   dct);
+            }
+        }
+        const int pos_y = fields[0]->positionsY();
+        // ~4 bands per executor across the whole clip, at least 16
+        // position rows each so tiny bands don't drown in scheduling.
+        const int band_rows = std::max(
+            16,
+            pos_y * frames / (std::max(1, prepass_threads) * 4) + 1);
+        const int bands_per_frame = (pos_y + band_rows - 1) / band_rows;
+        const int total_bands = frames * bands_per_frame;
+        std::vector<Profile> band_profiles(total_bands);
+        pool.run(total_bands, std::min(prepass_threads, total_bands),
+                 [&](int b, int) {
+                     const int t = b / bands_per_frame;
+                     const int band = b % bands_per_frame;
+                     const int y0 = band * band_rows;
+                     const int y1 = std::min(pos_y, y0 + band_rows);
+                     ScopedTimer timer(band_profiles[b], Step::Dct1);
+                     OpCounters ops;
+                     const uint64_t patches = fields[t]->fillRows(
+                         planes[t], dct, tht, cfg.fixedPoint, y0, y1);
+                     DctPatchField::countOps(patches, p, tht > 0.0f,
+                                             &ops);
+                     band_profiles[b].addOps(Step::Dct1, ops);
+                 });
+        for (const Profile &bp : band_profiles)
+            result.profile += bp;
     }
 
     const auto xs =

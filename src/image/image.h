@@ -150,6 +150,34 @@ class Image
                channels_ == other.channels_;
     }
 
+    /**
+     * Rebind this image to @p storage, resized to the given shape.
+     * Contents are unspecified (callers overwrite every sample); the
+     * point is buffer recycling — a pooled vector's capacity survives,
+     * so a steady-state adopt never allocates. The previous storage is
+     * discarded; takeStorage() it first to keep it.
+     */
+    void
+    adopt(int width, int height, int channels, std::vector<T> &&storage)
+    {
+        const size_t n = checkedSize(width, height, channels);
+        storage.resize(n);
+        width_ = width;
+        height_ = height;
+        channels_ = channels;
+        data_ = std::move(storage);
+    }
+
+    /** Surrender the backing storage, leaving the image empty. */
+    std::vector<T>
+    takeStorage()
+    {
+        width_ = 0;
+        height_ = 0;
+        channels_ = 0;
+        return std::move(data_);
+    }
+
   private:
     static size_t
     checkedSize(int width, int height, int channels)

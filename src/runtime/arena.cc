@@ -1,0 +1,89 @@
+#include "runtime/arena.h"
+
+#include "obs/metrics.h"
+
+namespace ideal {
+namespace runtime {
+
+bool
+BufferArena::takeFreeLocked(size_t count, std::vector<float> *out)
+{
+    auto it = free_.lower_bound(count);
+    if (it == free_.end() || it->first > count * kSlackFactor)
+        return false;
+    *out = std::move(it->second);
+    free_.erase(it);
+    return true;
+}
+
+void
+BufferArena::ensure(std::vector<float> &buf, size_t count)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    if (buf.capacity() >= count) {
+        // Warm path: the component's own storage already fits. resize
+        // within capacity never reallocates.
+        buf.resize(count);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.hits;
+        }
+        reg.add("arena.hit", 1.0);
+        return;
+    }
+
+    std::vector<float> recycled;
+    bool hit = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hit = takeFreeLocked(count, &recycled);
+        if (hit)
+            ++stats_.hits;
+        else {
+            ++stats_.misses;
+            stats_.bytesNew += count * sizeof(float);
+        }
+        if (buf.capacity() > 0) {
+            free_.emplace(buf.capacity(), std::move(buf));
+            buf = std::vector<float>();
+        }
+    }
+    if (hit) {
+        recycled.resize(count);
+        buf = std::move(recycled);
+        reg.add("arena.hit", 1.0);
+        return;
+    }
+    buf.assign(count, 0.0f);
+    reg.add("arena.miss", 1.0);
+    reg.add("arena.bytesNew",
+            static_cast<double>(count * sizeof(float)));
+}
+
+void
+BufferArena::release(std::vector<float> &&buf)
+{
+    if (buf.capacity() == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.emplace(buf.capacity(), std::move(buf));
+}
+
+BufferArena::Stats
+BufferArena::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s = stats_;
+    s.freeBuffers = free_.size();
+    return s;
+}
+
+void
+BufferArena::trim()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.clear();
+}
+
+} // namespace runtime
+} // namespace ideal

@@ -93,6 +93,13 @@ class TestCompareTimes(unittest.TestCase):
         _, regressions = bench_diff.compare_times(base, cand, 0.10)
         self.assertEqual(regressions, ["DCT1"])
 
+    def test_step_skipped_by_both_runs_passes(self):
+        # Wiener-off records carry 0 ms for BM2/DCT2/DE2 on both
+        # sides; a self-compare must not read 0/0 as infinitely slower.
+        base = record(kernel_times_ms={"DCT1": 100.0, "BM2": 0.0})
+        _, regressions = bench_diff.compare_times(base, dict(base), 0.10)
+        self.assertEqual(regressions, [])
+
 
 class TestCompareOps(unittest.TestCase):
     def test_exact_match_passes_at_zero_tolerance(self):
@@ -123,6 +130,42 @@ class TestCompareOps(unittest.TestCase):
         self.assertEqual(drifted, [])
         statuses = {key: status for key, _, _, status in rows}
         self.assertEqual(statuses["bm3d.mr.bm1Refs"], "new")
+
+
+class TestCompareLatency(unittest.TestCase):
+    LAT = {"p50": 100.0, "p95": 150.0, "p99": 180.0, "mean": 110.0,
+           "max": 200.0}
+
+    def test_identical_latencies_pass(self):
+        base = record(latency_ms=dict(self.LAT))
+        rows, regressions = bench_diff.compare_latency(base, base, 0.10)
+        self.assertEqual(regressions, [])
+        self.assertEqual(len(rows), len(self.LAT))
+
+    def test_percentile_regression_fails(self):
+        base = record(latency_ms=dict(self.LAT))
+        cand_lat = dict(self.LAT, p99=250.0)
+        cand = record(latency_ms=cand_lat)
+        _, regressions = bench_diff.compare_latency(base, cand, 0.10)
+        self.assertEqual(regressions, ["p99"])
+
+    def test_slowdown_within_tolerance_passes(self):
+        base = record(latency_ms=dict(self.LAT))
+        cand = record(latency_ms=dict(self.LAT, p50=105.0))
+        _, regressions = bench_diff.compare_latency(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_batch_records_have_nothing_to_gate(self):
+        # Batch records carry an empty "latency_ms" (bench/common.cc
+        # always emits the key); pre-PR-5 records lack it entirely.
+        # Neither may fail.
+        base = record(latency_ms={})
+        old = record()
+        for b, c in ((base, base), (old, record(latency_ms=self.LAT))):
+            rows, regressions = bench_diff.compare_latency(b, c, 0.10)
+            self.assertEqual(regressions, [])
+        statuses = {key: status for key, _, _, status in rows}
+        self.assertEqual(statuses["p50"], "new")
 
 
 class TestCompareWall(unittest.TestCase):
@@ -187,6 +230,18 @@ class TestMain(unittest.TestCase):
         cand = record(ops={"DCT1_ops": 9999.0, "BM1_ops": 2000.0})
         self.assertEqual(
             self.run_main(record(), cand, "--ops-tolerance", "0.0"), 1
+        )
+
+    def test_latency_gate_off_by_default(self):
+        base = record(latency_ms={"p50": 100.0})
+        cand = record(latency_ms={"p50": 900.0})
+        self.assertEqual(self.run_main(base, cand), 0)
+
+    def test_latency_gate_fails_on_regression(self):
+        base = record(latency_ms={"p50": 100.0})
+        cand = record(latency_ms={"p50": 150.0})
+        self.assertEqual(
+            self.run_main(base, cand, "--latency-tolerance", "0.10"), 1
         )
 
 

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the streaming frame-pipeline runtime (src/runtime):
+ * stream-vs-batch bitwise equality across SIMD levels and thread
+ * counts, concurrent submit/collect under the sanitizers, temporal
+ * seeding quality and work reduction, arena steady-state accounting,
+ * lifecycle errors, and the video DCT1 prepass banding determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bm3d/bm3d.h"
+#include "bm3d/video.h"
+#include "image/metrics.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+#include "runtime/stream.h"
+#include "simd/simd.h"
+
+using namespace ideal;
+using runtime::StreamConfig;
+using runtime::StreamDenoiser;
+using runtime::StreamStats;
+
+namespace {
+
+/** A static scene observed over several frames with fresh noise. */
+std::vector<image::ImageF>
+staticClip(int frames, int w, int h, float sigma, uint64_t seed,
+           image::ImageF *clean_out = nullptr)
+{
+    image::ImageF clean =
+        image::makeScene(image::SceneKind::Nature, w, h, 1, seed);
+    if (clean_out)
+        *clean_out = clean;
+    std::vector<image::ImageF> clip;
+    for (int f = 0; f < frames; ++f)
+        clip.push_back(image::addGaussianNoise(clean, sigma, seed + 7 + f));
+    return clip;
+}
+
+StreamConfig
+smallStreamConfig(int threads = 1, bool wiener = false)
+{
+    StreamConfig cfg;
+    cfg.frame.sigma = 25.0f;
+    cfg.frame.searchWindow1 = 13;
+    cfg.frame.searchWindow2 = 13;
+    cfg.frame.refStride = 2;
+    cfg.frame.enableWiener = wiener;
+    cfg.frame.numThreads = threads;
+    return cfg;
+}
+
+/** Per-frame batch outputs via the plain Bm3d engine. */
+std::vector<image::ImageF>
+batchOutputs(const bm3d::Bm3dConfig &cfg,
+             const std::vector<image::ImageF> &clip)
+{
+    bm3d::Bm3d engine(cfg);
+    std::vector<image::ImageF> outs;
+    for (const image::ImageF &frame : clip)
+        outs.push_back(engine.denoise(frame).output);
+    return outs;
+}
+
+/** Streamed outputs for the same clip (copies; clip stays intact). */
+std::vector<image::ImageF>
+streamOutputs(const StreamConfig &cfg,
+              const std::vector<image::ImageF> &clip,
+              StreamStats *stats_out = nullptr)
+{
+    StreamDenoiser stream(cfg);
+    for (const image::ImageF &frame : clip)
+        stream.submit(image::ImageF(frame));
+    stream.finish();
+    std::vector<image::ImageF> outs;
+    for (size_t f = 0; f < clip.size(); ++f)
+        outs.push_back(stream.collect());
+    if (stats_out)
+        *stats_out = stream.stats();
+    return outs;
+}
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { simd::setLevel(simd::bestSupported()); }
+};
+
+} // namespace
+
+// With seeding off, a streamed clip must be bitwise identical to the
+// per-frame batch path — for every SIMD dispatch level and thread
+// count (the per-frame pipeline is unchanged; the arena only moves
+// where buffers live).
+TEST_F(RuntimeTest, StreamMatchesBatchBitwiseAcrossLevelsAndThreads)
+{
+    const auto clip = staticClip(3, 64, 48, 25.0f, 41);
+    const simd::Level levels[] = {simd::Level::Scalar, simd::Level::Sse,
+                                  simd::Level::Avx2};
+    for (simd::Level level : levels) {
+        simd::setLevel(level); // clamped to bestSupported()
+        for (int threads : {1, 8}) {
+            StreamConfig cfg = smallStreamConfig(threads);
+            const auto batch = batchOutputs(cfg.frame, clip);
+            const auto streamed = streamOutputs(cfg, clip);
+            ASSERT_EQ(batch.size(), streamed.size());
+            for (size_t f = 0; f < batch.size(); ++f)
+                EXPECT_TRUE(batch[f].raw() == streamed[f].raw())
+                    << "level=" << static_cast<int>(simd::activeLevel())
+                    << " threads=" << threads << " frame=" << f;
+        }
+    }
+}
+
+// The Wiener stage runs through the same arena-backed plumbing.
+TEST_F(RuntimeTest, StreamMatchesBatchWithWienerStage)
+{
+    const auto clip = staticClip(3, 48, 48, 25.0f, 43);
+    StreamConfig cfg = smallStreamConfig(4, /*wiener=*/true);
+    const auto batch = batchOutputs(cfg.frame, clip);
+    const auto streamed = streamOutputs(cfg, clip);
+    for (size_t f = 0; f < batch.size(); ++f)
+        EXPECT_TRUE(batch[f].raw() == streamed[f].raw()) << "frame " << f;
+}
+
+// Outputs arrive in submit order even when a producer thread races
+// the collector. Runs under TSan via the sanitize label.
+TEST_F(RuntimeTest, ConcurrentSubmitCollectIsOrderedAndRaceFree)
+{
+    const int frames = 12;
+    const auto clip = staticClip(frames, 32, 32, 25.0f, 47);
+    StreamConfig cfg = smallStreamConfig(2);
+    cfg.queueDepth = 2; // force backpressure on the producer
+
+    const auto batch = batchOutputs(cfg.frame, clip);
+    StreamDenoiser stream(cfg);
+    std::thread producer([&] {
+        for (const image::ImageF &frame : clip)
+            stream.submit(image::ImageF(frame));
+        stream.finish();
+    });
+    for (int f = 0; f < frames; ++f) {
+        image::ImageF out = stream.collect();
+        EXPECT_TRUE(out.raw() == batch[static_cast<size_t>(f)].raw())
+            << "frame " << f;
+        (void)stream.stats(); // exercise the stats lock concurrently
+        stream.recycle(std::move(out));
+    }
+    producer.join();
+    EXPECT_EQ(stream.stats().frames, static_cast<uint64_t>(frames));
+}
+
+// Temporal seeding trades exact equality for less matching work; on
+// static content the quality cost must stay within 0.05 dB and the
+// seeded search must actually engage and cut BM1 distance
+// computations.
+TEST_F(RuntimeTest, TemporalSeedingKeepsQualityAndCutsWork)
+{
+    image::ImageF clean;
+    const auto clip = staticClip(4, 64, 64, 25.0f, 53, &clean);
+    StreamConfig cfg = smallStreamConfig(1);
+
+    StreamStats plain_stats;
+    const auto plain = streamOutputs(cfg, clip, &plain_stats);
+
+    cfg.temporalSeed = true;
+    StreamStats seeded_stats;
+    const auto seeded = streamOutputs(cfg, clip, &seeded_stats);
+
+    double plain_snr = 0.0, seeded_snr = 0.0;
+    for (size_t f = 0; f < clip.size(); ++f) {
+        plain_snr += image::snrDb(clean, plain[f]);
+        seeded_snr += image::snrDb(clean, seeded[f]);
+    }
+    const double delta =
+        std::fabs(seeded_snr - plain_snr) / static_cast<double>(clip.size());
+    EXPECT_LE(delta, 0.05);
+
+    EXPECT_GT(seeded_stats.seedRefs, 0u);
+    EXPECT_GT(seeded_stats.seedHits, 0u);
+    EXPECT_LT(seeded_stats.profile.mr().bm1Candidates,
+              plain_stats.profile.mr().bm1Candidates);
+}
+
+// The seeding decision (descriptor SSD in the thresholded-DCT domain)
+// and the seeded search itself use exact arithmetic, so the seeded
+// output is also identical across SIMD levels.
+TEST_F(RuntimeTest, SeededStreamIsBitwiseIdenticalAcrossSimdLevels)
+{
+    const auto clip = staticClip(3, 64, 48, 25.0f, 59);
+    StreamConfig cfg = smallStreamConfig(1);
+    cfg.temporalSeed = true;
+
+    simd::setLevel(simd::Level::Scalar);
+    const auto scalar = streamOutputs(cfg, clip);
+    simd::setLevel(simd::bestSupported());
+    const auto best = streamOutputs(cfg, clip);
+    for (size_t f = 0; f < clip.size(); ++f)
+        EXPECT_TRUE(scalar[f].raw() == best[f].raw()) << "frame " << f;
+}
+
+// The arena recycles every per-frame buffer: from the third frame on
+// no fresh heap bytes may be drawn through it.
+TEST_F(RuntimeTest, ArenaIsMallocFreeInSteadyState)
+{
+    const int frames = 6;
+    const auto clip = staticClip(frames, 48, 48, 25.0f, 61);
+    StreamConfig cfg = smallStreamConfig(2);
+
+    StreamDenoiser stream(cfg);
+    for (const image::ImageF &frame : clip)
+        stream.submit(image::ImageF(frame));
+    stream.finish();
+    for (int f = 0; f < frames; ++f)
+        stream.recycle(stream.collect());
+
+    const StreamStats stats = stream.stats();
+    EXPECT_EQ(stats.frames, static_cast<uint64_t>(frames));
+    EXPECT_EQ(stats.arenaBytesNewSteady, 0u);
+    EXPECT_GT(stats.arenaHits, 0u);
+    EXPECT_GT(stats.arenaBytesNew, 0u); // warm-up did allocate
+    EXPECT_EQ(stats.latenciesMs.size(), static_cast<size_t>(frames));
+    EXPECT_GT(stats.wallSeconds, 0.0);
+}
+
+TEST_F(RuntimeTest, LifecycleErrors)
+{
+    const auto clip = staticClip(1, 32, 32, 25.0f, 67);
+    StreamConfig cfg = smallStreamConfig(1);
+
+    StreamDenoiser stream(cfg);
+    stream.submit(image::ImageF(clip[0]));
+    // Shape must match the first frame.
+    EXPECT_THROW(stream.submit(image::ImageF(16, 32, 1)),
+                 std::invalid_argument);
+    // Frames smaller than a patch can never be processed.
+    EXPECT_THROW(stream.submit(image::ImageF(2, 2, 1)),
+                 std::invalid_argument);
+    stream.finish();
+    EXPECT_THROW(stream.submit(image::ImageF(clip[0])), std::logic_error);
+    (void)stream.collect();
+    EXPECT_THROW(stream.collect(), std::logic_error);
+}
+
+TEST_F(RuntimeTest, ConfigValidation)
+{
+    StreamConfig cfg = smallStreamConfig(1);
+    cfg.queueDepth = 0;
+    EXPECT_THROW(StreamDenoiser s(cfg), std::invalid_argument);
+
+    cfg = smallStreamConfig(1);
+    cfg.temporalSeed = true;
+    cfg.seedK = 0.0;
+    EXPECT_THROW(StreamDenoiser s(cfg), std::invalid_argument);
+
+    cfg = smallStreamConfig(1);
+    cfg.temporalSeed = true;
+    cfg.seedWindow = 8; // must be odd
+    EXPECT_THROW(StreamDenoiser s(cfg), std::invalid_argument);
+
+    cfg = smallStreamConfig(1);
+    cfg.temporalSeed = true;
+    cfg.seedWindow = cfg.frame.searchWindow1 + 2;
+    EXPECT_THROW(StreamDenoiser s(cfg), std::invalid_argument);
+}
+
+// Satellite of the same PR: the video denoiser's DCT1 prepass now
+// decomposes into frame x row-band tasks, so its output must stay
+// independent of the worker count.
+TEST_F(RuntimeTest, VideoDct1BandingIsThreadCountInvariant)
+{
+    const auto seq = staticClip(3, 48, 48, 25.0f, 71);
+    bm3d::VideoConfig vcfg;
+    vcfg.frame.sigma = 25.0f;
+    vcfg.frame.searchWindow1 = 13;
+    vcfg.temporalRadius = 1;
+    vcfg.predictiveWindow = 7;
+
+    vcfg.frame.numThreads = 1;
+    const auto serial = bm3d::VideoBm3d(vcfg).denoise(seq);
+    vcfg.frame.numThreads = 4;
+    const auto parallel = bm3d::VideoBm3d(vcfg).denoise(seq);
+    ASSERT_EQ(serial.frames.size(), parallel.frames.size());
+    for (size_t f = 0; f < serial.frames.size(); ++f)
+        EXPECT_TRUE(serial.frames[f].raw() == parallel.frames[f].raw())
+            << "frame " << f;
+}
