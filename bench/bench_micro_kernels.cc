@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "fixed/int16plan.h"
 #include "simd/simd.h"
 
 using namespace ideal;
@@ -107,7 +108,8 @@ main(int argc, char **argv)
         {"ssd", {}},        {"ssd_batch", {}},  {"ssd_soa_batch", {}},
         {"dct4_fwd", {}},   {"dct4_inv", {}},   {"haar_pair", {}},
         {"hard_thr", {}},   {"wiener", {}},     {"aggregate", {}},
-        {"merge_add", {}},
+        {"merge_add", {}},  {"ssd_int16", {}},  {"ssd_soa_batch_int16", {}},
+        {"ssd_pair_batch_int16", {}},           {"dct4_fwd_int16", {}},
     };
 
     // Coefficient-major view of the pool for the SoA kernels: plane k
@@ -115,6 +117,36 @@ main(int argc, char **argv)
     std::vector<const float *> soa_planes(16);
     for (int k = 0; k < 16; ++k)
         soa_planes[k] = pool.data() + static_cast<size_t>(k) * patches;
+
+    // Int16 twins: the same pool quantized to the plan's pixel format
+    // (the [-64, 64] values fit Q8.6 comfortably), plus the quantized
+    // DCT basis and int32 distance outputs.
+    const fixed::Int16DctPlan plan;
+    std::vector<int16_t> pool_i16(pool.size());
+    fixed::quantizeToI16(pool.data(), pool.size(), plan.pixel,
+                         pool_i16.data());
+    std::vector<int16_t> scratch_i16(pool.size());
+    std::vector<const int16_t *> soa_planes_i16(16);
+    for (int k = 0; k < 16; ++k)
+        soa_planes_i16[k] =
+            pool_i16.data() + static_cast<size_t>(k) * patches;
+    int16_t dctmQ[4];
+    fixed::quantizeBasisQ(dctm, 4, plan.coefFracBits, dctmQ);
+
+    // Pair-interleaved twin of the SoA planes (BM1's layout): pair
+    // plane p holds coefficients 2p and 2p+1 of position x at indices
+    // 2x and 2x+1, so one vector load spans several candidates' pairs.
+    std::vector<int16_t> pairs_i16(static_cast<size_t>(16) * patches);
+    std::vector<const int16_t *> pair_planes_i16(8);
+    for (int p = 0; p < 8; ++p) {
+        int16_t *dst =
+            pairs_i16.data() + static_cast<size_t>(p) * 2 * patches;
+        for (int x = 0; x < patches; ++x) {
+            dst[2 * x] = soa_planes_i16[2 * p][x];
+            dst[2 * x + 1] = soa_planes_i16[2 * p + 1][x];
+        }
+        pair_planes_i16[p] = dst;
+    }
 
     for (int l = 0; l <= static_cast<int>(simd::bestSupported()); ++l) {
         const auto level = static_cast<simd::Level>(l);
@@ -242,6 +274,54 @@ main(int argc, char **argv)
                            pool.data(), patches * 16);
         });
         g_sink += den[1];
+
+        // Int16 bounded SSD in the same shape as the float row above:
+        // the head-to-head that motivates the quantized path
+        // (_mm256_madd_epi16 accumulates 16 lanes vs 8 float lanes).
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 1; i < patches; ++i)
+                    g_sink += static_cast<float>(k.ssdBoundedI16(
+                        pool_i16.data(), pool_i16.data() + 16 * i, 16,
+                        INT32_MAX));
+        });
+
+        // Batched int16 SoA SSD, window-row-sized runs.
+        record([&] {
+            int32_t out[64];
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i + 64 <= patches; i += 64) {
+                    k.ssdSoaBatchI16(pool_i16.data(),
+                                     soa_planes_i16.data(),
+                                     static_cast<size_t>(i), 16, 64, out);
+                    g_sink += static_cast<float>(out[0] + out[63]);
+                }
+        });
+
+        // Pair-interleaved int16 batch SSD: the BM1 inner loop, where
+        // madd against a broadcast reference pair yields per-candidate
+        // sums with no unpack/permute.
+        record([&] {
+            int32_t out[64];
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i + 64 <= patches; i += 64) {
+                    k.ssdPairBatchI16(pool_i16.data(),
+                                      pair_planes_i16.data(),
+                                      static_cast<size_t>(i), 16, 64,
+                                      out);
+                    g_sink += static_cast<float>(out[0] + out[63]);
+                }
+        });
+
+        // Int16 folded forward DCT per patch.
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int i = 0; i < patches; ++i)
+                    k.dct4ForwardI16(pool_i16.data() + 16 * i,
+                                     scratch_i16.data() + 16 * i, dctmQ,
+                                     dctmQ, plan.shift1, plan.shift2);
+        });
+        g_sink += static_cast<float>(scratch_i16[0]);
     }
 
     for (const Timing &r : rows) {

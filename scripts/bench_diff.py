@@ -4,7 +4,7 @@
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json \
         [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0] \
-        [--latency-tolerance 0.10]
+        [--latency-tolerance 0.10] [--snr-tolerance 0.05]
 
 Exits non-zero when any kernel time in CANDIDATE is more than THRESHOLD
 slower than in BASELINE, or when the end-to-end wall time is more than
@@ -19,6 +19,13 @@ tolerance is 0.0 — any drift in multiply/add/comparison totals means
 the algorithm changed, not the machine. The gate is off unless the
 flag is given, because records written before the counters were
 embedded would otherwise fail vacuously.
+
+--snr-tolerance gates the candidate's "snr_delta" metrics: benches
+that run a reduced-precision path head-to-head against float32 (fig02
+since the int16 matching datapath landed) record the quality cost in
+dB, and the flag bounds its magnitude — the fig09-style envelope. The
+check is absolute on the candidate, not a diff, because the reference
+lives inside the same record.
 
 The wall-time comparison is separate from the per-kernel table because
 the two answer different questions: the kernel table localizes *where*
@@ -152,6 +159,31 @@ def compare_latency(base, cand, tolerance):
     return rows, regressions
 
 
+def check_snr(cand, tolerance):
+    """Return (rows, failures) over the candidate's SNR-delta metrics.
+
+    Unlike the time and op gates, this is an absolute-envelope check on
+    the candidate alone: any metrics key containing "snr_delta" is a
+    quality cost in dB relative to a reference path measured *inside*
+    the same run (e.g. the int16 matching datapath vs float32 in
+    fig02), so the record is self-contained and there is nothing to
+    diff against the baseline. The gate is the fig09-style contract:
+    |delta| must stay within the tolerance in dB.
+    """
+    rows = []
+    failures = []
+    for key in sorted(cand.get("metrics", {})):
+        if "snr_delta" not in key:
+            continue
+        value = cand["metrics"][key]
+        if abs(value) > tolerance:
+            rows.append((key, value, f"FAIL (|{value:+.3f}| > {tolerance:g} dB)"))
+            failures.append(key)
+        else:
+            rows.append((key, value, "ok"))
+    return rows, failures
+
+
 def compare_wall(base, cand, tolerance):
     """Return (message, regressed) for the end-to-end wall time."""
     b, c = base["wall_time_s"], cand["wall_time_s"]
@@ -208,6 +240,14 @@ def main():
         help="fractional slowdown in streaming latency percentiles "
         "('latency_ms': p50/p95/p99/...) that counts as a regression "
         "(gate off when the flag is absent)",
+    )
+    parser.add_argument(
+        "--snr-tolerance",
+        type=float,
+        default=None,
+        help="absolute envelope in dB for the candidate's 'snr_delta' "
+        "metrics (quality cost of a reduced-precision path vs its "
+        "in-run float reference); gate off when the flag is absent",
     )
     args = parser.parse_args()
     tolerance = args.tolerance if args.tolerance is not None else args.threshold
@@ -266,6 +306,16 @@ def main():
                 cs = f"{c:.3f}" if c is not None else "-"
                 print(f"{key:<{width}}  {bs:>12}  {cs:>12}  {status}")
 
+    snr_failures = []
+    if args.snr_tolerance is not None:
+        snr_rows, snr_failures = check_snr(cand, args.snr_tolerance)
+        if snr_rows:
+            width = max(len(key) for key, *_ in snr_rows)
+            print()
+            print(f"{'snr metric':<{width}}  {'delta dB':>10}  status")
+            for key, value, status in snr_rows:
+                print(f"{key:<{width}}  {value:>+10.3f}  {status}")
+
     wall_msg, wall_regressed = compare_wall(base, cand, tolerance)
     print()
     print(wall_msg)
@@ -275,6 +325,7 @@ def main():
         or wall_regressed
         or bool(drifted)
         or bool(lat_regressions)
+        or bool(snr_failures)
     )
     if regressions:
         print(
@@ -291,6 +342,11 @@ def main():
             f"FAIL: {len(lat_regressions)} latency percentile(s) regressed "
             f"more than {args.latency_tolerance:.0%}: "
             f"{', '.join(lat_regressions)}"
+        )
+    if snr_failures:
+        print(
+            f"FAIL: {len(snr_failures)} SNR delta(s) outside the "
+            f"{args.snr_tolerance:g} dB envelope: {', '.join(snr_failures)}"
         )
     if wall_regressed:
         print(

@@ -26,16 +26,31 @@
 #include "bm3d/matchlist.h"
 #include "bm3d/patchfield.h"
 #include "bm3d/seeding.h"
+#include "fixed/int16plan.h"
 #include "image/image.h"
+#include "simd/simd.h"
 #include "transforms/distance.h"
 
 namespace ideal {
 namespace bm3d {
 
+/**
+ * Largest candidate run a single distanceBatch dispatch covers: the
+ * matcher chunks window rows to this, and int16 domains size their
+ * raw-distance stack buffer with it.
+ */
+inline constexpr int kMaxBatchCandidates = 128;
+
 /** Matching domain over a DCT patch field (BM1, Path A). */
 class DctMatchDomain
 {
   public:
+    /** Element type of a gathered reference descriptor. */
+    using DescType = float;
+
+    /** Float domains score in normalized units; no raw int path. */
+    static constexpr bool kRawBatch = false;
+
     explicit DctMatchDomain(const DctPatchField &field)
         : field_(field), coefs_(field.coefs()),
           norm_(1.0f / static_cast<float>(field.coefs()))
@@ -116,6 +131,12 @@ class DctMatchDomain
 class ColorMatchDomain
 {
   public:
+    /** Element type of a gathered reference descriptor. */
+    using DescType = float;
+
+    /** Float domains score in normalized units; no raw int path. */
+    static constexpr bool kRawBatch = false;
+
     ColorMatchDomain(const image::ImageF &plane, int patch_size)
         : patchSize_(patch_size), coefs_(patch_size * patch_size),
           positionsX_(plane.width() - patch_size + 1),
@@ -199,6 +220,273 @@ class ColorMatchDomain
 };
 
 /**
+ * Int16 matching domain over a DCT patch field's quantized planes
+ * (Config::precision == Int16, BM1). Distances are computed as exact
+ * int32 raw SSDs over the Q11.1 coefficient planes — identical bits
+ * at every SIMD level and thread count (integer adds commute) — and
+ * converted to the float matcher's normalized units only at the
+ * boundary. The field must have been built with prepareI16() +
+ * fillRowsI16().
+ */
+class DctMatchDomainI16
+{
+  public:
+    using DescType = int16_t;
+
+    /**
+     * The matcher keeps window-scan distances as raw int32 SSDs and
+     * thresholds them against a precomputed raw tau, deferring the
+     * int32 -> float conversion to the (rare) accepted candidates.
+     */
+    static constexpr bool kRawBatch = true;
+
+    explicit DctMatchDomainI16(const DctPatchField &field)
+        : field_(field), coefs_(field.coefs()),
+          factor_(static_cast<float>(fixed::ssdFactor(
+              field.int16Plan().match, field.coefs())))
+    {
+        if (!field.hasInt16())
+            throw std::logic_error(
+                "DctMatchDomainI16: field has no int16 planes");
+    }
+
+    int positionsX() const { return field_.positionsX(); }
+    int positionsY() const { return field_.positionsY(); }
+    int patchCoefs() const { return coefs_; }
+
+    float
+    distance(int ax, int ay, int bx, int by) const
+    {
+        return static_cast<float>(simd::kernels().ssdSoaI16(
+                   field_.matchPlanesI16(), field_.matchOffset(ax, ay),
+                   field_.matchPlanesI16(), field_.matchOffset(bx, by),
+                   coefs_, INT32_MAX)) *
+               factor_;
+    }
+
+    float
+    distanceBounded(int ax, int ay, int bx, int by, float bound) const
+    {
+        return static_cast<float>(simd::kernels().ssdSoaI16(
+                   field_.matchPlanesI16(), field_.matchOffset(ax, ay),
+                   field_.matchPlanesI16(), field_.matchOffset(bx, by),
+                   coefs_, rawBound(bound, factor_))) *
+               factor_;
+    }
+
+    bool supportsBatch() const { return true; }
+
+    void
+    gatherRef(int x, int y, int16_t *out) const
+    {
+        field_.gatherMatchPatchI16(x, y, out);
+    }
+
+    void
+    distanceBatch(const int16_t *ref, int x0, int y, int count,
+                  float *out) const
+    {
+        int32_t tmp[kMaxBatchCandidates];
+        distanceBatchRaw(ref, x0, y, count, tmp);
+        for (int i = 0; i < count; ++i)
+            out[i] = fromRaw(tmp[i]);
+    }
+
+    /** Raw int32 SSDs of the run — no normalization, no conversion. */
+    void
+    distanceBatchRaw(const int16_t *ref, int x0, int y, int count,
+                     int32_t *out) const
+    {
+        simd::kernels().ssdPairBatchI16(ref, field_.matchPairPlanesI16(),
+                                        field_.matchOffset(x0, y), coefs_,
+                                        count, out);
+    }
+
+    /** Raw SSD -> the normalized units distanceBatch reports. */
+    float
+    fromRaw(int32_t raw) const
+    {
+        return static_cast<float>(raw) * factor_;
+    }
+
+    /**
+     * Smallest raw SSD whose normalized distance fails `d < tau`:
+     * `raw < rawThreshold(tau)` is exactly equivalent to
+     * `fromRaw(raw) < tau`, so raw-side selection picks the identical
+     * match set.
+     */
+    int32_t
+    rawThreshold(float tau) const
+    {
+        return exactRawThreshold(tau, factor_);
+    }
+
+    /**
+     * Float bound -> raw int32 bound. Truncation is the safe
+     * direction: raw > floor(bound/factor) implies raw * factor >
+     * bound, so early-exited partials still compare above the bound.
+     */
+    static int32_t
+    rawBound(float bound, float factor)
+    {
+        const double scaled = static_cast<double>(bound) / factor;
+        return scaled >= 2147483647.0 ? INT32_MAX
+                                      : static_cast<int32_t>(scaled);
+    }
+
+    /**
+     * min { r : float(r) * factor >= tau }, clamped to INT32_MAX.
+     * float(r) * factor is monotonic in r, so starting from the
+     * truncated estimate and nudging across the rounding boundary
+     * converges in a couple of steps.
+     */
+    static int32_t
+    exactRawThreshold(float tau, float factor)
+    {
+        int64_t t = rawBound(tau, factor);
+        while (t < INT32_MAX &&
+               static_cast<float>(t) * factor < tau)
+            ++t;
+        while (t > 0 && static_cast<float>(t - 1) * factor >= tau)
+            --t;
+        return static_cast<int32_t>(t);
+    }
+
+  private:
+    const DctPatchField &field_;
+    int coefs_;
+    float factor_;
+};
+
+/**
+ * Int16 color-domain matching (Config::precision == Int16, BM2): the
+ * basic-estimate plane is quantized once to Q8.4 raws and the pp
+ * coefficient planes are shifted views of that copy (same offset
+ * scheme as ColorMatchDomain). One quantization pass per stage-2
+ * plane buys int16 SSD lanes for the whole BM2 window scan.
+ */
+class ColorMatchDomainI16
+{
+  public:
+    using DescType = int16_t;
+
+    /** Same raw-int32 window-scan contract as DctMatchDomainI16. */
+    static constexpr bool kRawBatch = true;
+
+    ColorMatchDomainI16(const image::ImageF &plane, int patch_size)
+        : patchSize_(patch_size), coefs_(patch_size * patch_size),
+          positionsX_(plane.width() - patch_size + 1),
+          positionsY_(plane.height() - patch_size + 1),
+          rowStride_(plane.width()), fmt_(fixed::colorMatchFormat()),
+          factor_(static_cast<float>(fixed::ssdFactor(
+              fixed::colorMatchFormat(), patch_size * patch_size)))
+    {
+        const size_t n =
+            static_cast<size_t>(plane.width()) * plane.height();
+        pixelsQ_.resize(n);
+        fixed::quantizeToI16(plane.plane(0), n, fmt_, pixelsQ_.data());
+        planes_.resize(coefs_);
+        for (int r = 0; r < patch_size; ++r)
+            for (int c = 0; c < patch_size; ++c)
+                planes_[r * patch_size + c] =
+                    pixelsQ_.data() + static_cast<size_t>(r) * rowStride_ +
+                    c;
+    }
+
+    int positionsX() const { return positionsX_; }
+    int positionsY() const { return positionsY_; }
+    int patchCoefs() const { return coefs_; }
+
+    float
+    distance(int ax, int ay, int bx, int by) const
+    {
+        return static_cast<float>(simd::kernels().ssdSoaI16(
+                   planes_.data(), offset(ax, ay), planes_.data(),
+                   offset(bx, by), coefs_, INT32_MAX)) *
+               factor_;
+    }
+
+    float
+    distanceBounded(int ax, int ay, int bx, int by, float bound) const
+    {
+        return static_cast<float>(simd::kernels().ssdSoaI16(
+                   planes_.data(), offset(ax, ay), planes_.data(),
+                   offset(bx, by), coefs_,
+                   DctMatchDomainI16::rawBound(bound, factor_))) *
+               factor_;
+    }
+
+    bool supportsBatch() const { return true; }
+
+    void
+    gatherRef(int x, int y, int16_t *out) const
+    {
+        const size_t off = offset(x, y);
+        for (int k = 0; k < coefs_; ++k)
+            out[k] = planes_[k][off];
+    }
+
+    void
+    distanceBatch(const int16_t *ref, int x0, int y, int count,
+                  float *out) const
+    {
+        int32_t tmp[kMaxBatchCandidates];
+        distanceBatchRaw(ref, x0, y, count, tmp);
+        for (int i = 0; i < count; ++i)
+            out[i] = fromRaw(tmp[i]);
+    }
+
+    /**
+     * Raw int32 SSDs of the run — no normalization, no conversion.
+     * This domain deliberately keeps the plain shifted-view layout
+     * rather than materializing pair-interleaved planes: the views
+     * all alias one half-megabyte quantized copy that stays L2-
+     * resident across the whole stage-2 scan, and in the full
+     * pipeline (searches interleaved with denoising work) that
+     * footprint win beats the pair kernel's shuffle-free inner loop,
+     * which needs a 16x larger array.
+     */
+    void
+    distanceBatchRaw(const int16_t *ref, int x0, int y, int count,
+                     int32_t *out) const
+    {
+        simd::kernels().ssdSoaBatchI16(ref, planes_.data(),
+                                       offset(x0, y), coefs_, count, out);
+    }
+
+    /** Raw SSD -> the normalized units distanceBatch reports. */
+    float
+    fromRaw(int32_t raw) const
+    {
+        return static_cast<float>(raw) * factor_;
+    }
+
+    /** See DctMatchDomainI16::rawThreshold. */
+    int32_t
+    rawThreshold(float tau) const
+    {
+        return DctMatchDomainI16::exactRawThreshold(tau, factor_);
+    }
+
+  private:
+    size_t
+    offset(int x, int y) const
+    {
+        return static_cast<size_t>(y) * rowStride_ + x;
+    }
+
+    int patchSize_;
+    int coefs_;
+    int positionsX_;
+    int positionsY_;
+    size_t rowStride_;
+    fixed::Format fmt_;
+    float factor_;
+    std::vector<int16_t> pixelsQ_;        ///< quantized plane copy
+    std::vector<const int16_t *> planes_; ///< shifted views of the copy
+};
+
+/**
  * Block-matching engine over a matching domain.
  *
  * search() performs the full Ns x Ns window scan; searchReuse()
@@ -227,6 +515,8 @@ class BlockMatcher
           searchStride_(search_stride), refStride_(ref_stride),
           tauMatch_(tau_match), maxMatches_(max_matches), bounded_(bounded)
     {
+        if constexpr (Domain::kRawBatch)
+            rawTau_ = domain.rawThreshold(tau_match);
     }
 
     /**
@@ -252,7 +542,7 @@ class BlockMatcher
             // is identical to the bounded scalar path: the batch
             // kernel returns exact distances, and any bounded early
             // exit only happens above the acceptance bound.
-            float ref[64];
+            typename Domain::DescType ref[64];
             domain_.gatherRef(xr, yr, ref);
             for (int y = y_lo; y <= y_hi; ++y) {
                 if (y == yr) {
@@ -388,7 +678,7 @@ class BlockMatcher
         const int wy_hi = std::min(domain_.positionsY() - 1, yr + sh);
 
         if (searchStride_ == 1 && domain_.supportsBatch()) {
-            float ref[64];
+            typename Domain::DescType ref[64];
             domain_.gatherRef(xr, yr, ref);
             for (int y = wy_lo; y <= wy_hi; ++y) {
                 if (y == yr) {
@@ -445,19 +735,50 @@ class BlockMatcher
      * in practice). Requires domain_.supportsBatch().
      */
     void
-    considerRun(const float *ref, int x0, int x1, int y, MatchList &out,
-                uint64_t &evaluated) const
+    considerRun(const typename Domain::DescType *ref, int x0, int x1,
+                int y, MatchList &out, uint64_t &evaluated) const
     {
-        constexpr int kChunk = 128; // multiple of 8; > any usual window
-        float d[kChunk];
-        for (int x = x0; x <= x1; x += kChunk) {
-            const int count = std::min(kChunk, x1 - x + 1);
-            domain_.distanceBatch(ref, x, y, count, d);
-            for (int i = 0; i < count; ++i) {
-                if (d[i] < tauMatch_)
-                    out.insert(Match{x + i, y, d[i]});
+        // multiple of 8; > any usual window
+        constexpr int kChunk = kMaxBatchCandidates;
+        if constexpr (Domain::kRawBatch) {
+            // Raw-side thresholding: the window scan stays in int32
+            // (no per-candidate int->float conversion) and candidates
+            // die on one integer compare. The cutoff is the exact raw
+            // image of min(tau, current 16th-best distance) — in the
+            // DCT domain ~75% of candidates sit below tau, so gating
+            // on tau alone would convert and attempt an insert for
+            // nearly every candidate. d < cutoff implies the insert
+            // accepts, and every candidate the insert would accept
+            // satisfies d < cutoff (rawThreshold() is the exact
+            // boundary), so the selected set is bitwise identical.
+            int32_t d[kChunk];
+            int32_t cutoff = std::min(
+                rawTau_, domain_.rawThreshold(out.worstDistance()));
+            for (int x = x0; x <= x1; x += kChunk) {
+                const int count = std::min(kChunk, x1 - x + 1);
+                domain_.distanceBatchRaw(ref, x, y, count, d);
+                for (int i = 0; i < count; ++i) {
+                    if (d[i] < cutoff) {
+                        out.insert(
+                            Match{x + i, y, domain_.fromRaw(d[i])});
+                        cutoff = std::min(
+                            rawTau_,
+                            domain_.rawThreshold(out.worstDistance()));
+                    }
+                }
+                evaluated += count;
             }
-            evaluated += count;
+        } else {
+            float d[kChunk];
+            for (int x = x0; x <= x1; x += kChunk) {
+                const int count = std::min(kChunk, x1 - x + 1);
+                domain_.distanceBatch(ref, x, y, count, d);
+                for (int i = 0; i < count; ++i) {
+                    if (d[i] < tauMatch_)
+                        out.insert(Match{x + i, y, d[i]});
+                }
+                evaluated += count;
+            }
         }
     }
 
@@ -477,6 +798,7 @@ class BlockMatcher
     int searchStride_;
     int refStride_;
     float tauMatch_;
+    int32_t rawTau_ = 0; ///< exact raw tau (kRawBatch domains only)
     int maxMatches_;
     bool bounded_;
 };

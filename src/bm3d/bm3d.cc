@@ -380,6 +380,13 @@ Bm3d::runStage(Stage stage, const image::ImageF &noisy,
             // Streaming runtime: the prepass already computed DCT1 on
             // another thread (overlapping the previous frame's
             // stage 2), and accounts its time/ops itself.
+            if (config_.precision == Precision::Int16 &&
+                opts.field->hasInt16()) {
+                DctMatchDomainI16 domain(*opts.field);
+                return runStageWithDomain(config_, stage, domain, noisy,
+                                          basic, opts.field, profile,
+                                          opts);
+            }
             DctMatchDomain domain(*opts.field);
             return runStageWithDomain(config_, stage, domain, noisy,
                                       basic, opts.field, profile, opts);
@@ -393,7 +400,21 @@ Bm3d::runStage(Stage stage, const image::ImageF &noisy,
             image::ImageF plane0 = noisy.extractPlane(0);
             field.build(plane0, dct, config_.lambda2d * config_.sigma,
                         config_.fixedPoint, &ops, opts.arena);
+            if (config_.precision == Precision::Int16) {
+                // Int16 matching planes in addition to the float field:
+                // DE1 still reads the float raw coefficients (Path C),
+                // only BM1's SSD datapath is quantized.
+                field.prepareI16();
+                field.fillRowsI16(plane0, dct,
+                                  config_.lambda2d * config_.sigma, 0,
+                                  field.positionsY());
+            }
             profile.addOps(Step::Dct1, ops);
+        }
+        if (config_.precision == Precision::Int16) {
+            DctMatchDomainI16 domain(field);
+            return runStageWithDomain(config_, stage, domain, noisy,
+                                      basic, &field, profile, opts);
         }
         DctMatchDomain domain(field);
         return runStageWithDomain(config_, stage, domain, noisy, basic,
@@ -414,9 +435,18 @@ Bm3d::runStage(Stage stage, const image::ImageF &noisy,
     } else {
         basic_plane0 = basic->extractPlane(0);
     }
-    ColorMatchDomain domain(basic_plane0, config_.patchSize);
-    image::ImageF out = runStageWithDomain(config_, stage, domain, noisy,
-                                           basic, nullptr, profile, opts);
+    image::ImageF out;
+    if (config_.precision == Precision::Int16) {
+        // BM2 in int16: quantize the basic-estimate matching plane to
+        // Q8.4 once; DE2 stays float on the original planes.
+        ColorMatchDomainI16 domain(basic_plane0, config_.patchSize);
+        out = runStageWithDomain(config_, stage, domain, noisy, basic,
+                                 nullptr, profile, opts);
+    } else {
+        ColorMatchDomain domain(basic_plane0, config_.patchSize);
+        out = runStageWithDomain(config_, stage, domain, noisy, basic,
+                                 nullptr, profile, opts);
+    }
     if (opts.arena != nullptr)
         opts.arena->release(basic_plane0.takeStorage());
     return out;

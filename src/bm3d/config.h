@@ -24,6 +24,23 @@ enum class Stage {
     Wiener,        ///< stage 2: BM2 + DE2
 };
 
+/**
+ * Arithmetic precision of the block-matching datapath.
+ *
+ * Int16 quantizes the matching planes (thresholded DCT coefficients
+ * for BM1, basic-estimate pixels for BM2) to the int16 Q formats of
+ * fixed/int16plan.h and runs the SSD kernels on int16 lanes — twice
+ * the AVX2 throughput of float. The denoising engine (DE1/DE2) stays
+ * in float, so output is NOT bitwise equal to Float32 but is bitwise
+ * deterministic across SIMD levels and thread counts within Int16.
+ * Requires patchSize == 4; temporal match seeding is disabled under
+ * Int16.
+ */
+enum class Precision {
+    Float32, ///< full float matching (the default)
+    Int16,   ///< quantized int16 matching datapath
+};
+
 /** Spectrum-shrinkage weighting scheme for the aggregation step. */
 enum class WeightingMode {
     /**
@@ -137,6 +154,9 @@ struct Bm3dConfig
      */
     std::optional<fixed::PipelineFormats> fixedPoint;
 
+    /// Precision of the block-matching datapath (see Precision).
+    Precision precision = Precision::Float32;
+
     /// Number of worker threads (1 = single-thread; 0 or negative
     /// selects the hardware thread count).
     int numThreads = 1;
@@ -175,6 +195,9 @@ struct Bm3dConfig
             throw std::invalid_argument("sharpenAlpha must be >= 1");
         if (tileGrain < 1)
             throw std::invalid_argument("tileGrain must be >= 1");
+        if (precision == Precision::Int16 && patchSize != 4)
+            throw std::invalid_argument(
+                "int16 precision requires patchSize == 4");
     }
 
     /** Search window size of @p stage. */

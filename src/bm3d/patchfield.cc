@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "runtime/arena.h"
+#include "simd/simd.h"
 
 namespace ideal {
 namespace bm3d {
@@ -130,6 +131,105 @@ DctPatchField::fillRows(
                     off;
                 for (int j = 0; j < nb; ++j)
                     out[j] = tbuf[k][j];
+            }
+        }
+    }
+    return static_cast<uint64_t>(y1 - y0) * posX_;
+}
+
+void
+DctPatchField::prepareI16()
+{
+    if (patchSize_ != 4)
+        throw std::invalid_argument(
+            "DctPatchField: int16 planes require a 4x4 patch");
+    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
+    matchI16_.resize(plane_stride * coefs_);
+    matchPlanesI16_.resize(coefs_);
+    for (int k = 0; k < coefs_; ++k)
+        matchPlanesI16_[k] =
+            matchI16_.data() + static_cast<size_t>(k) * plane_stride;
+    // Pair-interleaved twin for the window-scan batch kernel: coefs/2
+    // planes of 2 * plane_stride raws each (same total footprint).
+    matchPairsI16_.resize(plane_stride * coefs_);
+    matchPairPlanesI16_.resize(coefs_ / 2);
+    for (int p = 0; p < coefs_ / 2; ++p)
+        matchPairPlanesI16_[p] =
+            matchPairsI16_.data() +
+            static_cast<size_t>(p) * 2 * plane_stride;
+}
+
+uint64_t
+DctPatchField::fillRowsI16(const image::ImageF &plane,
+                           const transforms::Dct2D &dct, float threshold,
+                           int y0, int y1)
+{
+    if (plane.channels() != 1)
+        throw std::invalid_argument("DctPatchField: expected 1 channel");
+    if (plane.width() - patchSize_ + 1 != posX_ ||
+        plane.height() - patchSize_ + 1 != posY_)
+        throw std::invalid_argument("DctPatchField: plane/prepare mismatch");
+    if (matchPlanesI16_.empty())
+        throw std::logic_error("DctPatchField: prepareI16() not called");
+    y0 = std::max(y0, 0);
+    y1 = std::min(y1, posY_);
+    if (y0 >= y1)
+        return 0;
+
+    // The folded half matrices in Q13 raws: even[m*2+i] = C[2m][i],
+    // odd[m*2+i] = C[2m+1][i] (the float kernels' fwdEven_/fwdOdd_
+    // layout). Locals, recomputed per band: quantization is pure, so
+    // bands stay freely parallel with no shared mutable state.
+    const float even_f[4] = {dct.coefficient(0, 0), dct.coefficient(0, 1),
+                             dct.coefficient(2, 0), dct.coefficient(2, 1)};
+    const float odd_f[4] = {dct.coefficient(1, 0), dct.coefficient(1, 1),
+                            dct.coefficient(3, 0), dct.coefficient(3, 1)};
+    int16_t evenQ[4], oddQ[4];
+    fixed::quantizeBasisQ(even_f, 4, planI16_.coefFracBits, evenQ);
+    fixed::quantizeBasisQ(odd_f, 4, planI16_.coefFracBits, oddQ);
+
+    const int16_t thr_raw = static_cast<int16_t>(
+        planI16_.match.quantize(static_cast<double>(threshold)));
+
+    const simd::KernelTable &k = simd::kernels();
+    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
+
+    // Same blocked SoA scatter as fillRows(); the per-patch pipeline
+    // is quantize pixels -> int16 folded DCT -> saturating hard
+    // threshold, all in pure integer ops, so any banding and any
+    // dispatch level produce identical planes.
+    constexpr int kBlock = 8;
+    float pixels[16];
+    int16_t pixq[16], coefq[16];
+    int16_t tbuf[16][kBlock];
+    for (int y = y0; y < y1; ++y) {
+        for (int x0 = 0; x0 < posX_; x0 += kBlock) {
+            const int nb = std::min(kBlock, posX_ - x0);
+            for (int j = 0; j < nb; ++j) {
+                const int x = x0 + j;
+                extractPatch(plane, x, y, patchSize_, pixels);
+                fixed::quantizeToI16(pixels, 16, planI16_.pixel, pixq);
+                k.dct4ForwardI16(pixq, coefq, evenQ, oddQ,
+                                 planI16_.shift1, planI16_.shift2);
+                if (threshold > 0.0f)
+                    k.hardThresholdI16(coefq, coefs_, thr_raw);
+                for (int c = 0; c < coefs_; ++c)
+                    tbuf[c][j] = coefq[c];
+            }
+            const size_t off = matchOffset(x0, y);
+            for (int c = 0; c < coefs_; ++c) {
+                int16_t *out = matchI16_.data() +
+                               static_cast<size_t>(c) * plane_stride + off;
+                for (int j = 0; j < nb; ++j)
+                    out[j] = tbuf[c][j];
+                // Pair-interleaved scatter: coefficient c lands at
+                // slot (c & 1) of pair plane c / 2.
+                int16_t *pout = matchPairsI16_.data() +
+                                static_cast<size_t>(c / 2) * 2 *
+                                    plane_stride +
+                                2 * off + (c & 1);
+                for (int j = 0; j < nb; ++j)
+                    pout[2 * j] = tbuf[c][j];
             }
         }
     }

@@ -18,6 +18,7 @@
 
 #include "bm3d/profile.h"
 #include "fixed/format.h"
+#include "fixed/int16plan.h"
 #include "image/image.h"
 #include "transforms/dct.h"
 
@@ -144,6 +145,62 @@ class DctPatchField
             out[k] = matchPlanes_[k][off];
     }
 
+    /**
+     * Size the quantized int16 matching planes (Config::precision ==
+     * Int16). Call after prepare(); storage is plain vectors (the
+     * arena is float-only) whose capacity persists across frames, so
+     * steady-state re-preparation allocates nothing. Requires a 4x4
+     * patch (the int16 DCT is the folded 4x4 kernel).
+     */
+    void prepareI16();
+
+    /**
+     * Quantized twin of fillRows() over position rows [y0, y1): pixel
+     * rows are quantized to the plan's Q8.6 and transformed with the
+     * int16 folded DCT + saturating hard threshold, scattered into
+     * int16 SoA planes. Runs in addition to fillRows() (the float
+     * raw_ coefficients still feed the denoising engine). Disjoint
+     * row bands compose bitwise-identically, like fillRows().
+     * @return the number of patches transformed
+     */
+    uint64_t fillRowsI16(const image::ImageF &plane,
+                         const transforms::Dct2D &dct, float threshold,
+                         int y0, int y1);
+
+    /** True once prepareI16()/fillRowsI16() built the int16 planes. */
+    bool hasInt16() const { return !matchPlanesI16_.empty(); }
+
+    /** Int16 twin of matchPlanes(); same offset scheme. */
+    const int16_t *const *
+    matchPlanesI16() const
+    {
+        return matchPlanesI16_.data();
+    }
+
+    /**
+     * Pair-interleaved int16 planes for the window-scan batch kernel
+     * (simd ssdPairBatchI16): plane p holds coefficients (2p, 2p+1)
+     * of position idx at indices (2 idx, 2 idx + 1). Built alongside
+     * the plain planes by fillRowsI16().
+     */
+    const int16_t *const *
+    matchPairPlanesI16() const
+    {
+        return matchPairPlanesI16_.data();
+    }
+
+    /** Int16 twin of gatherMatchPatch(). */
+    void
+    gatherMatchPatchI16(int x, int y, int16_t *out) const
+    {
+        const size_t off = matchOffset(x, y);
+        for (int k = 0; k < coefs_; ++k)
+            out[k] = matchPlanesI16_[k][off];
+    }
+
+    /** Q-format plan of the int16 planes. */
+    const fixed::Int16DctPlan &int16Plan() const { return planI16_; }
+
   private:
     size_t
     index(int x, int y) const
@@ -159,6 +216,14 @@ class DctPatchField
     std::vector<float> match_;               ///< SoA coefficient planes
     std::vector<const float *> matchPlanes_; ///< plane base pointers
     runtime::BufferArena *arena_ = nullptr;  ///< owns raw_/match_ storage
+
+    // Int16 matching path (built on demand; plain vectors — the arena
+    // only pools float buffers — reusing capacity across frames).
+    fixed::Int16DctPlan planI16_;
+    std::vector<int16_t> matchI16_; ///< int16 SoA coefficient planes
+    std::vector<const int16_t *> matchPlanesI16_;
+    std::vector<int16_t> matchPairsI16_; ///< pair-interleaved planes
+    std::vector<const int16_t *> matchPairPlanesI16_;
 };
 
 /**

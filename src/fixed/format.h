@@ -60,6 +60,14 @@ struct Format
     quantize(double value) const
     {
         double scaled = value * scale();
+        // Clamp before rounding: llround on a value outside int64's
+        // range (huge inputs, infinities) is undefined — on x86 it
+        // returns LLONG_MIN regardless of sign, which saturate() would
+        // then clamp to minRaw() even for +inf. The double bounds are
+        // exact (raw limits are far below 2^53), and values already at
+        // the positive clamp boundary can no longer round past it.
+        scaled = std::clamp(scaled, static_cast<double>(minRaw()),
+                            static_cast<double>(maxRaw()));
         // llround rounds half away from zero, matching the behaviour of
         // a hardware round-to-nearest stage.
         return saturate(std::llround(scaled));

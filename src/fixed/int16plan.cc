@@ -1,0 +1,51 @@
+#include "fixed/int16plan.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ideal {
+namespace fixed {
+
+Format
+colorMatchFormat()
+{
+    return Format(8, 4);
+}
+
+int
+ssdSafeMagnitudeBits(int pp)
+{
+    assert(pp >= 1);
+    int log2pp = 0;
+    while ((1 << log2pp) < pp)
+        ++log2pp;
+    // Worst-case |a - b| < 2^(m+1), so each square < 2^(2m+2) and the
+    // pp-term sum < 2^(2m+2+log2pp); exact while that stays < 2^31.
+    return (31 - 2 - log2pp) / 2;
+}
+
+void
+quantizeToI16(const float *src, size_t n, const Format &f, int16_t *dst)
+{
+    assert(f.magnitudeBits() <= 15);
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<int16_t>(f.quantize(src[i]));
+}
+
+void
+quantizeBasisQ(const float *values, int n, int frac_bits, int16_t *out)
+{
+    const Format f(15 - frac_bits, frac_bits);
+    for (int i = 0; i < n; ++i)
+        out[i] = static_cast<int16_t>(f.quantize(values[i]));
+}
+
+double
+ssdFactor(const Format &f, int pp)
+{
+    const double s = f.scale();
+    return 1.0 / (s * s * static_cast<double>(pp));
+}
+
+} // namespace fixed
+} // namespace ideal

@@ -1,0 +1,74 @@
+#ifndef IDEAL_FIXED_INT16PLAN_H_
+#define IDEAL_FIXED_INT16PLAN_H_
+
+/**
+ * @file
+ * Q-format plan for the CPU int16 matching datapath (DESIGN §10).
+ *
+ * The paper's accelerator formats (Q11.12 after DCT etc.,
+ * PipelineFormats) need more than 16 bits of storage, so the CPU
+ * int16 kernels use narrower per-stage formats chosen such that
+ *  - every stored value fits int16, and
+ *  - a 16-coefficient SSD of stored values fits int32 exactly
+ *    (2*m + 2 + ceil(log2(pp)) <= 31 for m magnitude bits).
+ *
+ * DCT-domain match coefficients are stored as Q11.1 (2-D DCT of 8-bit
+ * pixels is bounded by 4*255 ~ 1020, raw <= 2048, m = 12) and
+ * color-domain samples as Q8.4 (raw <= 4096, m = 12); both satisfy
+ * the m <= 12 exactness bound for pp = 16.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fixed/format.h"
+
+namespace ideal {
+namespace fixed {
+
+/**
+ * Formats and shift schedule for the int16 folded 4x4 DCT used to
+ * build quantized match planes.
+ *
+ * Pixels are quantized to Q8.6; the DCT basis to Q2.13 raws (max
+ * entry 0.6533 -> raw 5352). Each 1-D pass runs in int32 (products
+ * stay below 2^31) and renormalizes with a round-to-nearest right
+ * shift, saturating to int16 only when packing pass outputs:
+ *   pass 1: Q8.6 x Q13 >> 14 -> Q10.5
+ *   pass 2: Q10.5 x Q13 >> 17 -> Q11.1 (match storage)
+ */
+struct Int16DctPlan
+{
+    Format pixel{8, 6};    ///< quantized plane samples
+    Format match{11, 1};   ///< thresholded 2-D DCT coefficients
+    int coefFracBits = 13; ///< Q-format of the quantized DCT basis
+    int shift1 = 14;       ///< pass-1 renormalization (6+13-14 = 5 frac)
+    int shift2 = 17;       ///< pass-2 renormalization (5+13-17 = 1 frac)
+};
+
+/** Storage format of the quantized BM2 color-domain plane. */
+Format colorMatchFormat();
+
+/**
+ * Largest magnitude-bit count m such that a pp-coefficient SSD of
+ * int16 values with |raw| < 2^m is exact in int32.
+ */
+int ssdSafeMagnitudeBits(int pp);
+
+/** Quantize a float span into int16 raws of @p f (round + saturate). */
+void quantizeToI16(const float *src, size_t n, const Format &f, int16_t *dst);
+
+/** Quantize DCT basis entries to Q(frac_bits) int16 raws. */
+void quantizeBasisQ(const float *values, int n, int frac_bits, int16_t *out);
+
+/**
+ * Factor converting an int32 raw SSD over @p pp coefficients stored
+ * in format @p f into the float matcher's normalized distance
+ * (mean squared real-value difference): 1 / (scale^2 * pp).
+ */
+double ssdFactor(const Format &f, int pp);
+
+} // namespace fixed
+} // namespace ideal
+
+#endif // IDEAL_FIXED_INT16PLAN_H_

@@ -221,6 +221,14 @@ StreamDenoiser::prepassMain()
                 const uint64_t patches = slot->field.fillRows(
                     slot->plane0, dct_, tht_, config_.frame.fixedPoint, 0,
                     slot->field.positionsY());
+                if (config_.frame.precision == bm3d::Precision::Int16) {
+                    // Quantized matching planes alongside the float
+                    // field, so the stage below can pick the int16 SSD
+                    // datapath off the same slot.
+                    slot->field.prepareI16();
+                    slot->field.fillRowsI16(slot->plane0, dct_, tht_, 0,
+                                            slot->field.positionsY());
+                }
                 bm3d::OpCounters ops;
                 bm3d::DctPatchField::countOps(
                     patches, config_.frame.patchSize, tht_ > 0.0f, &ops);

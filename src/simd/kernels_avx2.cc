@@ -465,11 +465,428 @@ mergeAdd(float *num, float *den, const float *onum, const float *oden,
     }
 }
 
+// ---- int16 kernels -----------------------------------------------
+//
+// _mm256_madd_epi16 accumulates 16 int16 lanes per instruction — the
+// throughput win this path exists for. Integer adds commute mod 2^32,
+// so lane/fold order is free; only the element semantics of the
+// scalar reference must hold (and the intrinsics define them).
+
+/** Scalar element helpers for tails (same bodies as the scalar TU). */
+inline int16_t
+diffI16(int16_t a, int16_t b)
+{
+    return static_cast<int16_t>(static_cast<uint16_t>(a) -
+                                static_cast<uint16_t>(b));
+}
+
+inline uint32_t
+sqI16(int16_t d)
+{
+    return static_cast<uint32_t>(static_cast<int32_t>(d) * d);
+}
+
+inline int16_t
+satAddI16(int16_t a, int16_t b)
+{
+    const int32_t v = static_cast<int32_t>(a) + b;
+    return static_cast<int16_t>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+
+inline int16_t
+satSubI16(int16_t a, int16_t b)
+{
+    const int32_t v = static_cast<int32_t>(a) - b;
+    return static_cast<int16_t>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+
+inline int16_t
+mulhrsI16(int16_t a, int16_t b)
+{
+    return static_cast<int16_t>(
+        (static_cast<int32_t>(a) * b + 0x4000) >> 15);
+}
+
+/** Wrapping horizontal sum of the 8 int32 lanes. */
+inline uint32_t
+hsumEpi32(__m256i v)
+{
+    __m128i t = _mm_add_epi32(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    t = _mm_add_epi32(t, _mm_srli_si128(t, 8));
+    t = _mm_add_epi32(t, _mm_srli_si128(t, 4));
+    return static_cast<uint32_t>(_mm_cvtsi128_si32(t));
+}
+
+int32_t
+ssdI16(const int16_t *a, const int16_t *b, int len)
+{
+    __m256i acc = _mm256_setzero_si256();
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        const __m256i d = _mm256_sub_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + i)));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+    }
+    uint32_t r = hsumEpi32(acc);
+    for (; i < len; ++i)
+        r += sqI16(diffI16(a[i], b[i]));
+    return static_cast<int32_t>(r);
+}
+
+inline uint32_t
+ssdBlock16I16(const int16_t *a, const int16_t *b)
+{
+    const __m256i d = _mm256_sub_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b)));
+    return hsumEpi32(_mm256_madd_epi16(d, d));
+}
+
+int32_t
+ssdBoundedI16(const int16_t *a, const int16_t *b, int len, int32_t bound)
+{
+    uint32_t acc = 0;
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        acc += ssdBlock16I16(a + i, b + i);
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    for (; i < len; ++i) {
+        acc += sqI16(diffI16(a[i], b[i]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    return static_cast<int32_t>(acc);
+}
+
+/** Strided gathers — scalar at every level (like the float ssdSoa). */
+int32_t
+ssdSoaI16(const int16_t *const *pa, size_t off_a, const int16_t *const *pb,
+          size_t off_b, int len, int32_t bound)
+{
+    uint32_t acc = 0;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        for (int j = 0; j < 16; ++j)
+            acc += sqI16(diffI16(pa[k + j][off_a], pb[k + j][off_b]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    for (; k < len; ++k) {
+        acc += sqI16(diffI16(pa[k][off_a], pb[k][off_b]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    return static_cast<int32_t>(acc);
+}
+
+inline int32_t
+ssdSoaOneI16(const int16_t *ref, const int16_t *const *planes, size_t off,
+             int len)
+{
+    uint32_t acc = 0;
+    for (int k = 0; k < len; ++k)
+        acc += sqI16(diffI16(ref[k], planes[k][off]));
+    return static_cast<int32_t>(acc);
+}
+
+void
+ssdSoaBatchI16(const int16_t *ref, const int16_t *const *planes,
+               size_t off, int len, int count, int32_t *out)
+{
+    // Sixteen candidates per pass. Coefficient pairs (k, k+1) are
+    // interleaved per 128-bit lane with unpacklo/hi so one madd
+    // accumulates both squares per candidate:
+    //   accA int32 lanes = candidates {0-3, 8-11},
+    //   accB int32 lanes = candidates {4-7, 12-15};
+    // permute2x128 relinearizes after the loop.
+    const auto block16 = [&](size_t o, int32_t *dst) {
+        __m256i accA = _mm256_setzero_si256();
+        __m256i accB = _mm256_setzero_si256();
+        int k = 0;
+        for (; k + 2 <= len; k += 2) {
+            const __m256i dk = _mm256_sub_epi16(
+                _mm256_set1_epi16(ref[k]),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(planes[k] + o)));
+            const __m256i dk1 = _mm256_sub_epi16(
+                _mm256_set1_epi16(ref[k + 1]),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(planes[k + 1] + o)));
+            const __m256i lo = _mm256_unpacklo_epi16(dk, dk1);
+            const __m256i hi = _mm256_unpackhi_epi16(dk, dk1);
+            accA = _mm256_add_epi32(accA, _mm256_madd_epi16(lo, lo));
+            accB = _mm256_add_epi32(accB, _mm256_madd_epi16(hi, hi));
+        }
+        __m256i out0 = _mm256_permute2x128_si256(accA, accB, 0x20);
+        __m256i out1 = _mm256_permute2x128_si256(accA, accB, 0x31);
+        if (k < len) { // odd trailing coefficient, linear layout
+            const __m256i d = _mm256_sub_epi16(
+                _mm256_set1_epi16(ref[k]),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(planes[k] + o)));
+            const __m256i wa =
+                _mm256_cvtepi16_epi32(_mm256_castsi256_si128(d));
+            const __m256i wb =
+                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(d, 1));
+            out0 = _mm256_add_epi32(out0, _mm256_mullo_epi32(wa, wa));
+            out1 = _mm256_add_epi32(out1, _mm256_mullo_epi32(wb, wb));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst), out0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + 8), out1);
+    };
+    int i = 0;
+    for (; i + 16 <= count; i += 16)
+        block16(off + static_cast<size_t>(i), out + i);
+    if (i < count) {
+        if (count >= 16) {
+            // Overlapped final pass: recompute the last full window of
+            // 16 candidates instead of falling back to strided scalar
+            // gathers. SSDs are pure per-candidate functions, so the
+            // overlapping lanes just rewrite identical values.
+            block16(off + static_cast<size_t>(count - 16),
+                    out + (count - 16));
+        } else {
+            for (; i < count; ++i)
+                out[i] = ssdSoaOneI16(ref, planes,
+                                      off + static_cast<size_t>(i), len);
+        }
+    }
+}
+
+inline int32_t
+ssdPairOneI16(const int16_t *ref, const int16_t *const *pair_planes,
+              size_t o2, int len)
+{
+    uint32_t acc = 0;
+    for (int p = 0; p + 2 <= len; p += 2) {
+        const int16_t *plane = pair_planes[p / 2];
+        acc += sqI16(diffI16(ref[p], plane[o2]));
+        acc += sqI16(diffI16(ref[p + 1], plane[o2 + 1]));
+    }
+    return static_cast<int32_t>(acc);
+}
+
+void
+ssdPairBatchI16(const int16_t *ref, const int16_t *const *pair_planes,
+                size_t off, int len, int count, int32_t *out)
+{
+    // The pair-interleaved layout is what the interleave dance in
+    // ssdSoaBatchI16 exists to synthesize: one 256-bit load covers the
+    // (2p, 2p+1) lanes of eight adjacent candidates and madd against
+    // the broadcast reference pair yields eight already-linear int32
+    // partial sums. Sixteen candidates per pass, two loads and two
+    // madds per pair, zero shuffles.
+    const int pairs = len / 2;
+    __m256i rbc[32]; // ref pairs broadcast once; len <= 64 coefs
+    for (int p = 0; p < pairs && p < 32; ++p) {
+        const uint32_t packed =
+            static_cast<uint16_t>(ref[2 * p]) |
+            (static_cast<uint32_t>(static_cast<uint16_t>(ref[2 * p + 1]))
+             << 16);
+        rbc[p] = _mm256_set1_epi32(static_cast<int32_t>(packed));
+    }
+    const auto block16 = [&](size_t o2, int32_t *dst) {
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        for (int p = 0; p < pairs; ++p) {
+            const int16_t *base = pair_planes[p] + o2;
+            const __m256i d0 = _mm256_sub_epi16(
+                rbc[p], _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(base)));
+            const __m256i d1 = _mm256_sub_epi16(
+                rbc[p],
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(base + 16)));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(d0, d0));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(d1, d1));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst), acc0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + 8), acc1);
+    };
+    int i = 0;
+    for (; i + 16 <= count; i += 16)
+        block16(2 * (off + static_cast<size_t>(i)), out + i);
+    if (i < count) {
+        if (count >= 16) {
+            // Overlapped final pass (see ssdSoaBatchI16).
+            block16(2 * (off + static_cast<size_t>(count - 16)),
+                    out + (count - 16));
+        } else {
+            for (; i < count; ++i)
+                out[i] = ssdPairOneI16(
+                    ref, pair_planes,
+                    2 * (off + static_cast<size_t>(i)), len);
+        }
+    }
+}
+
+/** [set1(lo) | set1(hi)] as 8 int32 lanes. */
+inline __m256i
+pairI32(int lo, int hi)
+{
+    return _mm256_set_m128i(_mm_set1_epi32(hi), _mm_set1_epi32(lo));
+}
+
+/**
+ * Int16 DCT row pass, two output rows per register: widen the four
+ * input rows to int32, mirror fold, compute [row0|row2] from the sums
+ * and [row1|row3] from the differences, rounded shift, then one
+ * 256-bit packs_epi32 whose per-lane packing emits rows 0,1,2,3 in
+ * order.
+ */
+inline void
+dct4PassI16(const int16_t *in, int16_t *out, const int16_t *even,
+            const int16_t *odd, int shift)
+{
+    const __m128i cnt = _mm_cvtsi32_si128(shift);
+    const __m256i rnd = _mm256_set1_epi32(1 << (shift - 1));
+    const __m128i r0 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in)));
+    const __m128i r1 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in + 4)));
+    const __m128i r2 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in + 8)));
+    const __m128i r3 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in + 12)));
+    const __m256i s0 =
+        _mm256_broadcastsi128_si256(_mm_add_epi32(r0, r3));
+    const __m256i s1 =
+        _mm256_broadcastsi128_si256(_mm_add_epi32(r1, r2));
+    const __m256i d0 =
+        _mm256_broadcastsi128_si256(_mm_sub_epi32(r0, r3));
+    const __m256i d1 =
+        _mm256_broadcastsi128_si256(_mm_sub_epi32(r1, r2));
+    const __m256i v02 = _mm256_add_epi32(
+        _mm256_mullo_epi32(pairI32(even[0], even[2]), s0),
+        _mm256_mullo_epi32(pairI32(even[1], even[3]), s1));
+    const __m256i v13 = _mm256_add_epi32(
+        _mm256_mullo_epi32(pairI32(odd[0], odd[2]), d0),
+        _mm256_mullo_epi32(pairI32(odd[1], odd[3]), d1));
+    const __m256i q02 =
+        _mm256_sra_epi32(_mm256_add_epi32(v02, rnd), cnt);
+    const __m256i q13 =
+        _mm256_sra_epi32(_mm256_add_epi32(v13, rnd), cnt);
+    // per lane: low = [row0, row1], high = [row2, row3]
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out),
+                        _mm256_packs_epi32(q02, q13));
+}
+
+/** Pure permutation — bitwise-neutral, scalar is fine. */
+inline void
+transpose4I16(const int16_t *in, int16_t *out)
+{
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            out[c * 4 + r] = in[r * 4 + c];
+}
+
+void
+dct4ForwardI16(const int16_t *in, int16_t *out, const int16_t *even_q,
+               const int16_t *odd_q, int shift1, int shift2)
+{
+    int16_t t1[16], t2[16];
+    dct4PassI16(in, t1, even_q, odd_q, shift1);
+    transpose4I16(t1, t2);
+    dct4PassI16(t2, out, even_q, odd_q, shift2);
+}
+
+void
+haarForwardPairI16(const int16_t *even, const int16_t *odd,
+                   int16_t *approx, int16_t *detail, int16_t factor_q15,
+                   int width)
+{
+    const __m256i f = _mm256_set1_epi16(factor_q15);
+    int c = 0;
+    for (; c + 16 <= width; c += 16) {
+        const __m256i e = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(even + c));
+        const __m256i o = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(odd + c));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(approx + c),
+            _mm256_mulhrs_epi16(_mm256_adds_epi16(e, o), f));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(detail + c),
+            _mm256_mulhrs_epi16(_mm256_subs_epi16(e, o), f));
+    }
+    for (; c < width; ++c) {
+        const int16_t e = even[c];
+        const int16_t o = odd[c];
+        approx[c] = mulhrsI16(satAddI16(e, o), factor_q15);
+        detail[c] = mulhrsI16(satSubI16(e, o), factor_q15);
+    }
+}
+
+void
+haarInversePairI16(const int16_t *approx, const int16_t *detail,
+                   int16_t *out_even, int16_t *out_odd, int16_t factor_q15,
+                   int width)
+{
+    const __m256i f = _mm256_set1_epi16(factor_q15);
+    int c = 0;
+    for (; c + 16 <= width; c += 16) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(approx + c));
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(detail + c));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out_even + c),
+            _mm256_mulhrs_epi16(_mm256_adds_epi16(a, d), f));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out_odd + c),
+            _mm256_mulhrs_epi16(_mm256_subs_epi16(a, d), f));
+    }
+    for (; c < width; ++c) {
+        const int16_t a = approx[c];
+        const int16_t d = detail[c];
+        out_even[c] = mulhrsI16(satAddI16(a, d), factor_q15);
+        out_odd[c] = mulhrsI16(satSubI16(a, d), factor_q15);
+    }
+}
+
+int
+hardThresholdI16(int16_t *v, int count, int16_t threshold)
+{
+    const __m256i thr = _mm256_set1_epi16(threshold);
+    int kept = 0;
+    int i = 0;
+    for (; i + 16 <= count; i += 16) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        // AVX2 has no cmplt: below = thr > abs(x).
+        const __m256i below =
+            _mm256_cmpgt_epi16(thr, _mm256_abs_epi16(x));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(v + i),
+                            _mm256_andnot_si256(below, x));
+        kept += 16 - _mm_popcnt_u32(static_cast<unsigned>(
+                         _mm256_movemask_epi8(below))) /
+                         2;
+    }
+    for (; i < count; ++i) {
+        const int16_t av =
+            v[i] < 0 ? static_cast<int16_t>(-static_cast<int32_t>(v[i]))
+                     : v[i];
+        if (av < threshold)
+            v[i] = 0;
+        else
+            ++kept;
+    }
+    return kept;
+}
+
 const KernelTable kAvx2TableStorage = {
     ssd,           ssdBounded,      ssdFull,       ssdBatch16,
     ssdSoa,        ssdSoaBatch,     dct4Forward,   dct4Inverse,
     haarForwardPair, haarInversePair, hardThreshold, wienerApply,
     aggregateAdd,  mergeAdd,
+    ssdI16,        ssdBoundedI16,   ssdSoaI16,     ssdSoaBatchI16,
+    ssdPairBatchI16,
+    dct4ForwardI16, haarForwardPairI16, haarInversePairI16,
+    hardThresholdI16,
 };
 
 } // namespace

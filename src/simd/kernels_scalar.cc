@@ -322,6 +322,241 @@ mergeAdd(float *num, float *den, const float *onum, const float *oden,
     }
 }
 
+// ---- int16 kernels (simd.h "Int16 kernels" contract) -------------
+//
+// Element-level semantics are the spec here: wrapping int16
+// difference, square accumulated mod 2^32, round-to-nearest right
+// shift, saturation only at pack points. Integer addition commutes,
+// so the vector variants may fold in any order and still match these
+// loops bitwise.
+
+/** Wrapping int16 difference (sub_epi16 semantics). */
+inline int16_t
+diffI16(int16_t a, int16_t b)
+{
+    return static_cast<int16_t>(static_cast<uint16_t>(a) -
+                                static_cast<uint16_t>(b));
+}
+
+/** Square of a wrapped difference as a mod-2^32 term. */
+inline uint32_t
+sqI16(int16_t d)
+{
+    return static_cast<uint32_t>(static_cast<int32_t>(d) * d);
+}
+
+/** Saturating int16 add/sub (adds/subs_epi16 semantics). */
+inline int16_t
+satAddI16(int16_t a, int16_t b)
+{
+    const int32_t v = static_cast<int32_t>(a) + b;
+    return static_cast<int16_t>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+
+inline int16_t
+satSubI16(int16_t a, int16_t b)
+{
+    const int32_t v = static_cast<int32_t>(a) - b;
+    return static_cast<int16_t>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+
+/**
+ * Q15 rounded high multiply (_mm_mulhrs_epi16 semantics, including
+ * the wrapping -32768 * -32768 edge).
+ */
+inline int16_t
+mulhrsI16(int16_t a, int16_t b)
+{
+    return static_cast<int16_t>(
+        (static_cast<int32_t>(a) * b + 0x4000) >> 15);
+}
+
+/** Round-to-nearest arithmetic right shift (shift >= 1). */
+inline int32_t
+rshiftRound(int32_t v, int shift)
+{
+    return (v + (int32_t{1} << (shift - 1))) >> shift;
+}
+
+/** Saturating int32 -> int16 pack (packs_epi32 semantics). */
+inline int16_t
+packSat32(int32_t v)
+{
+    return static_cast<int16_t>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+
+int32_t
+ssdI16(const int16_t *a, const int16_t *b, int len)
+{
+    uint32_t acc = 0;
+    for (int i = 0; i < len; ++i)
+        acc += sqI16(diffI16(a[i], b[i]));
+    return static_cast<int32_t>(acc);
+}
+
+/** One 16-element block of the bounded int16 SSD. */
+inline uint32_t
+ssdBlock16I16(const int16_t *a, const int16_t *b)
+{
+    uint32_t acc = 0;
+    for (int j = 0; j < 16; ++j)
+        acc += sqI16(diffI16(a[j], b[j]));
+    return acc;
+}
+
+int32_t
+ssdBoundedI16(const int16_t *a, const int16_t *b, int len, int32_t bound)
+{
+    uint32_t acc = 0;
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        acc += ssdBlock16I16(a + i, b + i);
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    for (; i < len; ++i) {
+        acc += sqI16(diffI16(a[i], b[i]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    return static_cast<int32_t>(acc);
+}
+
+int32_t
+ssdSoaI16(const int16_t *const *pa, size_t off_a, const int16_t *const *pb,
+          size_t off_b, int len, int32_t bound)
+{
+    uint32_t acc = 0;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        for (int j = 0; j < 16; ++j)
+            acc += sqI16(diffI16(pa[k + j][off_a], pb[k + j][off_b]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    for (; k < len; ++k) {
+        acc += sqI16(diffI16(pa[k][off_a], pb[k][off_b]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    return static_cast<int32_t>(acc);
+}
+
+void
+ssdSoaBatchI16(const int16_t *ref, const int16_t *const *planes,
+               size_t off, int len, int count, int32_t *out)
+{
+    for (int i = 0; i < count; ++i) {
+        const size_t o = off + static_cast<size_t>(i);
+        uint32_t acc = 0;
+        for (int k = 0; k < len; ++k)
+            acc += sqI16(diffI16(ref[k], planes[k][o]));
+        out[i] = static_cast<int32_t>(acc);
+    }
+}
+
+void
+ssdPairBatchI16(const int16_t *ref, const int16_t *const *pair_planes,
+                size_t off, int len, int count, int32_t *out)
+{
+    for (int i = 0; i < count; ++i) {
+        const size_t o = 2 * (off + static_cast<size_t>(i));
+        uint32_t acc = 0;
+        for (int p = 0; p + 2 <= len; p += 2) {
+            const int16_t *plane = pair_planes[p / 2];
+            acc += sqI16(diffI16(ref[p], plane[o]));
+            acc += sqI16(diffI16(ref[p + 1], plane[o + 1]));
+        }
+        out[i] = static_cast<int32_t>(acc);
+    }
+}
+
+/**
+ * Int16 folded 4x4 DCT row pass: mirror fold and half-matrix products
+ * in int32 (|coef| <= 5352 Q13 raws times |sum| <= 65534 stays far
+ * below 2^31), then rounded shift and saturating pack per element.
+ */
+inline void
+dct4PassI16(const int16_t *in, int16_t *out, const int16_t *even,
+            const int16_t *odd, int shift)
+{
+    for (int c = 0; c < 4; ++c) {
+        const int32_t s0 = static_cast<int32_t>(in[c]) + in[12 + c];
+        const int32_t s1 = static_cast<int32_t>(in[4 + c]) + in[8 + c];
+        const int32_t d0 = static_cast<int32_t>(in[c]) - in[12 + c];
+        const int32_t d1 = static_cast<int32_t>(in[4 + c]) - in[8 + c];
+        out[c] = packSat32(rshiftRound(even[0] * s0 + even[1] * s1, shift));
+        out[4 + c] =
+            packSat32(rshiftRound(odd[0] * d0 + odd[1] * d1, shift));
+        out[8 + c] =
+            packSat32(rshiftRound(even[2] * s0 + even[3] * s1, shift));
+        out[12 + c] =
+            packSat32(rshiftRound(odd[2] * d0 + odd[3] * d1, shift));
+    }
+}
+
+inline void
+transpose4I16(const int16_t *in, int16_t *out)
+{
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            out[c * 4 + r] = in[r * 4 + c];
+}
+
+void
+dct4ForwardI16(const int16_t *in, int16_t *out, const int16_t *even_q,
+               const int16_t *odd_q, int shift1, int shift2)
+{
+    int16_t t1[16], t2[16];
+    dct4PassI16(in, t1, even_q, odd_q, shift1);
+    transpose4I16(t1, t2);
+    dct4PassI16(t2, out, even_q, odd_q, shift2);
+}
+
+void
+haarForwardPairI16(const int16_t *even, const int16_t *odd,
+                   int16_t *approx, int16_t *detail, int16_t factor_q15,
+                   int width)
+{
+    for (int c = 0; c < width; ++c) {
+        const int16_t e = even[c];
+        const int16_t o = odd[c];
+        approx[c] = mulhrsI16(satAddI16(e, o), factor_q15);
+        detail[c] = mulhrsI16(satSubI16(e, o), factor_q15);
+    }
+}
+
+void
+haarInversePairI16(const int16_t *approx, const int16_t *detail,
+                   int16_t *out_even, int16_t *out_odd, int16_t factor_q15,
+                   int width)
+{
+    for (int c = 0; c < width; ++c) {
+        const int16_t a = approx[c];
+        const int16_t d = detail[c];
+        out_even[c] = mulhrsI16(satAddI16(a, d), factor_q15);
+        out_odd[c] = mulhrsI16(satSubI16(a, d), factor_q15);
+    }
+}
+
+int
+hardThresholdI16(int16_t *v, int count, int16_t threshold)
+{
+    int kept = 0;
+    for (int i = 0; i < count; ++i) {
+        // abs_epi16 semantics: abs(-32768) stays -32768 and signed-
+        // compares below any positive threshold (always zeroed).
+        const int16_t av =
+            v[i] < 0 ? static_cast<int16_t>(-static_cast<int32_t>(v[i]))
+                     : v[i];
+        if (av < threshold)
+            v[i] = 0;
+        else
+            ++kept;
+    }
+    return kept;
+}
+
 } // namespace
 
 const KernelTable kScalarTable = {
@@ -329,6 +564,10 @@ const KernelTable kScalarTable = {
     ssdSoa,        ssdSoaBatch,     dct4Forward,   dct4Inverse,
     haarForwardPair, haarInversePair, hardThreshold, wienerApply,
     aggregateAdd,  mergeAdd,
+    ssdI16,        ssdBoundedI16,   ssdSoaI16,     ssdSoaBatchI16,
+    ssdPairBatchI16,
+    dct4ForwardI16, haarForwardPairI16, haarInversePairI16,
+    hardThresholdI16,
 };
 
 } // namespace detail

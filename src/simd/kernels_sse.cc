@@ -456,11 +456,402 @@ mergeAdd(float *num, float *den, const float *onum, const float *oden,
     }
 }
 
+// ---- int16 kernels -----------------------------------------------
+//
+// Integer adds commute mod 2^32, so these are free to fold in any
+// lane order; only the element-level semantics (wrapping diffs,
+// mulhrs rounding, pack-point saturation) must match the scalar
+// reference — and the intrinsics ARE that reference.
+
+/** Scalar element helpers for tails (same bodies as the scalar TU). */
+inline int16_t
+diffI16(int16_t a, int16_t b)
+{
+    return static_cast<int16_t>(static_cast<uint16_t>(a) -
+                                static_cast<uint16_t>(b));
+}
+
+inline uint32_t
+sqI16(int16_t d)
+{
+    return static_cast<uint32_t>(static_cast<int32_t>(d) * d);
+}
+
+inline int16_t
+satAddI16(int16_t a, int16_t b)
+{
+    const int32_t v = static_cast<int32_t>(a) + b;
+    return static_cast<int16_t>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+
+inline int16_t
+satSubI16(int16_t a, int16_t b)
+{
+    const int32_t v = static_cast<int32_t>(a) - b;
+    return static_cast<int16_t>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+
+inline int16_t
+mulhrsI16(int16_t a, int16_t b)
+{
+    return static_cast<int16_t>(
+        (static_cast<int32_t>(a) * b + 0x4000) >> 15);
+}
+
+/** Wrapping horizontal sum of the 4 int32 lanes. */
+inline uint32_t
+hsumEpi32(__m128i v)
+{
+    __m128i t = _mm_add_epi32(v, _mm_srli_si128(v, 8));
+    t = _mm_add_epi32(t, _mm_srli_si128(t, 4));
+    return static_cast<uint32_t>(_mm_cvtsi128_si32(t));
+}
+
+int32_t
+ssdI16(const int16_t *a, const int16_t *b, int len)
+{
+    __m128i acc = _mm_setzero_si128();
+    int i = 0;
+    for (; i + 8 <= len; i += 8) {
+        const __m128i d = _mm_sub_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(a + i)),
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(b + i)));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(d, d));
+    }
+    uint32_t r = hsumEpi32(acc);
+    for (; i < len; ++i)
+        r += sqI16(diffI16(a[i], b[i]));
+    return static_cast<int32_t>(r);
+}
+
+inline uint32_t
+ssdBlock16I16(const int16_t *a, const int16_t *b)
+{
+    const __m128i d0 = _mm_sub_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(a)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(b)));
+    const __m128i d1 = _mm_sub_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(a + 8)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(b + 8)));
+    return hsumEpi32(
+        _mm_add_epi32(_mm_madd_epi16(d0, d0), _mm_madd_epi16(d1, d1)));
+}
+
+int32_t
+ssdBoundedI16(const int16_t *a, const int16_t *b, int len, int32_t bound)
+{
+    uint32_t acc = 0;
+    int i = 0;
+    for (; i + 16 <= len; i += 16) {
+        acc += ssdBlock16I16(a + i, b + i);
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    for (; i < len; ++i) {
+        acc += sqI16(diffI16(a[i], b[i]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    return static_cast<int32_t>(acc);
+}
+
+/** Strided gathers — scalar at every level (like the float ssdSoa). */
+int32_t
+ssdSoaI16(const int16_t *const *pa, size_t off_a, const int16_t *const *pb,
+          size_t off_b, int len, int32_t bound)
+{
+    uint32_t acc = 0;
+    int k = 0;
+    for (; k + 16 <= len; k += 16) {
+        for (int j = 0; j < 16; ++j)
+            acc += sqI16(diffI16(pa[k + j][off_a], pb[k + j][off_b]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    for (; k < len; ++k) {
+        acc += sqI16(diffI16(pa[k][off_a], pb[k][off_b]));
+        if (static_cast<int32_t>(acc) > bound)
+            return static_cast<int32_t>(acc);
+    }
+    return static_cast<int32_t>(acc);
+}
+
+inline int32_t
+ssdSoaOneI16(const int16_t *ref, const int16_t *const *planes, size_t off,
+             int len)
+{
+    uint32_t acc = 0;
+    for (int k = 0; k < len; ++k)
+        acc += sqI16(diffI16(ref[k], planes[k][off]));
+    return static_cast<int32_t>(acc);
+}
+
+void
+ssdSoaBatchI16(const int16_t *ref, const int16_t *const *planes,
+               size_t off, int len, int count, int32_t *out)
+{
+    // Eight candidates per pass. Coefficient pairs (k, k+1) are
+    // interleaved with unpacklo/hi so one madd accumulates both
+    // squares per candidate: accA holds candidates 0-3, accB 4-7.
+    const auto block8 = [&](size_t o, int32_t *dst) {
+        __m128i accA = _mm_setzero_si128();
+        __m128i accB = _mm_setzero_si128();
+        int k = 0;
+        for (; k + 2 <= len; k += 2) {
+            const __m128i dk = _mm_sub_epi16(
+                _mm_set1_epi16(ref[k]),
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(planes[k] + o)));
+            const __m128i dk1 = _mm_sub_epi16(
+                _mm_set1_epi16(ref[k + 1]),
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(planes[k + 1] + o)));
+            const __m128i lo = _mm_unpacklo_epi16(dk, dk1);
+            const __m128i hi = _mm_unpackhi_epi16(dk, dk1);
+            accA = _mm_add_epi32(accA, _mm_madd_epi16(lo, lo));
+            accB = _mm_add_epi32(accB, _mm_madd_epi16(hi, hi));
+        }
+        if (k < len) { // odd trailing coefficient: widen and square
+            const __m128i d = _mm_sub_epi16(
+                _mm_set1_epi16(ref[k]),
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(planes[k] + o)));
+            const __m128i wa = _mm_cvtepi16_epi32(d);
+            const __m128i wb = _mm_cvtepi16_epi32(_mm_srli_si128(d, 8));
+            accA = _mm_add_epi32(accA, _mm_mullo_epi32(wa, wa));
+            accB = _mm_add_epi32(accB, _mm_mullo_epi32(wb, wb));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst), accA);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + 4), accB);
+    };
+    int i = 0;
+    for (; i + 8 <= count; i += 8)
+        block8(off + static_cast<size_t>(i), out + i);
+    if (i < count) {
+        if (count >= 8) {
+            // Overlapped final pass: recompute the last full window of
+            // 8 candidates instead of falling back to strided scalar
+            // gathers. SSDs are pure per-candidate functions, so the
+            // overlapping lanes just rewrite identical values.
+            block8(off + static_cast<size_t>(count - 8),
+                   out + (count - 8));
+        } else {
+            for (; i < count; ++i)
+                out[i] = ssdSoaOneI16(ref, planes,
+                                      off + static_cast<size_t>(i), len);
+        }
+    }
+}
+
+inline int32_t
+ssdPairOneI16(const int16_t *ref, const int16_t *const *pair_planes,
+              size_t o2, int len)
+{
+    uint32_t acc = 0;
+    for (int p = 0; p + 2 <= len; p += 2) {
+        const int16_t *plane = pair_planes[p / 2];
+        acc += sqI16(diffI16(ref[p], plane[o2]));
+        acc += sqI16(diffI16(ref[p + 1], plane[o2 + 1]));
+    }
+    return static_cast<int32_t>(acc);
+}
+
+void
+ssdPairBatchI16(const int16_t *ref, const int16_t *const *pair_planes,
+                size_t off, int len, int count, int32_t *out)
+{
+    // Pair-interleaved layout: one 128-bit load covers the (2p, 2p+1)
+    // lanes of four adjacent candidates; madd against the broadcast
+    // reference pair yields four already-linear int32 partial sums.
+    // Eight candidates per pass, no shuffles.
+    const int pairs = len / 2;
+    __m128i rbc[32]; // ref pairs broadcast once; len <= 64 coefs
+    for (int p = 0; p < pairs && p < 32; ++p) {
+        const uint32_t packed =
+            static_cast<uint16_t>(ref[2 * p]) |
+            (static_cast<uint32_t>(static_cast<uint16_t>(ref[2 * p + 1]))
+             << 16);
+        rbc[p] = _mm_set1_epi32(static_cast<int32_t>(packed));
+    }
+    const auto block8 = [&](size_t o2, int32_t *dst) {
+        __m128i acc0 = _mm_setzero_si128();
+        __m128i acc1 = _mm_setzero_si128();
+        for (int p = 0; p < pairs; ++p) {
+            const int16_t *base = pair_planes[p] + o2;
+            const __m128i d0 = _mm_sub_epi16(
+                rbc[p], _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(base)));
+            const __m128i d1 = _mm_sub_epi16(
+                rbc[p], _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(base + 8)));
+            acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(d0, d0));
+            acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(d1, d1));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst), acc0);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + 4), acc1);
+    };
+    int i = 0;
+    for (; i + 8 <= count; i += 8)
+        block8(2 * (off + static_cast<size_t>(i)), out + i);
+    if (i < count) {
+        if (count >= 8) {
+            // Overlapped final pass (see ssdSoaBatchI16).
+            block8(2 * (off + static_cast<size_t>(count - 8)),
+                   out + (count - 8));
+        } else {
+            for (; i < count; ++i)
+                out[i] = ssdPairOneI16(
+                    ref, pair_planes,
+                    2 * (off + static_cast<size_t>(i)), len);
+        }
+    }
+}
+
+/**
+ * Int16 DCT row pass: widen to int32, mirror fold, coefficient
+ * products in int32, rounded shift, saturating pack (packs_epi32 is
+ * the pack-point semantics of the contract).
+ */
+inline void
+dct4PassI16(const int16_t *in, int16_t *out, const int16_t *even,
+            const int16_t *odd, int shift)
+{
+    const __m128i cnt = _mm_cvtsi32_si128(shift);
+    const __m128i rnd = _mm_set1_epi32(1 << (shift - 1));
+    const __m128i r0 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in)));
+    const __m128i r1 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in + 4)));
+    const __m128i r2 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in + 8)));
+    const __m128i r3 = _mm_cvtepi16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(in + 12)));
+    const __m128i s0 = _mm_add_epi32(r0, r3);
+    const __m128i s1 = _mm_add_epi32(r1, r2);
+    const __m128i d0 = _mm_sub_epi32(r0, r3);
+    const __m128i d1 = _mm_sub_epi32(r1, r2);
+    const auto row = [&](int c0, int c1, __m128i x, __m128i y) {
+        const __m128i v = _mm_add_epi32(
+            _mm_mullo_epi32(_mm_set1_epi32(c0), x),
+            _mm_mullo_epi32(_mm_set1_epi32(c1), y));
+        return _mm_sra_epi32(_mm_add_epi32(v, rnd), cnt);
+    };
+    const __m128i o0 = row(even[0], even[1], s0, s1);
+    const __m128i o1 = row(odd[0], odd[1], d0, d1);
+    const __m128i o2 = row(even[2], even[3], s0, s1);
+    const __m128i o3 = row(odd[2], odd[3], d0, d1);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out),
+                     _mm_packs_epi32(o0, o1));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 8),
+                     _mm_packs_epi32(o2, o3));
+}
+
+/** Pure permutation — bitwise-neutral, scalar is fine. */
+inline void
+transpose4I16(const int16_t *in, int16_t *out)
+{
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            out[c * 4 + r] = in[r * 4 + c];
+}
+
+void
+dct4ForwardI16(const int16_t *in, int16_t *out, const int16_t *even_q,
+               const int16_t *odd_q, int shift1, int shift2)
+{
+    int16_t t1[16], t2[16];
+    dct4PassI16(in, t1, even_q, odd_q, shift1);
+    transpose4I16(t1, t2);
+    dct4PassI16(t2, out, even_q, odd_q, shift2);
+}
+
+void
+haarForwardPairI16(const int16_t *even, const int16_t *odd,
+                   int16_t *approx, int16_t *detail, int16_t factor_q15,
+                   int width)
+{
+    const __m128i f = _mm_set1_epi16(factor_q15);
+    int c = 0;
+    for (; c + 8 <= width; c += 8) {
+        const __m128i e = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(even + c));
+        const __m128i o = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(odd + c));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(approx + c),
+                         _mm_mulhrs_epi16(_mm_adds_epi16(e, o), f));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(detail + c),
+                         _mm_mulhrs_epi16(_mm_subs_epi16(e, o), f));
+    }
+    for (; c < width; ++c) {
+        const int16_t e = even[c];
+        const int16_t o = odd[c];
+        approx[c] = mulhrsI16(satAddI16(e, o), factor_q15);
+        detail[c] = mulhrsI16(satSubI16(e, o), factor_q15);
+    }
+}
+
+void
+haarInversePairI16(const int16_t *approx, const int16_t *detail,
+                   int16_t *out_even, int16_t *out_odd, int16_t factor_q15,
+                   int width)
+{
+    const __m128i f = _mm_set1_epi16(factor_q15);
+    int c = 0;
+    for (; c + 8 <= width; c += 8) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(approx + c));
+        const __m128i d = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(detail + c));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out_even + c),
+                         _mm_mulhrs_epi16(_mm_adds_epi16(a, d), f));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out_odd + c),
+                         _mm_mulhrs_epi16(_mm_subs_epi16(a, d), f));
+    }
+    for (; c < width; ++c) {
+        const int16_t a = approx[c];
+        const int16_t d = detail[c];
+        out_even[c] = mulhrsI16(satAddI16(a, d), factor_q15);
+        out_odd[c] = mulhrsI16(satSubI16(a, d), factor_q15);
+    }
+}
+
+int
+hardThresholdI16(int16_t *v, int count, int16_t threshold)
+{
+    const __m128i thr = _mm_set1_epi16(threshold);
+    int kept = 0;
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m128i x = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(v + i));
+        const __m128i below = _mm_cmplt_epi16(_mm_abs_epi16(x), thr);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(v + i),
+                         _mm_andnot_si128(below, x));
+        kept += 8 - _mm_popcnt_u32(static_cast<unsigned>(
+                        _mm_movemask_epi8(below))) /
+                        2;
+    }
+    for (; i < count; ++i) {
+        const int16_t av =
+            v[i] < 0 ? static_cast<int16_t>(-static_cast<int32_t>(v[i]))
+                     : v[i];
+        if (av < threshold)
+            v[i] = 0;
+        else
+            ++kept;
+    }
+    return kept;
+}
+
 const KernelTable kSseTableStorage = {
     ssd,           ssdBounded,      ssdFull,       ssdBatch16,
     ssdSoa,        ssdSoaBatch,     dct4Forward,   dct4Inverse,
     haarForwardPair, haarInversePair, hardThreshold, wienerApply,
     aggregateAdd,  mergeAdd,
+    ssdI16,        ssdBoundedI16,   ssdSoaI16,     ssdSoaBatchI16,
+    ssdPairBatchI16,
+    dct4ForwardI16, haarForwardPairI16, haarInversePairI16,
+    hardThresholdI16,
 };
 
 } // namespace

@@ -39,9 +39,22 @@
  * Because the tree is fixed per kernel *and* per length, output is
  * also invariant under thread count (kernels are pure functions),
  * preserving the tiled runner's determinism guarantee.
+ *
+ * ## Int16 kernels
+ *
+ * The *I16 rows operate on pre-quantized int16 raws (see
+ * fixed/int16plan.h). Their determinism needs no canonical tree:
+ * integer addition mod 2^32 is associative and commutative, so any
+ * lane count and any fold order produce identical bits. The contract
+ * is instead fixed at the element level — wrapping int16 differences,
+ * mod-2^32 accumulation, round-to-nearest right shifts, and
+ * saturation only at documented pack points — which every ISA variant
+ * reproduces exactly, including out-of-range edge cases (the
+ * all-(-32768) _mm256_madd_epi16 wrap, abs(-32768) == -32768).
  */
 
 #include <cstddef>
+#include <cstdint>
 
 namespace ideal {
 namespace simd {
@@ -188,6 +201,97 @@ struct KernelTable
      */
     void (*mergeAdd)(float *num, float *den, const float *onum,
                      const float *oden, int count);
+
+    /**
+     * Int16 squared L2 distance: differences wrap in int16, squares
+     * accumulate mod 2^32. Exact whenever |a[i]-b[i]| raws fit the
+     * fixed::ssdSafeMagnitudeBits bound; otherwise deterministically
+     * wrapped, identically at every dispatch level.
+     */
+    int32_t (*ssdI16)(const int16_t *a, const int16_t *b, int len);
+
+    /**
+     * ssdI16 accumulated per 16-element block with early exit once the
+     * partial sum exceeds @p bound (same exit points as the scalar
+     * reference, so partial results are bitwise identical too).
+     * Partial results are only guaranteed to compare > @p bound.
+     */
+    int32_t (*ssdBoundedI16)(const int16_t *a, const int16_t *b, int len,
+                             int32_t bound);
+
+    /**
+     * SoA int16 SSD (coefficient-major planes, same layout contract
+     * as ssdSoa) with per-16-block early exit. Strided gathers keep
+     * this scalar at every level; the batch kernel below carries the
+     * vector win.
+     */
+    int32_t (*ssdSoaI16)(const int16_t *const *pa, size_t off_a,
+                         const int16_t *const *pb, size_t off_b, int len,
+                         int32_t bound);
+
+    /**
+     * Batched SoA int16 SSD: out[i] = ssdI16 of @p ref against the
+     * candidate at planes[k][off + i], for i in [0, count); arbitrary
+     * @p count. _mm256_madd_epi16 processes 16 candidates per
+     * accumulate — the kernel that doubles matching throughput over
+     * the float path.
+     */
+    void (*ssdSoaBatchI16)(const int16_t *ref,
+                           const int16_t *const *planes, size_t off,
+                           int len, int count, int32_t *out);
+
+    /**
+     * Batched pair-interleaved int16 SSD — the block-matching window
+     * scan kernel. Pair plane p stores coefficients (2p, 2p+1) of
+     * position x adjacent at indices (2x, 2x+1), so eight candidates'
+     * pair lanes are one contiguous 256-bit load and one madd against
+     * the broadcast reference pair produces eight already-linearized
+     * int32 partial sums: no unpack, no cross-lane permute. @p ref is
+     * the gathered descriptor in natural coefficient order (pairs
+     * adjacent), @p len the coefficient count (must be even), out[i]
+     * the SSD of candidate off + i. Same wrap/exactness contract as
+     * ssdI16.
+     */
+    void (*ssdPairBatchI16)(const int16_t *ref,
+                            const int16_t *const *pair_planes, size_t off,
+                            int len, int count, int32_t *out);
+
+    /**
+     * Int16 folded 4x4 DCT forward. @p even_q / @p odd_q are the 2x2
+     * half matrices quantized to Q(coefFracBits) raws. Each 1-D pass
+     * computes in int32, renormalizes with a round-to-nearest right
+     * shift (@p shift1 after pass 1, @p shift2 after pass 2) and
+     * saturates to int16 at the two pack points (packs_epi32
+     * semantics). See fixed::Int16DctPlan for the shift schedule.
+     */
+    void (*dct4ForwardI16)(const int16_t *in, int16_t *out,
+                           const int16_t *even_q, const int16_t *odd_q,
+                           int shift1, int shift2);
+
+    /**
+     * Int16 Haar butterfly: saturating add/sub (adds/subs_epi16
+     * semantics) followed by a Q15 rounded multiply by
+     * @p factor_q15 (_mm_mulhrs_epi16 semantics, including the
+     * -32768 * -32768 wrap). approx may alias even.
+     */
+    void (*haarForwardPairI16)(const int16_t *even, const int16_t *odd,
+                               int16_t *approx, int16_t *detail,
+                               int16_t factor_q15, int width);
+
+    /** Inverse int16 Haar butterfly; outputs must not alias inputs. */
+    void (*haarInversePairI16)(const int16_t *approx,
+                               const int16_t *detail, int16_t *out_even,
+                               int16_t *out_odd, int16_t factor_q15,
+                               int width);
+
+    /**
+     * Int16 hard threshold in place: v[i] with abs_epi16(v[i]) <
+     * threshold becomes 0. abs(-32768) stays -32768 and compares below
+     * any positive threshold, so INT16_MIN is always zeroed — every
+     * variant, scalar included, reproduces that. Returns the count of
+     * surviving elements.
+     */
+    int (*hardThresholdI16)(int16_t *v, int count, int16_t threshold);
 };
 
 /** Best level this CPU supports (probed once). */

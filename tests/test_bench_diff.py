@@ -168,6 +168,30 @@ class TestCompareLatency(unittest.TestCase):
         self.assertEqual(statuses["p50"], "new")
 
 
+class TestCheckSnr(unittest.TestCase):
+    def test_delta_within_envelope_passes(self):
+        cand = record(metrics={"snr_delta_db": -0.041})
+        _, failures = bench_diff.check_snr(cand, 0.05)
+        self.assertEqual(failures, [])
+
+    def test_delta_outside_envelope_fails(self):
+        cand = record(metrics={"snr_delta_db": 0.2})
+        _, failures = bench_diff.check_snr(cand, 0.05)
+        self.assertEqual(failures, ["snr_delta_db"])
+
+    def test_envelope_is_two_sided(self):
+        # A quantized path that somehow *gains* SNR is just as much a
+        # behavioral change as one that loses it.
+        cand = record(metrics={"snr_delta_db": -0.2})
+        _, failures = bench_diff.check_snr(cand, 0.05)
+        self.assertEqual(failures, ["snr_delta_db"])
+
+    def test_records_without_snr_metrics_have_nothing_to_gate(self):
+        rows, failures = bench_diff.check_snr(record(), 0.05)
+        self.assertEqual(rows, [])
+        self.assertEqual(failures, [])
+
+
 class TestCompareWall(unittest.TestCase):
     def test_within_tolerance(self):
         cand = record(wall_time_s=10.5)
@@ -242,6 +266,22 @@ class TestMain(unittest.TestCase):
         cand = record(latency_ms={"p50": 150.0})
         self.assertEqual(
             self.run_main(base, cand, "--latency-tolerance", "0.10"), 1
+        )
+
+    def test_snr_gate_off_by_default(self):
+        cand = record(metrics={"snr_delta_db": 0.2})
+        self.assertEqual(self.run_main(record(), cand), 0)
+
+    def test_snr_gate_fails_outside_envelope(self):
+        cand = record(metrics={"snr_delta_db": 0.2})
+        self.assertEqual(
+            self.run_main(record(), cand, "--snr-tolerance", "0.05"), 1
+        )
+
+    def test_snr_gate_passes_within_envelope(self):
+        cand = record(metrics={"snr_delta_db": -0.041})
+        self.assertEqual(
+            self.run_main(record(), cand, "--snr-tolerance", "0.05"), 0
         )
 
 

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "fixed/fixed.h"
 #include "fixed/format.h"
 #include "fixed/quantize.h"
@@ -40,6 +43,33 @@ TEST(Format, QuantizeSaturates)
     EXPECT_EQ(q.quantize(1000.0), q.maxRaw());
     EXPECT_EQ(q.quantize(-1000.0), q.minRaw());
     EXPECT_DOUBLE_EQ(q.toDouble(q.maxRaw()), 16.0 - 1.0 / 16.0);
+}
+
+TEST(Format, QuantizeSaturatesExtremeMagnitudes)
+{
+    // Regression: quantize() used to call llround on the scaled value
+    // before saturating. For inputs whose scaled value exceeds int64's
+    // range, llround is undefined — on x86 it yields LLONG_MIN for
+    // *both* signs, so +1e300 came back as minRaw(). The clamp must
+    // happen before the rounding.
+    Format q(8, 12);
+    EXPECT_EQ(q.quantize(1e300), q.maxRaw());
+    EXPECT_EQ(q.quantize(-1e300), q.minRaw());
+    EXPECT_EQ(q.quantize(std::numeric_limits<double>::infinity()),
+              q.maxRaw());
+    EXPECT_EQ(q.quantize(-std::numeric_limits<double>::infinity()),
+              q.minRaw());
+}
+
+TEST(Format, QuantizeRoundUpAtPositiveBoundarySaturates)
+{
+    // A value just below the positive limit that rounds *up* across it
+    // must land exactly on maxRaw(), not overflow past it.
+    Format q(4, 4); // maxRaw 255, max value 15.9375
+    const double just_above = (q.maxRaw() + 0.6) / q.scale();
+    EXPECT_EQ(q.quantize(just_above), q.maxRaw());
+    const double just_below = (q.minRaw() - 0.6) / q.scale();
+    EXPECT_EQ(q.quantize(just_below), q.minRaw());
 }
 
 TEST(Format, RoundTripErrorBounded)

@@ -18,6 +18,7 @@
 #include "image/metrics.h"
 #include "image/noise.h"
 #include "image/synthetic.h"
+#include "simd/simd.h"
 #include "transforms/dct.h"
 #include "transforms/haar.h"
 
@@ -66,6 +67,60 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(2, 1, 9), std::make_tuple(4, 1, 13),
                       std::make_tuple(4, 2, 13), std::make_tuple(4, 3, 21),
                       std::make_tuple(8, 1, 13), std::make_tuple(8, 4, 17)));
+
+// ---------------------------------------------------------------------
+// Precision matrix: {float32, int16} x {scalar, sse, avx2} x {1, 8}
+// threads. Every combination must still denoise (PSNR improves); the
+// int16 combinations must additionally produce ONE bit pattern across
+// the whole matrix — integer matching has no reassociation
+// sensitivity, so neither the dispatch level nor the thread count may
+// leak into the output.
+// ---------------------------------------------------------------------
+
+class PrecisionMatrix : public ::testing::Test
+{
+  protected:
+    void TearDown() override { simd::setLevel(simd::bestSupported()); }
+};
+
+TEST_F(PrecisionMatrix, DenoisesAndInt16IsBitwiseInvariant)
+{
+    auto clean = image::makeScene(image::SceneKind::Street, 48, 40, 1, 320);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 321);
+    const double noisy_psnr = image::psnrDb(clean, noisy);
+
+    const simd::Level levels[] = {simd::Level::Scalar, simd::Level::Sse,
+                                  simd::Level::Avx2};
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        std::vector<float> int16_ref;
+        for (simd::Level level : levels) {
+            simd::setLevel(level); // clamped to bestSupported()
+            for (int threads : {1, 8}) {
+                bm3d::Bm3dConfig cfg;
+                cfg.sigma = 25.0f;
+                cfg.searchWindow1 = 13;
+                cfg.searchWindow2 = 11;
+                cfg.precision = precision;
+                cfg.numThreads = threads;
+                auto result = bm3d::Bm3d(cfg).denoise(noisy);
+                EXPECT_GT(image::psnrDb(clean, result.output), noisy_psnr)
+                    << "precision=" << static_cast<int>(precision)
+                    << " level=" << static_cast<int>(level)
+                    << " threads=" << threads;
+                if (precision != bm3d::Precision::Int16)
+                    continue;
+                if (int16_ref.empty()) {
+                    int16_ref = result.output.raw();
+                    continue;
+                }
+                EXPECT_TRUE(int16_ref == result.output.raw())
+                    << "int16 output differs at level="
+                    << static_cast<int>(level) << " threads=" << threads;
+            }
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // MR factor sweep: candidate count must be monotonically non-increasing

@@ -103,17 +103,39 @@ TEST_F(RuntimeTest, StreamMatchesBatchBitwiseAcrossLevelsAndThreads)
     const auto clip = staticClip(3, 64, 48, 25.0f, 41);
     const simd::Level levels[] = {simd::Level::Scalar, simd::Level::Sse,
                                   simd::Level::Avx2};
-    for (simd::Level level : levels) {
-        simd::setLevel(level); // clamped to bestSupported()
-        for (int threads : {1, 8}) {
-            StreamConfig cfg = smallStreamConfig(threads);
-            const auto batch = batchOutputs(cfg.frame, clip);
-            const auto streamed = streamOutputs(cfg, clip);
-            ASSERT_EQ(batch.size(), streamed.size());
-            for (size_t f = 0; f < batch.size(); ++f)
-                EXPECT_TRUE(batch[f].raw() == streamed[f].raw())
-                    << "level=" << static_cast<int>(simd::activeLevel())
-                    << " threads=" << threads << " frame=" << f;
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        // Int16 matching is bitwise deterministic across *levels* too
+        // (integer accumulation has no reassociation sensitivity), so
+        // its first combination's output doubles as the cross-matrix
+        // reference. Float only promises equality within a level.
+        std::vector<image::ImageF> int16_ref;
+        for (simd::Level level : levels) {
+            simd::setLevel(level); // clamped to bestSupported()
+            for (int threads : {1, 8}) {
+                StreamConfig cfg = smallStreamConfig(threads);
+                cfg.frame.precision = precision;
+                const auto batch = batchOutputs(cfg.frame, clip);
+                const auto streamed = streamOutputs(cfg, clip);
+                ASSERT_EQ(batch.size(), streamed.size());
+                for (size_t f = 0; f < batch.size(); ++f)
+                    EXPECT_TRUE(batch[f].raw() == streamed[f].raw())
+                        << "precision=" << static_cast<int>(precision)
+                        << " level="
+                        << static_cast<int>(simd::activeLevel())
+                        << " threads=" << threads << " frame=" << f;
+                if (precision != bm3d::Precision::Int16)
+                    continue;
+                if (int16_ref.empty()) {
+                    int16_ref = streamed;
+                    continue;
+                }
+                for (size_t f = 0; f < streamed.size(); ++f)
+                    EXPECT_TRUE(int16_ref[f].raw() == streamed[f].raw())
+                        << "int16 output differs at level="
+                        << static_cast<int>(simd::activeLevel())
+                        << " threads=" << threads << " frame=" << f;
+            }
         }
     }
 }

@@ -174,6 +174,15 @@ TEST_F(SimdParity, KernelTablesAreFullyPopulated)
         EXPECT_NE(k.ssdSoa, nullptr);
         EXPECT_NE(k.ssdSoaBatch, nullptr);
         EXPECT_NE(k.mergeAdd, nullptr);
+        EXPECT_NE(k.ssdI16, nullptr);
+        EXPECT_NE(k.ssdBoundedI16, nullptr);
+        EXPECT_NE(k.ssdSoaI16, nullptr);
+        EXPECT_NE(k.ssdSoaBatchI16, nullptr);
+        EXPECT_NE(k.ssdPairBatchI16, nullptr);
+        EXPECT_NE(k.dct4ForwardI16, nullptr);
+        EXPECT_NE(k.haarForwardPairI16, nullptr);
+        EXPECT_NE(k.haarInversePairI16, nullptr);
+        EXPECT_NE(k.hardThresholdI16, nullptr);
     }
 }
 

@@ -1,0 +1,84 @@
+#ifndef IDEAL_TESTS_TOLERANCE_H_
+#define IDEAL_TESTS_TOLERANCE_H_
+
+/**
+ * @file
+ * Quantization-tolerance harness for differential testing of the int16
+ * kernel path against its float twins.
+ *
+ * Two layers of bounds:
+ *
+ *  - per-element: a quantized result may differ from the exact float
+ *    result by a small number of quantization steps (ULPs of the
+ *    Q format) — one step for a single round-to-nearest, more when a
+ *    kernel chains several rounding stages. expectNearQuant() expresses
+ *    a bound as "k steps of fixed::Format f".
+ *
+ *  - global: an end-to-end run through the quantized datapath must
+ *    land within a small SNR delta of the float pipeline's output
+ *    (the paper's Fig. 9 criterion: quality is preserved down to the
+ *    chosen fraction width). snrDeltaDb() measures that delta against
+ *    a shared clean reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "fixed/format.h"
+#include "image/image.h"
+#include "image/metrics.h"
+
+namespace ideal {
+namespace testing_tol {
+
+/** Size of one quantization step (ULP) of @p f in real units. */
+inline double
+quantStep(const fixed::Format &f)
+{
+    return 1.0 / f.scale();
+}
+
+/**
+ * EXPECT that @p got (a dequantized int16 result) is within @p steps
+ * quantization steps of the exact value @p expected. Use steps = 1 for
+ * a single round-to-nearest stage; chained rounding stages accumulate
+ * (k stages of independent rounding stay within k/2 + margin steps —
+ * callers derive the bound from the kernel's stage count).
+ */
+inline void
+expectNearQuant(double expected, double got, const fixed::Format &f,
+                double steps, const char *what, int index)
+{
+    const double bound = steps * quantStep(f);
+    EXPECT_NEAR(expected, got, bound)
+        << what << " [" << index << "]: |" << expected << " - " << got
+        << "| > " << steps << " steps of " << f.str();
+}
+
+/** Raw-integer flavour: @p raw interpreted in @p f against @p expected. */
+inline void
+expectNearQuantRaw(double expected, int64_t raw, const fixed::Format &f,
+                   double steps, const char *what, int index)
+{
+    expectNearQuant(expected, f.toDouble(raw), f, steps, what, index);
+}
+
+/**
+ * SNR delta (dB) of @p test relative to @p baseline, both measured
+ * against the same @p clean reference. Positive means @p test is
+ * closer to clean than @p baseline. The fig09-style acceptance gate is
+ * |snrDeltaDb| <= tolerance.
+ */
+inline double
+snrDeltaDb(const image::ImageF &clean, const image::ImageF &baseline,
+           const image::ImageF &test)
+{
+    return image::snrDb(clean, test) - image::snrDb(clean, baseline);
+}
+
+} // namespace testing_tol
+} // namespace ideal
+
+#endif // IDEAL_TESTS_TOLERANCE_H_
