@@ -10,9 +10,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
 #include "bm3d/bm3d.h"
+#include "bm3d/presets.h"
 #include "simd/simd.h"
 
 using namespace ideal;
@@ -96,11 +98,89 @@ recordProbe()
     rec.metrics["int16_t8_wall_s"] = int16_wall;
     rec.metrics["int16_speedup"] = float_wall / int16_wall;
     rec.metrics["snr_delta_db"] = snr_delta;
-    rec.write();
     std::printf("int16 t8: float %.2f s, int16 %.2f s (%.2fx), "
-                "dSNR %+.3f dB\n\n",
+                "dSNR %+.3f dB\n",
                 float_wall, int16_wall, float_wall / int16_wall,
                 snr_delta);
+
+    // Ablation rows over the adaptive matching variants (DESIGN §11),
+    // all at 8 threads on the same probe; render with
+    // `scripts/bench_diff.py --ablation-table`. The dense/int16 rows
+    // reuse the head-to-head measurements above. The "mr" row exists
+    // because earlier records showed bm3d.mr.bm1Hits == 0, which
+    // confused a reader into suspecting a broken counter: this bench
+    // simply never enabled Matches Reuse, and hits are *defined* as 0
+    // with the feature off (Bm3dMr.RegistryReportsNonzeroHitsWhenEnabled
+    // pins the positive half). The row keeps MR's operating point
+    // measured — and its hit counters nonzero — without making it the
+    // probe's default config.
+    const double dense_snr = image::snrDb(clean, rf.output);
+    auto ablate = [&](const char *name, double wall,
+                      const bm3d::Bm3dResult &r) {
+        const std::string prefix = std::string("ablate_") + name + "_";
+        const double bm1 = r.profile.seconds(bm3d::Step::Bm1) * 1e3;
+        const double bm2 = r.profile.seconds(bm3d::Step::Bm2) * 1e3;
+        rec.metrics[prefix + "wall_s"] = wall;
+        rec.metrics[prefix + "bm1_ms"] = bm1;
+        rec.metrics[prefix + "bm2_ms"] = bm2;
+        rec.metrics[prefix + "snr_delta_db"] =
+            image::snrDb(clean, r.output) - dense_snr;
+        return bm1 + bm2;
+    };
+    auto timeVariant = [&](const bm3d::Bm3dConfig &vcfg, double &wall) {
+        bm3d::Bm3d engine(vcfg);
+        bm3d::Bm3dResult best;
+        wall = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            bm3d::Bm3dResult r = engine.denoise(noisy);
+            const double w = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+            if (w < wall) {
+                wall = w;
+                best = std::move(r);
+            }
+        }
+        return best;
+    };
+
+    bm3d::Bm3dConfig base8;
+    base8.sigma = 25.0f;
+    base8.numThreads = 8;
+
+    bm3d::Bm3dConfig mr_cfg = base8;
+    mr_cfg.mr.enabled = true;
+    mr_cfg.mr.k = 0.5;
+
+    bm3d::Bm3dConfig ad_cfg = base8;
+    ad_cfg.precision = bm3d::Precision::Int16;
+    ad_cfg.variant.adaptiveBound = true;
+    ad_cfg.variant.boundMargin = 2.0f;
+
+    bm3d::Bm3dConfig co_cfg = base8;
+    co_cfg.precision = bm3d::Precision::Int16;
+    co_cfg.variant.coarseToFine = true;
+    co_cfg.variant.coarseStride = 2;
+    co_cfg.variant.densifyThreshold = 0.05f;
+
+    const bm3d::ScenePreset preset = bm3d::pickPreset(noisy);
+    bm3d::Bm3dConfig pr_cfg = bm3d::applyPreset(base8, preset);
+
+    ablate("dense", float_wall, rf);
+    const double int16_bm = ablate("int16", int16_wall, rq);
+    double wall_v = 0.0;
+    ablate("mr", wall_v, timeVariant(mr_cfg, wall_v));
+    ablate("adaptive", wall_v, timeVariant(ad_cfg, wall_v));
+    const double coarse_bm =
+        ablate("coarse", wall_v, timeVariant(co_cfg, wall_v));
+    const double preset_bm =
+        ablate("preset", wall_v, timeVariant(pr_cfg, wall_v));
+    rec.write();
+    std::printf("ablation: preset=%s; BM1+BM2 vs int16: coarse %.2fx, "
+                "preset %.2fx\n\n",
+                bm3d::toString(preset), int16_bm / coarse_bm,
+                int16_bm / preset_bm);
 }
 
 } // namespace

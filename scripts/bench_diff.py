@@ -5,6 +5,7 @@ Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json \
         [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0] \
         [--latency-tolerance 0.10] [--snr-tolerance 0.05]
+    scripts/bench_diff.py --ablation-table RECORD.json
 
 Exits non-zero when any kernel time in CANDIDATE is more than THRESHOLD
 slower than in BASELINE, or when the end-to-end wall time is more than
@@ -19,6 +20,14 @@ tolerance is 0.0 — any drift in multiply/add/comparison totals means
 the algorithm changed, not the machine. The gate is off unless the
 flag is given, because records written before the counters were
 embedded would otherwise fail vacuously.
+
+--ablation-table is a reporting mode over a *single* record: benches
+that sweep configuration variants head-to-head (fig02's adaptive
+fast-matching rows since PR 7) record each variant's wall time, BM1/BM2
+kernel times, and SNR delta as "ablate_<variant>_<field>" metrics, and
+the flag renders those as a markdown table (with a BM1+BM2 speedup
+column against the "dense" row when present) instead of diffing two
+records.
 
 --snr-tolerance gates the candidate's "snr_delta" metrics: benches
 that run a reduced-precision path head-to-head against float32 (fig02
@@ -167,8 +176,16 @@ def check_snr(cand, tolerance):
     quality cost in dB relative to a reference path measured *inside*
     the same run (e.g. the int16 matching datapath vs float32 in
     fig02), so the record is self-contained and there is nothing to
-    diff against the baseline. The gate is the fig09-style contract:
-    |delta| must stay within the tolerance in dB.
+    diff against the baseline.
+
+    Two regimes share the flag. Parity keys (no "ablate_" prefix)
+    promise bit-level-equivalent *intent* — e.g. int16 vs float32 on
+    the same candidate set — so the envelope is two-sided: a gain is
+    as much a behavioral change as a loss. Ablation keys
+    ("ablate_<variant>_snr_delta_db") describe variants that search a
+    *different* candidate set by design; there a gain is legitimate
+    (e.g. a preset's smaller window rejecting poor far matches) and
+    only the quality *loss* is gated: delta must stay >= -tolerance.
     """
     rows = []
     failures = []
@@ -176,12 +193,92 @@ def check_snr(cand, tolerance):
         if "snr_delta" not in key:
             continue
         value = cand["metrics"][key]
-        if abs(value) > tolerance:
-            rows.append((key, value, f"FAIL (|{value:+.3f}| > {tolerance:g} dB)"))
+        if key.startswith("ablate_"):
+            bad = value < -tolerance
+            msg = f"FAIL ({value:+.3f} < -{tolerance:g} dB)"
+        else:
+            bad = abs(value) > tolerance
+            msg = f"FAIL (|{value:+.3f}| > {tolerance:g} dB)"
+        if bad:
+            rows.append((key, value, msg))
             failures.append(key)
         else:
             rows.append((key, value, "ok"))
     return rows, failures
+
+
+ABLATION_FIELDS = ("wall_s", "bm1_ms", "bm2_ms", "snr_delta_db")
+
+
+def ablation_rows(record):
+    """Group the record's "ablate_<variant>_<field>" metrics by variant.
+
+    Returns (order, variants): variant names in first-appearance order
+    (insertion order of the metrics map, i.e. the order the bench ran
+    them), and a dict mapping each name to its {field: value} map.
+    Unknown ablate_* suffixes are ignored rather than rejected, so a
+    bench can grow new per-variant fields without breaking the table.
+    """
+    order = []
+    variants = {}
+    for key, value in record.get("metrics", {}).items():
+        if not key.startswith("ablate_"):
+            continue
+        rest = key[len("ablate_"):]
+        for field in ABLATION_FIELDS:
+            if rest.endswith("_" + field):
+                name = rest[: -len(field) - 1]
+                break
+        else:
+            continue
+        if name not in variants:
+            variants[name] = {}
+            order.append(name)
+        variants[name][field] = value
+    return order, variants
+
+
+def ablation_table(record):
+    """Render the record's ablation rows as markdown table lines.
+
+    Columns: wall time, BM1/BM2 kernel times, their sum, the BM1+BM2
+    speedup against the "dense" variant (the 1.5x acceptance criterion
+    read directly off the table), and the SNR delta. Returns [] when
+    the record carries no ablation metrics.
+    """
+    order, variants = ablation_rows(record)
+    if not order:
+        return []
+
+    def bm_total(v):
+        if "bm1_ms" in v and "bm2_ms" in v:
+            return v["bm1_ms"] + v["bm2_ms"]
+        return None
+
+    dense_bm = bm_total(variants["dense"]) if "dense" in variants else None
+
+    def fmt(value, spec):
+        return format(value, spec) if value is not None else "-"
+
+    lines = [
+        "| variant | wall s | BM1 ms | BM2 ms | BM1+BM2 ms "
+        "| vs dense | dSNR dB |",
+        "|---|---:|---:|---:|---:|---:|---:|",
+    ]
+    for name in order:
+        v = variants[name]
+        bm = bm_total(v)
+        speedup = (
+            f"{dense_bm / bm:.2f}x" if dense_bm and bm else "-"
+        )
+        lines.append(
+            f"| {name} | {fmt(v.get('wall_s'), '.3f')} "
+            f"| {fmt(v.get('bm1_ms'), '.1f')} "
+            f"| {fmt(v.get('bm2_ms'), '.1f')} "
+            f"| {fmt(bm, '.1f')} | {speedup} "
+            f"| {fmt(v.get('snr_delta_db'), '+.3f')} |"
+        )
+    return lines
 
 
 def compare_wall(base, cand, tolerance):
@@ -210,7 +307,14 @@ def main():
         description="Compare two BENCH_*.json records."
     )
     parser.add_argument("baseline")
-    parser.add_argument("candidate")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument(
+        "--ablation-table",
+        action="store_true",
+        help="render the first record's 'ablate_<variant>_<field>' "
+        "metrics as a markdown table and exit (no diff; the only "
+        "positional is the record)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -251,6 +355,18 @@ def main():
     )
     args = parser.parse_args()
     tolerance = args.tolerance if args.tolerance is not None else args.threshold
+
+    if args.ablation_table:
+        lines = ablation_table(load(args.baseline))
+        if not lines:
+            print(f"{args.baseline}: no ablate_* metrics in record")
+            return 1
+        for line in lines:
+            print(line)
+        return 0
+
+    if args.candidate is None:
+        parser.error("candidate record required unless --ablation-table")
 
     base = load(args.baseline)
     cand = load(args.candidate)

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "bm3d/config.h"
@@ -527,9 +528,32 @@ class BlockMatcher
     uint64_t
     search(int xr, int yr, MatchList &out) const
     {
+        return search(xr, yr, out,
+                      std::numeric_limits<float>::infinity(), nullptr);
+    }
+
+    /**
+     * Full window search with an externally seeded acceptance cutoff
+     * (the adaptive early-termination bound of Config::variant):
+     * candidates are accepted only while their distance is below
+     * min(Tmatch, @p initial_bound, worst kept distance), the last
+     * term tightening as the list fills. @p initial_bound = +inf is
+     * bitwise identical to the plain search — the worst-distance term
+     * reproduces exactly the insertions the dense scan would accept.
+     * Candidates below Tmatch that the cutoff rejected are counted
+     * into @p pruned (may be null): the insertion attempts (and, on
+     * the raw int16 path, int->float conversions) the cutoff saved.
+     * @return number of candidate distances evaluated
+     */
+    uint64_t
+    search(int xr, int yr, MatchList &out, float initial_bound,
+           uint64_t *pruned) const
+    {
         out = MatchList(maxMatches_);
         out.insert(Match{xr, yr, 0.0f});
         uint64_t evaluated = 0;
+        uint64_t pruned_local = 0;
+        ScanState scan = makeScan(initial_bound);
         const int x_lo = std::max(0, xr - half_);
         const int x_hi = std::min(domain_.positionsX() - 1, xr + half_);
         const int y_lo = std::max(0, yr - half_);
@@ -546,22 +570,27 @@ class BlockMatcher
             domain_.gatherRef(xr, yr, ref);
             for (int y = y_lo; y <= y_hi; ++y) {
                 if (y == yr) {
-                    considerRun(ref, x_lo, xr - 1, y, out, evaluated);
-                    considerRun(ref, xr + 1, x_hi, y, out, evaluated);
+                    considerRun(ref, x_lo, xr - 1, y, out, scan,
+                                evaluated, pruned_local);
+                    considerRun(ref, xr + 1, x_hi, y, out, scan,
+                                evaluated, pruned_local);
                 } else {
-                    considerRun(ref, x_lo, x_hi, y, out, evaluated);
+                    considerRun(ref, x_lo, x_hi, y, out, scan,
+                                evaluated, pruned_local);
                 }
             }
-            return evaluated;
-        }
-        for (int y = y_lo; y <= y_hi; y += searchStride_) {
-            for (int x = x_lo; x <= x_hi; x += searchStride_) {
-                if (x == xr && y == yr)
-                    continue;
-                consider(xr, yr, x, y, out);
-                ++evaluated;
+        } else {
+            for (int y = y_lo; y <= y_hi; y += searchStride_) {
+                for (int x = x_lo; x <= x_hi; x += searchStride_) {
+                    if (x == xr && y == yr)
+                        continue;
+                    considerCut(xr, yr, x, y, out, scan, pruned_local);
+                    ++evaluated;
+                }
             }
         }
+        if (pruned != nullptr)
+            *pruned += pruned_local;
         return evaluated;
     }
 
@@ -667,9 +696,27 @@ class BlockMatcher
     searchSeeded(int xr, int yr, const SeedPos *seeds, int num_seeds,
                  int seed_window, MatchList &out) const
     {
+        return searchSeeded(xr, yr, seeds, num_seeds, seed_window, out,
+                            std::numeric_limits<float>::infinity(),
+                            nullptr);
+    }
+
+    /**
+     * Seeded search with an externally seeded acceptance cutoff; same
+     * bound semantics (and bitwise-at-infinity contract) as the
+     * bounded search() overload. This is how temporal seeding and the
+     * adaptive bound compose in the streaming runtime.
+     */
+    uint64_t
+    searchSeeded(int xr, int yr, const SeedPos *seeds, int num_seeds,
+                 int seed_window, MatchList &out, float initial_bound,
+                 uint64_t *pruned) const
+    {
         out = MatchList(maxMatches_);
         out.insert(Match{xr, yr, 0.0f});
         uint64_t evaluated = 0;
+        uint64_t pruned_local = 0;
+        ScanState scan = makeScan(initial_bound);
 
         const int sh = std::min(half_, (seed_window - 1) / 2);
         const int wx_lo = std::max(0, xr - sh);
@@ -682,10 +729,13 @@ class BlockMatcher
             domain_.gatherRef(xr, yr, ref);
             for (int y = wy_lo; y <= wy_hi; ++y) {
                 if (y == yr) {
-                    considerRun(ref, wx_lo, xr - 1, y, out, evaluated);
-                    considerRun(ref, xr + 1, wx_hi, y, out, evaluated);
+                    considerRun(ref, wx_lo, xr - 1, y, out, scan,
+                                evaluated, pruned_local);
+                    considerRun(ref, xr + 1, wx_hi, y, out, scan,
+                                evaluated, pruned_local);
                 } else {
-                    considerRun(ref, wx_lo, wx_hi, y, out, evaluated);
+                    considerRun(ref, wx_lo, wx_hi, y, out, scan,
+                                evaluated, pruned_local);
                 }
             }
         } else {
@@ -693,7 +743,7 @@ class BlockMatcher
                 for (int x = wx_lo; x <= wx_hi; x += searchStride_) {
                     if (x == xr && y == yr)
                         continue;
-                    consider(xr, yr, x, y, out);
+                    considerCut(xr, yr, x, y, out, scan, pruned_local);
                     ++evaluated;
                 }
             }
@@ -712,9 +762,11 @@ class BlockMatcher
                 continue; // already scored by the verification window
             if (sx < x_lo || sx > x_hi || sy < y_lo || sy > y_hi)
                 continue; // drifted outside the full search window
-            consider(xr, yr, sx, sy, out);
+            considerCut(xr, yr, sx, sy, out, scan, pruned_local);
             ++evaluated;
         }
+        if (pruned != nullptr)
+            *pruned += pruned_local;
         return evaluated;
     }
 
@@ -729,14 +781,42 @@ class BlockMatcher
 
   private:
     /**
+     * Running acceptance cutoff of one search. `cut` starts at
+     * min(Tmatch, the caller's initial bound) and tightens to the
+     * worst kept distance as the list fills; `rawCut` is its exact
+     * raw-int32 image on kRawBatch domains (maintained incrementally —
+     * rawThreshold() is monotone, so min-chaining per insert equals
+     * recomputing from the current worst).
+     */
+    struct ScanState
+    {
+        float cut;
+        int32_t rawCut;
+    };
+
+    ScanState
+    makeScan(float initial_bound) const
+    {
+        ScanState s;
+        s.cut = std::min(tauMatch_, initial_bound);
+        s.rawCut = 0;
+        if constexpr (Domain::kRawBatch)
+            s.rawCut = std::min(rawTau_, domain_.rawThreshold(s.cut));
+        return s;
+    }
+
+    /**
      * Batched consideration of the run [x0, x1] at row @p y (empty
      * when x0 > x1) against the gathered reference @p ref: one
      * distanceBatch dispatch per kChunk candidates (whole window rows
-     * in practice). Requires domain_.supportsBatch().
+     * in practice). Requires domain_.supportsBatch(). Candidates below
+     * Tmatch that the running cutoff rejected are counted into
+     * @p pruned.
      */
     void
     considerRun(const typename Domain::DescType *ref, int x0, int x1,
-                int y, MatchList &out, uint64_t &evaluated) const
+                int y, MatchList &out, ScanState &scan,
+                uint64_t &evaluated, uint64_t &pruned) const
     {
         // multiple of 8; > any usual window
         constexpr int kChunk = kMaxBatchCandidates;
@@ -744,26 +824,27 @@ class BlockMatcher
             // Raw-side thresholding: the window scan stays in int32
             // (no per-candidate int->float conversion) and candidates
             // die on one integer compare. The cutoff is the exact raw
-            // image of min(tau, current 16th-best distance) — in the
-            // DCT domain ~75% of candidates sit below tau, so gating
-            // on tau alone would convert and attempt an insert for
-            // nearly every candidate. d < cutoff implies the insert
-            // accepts, and every candidate the insert would accept
-            // satisfies d < cutoff (rawThreshold() is the exact
-            // boundary), so the selected set is bitwise identical.
+            // image of min(tau, initial bound, current 16th-best
+            // distance) — in the DCT domain ~75% of candidates sit
+            // below tau, so gating on tau alone would convert and
+            // attempt an insert for nearly every candidate. d < cutoff
+            // implies the insert accepts, and (at infinite initial
+            // bound) every candidate the insert would accept satisfies
+            // d < cutoff (rawThreshold() is the exact boundary), so
+            // the selected set is bitwise identical to the dense scan.
             int32_t d[kChunk];
-            int32_t cutoff = std::min(
-                rawTau_, domain_.rawThreshold(out.worstDistance()));
             for (int x = x0; x <= x1; x += kChunk) {
                 const int count = std::min(kChunk, x1 - x + 1);
                 domain_.distanceBatchRaw(ref, x, y, count, d);
                 for (int i = 0; i < count; ++i) {
-                    if (d[i] < cutoff) {
+                    if (d[i] < scan.rawCut) {
                         out.insert(
                             Match{x + i, y, domain_.fromRaw(d[i])});
-                        cutoff = std::min(
-                            rawTau_,
+                        scan.rawCut = std::min(
+                            scan.rawCut,
                             domain_.rawThreshold(out.worstDistance()));
+                    } else if (d[i] < rawTau_) {
+                        ++pruned;
                     }
                 }
                 evaluated += count;
@@ -774,8 +855,13 @@ class BlockMatcher
                 const int count = std::min(kChunk, x1 - x + 1);
                 domain_.distanceBatch(ref, x, y, count, d);
                 for (int i = 0; i < count; ++i) {
-                    if (d[i] < tauMatch_)
+                    if (d[i] < scan.cut) {
                         out.insert(Match{x + i, y, d[i]});
+                        scan.cut = std::min(scan.cut,
+                                            out.worstDistance());
+                    } else if (d[i] < tauMatch_) {
+                        ++pruned;
+                    }
                 }
                 evaluated += count;
             }
@@ -791,6 +877,33 @@ class BlockMatcher
                       : domain_.distance(xr, yr, x, y);
         if (d < tauMatch_)
             out.insert(Match{x, y, d});
+    }
+
+    /**
+     * Scalar consideration under a running cutoff (the non-batch
+     * fallback of the bounded search paths). At infinite initial bound
+     * this accepts exactly the candidates consider() would keep: the
+     * early-exit bound min(cut, worst) equals consider()'s
+     * min(Tmatch, worst), a partial early-exit sum only ever compares
+     * greater than the bound, and an accepted d < bound is exact.
+     * The pruned count on this path may include early-exited partial
+     * sums below Tmatch whose exact distance is above it — still
+     * deterministic, which is what the --ops-tolerance gate needs.
+     */
+    void
+    considerCut(int xr, int yr, int x, int y, MatchList &out,
+                ScanState &scan, uint64_t &pruned) const
+    {
+        const float bound = std::min(scan.cut, out.worstDistance());
+        float d = bounded_
+                      ? domain_.distanceBounded(xr, yr, x, y, bound)
+                      : domain_.distance(xr, yr, x, y);
+        if (d < bound) {
+            out.insert(Match{x, y, d});
+            scan.cut = std::min(scan.cut, out.worstDistance());
+        } else if (d < tauMatch_) {
+            ++pruned;
+        }
     }
 
     const Domain &domain_;

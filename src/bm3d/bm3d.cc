@@ -1,6 +1,8 @@
 #include "bm3d/bm3d.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <type_traits>
@@ -31,7 +33,138 @@ struct WorkerScratch
     Profile profile;
     std::optional<DenoiseEngine> engine;
     std::vector<MatchList> rowAbove;
+    /// Coarse-to-fine replay state (variant.coarseToFine): pass 1's
+    /// match lists per tile cell, and which cells were searched.
+    std::vector<MatchList> coarseLists;
+    std::vector<uint8_t> coarseSearched;
 };
+
+/**
+ * Floor of the propagated adaptive bound, as a fraction of Tmatch.
+ * On flat content the worst kept distance approaches 0 (thresholded-
+ * DCT descriptors of smooth patches are nearly identical), and 0 times
+ * any margin would reject the next cell's equally-good candidates
+ * outright. The floor only ever *loosens* the cutoff — the propagated
+ * bound is max(prev_worst * margin, floor) — so it bounds the quality
+ * risk of mechanism 1 without affecting its pruning on structured
+ * content, where worst distances sit well above Tmatch / 8.
+ */
+constexpr float kAdaptiveBoundFloor = 0.125f;
+
+/**
+ * Starting cutoff of a search under Config::variant.adaptiveBound: the
+ * previous reference cell's worst kept distance scaled by the safety
+ * margin and floored, or +inf when the mechanism is off, the margin is
+ * infinite (the documented bitwise-dense setting), or there is nothing
+ * to propagate (row start, or the previous list stayed underfull —
+ * worstDistance() = +inf — which makes the mechanism self-healing: one
+ * over-tight bound cannot cascade down a row).
+ */
+inline float
+adaptiveBoundFrom(const MatchVariantConfig &v, float prev_worst,
+                  float bound_floor)
+{
+    if (!v.adaptiveBound || !std::isfinite(v.boundMargin) ||
+        !std::isfinite(prev_worst))
+        return std::numeric_limits<float>::infinity();
+    return std::max(prev_worst * v.boundMargin, bound_floor);
+}
+
+/**
+ * Normalized residual of one match stack in [0, 1): mean kept distance
+ * with every unfilled slot charged at Tmatch. 0 = a full stack of
+ * perfect matches; ->1 = an empty or at-threshold stack. The per-tile
+ * mean of this decides coarse-to-fine densification.
+ */
+inline float
+stackResidual(const MatchList &m, float tau, int max_matches)
+{
+    float sum = 0.0f;
+    for (const Match &mm : m)
+        sum += std::min(mm.distance, tau);
+    sum += static_cast<float>(max_matches - m.size()) * tau;
+    return sum / (static_cast<float>(max_matches) * tau);
+}
+
+/**
+ * Next index of the subsampled coarse walk over [begin, end): step by
+ * @p stride but always land on end - 1 before finishing, so tile-edge
+ * references are searched on every tile and image-edge pixels keep
+ * reference coverage regardless of the stride.
+ */
+inline int
+nextCoarseIndex(int i, int end, int stride)
+{
+    return i >= end - 1 ? end : std::min(i + stride, end - 1);
+}
+
+/**
+ * One reference patch's non-MR search: the temporal-seed check and
+ * seeded scan (DctMatchDomain under a streaming run), or the full
+ * window scan, both under the adaptive acceptance cutoff @p bound;
+ * then the seed-store write for frame t+1. Shared by the dense tile
+ * path's miss branch sibling logic in processTile (kept inline there,
+ * interleaved with MR) and by both passes of processTileCoarse.
+ * @return number of candidate distances evaluated
+ */
+template <typename Domain>
+uint64_t
+searchReference(const Domain &domain, const BlockMatcher<Domain> &matcher,
+                TemporalSeed *seed, size_t ref_idx, int x, int y,
+                float bound, MatchList &current, uint64_t &pruned,
+                uint64_t &seed_refs, uint64_t &seed_hits, bool &seed_hit)
+{
+    constexpr bool kSeedableDomain =
+        std::is_same_v<Domain, DctMatchDomain>;
+    uint64_t candidates = 0;
+    seed_hit = false;
+    if constexpr (kSeedableDomain) {
+        if (seed != nullptr) {
+            const int coefs = domain.patchCoefs();
+            float desc_tmp[64];
+            float *desc = seed->current != nullptr
+                              ? seed->current->refDesc.data() +
+                                    ref_idx * coefs
+                              : desc_tmp;
+            domain.gatherRef(x, y, desc);
+            if (seed->previous != nullptr) {
+                ++seed_refs;
+                const float *prev_desc =
+                    seed->previous->refDesc.data() + ref_idx * coefs;
+                float ssd = 0.0f;
+                for (int k = 0; k < coefs; ++k) {
+                    const float diff = desc[k] - prev_desc[k];
+                    ssd += diff * diff;
+                }
+                ++candidates;
+                const float d = ssd / static_cast<float>(coefs);
+                if (d < seed->reuseBound) {
+                    seed_hit = true;
+                    ++seed_hits;
+                    candidates += matcher.searchSeeded(
+                        x, y, seed->previous->cell(ref_idx),
+                        seed->previous->count[ref_idx], seed->window,
+                        current, bound, &pruned);
+                }
+            }
+        }
+    }
+    if (!seed_hit)
+        candidates += matcher.search(x, y, current, bound, &pruned);
+    if constexpr (kSeedableDomain) {
+        if (seed != nullptr && seed->current != nullptr) {
+            SeedStore &cs = *seed->current;
+            SeedPos *slot = cs.pos.data() + ref_idx * cs.capacity();
+            const int n = std::min(current.size(), cs.capacity());
+            for (int i = 0; i < n; ++i) {
+                slot[i] = SeedPos{static_cast<uint16_t>(current[i].x),
+                                  static_cast<uint16_t>(current[i].y)};
+            }
+            cs.count[ref_idx] = static_cast<uint8_t>(n);
+        }
+    }
+    return candidates;
+}
 
 /**
  * Process the reference patches of one 2-D tile with one matcher and
@@ -54,6 +187,7 @@ processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
         stage == Stage::HardThreshold ? Step::Bm1 : Step::Bm2;
     const float reuse_bound =
         static_cast<float>(cfg.mr.k) * matcher.tauMatch();
+    const float bound_floor = kAdaptiveBoundFloor * matcher.tauMatch();
     MatchList current;
     MatchList previous;
 
@@ -74,13 +208,20 @@ processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
     [[maybe_unused]] uint64_t seed_hits = 0;
 
     MrStats mr;
+    AdaptiveStats av;
     for (int yi = tile.y0; yi < tile.y1; ++yi) {
         const int y = ys[yi];
         const int y_above = yi > tile.y0 ? ys[yi - 1] : 0;
         bool have_previous = false;
         int prev_x = 0;
+        // Adaptive early-termination state (variant.adaptiveBound):
+        // the previous reference's worst kept distance, reset at each
+        // row start like the MR chain.
+        float carry = std::numeric_limits<float>::infinity();
         for (int xi = tile.x0; xi < tile.x1; ++xi) {
             const int x = xs[xi];
+            const float bound =
+                adaptiveBoundFrom(cfg.variant, carry, bound_floor);
             bool hit = false;
             bool vert_hit = false;
             bool seed_hit = false;
@@ -155,12 +296,14 @@ processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
                             candidates += matcher.searchSeeded(
                                 x, y, seed->previous->cell(ref_idx),
                                 seed->previous->count[ref_idx],
-                                seed->window, current);
+                                seed->window, current, bound,
+                                &av.prunedInserts);
                         }
                     }
                 }
                 if (!hit)
-                    candidates += matcher.search(x, y, current);
+                    candidates += matcher.search(x, y, current, bound,
+                                                 &av.prunedInserts);
                 if constexpr (kSeedableDomain) {
                     if (seed != nullptr && seed->current != nullptr) {
                         // Remember this frame's matches for frame t+1.
@@ -193,6 +336,7 @@ processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
                 mr.bm2Candidates += candidates;
             }
             engine.processStack(current, agg);
+            carry = current.worstDistance();
             previous = current;
             have_previous = true;
             prev_x = x;
@@ -203,6 +347,7 @@ processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
             have_row_above = true;
     }
     profile.mr() += mr;
+    profile.adaptive() += av;
 
     // Per-worker MR counters into the process-wide registry: each
     // executor writes its own shard (no contention), one update per
@@ -220,6 +365,8 @@ processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
         reg.add("bm3d.mr.bm2Candidates",
                 static_cast<double>(mr.bm2Candidates));
     }
+    reg.add("bm3d.adaptive.prunedInserts",
+            static_cast<double>(av.prunedInserts));
     if constexpr (kSeedableDomain) {
         if (seed != nullptr && seed->previous != nullptr) {
             seed->refs.fetch_add(seed_refs, std::memory_order_relaxed);
@@ -240,6 +387,188 @@ processTile(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
     ops.additions += cand * pp * 2;
     ops.multiplies += cand * pp;
     ops.memoryReads += cand * pp * 2;
+    profile.addOps(bm_step, ops);
+}
+
+/**
+ * Coarse-to-fine variant of processTile (variant.coarseToFine).
+ *
+ * Pass 1 searches the subsampled reference grid — every coarseStride-th
+ * tile row and column, tile edges always included — and stores the
+ * match lists without aggregating anything. The tile's mean stack
+ * residual then picks between staying coarse and densifying. Pass 2
+ * aggregates strictly in row-major full-grid order, replaying stored
+ * lists and searching fine positions on demand, so a densified tile
+ * reproduces the dense scan's floating-point aggregation tree bit for
+ * bit: densifyThreshold <= 0 (densify everything) is bitwise equal to
+ * the full-stride output. MR is rejected by validate() for this path;
+ * temporal seeding composes — skipped references get their seed slot
+ * invalidated (count 0, NaN descriptor) so frame t+1's closeness check
+ * cannot hit on stale state.
+ */
+template <typename Domain>
+void
+processTileCoarse(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
+                  const BlockMatcher<Domain> &matcher,
+                  const std::vector<int> &xs, const std::vector<int> &ys,
+                  const parallel::Tile &tile, DenoiseEngine &engine,
+                  Aggregator &agg, Profile &profile,
+                  std::vector<MatchList> &lists,
+                  std::vector<uint8_t> &searched, TemporalSeed *seed)
+{
+    const Step bm_step =
+        stage == Stage::HardThreshold ? Step::Bm1 : Step::Bm2;
+    const int w = tile.width();
+    const int stride = cfg.variant.coarseStride;
+    const float tau = matcher.tauMatch();
+    const float bound_floor = kAdaptiveBoundFloor * tau;
+    const size_t grid_x = xs.size();
+    constexpr bool kSeedableDomain =
+        std::is_same_v<Domain, DctMatchDomain>;
+
+    lists.assign(static_cast<size_t>(w) * tile.height(),
+                 MatchList(cfg.maxMatches));
+    searched.assign(lists.size(), 0);
+
+    AdaptiveStats av;
+    uint64_t seed_refs = 0;
+    uint64_t seed_hits = 0;
+    uint64_t candidates = 0;
+    uint64_t refs = 0;
+    double residual_sum = 0.0;
+    int coarse_count = 0;
+    MatchList current;
+
+    // Pass 1: subsampled searches, match lists stored, no aggregation.
+    for (int yi = tile.y0; yi < tile.y1;
+         yi = nextCoarseIndex(yi, tile.y1, stride)) {
+        const int y = ys[yi];
+        float carry = std::numeric_limits<float>::infinity();
+        for (int xi = tile.x0; xi < tile.x1;
+             xi = nextCoarseIndex(xi, tile.x1, stride)) {
+            const int x = xs[xi];
+            const size_t ref_idx = static_cast<size_t>(yi) * grid_x + xi;
+            const float bound =
+                adaptiveBoundFrom(cfg.variant, carry, bound_floor);
+            bool seed_hit = false;
+            {
+                ScopedTimer timer(profile, bm_step);
+                candidates += searchReference(
+                    domain, matcher, seed, ref_idx, x, y, bound, current,
+                    av.prunedInserts, seed_refs, seed_hits, seed_hit);
+            }
+            carry = current.worstDistance();
+            const size_t li =
+                static_cast<size_t>(yi - tile.y0) * w + (xi - tile.x0);
+            lists[li] = current;
+            searched[li] = 1;
+            ++refs;
+            ++coarse_count;
+            residual_sum += stackResidual(current, tau, cfg.maxMatches);
+        }
+    }
+
+    const float residual =
+        coarse_count > 0
+            ? static_cast<float>(residual_sum / coarse_count)
+            : 0.0f;
+    const bool densify = residual >= cfg.variant.densifyThreshold;
+    if (densify)
+        ++av.tilesDensified;
+    else
+        ++av.tilesCoarse;
+
+    // Pass 2: row-major full-grid replay; fine searches only when the
+    // residual asked for them.
+    for (int yi = tile.y0; yi < tile.y1; ++yi) {
+        const int y = ys[yi];
+        float carry = std::numeric_limits<float>::infinity();
+        for (int xi = tile.x0; xi < tile.x1; ++xi) {
+            const int x = xs[xi];
+            const size_t ref_idx = static_cast<size_t>(yi) * grid_x + xi;
+            const size_t li =
+                static_cast<size_t>(yi - tile.y0) * w + (xi - tile.x0);
+            if (searched[li]) {
+                current = lists[li];
+            } else if (densify) {
+                const float bound =
+                    adaptiveBoundFrom(cfg.variant, carry, bound_floor);
+                bool seed_hit = false;
+                {
+                    ScopedTimer timer(profile, bm_step);
+                    candidates += searchReference(
+                        domain, matcher, seed, ref_idx, x, y, bound,
+                        current, av.prunedInserts, seed_refs, seed_hits,
+                        seed_hit);
+                }
+                ++refs;
+            } else {
+                ++av.refsSkipped;
+                if constexpr (kSeedableDomain) {
+                    if (seed != nullptr && seed->current != nullptr) {
+                        SeedStore &cs = *seed->current;
+                        cs.count[ref_idx] = 0;
+                        float *desc =
+                            cs.refDesc.data() +
+                            ref_idx * domain.patchCoefs();
+                        std::fill(
+                            desc, desc + domain.patchCoefs(),
+                            std::numeric_limits<float>::quiet_NaN());
+                    }
+                }
+                continue;
+            }
+            engine.processStack(current, agg);
+            carry = current.worstDistance();
+        }
+    }
+
+    MrStats mr;
+    if (stage == Stage::HardThreshold) {
+        mr.bm1Refs = refs;
+        mr.bm1Candidates = candidates;
+    } else {
+        mr.bm2Refs = refs;
+        mr.bm2Candidates = candidates;
+    }
+    profile.mr() += mr;
+    profile.adaptive() += av;
+
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    if (stage == Stage::HardThreshold) {
+        reg.add("bm3d.mr.bm1Refs", static_cast<double>(mr.bm1Refs));
+        reg.add("bm3d.mr.bm1Hits", 0.0);
+        reg.add("bm3d.mr.bm1Candidates",
+                static_cast<double>(mr.bm1Candidates));
+    } else {
+        reg.add("bm3d.mr.bm2Refs", static_cast<double>(mr.bm2Refs));
+        reg.add("bm3d.mr.bm2Hits", 0.0);
+        reg.add("bm3d.mr.bm2Candidates",
+                static_cast<double>(mr.bm2Candidates));
+    }
+    reg.add("bm3d.adaptive.prunedInserts",
+            static_cast<double>(av.prunedInserts));
+    reg.add("bm3d.adaptive.tilesCoarse",
+            static_cast<double>(av.tilesCoarse));
+    reg.add("bm3d.adaptive.tilesDensified",
+            static_cast<double>(av.tilesDensified));
+    reg.add("bm3d.adaptive.refsSkipped",
+            static_cast<double>(av.refsSkipped));
+    if constexpr (kSeedableDomain) {
+        if (seed != nullptr && seed->previous != nullptr) {
+            seed->refs.fetch_add(seed_refs, std::memory_order_relaxed);
+            seed->hits.fetch_add(seed_hits, std::memory_order_relaxed);
+            reg.add("bm3d.seed.refs", static_cast<double>(seed_refs));
+            reg.add("bm3d.seed.hits", static_cast<double>(seed_hits));
+        }
+    }
+
+    OpCounters ops;
+    const uint64_t pp =
+        static_cast<uint64_t>(cfg.patchSize) * cfg.patchSize;
+    ops.additions += candidates * pp * 2;
+    ops.multiplies += candidates * pp;
+    ops.memoryReads += candidates * pp * 2;
     profile.addOps(bm_step, ops);
 }
 
@@ -316,9 +645,16 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
             Aggregator agg(r.x0, r.y0, r.x1 + cfg.patchSize - r.x0,
                            r.y1 + cfg.patchSize - r.y0, noisy.channels());
             ws.engine->prepareTile(r.x0, r.y0, r.x1, r.y1);
-            processTile(cfg, stage, domain, matcher, xs, ys, tile,
-                        *ws.engine, agg, ws.profile, ws.rowAbove,
-                        opts.seed);
+            if (cfg.variant.coarseToFine) {
+                processTileCoarse(cfg, stage, domain, matcher, xs, ys,
+                                  tile, *ws.engine, agg, ws.profile,
+                                  ws.coarseLists, ws.coarseSearched,
+                                  opts.seed);
+            } else {
+                processTile(cfg, stage, domain, matcher, xs, ys, tile,
+                            *ws.engine, agg, ws.profile, ws.rowAbove,
+                            opts.seed);
+            }
 
             std::lock_guard<std::mutex> lock(merge_mutex);
             pending[ti].emplace(std::move(agg));

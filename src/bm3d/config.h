@@ -10,6 +10,8 @@
  * Wiener stage, and 16 best matches.
  */
 
+#include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
@@ -55,6 +57,79 @@ enum class WeightingMode {
      * slightly better quality; available for comparison.
      */
     Reference,
+};
+
+/**
+ * Adaptive fast-matching configuration (DESIGN §11): algorithmic
+ * BM1/BM2 work reduction in the spirit of the fast-BM3D survey of
+ * Sanders & Larkin (arXiv 2103.10765), orthogonal to the SIMD and
+ * int16 datapaths. Two composable mechanisms, each an ablation knob:
+ *
+ *  1. *Adaptive early-termination bound* (adaptiveBound): each window
+ *     search seeds its acceptance cutoff from the previous reference
+ *     cell's worst kept distance, scaled by a safety margin, instead
+ *     of starting from Tmatch and re-learning the cutoff while the
+ *     match list refills. Adjacent references see overlapping windows,
+ *     so the previous cell's 16th-best distance is a tight prediction
+ *     of the current one's. Candidates whose distance already exceeds
+ *     the propagated bound die on one compare without an insertion
+ *     attempt (or an int->float conversion on the int16 path). A
+ *     candidate is only ever lost when its distance lands between the
+ *     bound and what the dense scan would have kept, which the margin
+ *     makes rare; boundMargin = infinity is *bitwise* identical to the
+ *     dense scan.
+ *
+ *  2. *Coarse-to-fine reference grid* (coarseToFine): BM runs on a
+ *     subsampled reference grid (every coarseStride-th grid position,
+ *     tile edges always included), then measures a per-tile residual —
+ *     mean normalized match distance with unfilled stack slots charged
+ *     at Tmatch — and densifies only tiles whose residual reaches
+ *     densifyThreshold back to the full grid. Smooth regions keep the
+ *     stride-squared work reduction; structured regions fall back to
+ *     the dense scan, so worst-case quality is preserved.
+ *     densifyThreshold <= 0 densifies every tile, which is bitwise
+ *     identical to the full-stride scan; >= 1 never densifies.
+ *
+ * Not composable with Matches Reuse (mr.enabled): MR chains state
+ * across *consecutive* references, which the subsampled grid breaks;
+ * validate() rejects the combination rather than silently changing
+ * MR's meaning. Temporal seeding (streaming runtime) composes with
+ * both mechanisms.
+ */
+struct MatchVariantConfig
+{
+    /// Mechanism 1: propagate each search's final worst-kept distance
+    /// into the next search's starting cutoff.
+    bool adaptiveBound = false;
+
+    /**
+     * Safety margin multiplier (>= 1) applied to the propagated bound.
+     * Larger margins prune less and lose less quality; infinity turns
+     * the mechanism into a no-op that is bitwise equal to dense.
+     */
+    float boundMargin = 2.0f;
+
+    /// Mechanism 2: subsampled reference grid with per-tile dense
+    /// fallback.
+    bool coarseToFine = false;
+
+    /// Reference-grid subsample factor (2 or 3), in grid-index units
+    /// on top of refStride.
+    int coarseStride = 2;
+
+    /**
+     * Per-tile residual at or above which the tile is densified to the
+     * full reference grid. The residual is in [0, 1): 0 = every stack
+     * full of perfect matches, ->1 = stacks empty or at Tmatch.
+     */
+    float densifyThreshold = 0.25f;
+
+    /// True when any mechanism is active.
+    bool
+    any() const
+    {
+        return adaptiveBound || coarseToFine;
+    }
 };
 
 /** Matches-Reuse (MR) configuration (paper Sec. 5.1). */
@@ -133,6 +208,9 @@ struct Bm3dConfig
 
     MrConfig mr;
 
+    /// Adaptive fast-matching mechanisms (all off = the dense scan).
+    MatchVariantConfig variant;
+
     /**
      * Joint sharpening (paper Sec. 7): after shrinkage, coefficient
      * magnitudes are raised to the power 1/alpha (alpha-rooting) for
@@ -191,6 +269,18 @@ struct Bm3dConfig
             throw std::invalid_argument("sigma must be positive");
         if (mr.enabled && (mr.k <= 0.0 || mr.k > 1.0))
             throw std::invalid_argument("MR factor K must be in (0, 1]");
+        if (variant.adaptiveBound &&
+            (std::isnan(variant.boundMargin) || variant.boundMargin < 1.0f))
+            throw std::invalid_argument(
+                "variant.boundMargin must be >= 1 (inf = dense)");
+        if (variant.coarseToFine &&
+            (variant.coarseStride < 2 || variant.coarseStride > 4))
+            throw std::invalid_argument(
+                "variant.coarseStride must be in [2, 4]");
+        if (variant.coarseToFine && mr.enabled)
+            throw std::invalid_argument(
+                "variant.coarseToFine is not composable with Matches "
+                "Reuse (MR chains state across consecutive references)");
         if (sharpenAlpha < 1.0f)
             throw std::invalid_argument("sharpenAlpha must be >= 1");
         if (tileGrain < 1)

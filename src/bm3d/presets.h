@@ -1,0 +1,86 @@
+#ifndef IDEAL_BM3D_PRESETS_H_
+#define IDEAL_BM3D_PRESETS_H_
+
+/**
+ * @file
+ * Scene-adaptive speed/quality presets (DESIGN §11, mechanism 3).
+ *
+ * The paper's dataset splits into nature / street / texture content
+ * classes whose matching behaviour differs enough to justify different
+ * operating points: smooth self-similar content tolerates aggressive
+ * search reduction (small windows, sparse reference grids) at no
+ * visible cost, while busy texture needs the full dense scan to hold
+ * quality. Each preset bundles the window sizes, match count,
+ * precision, and Config::variant knobs calibrated against the
+ * synthetic generators (src/image/synthetic.h) that stand in for the
+ * paper's content classes.
+ *
+ * Preset selection is a cheap deterministic statistic over 4x4 block
+ * means of the (noisy) input — block averaging pushes the sigma=25
+ * noise floor well below the content signal, so the classifier reads
+ * structure, not noise. classifyScene() is pure and unit-testable;
+ * pickPreset() is the one-call convenience over an image.
+ */
+
+#include <string>
+
+#include "bm3d/config.h"
+#include "image/image.h"
+
+namespace ideal {
+namespace bm3d {
+
+/** Content class a preset is tuned for (mirrors image::SceneKind). */
+enum class ScenePreset {
+    Nature,  ///< smooth, highly self-similar: aggressive reduction
+    Street,  ///< piecewise-flat with sharp edges: moderate reduction
+    Texture, ///< busy quasi-periodic detail: conservative, quality-first
+};
+
+/** Human-readable preset name ("nature", "street", "texture"). */
+const char *toString(ScenePreset preset);
+
+/** Parse a preset name; throws std::invalid_argument on unknown. */
+ScenePreset presetFromString(const std::string &name);
+
+/**
+ * Noise-robust content statistics over 4x4 block means of plane 0.
+ * Block averaging divides the per-pixel noise sigma by 4, so at the
+ * calibrated sigma=25 the residual noise contributes < ~9 units to
+ * edgeStrength while content edges contribute tens to hundreds.
+ */
+struct SceneStats
+{
+    /// Variance of the block means (flatness of the global layout).
+    float blockVariance = 0.0f;
+    /// Mean |difference| between horizontally/vertically adjacent
+    /// block means (overall activity).
+    float edgeStrength = 0.0f;
+    /// Fraction of adjacent-block differences above 20 gray levels
+    /// (density of genuine edges; noise alone stays near zero here).
+    float edgeFraction = 0.0f;
+};
+
+/** Measure SceneStats on plane 0 of @p img (samples in [0, 255]). */
+SceneStats measureSceneStats(const image::ImageF &img);
+
+/** Map measured statistics to the preset tuned for that content. */
+ScenePreset classifyScene(const SceneStats &stats);
+
+/** measureSceneStats + classifyScene in one call. */
+ScenePreset pickPreset(const image::ImageF &img);
+
+/**
+ * Apply @p preset's operating point on top of @p base: search windows,
+ * match count, matching precision, and the Config::variant knobs.
+ * Sigma, thresholds, threading, and the other base parameters are kept.
+ * Presets that enable coarseToFine also disable MR (validate() rejects
+ * the combination); Int16 is only selected when the base patch size
+ * supports it.
+ */
+Bm3dConfig applyPreset(Bm3dConfig base, ScenePreset preset);
+
+} // namespace bm3d
+} // namespace ideal
+
+#endif // IDEAL_BM3D_PRESETS_H_

@@ -50,6 +50,15 @@ Profile::snapshot(const std::string &prefix) const
              static_cast<double>(mr_.bm1VertHits));
     snap.add(mr_base + ".bm2VertHits",
              static_cast<double>(mr_.bm2VertHits));
+    const std::string av_base = prefix + ".adaptive";
+    snap.add(av_base + ".prunedInserts",
+             static_cast<double>(adaptive_.prunedInserts));
+    snap.add(av_base + ".tilesCoarse",
+             static_cast<double>(adaptive_.tilesCoarse));
+    snap.add(av_base + ".tilesDensified",
+             static_cast<double>(adaptive_.tilesDensified));
+    snap.add(av_base + ".refsSkipped",
+             static_cast<double>(adaptive_.refsSkipped));
     return snap;
 }
 

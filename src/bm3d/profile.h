@@ -105,6 +105,37 @@ struct MrStats
     }
 };
 
+/**
+ * Adaptive fast-matching statistics (Config::variant, DESIGN §11).
+ * All counts are deterministic for a given configuration, SIMD level
+ * and image — selection is bitwise-reproducible — so the bench
+ * harness gates them with --ops-tolerance 0 like op counts.
+ */
+struct AdaptiveStats
+{
+    /// Candidates below Tmatch that the running/propagated cutoff
+    /// rejected without an insertion attempt (both stages).
+    uint64_t prunedInserts = 0;
+    /// Tiles processed on the subsampled reference grid and left
+    /// coarse (residual below the densify threshold).
+    uint64_t tilesCoarse = 0;
+    /// Coarse tiles whose residual reached the threshold and were
+    /// densified back to the full reference grid.
+    uint64_t tilesDensified = 0;
+    /// Reference positions skipped by coarse tiles (never searched).
+    uint64_t refsSkipped = 0;
+
+    AdaptiveStats &
+    operator+=(const AdaptiveStats &other)
+    {
+        prunedInserts += other.prunedInserts;
+        tilesCoarse += other.tilesCoarse;
+        tilesDensified += other.tilesDensified;
+        refsSkipped += other.refsSkipped;
+        return *this;
+    }
+};
+
 /** Accumulated profile of one denoising run. */
 class Profile
 {
@@ -154,6 +185,9 @@ class Profile
     MrStats &mr() { return mr_; }
     const MrStats &mr() const { return mr_; }
 
+    AdaptiveStats &adaptive() { return adaptive_; }
+    const AdaptiveStats &adaptive() const { return adaptive_; }
+
     Profile &
     operator+=(const Profile &other)
     {
@@ -162,6 +196,7 @@ class Profile
             ops_[i] += other.ops_[i];
         }
         mr_ += other.mr_;
+        adaptive_ += other.adaptive_;
         return *this;
     }
 
@@ -180,6 +215,7 @@ class Profile
     std::array<double, kNumSteps> seconds_{};
     std::array<OpCounters, kNumSteps> ops_{};
     MrStats mr_;
+    AdaptiveStats adaptive_;
 };
 
 /**

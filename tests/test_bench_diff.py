@@ -191,6 +191,25 @@ class TestCheckSnr(unittest.TestCase):
         self.assertEqual(rows, [])
         self.assertEqual(failures, [])
 
+    def test_ablation_rows_gate_only_the_loss_side(self):
+        # Variant rows search a different candidate set by design, so
+        # a quality *gain* (e.g. MR on coherent content) must pass;
+        # only losses beyond the envelope fail.
+        cand = record(
+            metrics={
+                "ablate_mr_snr_delta_db": 2.6,
+                "ablate_preset_snr_delta_db": 0.15,
+                "ablate_coarse_snr_delta_db": -0.26,
+            }
+        )
+        _, failures = bench_diff.check_snr(cand, 0.1)
+        self.assertEqual(failures, ["ablate_coarse_snr_delta_db"])
+
+    def test_parity_keys_stay_two_sided(self):
+        cand = record(metrics={"snr_delta_db": 0.2})
+        _, failures = bench_diff.check_snr(cand, 0.1)
+        self.assertEqual(failures, ["snr_delta_db"])
+
 
 class TestCompareWall(unittest.TestCase):
     def test_within_tolerance(self):
@@ -283,6 +302,127 @@ class TestMain(unittest.TestCase):
         self.assertEqual(
             self.run_main(record(), cand, "--snr-tolerance", "0.05"), 0
         )
+
+
+ABLATION_METRICS = {
+    "snr_delta_db": -0.02,
+    "ablate_dense_wall_s": 4.0,
+    "ablate_dense_bm1_ms": 900.0,
+    "ablate_dense_bm2_ms": 600.0,
+    "ablate_dense_snr_delta_db": 0.0,
+    "ablate_coarse_wall_s": 2.5,
+    "ablate_coarse_bm1_ms": 450.0,
+    "ablate_coarse_bm2_ms": 300.0,
+    "ablate_coarse_snr_delta_db": -0.03,
+}
+
+
+class TestAblationRows(unittest.TestCase):
+    def test_groups_by_variant_in_insertion_order(self):
+        order, variants = bench_diff.ablation_rows(
+            record(metrics=dict(ABLATION_METRICS))
+        )
+        self.assertEqual(order, ["dense", "coarse"])
+        self.assertEqual(variants["dense"]["bm1_ms"], 900.0)
+        self.assertEqual(variants["coarse"]["snr_delta_db"], -0.03)
+
+    def test_non_ablation_metrics_ignored(self):
+        _, variants = bench_diff.ablation_rows(
+            record(metrics={"snr_delta_db": 0.1})
+        )
+        self.assertEqual(variants, {})
+
+    def test_unknown_field_suffix_ignored(self):
+        order, variants = bench_diff.ablation_rows(
+            record(
+                metrics={
+                    "ablate_dense_bm1_ms": 1.0,
+                    "ablate_dense_novel_field": 7.0,
+                }
+            )
+        )
+        self.assertEqual(order, ["dense"])
+        self.assertEqual(variants["dense"], {"bm1_ms": 1.0})
+
+    def test_variant_names_with_underscores(self):
+        # The field suffix is matched from the end, so variant names
+        # may themselves contain underscores.
+        order, variants = bench_diff.ablation_rows(
+            record(metrics={"ablate_coarse_s3_bm1_ms": 5.0})
+        )
+        self.assertEqual(order, ["coarse_s3"])
+        self.assertEqual(variants["coarse_s3"]["bm1_ms"], 5.0)
+
+
+class TestAblationTable(unittest.TestCase):
+    def test_empty_record_renders_nothing(self):
+        self.assertEqual(bench_diff.ablation_table(record()), [])
+
+    def test_table_shape_and_speedup(self):
+        lines = bench_diff.ablation_table(
+            record(metrics=dict(ABLATION_METRICS))
+        )
+        # Header + separator + one row per variant.
+        self.assertEqual(len(lines), 4)
+        self.assertTrue(lines[0].startswith("| variant |"))
+        dense_row = lines[2]
+        coarse_row = lines[3]
+        # Dense is its own reference: exactly 1.00x.
+        self.assertIn("| 1.00x |", dense_row)
+        # (900 + 600) / (450 + 300) = 2.00x, read off the table.
+        self.assertIn("| 2.00x |", coarse_row)
+        self.assertIn("| -0.030 |", coarse_row)
+
+    def test_missing_fields_render_as_dash(self):
+        lines = bench_diff.ablation_table(
+            record(metrics={"ablate_dense_bm1_ms": 10.0})
+        )
+        row = lines[2]
+        # No wall, no bm2 (hence no sum and no speedup), no dSNR.
+        self.assertEqual(row.count("-"), 5)
+        self.assertIn("| 10.0 |", row)
+
+    def test_no_dense_row_means_no_speedup_column(self):
+        metrics = {
+            k: v
+            for k, v in ABLATION_METRICS.items()
+            if not k.startswith("ablate_dense")
+        }
+        lines = bench_diff.ablation_table(record(metrics=metrics))
+        self.assertEqual(len(lines), 3)
+        # All fields present except the speedup, which has no reference.
+        self.assertIn("| - |", lines[2])
+        self.assertNotIn("x", lines[2])
+
+
+class TestMainAblationMode(unittest.TestCase):
+    def run_main_single(self, rec, *flags):
+        f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+        json.dump(rec, f)
+        f.close()
+        argv_saved = sys.argv
+        sys.argv = ["bench_diff.py", f.name, *flags]
+        try:
+            return bench_diff.main()
+        finally:
+            sys.argv = argv_saved
+            os.unlink(f.name)
+
+    def test_ablation_table_exits_zero(self):
+        rec = record(metrics=dict(ABLATION_METRICS))
+        self.assertEqual(
+            self.run_main_single(rec, "--ablation-table"), 0
+        )
+
+    def test_record_without_ablation_metrics_exits_nonzero(self):
+        self.assertEqual(
+            self.run_main_single(record(), "--ablation-table"), 1
+        )
+
+    def test_missing_candidate_without_flag_is_usage_error(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main_single(record())
+        self.assertEqual(ctx.exception.code, 2)
 
 
 if __name__ == "__main__":

@@ -9,12 +9,15 @@
  * window would dominate runtime without adding coverage.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "bm3d/bm3d.h"
 #include "image/metrics.h"
 #include "image/noise.h"
 #include "image/synthetic.h"
+#include "obs/metrics.h"
 
 using namespace ideal;
 using bm3d::Bm3d;
@@ -449,4 +452,176 @@ TEST(Bm3d, TransformOnceDoesNotInflateDctOpCount)
     const uint64_t ops_cached = r_cached.profile.ops(Step::Dct2).total();
     const uint64_t ops_direct = r_direct.profile.ops(Step::Dct2).total();
     EXPECT_LT(ops_cached, ops_direct);
+}
+
+// ---------------------------------------------------------------------
+// Config::variant — the adaptive matching layer (DESIGN §11).
+// ---------------------------------------------------------------------
+
+TEST(Bm3dConfig, RejectsBadVariantKnobs)
+{
+    auto check = [](auto mutate) {
+        Bm3dConfig cfg;
+        mutate(cfg);
+        EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    };
+    check([](Bm3dConfig &c) {
+        c.variant.adaptiveBound = true;
+        c.variant.boundMargin = 0.5f; // must be >= 1
+    });
+    check([](Bm3dConfig &c) {
+        c.variant.adaptiveBound = true;
+        c.variant.boundMargin = std::numeric_limits<float>::quiet_NaN();
+    });
+    check([](Bm3dConfig &c) {
+        c.variant.coarseToFine = true;
+        c.variant.coarseStride = 1; // stride 1 = dense, use the flag off
+    });
+    check([](Bm3dConfig &c) {
+        c.variant.coarseToFine = true;
+        c.variant.coarseStride = 5;
+    });
+    // MR chains reuse state across consecutive references, which a
+    // subsampled reference grid breaks; the combination is rejected
+    // rather than silently degraded.
+    check([](Bm3dConfig &c) {
+        c.variant.coarseToFine = true;
+        c.mr.enabled = true;
+    });
+}
+
+TEST(Bm3dVariant, InfiniteMarginIsBitwiseDense)
+{
+    // The adaptive bound only ever *tightens* the running cutoff; with
+    // an infinite margin the propagated bound is +inf and every scan
+    // path must accept exactly the candidates the dense scan keeps —
+    // bitwise, in both matching precisions.
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 25.0f, 40);
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        Bm3dConfig cfg = smallConfig();
+        cfg.precision = precision;
+        auto dense = Bm3d(cfg).denoise(scene.noisy);
+
+        cfg.variant.adaptiveBound = true;
+        cfg.variant.boundMargin = std::numeric_limits<float>::infinity();
+        auto adaptive = Bm3d(cfg).denoise(scene.noisy);
+
+        EXPECT_EQ(image::maxAbsDiff(dense.basic, adaptive.basic), 0.0)
+            << "precision=" << static_cast<int>(precision);
+        EXPECT_EQ(image::maxAbsDiff(dense.output, adaptive.output), 0.0)
+            << "precision=" << static_cast<int>(precision);
+    }
+}
+
+TEST(Bm3dVariant, AdaptiveBoundPrunesWithBoundedQualityLoss)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 48, 25.0f, 41);
+    Bm3dConfig cfg = smallConfig();
+    double psnr_dense =
+        image::psnrDb(scene.clean, Bm3d(cfg).denoise(scene.noisy).output);
+
+    cfg.variant.adaptiveBound = true;
+    cfg.variant.boundMargin = 2.0f;
+    auto r = Bm3d(cfg).denoise(scene.noisy);
+
+    EXPECT_GT(r.profile.adaptive().prunedInserts, 0u);
+    EXPECT_GT(image::psnrDb(scene.clean, r.output), psnr_dense - 0.3);
+}
+
+TEST(Bm3dVariant, CoarseDensifyAlwaysIsBitwiseDense)
+{
+    // densifyThreshold <= 0 forces every tile through the fine pass;
+    // the two-pass replay aggregates in the same row-major order the
+    // dense scan uses, so the output must be bit-identical, and no
+    // reference may be skipped.
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 25.0f, 42);
+    Bm3dConfig cfg = smallConfig();
+    auto dense = Bm3d(cfg).denoise(scene.noisy);
+
+    cfg.variant.coarseToFine = true;
+    cfg.variant.coarseStride = 2;
+    cfg.variant.densifyThreshold = 0.0f;
+    auto coarse = Bm3d(cfg).denoise(scene.noisy);
+
+    EXPECT_EQ(image::maxAbsDiff(dense.basic, coarse.basic), 0.0);
+    EXPECT_EQ(image::maxAbsDiff(dense.output, coarse.output), 0.0);
+    // Every tile densified, none stayed coarse, no reference skipped.
+    EXPECT_GT(coarse.profile.adaptive().tilesDensified, 0u);
+    EXPECT_EQ(coarse.profile.adaptive().tilesCoarse, 0u);
+    EXPECT_EQ(coarse.profile.adaptive().refsSkipped, 0u);
+}
+
+TEST(Bm3dVariant, CoarseSkipsRefsAndHoldsQuality)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 48, 25.0f, 43);
+    Bm3dConfig cfg = smallConfig();
+    double psnr_dense =
+        image::psnrDb(scene.clean, Bm3d(cfg).denoise(scene.noisy).output);
+    const uint64_t dense_cand = Bm3d(cfg)
+                                    .denoise(scene.noisy)
+                                    .profile.mr()
+                                    .bm1Candidates;
+
+    cfg.variant.coarseToFine = true;
+    cfg.variant.coarseStride = 2;
+    cfg.variant.densifyThreshold = 0.9f; // low-residual tiles stay coarse
+    auto r = Bm3d(cfg).denoise(scene.noisy);
+
+    EXPECT_GT(r.profile.adaptive().tilesCoarse, 0u);
+    EXPECT_GT(r.profile.adaptive().refsSkipped, 0u);
+    EXPECT_LT(r.profile.mr().bm1Candidates, dense_cand);
+    EXPECT_GT(image::psnrDb(scene.clean, r.output), psnr_dense - 0.5);
+}
+
+TEST(Bm3dVariant, CountersAreThreadCountInvariant)
+{
+    // The tiled runner makes the outputs bitwise thread-invariant; the
+    // pruning decisions depend only on tile-local scan order, so the
+    // variant counters must agree exactly too — this is what lets CI
+    // gate them with --ops-tolerance 0.
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 25.0f, 44);
+    Bm3dConfig cfg = smallConfig();
+    cfg.variant.adaptiveBound = true;
+    cfg.variant.boundMargin = 2.0f;
+    cfg.variant.coarseToFine = true;
+    cfg.variant.coarseStride = 2;
+    cfg.variant.densifyThreshold = 0.5f;
+
+    auto r1 = Bm3d(cfg).denoise(scene.noisy);
+    cfg.numThreads = 4;
+    auto r4 = Bm3d(cfg).denoise(scene.noisy);
+
+    EXPECT_EQ(image::maxAbsDiff(r1.output, r4.output), 0.0);
+    EXPECT_EQ(r1.profile.adaptive().prunedInserts,
+              r4.profile.adaptive().prunedInserts);
+    EXPECT_EQ(r1.profile.adaptive().tilesCoarse,
+              r4.profile.adaptive().tilesCoarse);
+    EXPECT_EQ(r1.profile.adaptive().tilesDensified,
+              r4.profile.adaptive().tilesDensified);
+    EXPECT_EQ(r1.profile.adaptive().refsSkipped,
+              r4.profile.adaptive().refsSkipped);
+}
+
+// Regression for the fig02 bench record showing bm3d.mr.bm1Hits == 0:
+// the bench probe simply never enabled MR (hits are *defined* as 0 with
+// the feature off — see Bm3d.ProfileCoversAllSteps above). This pins
+// the positive half: with MR on, both the profile and the process-wide
+// metrics registry must report nonzero hits.
+TEST(Bm3dMr, RegistryReportsNonzeroHitsWhenEnabled)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.reset();
+
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 10.0f, 45);
+    Bm3dConfig cfg = smallConfig(10.0f);
+    cfg.mr.enabled = true;
+    cfg.mr.k = 0.5;
+    auto result = Bm3d(cfg).denoise(scene.noisy);
+
+    EXPECT_GT(result.profile.mr().bm1Hits, 0u);
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_GT(snap.value("bm3d.mr.bm1Hits"), 0.0);
+    EXPECT_GT(snap.value("bm3d.mr.bm2Hits"), 0.0);
+    reg.reset();
 }

@@ -6,6 +6,7 @@
  */
 
 #include <cstring>
+#include <limits>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -416,3 +417,84 @@ INSTANTIATE_TEST_SUITE_P(
     Rates, OracleRateSweep,
     ::testing::Combine(::testing::Values(0.5, 0.9, 0.99),
                        ::testing::Values(1, 3)));
+
+// ---------------------------------------------------------------------
+// Variant matrix: the "all knobs off = dense" contract must hold not
+// just at the default dispatch level but across {scalar, avx2} x
+// {1, 8} threads x {float32, int16}. An infinite bound margin is the
+// adaptive mechanism's identity element, so each cell must reproduce
+// its dense twin bit-for-bit; likewise densifyThreshold = 0 for the
+// coarse-to-fine grid.
+// ---------------------------------------------------------------------
+
+class VariantMatrix : public ::testing::Test
+{
+  protected:
+    void TearDown() override { simd::setLevel(simd::bestSupported()); }
+};
+
+TEST_F(VariantMatrix, InfiniteMarginMatchesDenseBitwise)
+{
+    auto clean = image::makeScene(image::SceneKind::Street, 48, 40, 1, 330);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 331);
+
+    const simd::Level levels[] = {simd::Level::Scalar, simd::Level::Avx2};
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        for (simd::Level level : levels) {
+            simd::setLevel(level); // clamped to bestSupported()
+            for (int threads : {1, 8}) {
+                bm3d::Bm3dConfig cfg;
+                cfg.sigma = 25.0f;
+                cfg.searchWindow1 = 13;
+                cfg.searchWindow2 = 11;
+                cfg.precision = precision;
+                cfg.numThreads = threads;
+                auto dense = bm3d::Bm3d(cfg).denoise(noisy);
+
+                cfg.variant.adaptiveBound = true;
+                cfg.variant.boundMargin =
+                    std::numeric_limits<float>::infinity();
+                auto adaptive = bm3d::Bm3d(cfg).denoise(noisy);
+
+                EXPECT_TRUE(dense.output.raw() == adaptive.output.raw())
+                    << "precision=" << static_cast<int>(precision)
+                    << " level=" << static_cast<int>(level)
+                    << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST_F(VariantMatrix, DensifyAlwaysMatchesDenseBitwise)
+{
+    auto clean = image::makeScene(image::SceneKind::Nature, 48, 40, 1, 340);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 341);
+
+    const simd::Level levels[] = {simd::Level::Scalar, simd::Level::Avx2};
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        for (simd::Level level : levels) {
+            simd::setLevel(level);
+            for (int threads : {1, 8}) {
+                bm3d::Bm3dConfig cfg;
+                cfg.sigma = 25.0f;
+                cfg.searchWindow1 = 13;
+                cfg.searchWindow2 = 11;
+                cfg.precision = precision;
+                cfg.numThreads = threads;
+                auto dense = bm3d::Bm3d(cfg).denoise(noisy);
+
+                cfg.variant.coarseToFine = true;
+                cfg.variant.coarseStride = 3;
+                cfg.variant.densifyThreshold = 0.0f;
+                auto coarse = bm3d::Bm3d(cfg).denoise(noisy);
+
+                EXPECT_TRUE(dense.output.raw() == coarse.output.raw())
+                    << "precision=" << static_cast<int>(precision)
+                    << " level=" << static_cast<int>(level)
+                    << " threads=" << threads;
+            }
+        }
+    }
+}

@@ -313,3 +313,46 @@ TEST_F(RuntimeTest, VideoDct1BandingIsThreadCountInvariant)
         EXPECT_TRUE(serial.frames[f].raw() == parallel.frames[f].raw())
             << "frame " << f;
 }
+
+// The adaptive matching variants must compose with temporal seeding:
+// the seeded search takes the same running cutoff, and the coarse
+// grid's skipped references poison their seed slots so the next frame
+// cannot false-hit on stale descriptors. Quality must hold and both
+// reductions must be active at once.
+TEST_F(RuntimeTest, VariantComposesWithTemporalSeeding)
+{
+    image::ImageF clean;
+    const auto clip = staticClip(4, 64, 64, 25.0f, 83, &clean);
+    StreamConfig cfg = smallStreamConfig(1);
+
+    StreamStats plain_stats;
+    const auto plain = streamOutputs(cfg, clip, &plain_stats);
+
+    cfg.temporalSeed = true;
+    cfg.frame.variant.adaptiveBound = true;
+    cfg.frame.variant.boundMargin = 2.0f;
+    cfg.frame.variant.coarseToFine = true;
+    cfg.frame.variant.coarseStride = 2;
+    cfg.frame.variant.densifyThreshold = 0.35f;
+    StreamStats variant_stats;
+    const auto variant = streamOutputs(cfg, clip, &variant_stats);
+
+    double plain_snr = 0.0, variant_snr = 0.0;
+    for (size_t f = 0; f < clip.size(); ++f) {
+        plain_snr += image::snrDb(clean, plain[f]);
+        variant_snr += image::snrDb(clean, variant[f]);
+    }
+    // On a 64x64 frame the skipped references are a much larger
+    // fraction of the image than at bench scale, so the envelope here
+    // is wider than the fig02 |dSNR| <= 0.1 dB gate; the point is that
+    // composition degrades gracefully rather than corrupting state.
+    const double delta = (plain_snr - variant_snr) /
+                         static_cast<double>(clip.size());
+    EXPECT_LE(delta, 0.75) << "variant SNR drifted too far from dense";
+
+    EXPECT_GT(variant_stats.seedRefs, 0u);
+    EXPECT_GT(variant_stats.seedHits, 0u);
+    EXPECT_GT(variant_stats.profile.adaptive().refsSkipped, 0u);
+    EXPECT_LT(variant_stats.profile.mr().bm1Candidates,
+              plain_stats.profile.mr().bm1Candidates);
+}
