@@ -56,6 +56,8 @@ recordProbe()
     rec.metrics["probe_px"] = size;
     rec.metrics["psnr_db"] = image::psnrDb(clean, result.output);
     rec.metrics["ssim"] = image::ssim(clean, result.output);
+    rec.tagThreads("psnr_db", cfg.numThreads);
+    rec.tagThreads("ssim", cfg.numThreads);
     rec.addProfile(result.profile);
     std::printf("probe: %dx%d street sigma 25 in %.2f s (simd=%s)\n",
                 size, size, wall,
@@ -98,6 +100,12 @@ recordProbe()
     rec.metrics["int16_t8_wall_s"] = int16_wall;
     rec.metrics["int16_speedup"] = float_wall / int16_wall;
     rec.metrics["snr_delta_db"] = snr_delta;
+    // The headline record above ran at the probe config's width; these
+    // head-to-head rows ran at 8 workers — tag them so bench_diff.py
+    // never compares them against a different-width run.
+    for (const char *row : {"float_t8_wall_s", "int16_t8_wall_s",
+                            "int16_speedup", "snr_delta_db"})
+        rec.tagThreads(row, 8);
     std::printf("int16 t8: float %.2f s, int16 %.2f s (%.2fx), "
                 "dSNR %+.3f dB\n",
                 float_wall, int16_wall, float_wall / int16_wall,
@@ -123,8 +131,16 @@ recordProbe()
         rec.metrics[prefix + "wall_s"] = wall;
         rec.metrics[prefix + "bm1_ms"] = bm1;
         rec.metrics[prefix + "bm2_ms"] = bm2;
+        rec.metrics[prefix + "de1_ms"] =
+            r.profile.seconds(bm3d::Step::De1) * 1e3;
+        rec.metrics[prefix + "de2_ms"] =
+            r.profile.seconds(bm3d::Step::De2) * 1e3;
         rec.metrics[prefix + "snr_delta_db"] =
             image::snrDb(clean, r.output) - dense_snr;
+        for (const char *col :
+             {"wall_s", "bm1_ms", "bm2_ms", "de1_ms", "de2_ms",
+              "snr_delta_db"})
+            rec.tagThreads(prefix + col, 8);
         return bm1 + bm2;
     };
     auto timeVariant = [&](const bm3d::Bm3dConfig &vcfg, double &wall) {
@@ -167,6 +183,13 @@ recordProbe()
     const bm3d::ScenePreset preset = bm3d::pickPreset(noisy);
     bm3d::Bm3dConfig pr_cfg = bm3d::applyPreset(base8, preset);
 
+    // Fused group-major denoise off (DESIGN §12): same host, same
+    // probe, same rep discipline as the dense row, so the
+    // dense-vs-fusedoff DE1+DE2 ratio is the clean same-machine
+    // measurement of the fused datapath's gain.
+    bm3d::Bm3dConfig fo_cfg = base8;
+    fo_cfg.fusedDenoise = false;
+
     ablate("dense", float_wall, rf);
     const double int16_bm = ablate("int16", int16_wall, rq);
     double wall_v = 0.0;
@@ -176,11 +199,24 @@ recordProbe()
         ablate("coarse", wall_v, timeVariant(co_cfg, wall_v));
     const double preset_bm =
         ablate("preset", wall_v, timeVariant(pr_cfg, wall_v));
+
+    const bm3d::Bm3dResult r_fo = timeVariant(fo_cfg, wall_v);
+    ablate("fusedoff", wall_v, r_fo);
+    const double de_fused = (rf.profile.seconds(bm3d::Step::De1) +
+                             rf.profile.seconds(bm3d::Step::De2)) *
+                            1e3;
+    const double de_discrete = (r_fo.profile.seconds(bm3d::Step::De1) +
+                                r_fo.profile.seconds(bm3d::Step::De2)) *
+                               1e3;
+    rec.metrics["fused_de_speedup"] = de_discrete / de_fused;
+    rec.tagThreads("fused_de_speedup", 8);
+
     rec.write();
     std::printf("ablation: preset=%s; BM1+BM2 vs int16: coarse %.2fx, "
-                "preset %.2fx\n\n",
+                "preset %.2fx; DE1+DE2 fused %.2fx (%.1f -> %.1f ms)\n\n",
                 bm3d::toString(preset), int16_bm / coarse_bm,
-                int16_bm / preset_bm);
+                int16_bm / preset_bm, de_discrete / de_fused, de_discrete,
+                de_fused);
 }
 
 } // namespace

@@ -110,6 +110,8 @@ main(int argc, char **argv)
         {"hard_thr", {}},   {"wiener", {}},     {"aggregate", {}},
         {"merge_add", {}},  {"ssd_int16", {}},  {"ssd_soa_batch_int16", {}},
         {"ssd_pair_batch_int16", {}},           {"dct4_fwd_int16", {}},
+        {"haar_shrink_fused", {}},              {"wiener_shrink_fused", {}},
+        {"aggregate_group", {}},    {"haar_shrink_fused_int16", {}},
     };
 
     // Coefficient-major view of the pool for the SoA kernels: plane k
@@ -146,6 +148,20 @@ main(int argc, char **argv)
             dst[2 * x + 1] = soa_planes_i16[2 * p + 1][x];
         }
         pair_planes_i16[p] = dst;
+    }
+
+    // Group tiles for the fused denoise kernels (DESIGN §12): the
+    // pool viewed as 16-deep x 16-wide stacks, one fused call per
+    // group, plus a 64x64 aggregation plane with overlapping corners.
+    const int groups = patches / 16;
+    std::vector<float> basic_tiles(pool.size());
+    std::vector<float> wtile(256);
+    std::vector<float> plane_num(64 * 64, 0.0f);
+    std::vector<float> plane_den(64 * 64, 0.0f);
+    int glx[16], gly[16];
+    for (int i = 0; i < 16; ++i) {
+        glx[i] = (i * 7) % 60;
+        gly[i] = (i * 11) % 60;
     }
 
     for (int l = 0; l <= static_cast<int>(simd::bestSupported()); ++l) {
@@ -322,6 +338,52 @@ main(int argc, char **argv)
                                      dctmQ, plan.shift1, plan.shift2);
         });
         g_sink += static_cast<float>(scratch_i16[0]);
+
+        // Fused group-major denoise kernels (DESIGN §12), one call per
+        // 16-deep group tile. The inputs are refreshed per iteration
+        // for the same reason as the wiener row: the shrinkage mutates
+        // its tile in place.
+        record([&] {
+            for (int it = 0; it < iters; ++it) {
+                std::copy(pool.begin(), pool.end(), scratch.begin());
+                for (int g = 0; g < groups; ++g)
+                    g_sink += static_cast<float>(k.haarShrinkFused(
+                        scratch.data() + 256 * g, 16, 16, 8.0f));
+            }
+        });
+
+        record([&] {
+            for (int it = 0; it < iters; ++it) {
+                std::copy(pool.begin(), pool.end(), scratch.begin());
+                std::copy(pool.begin(), pool.end(),
+                          basic_tiles.begin());
+                for (int g = 0; g < groups; ++g)
+                    g_sink += static_cast<float>(k.wienerShrinkFused(
+                        scratch.data() + 256 * g,
+                        basic_tiles.data() + 256 * g, wtile.data(), 16,
+                        16, 625.0f));
+            }
+        });
+
+        record([&] {
+            for (int it = 0; it < iters; ++it)
+                for (int g = 0; g < groups; ++g)
+                    k.aggregateGroup(plane_num.data(), plane_den.data(),
+                                     64, pool.data() + 256 * g, glx, gly,
+                                     16, 0.25f, dctm, dctm);
+        });
+        g_sink += plane_num[0] + plane_den[0];
+
+        record([&] {
+            for (int it = 0; it < iters; ++it) {
+                std::copy(pool_i16.begin(), pool_i16.end(),
+                          scratch_i16.begin());
+                for (int g = 0; g < groups; ++g)
+                    g_sink += static_cast<float>(k.haarShrinkFusedI16(
+                        scratch_i16.data() + 256 * g, 16, 16, 135,
+                        23170));
+            }
+        });
     }
 
     for (const Timing &r : rows) {

@@ -189,6 +189,12 @@ percentileSorted(const std::vector<double> &sorted, double pct)
 } // namespace
 
 void
+BenchRecord::tagThreads(const std::string &metric, int requested)
+{
+    metricThreads[metric] = parallel::clampThreads(requested);
+}
+
+void
 BenchRecord::addProfile(const bm3d::Profile &profile)
 {
     for (int i = 0; i < bm3d::kNumSteps; ++i) {
@@ -222,6 +228,18 @@ BenchRecord::write() const
                  simd::toString(simd::activeLevel()));
     std::fprintf(f, "  \"threads\": %d,\n",
                  parallel::clampThreads(requestedThreads));
+    // Per-row resolved worker counts; rows absent here ran at the
+    // top-level "threads" width.
+    std::fprintf(f, "  \"metric_threads\": {");
+    {
+        bool first = true;
+        for (const auto &[k, v] : metricThreads) {
+            std::fprintf(f, "%s\n    \"%s\": %d", first ? "" : ",",
+                         k.c_str(), v);
+            first = false;
+        }
+        std::fprintf(f, "%s},\n", metricThreads.empty() ? "" : "\n  ");
+    }
     std::fprintf(f, "  \"wall_time_s\": %.17g,\n", wallTimeS);
     writeJsonMap(f, "metrics", metrics, false);
     writeJsonMap(f, "kernel_times_ms", kernelTimesMs, false);

@@ -107,6 +107,21 @@ struct BenchRecord
      */
     int requestedThreads = 0;
     std::map<std::string, double> metrics;       ///< PSNR/SSIM/rates
+
+    /**
+     * Resolved worker count per metric row, emitted as the JSON's
+     * "metric_threads" object. Benches that mix thread counts in one
+     * record (fig02 runs its headline probe single-threaded but the
+     * head-to-head and ablation rows at 8 workers) tag each row via
+     * tagThreads() so bench_diff.py can refuse to compare rows that
+     * ran at different widths. Untagged metrics default to the
+     * top-level "threads" value.
+     */
+    std::map<std::string, int> metricThreads;
+
+    /** Tag @p metric as having run at @p requested workers (<= 0 =
+        all hardware threads; the resolved count is recorded). */
+    void tagThreads(const std::string &metric, int requested);
     std::map<std::string, double> kernelTimesMs; ///< per-step times
     std::map<std::string, double> ops;           ///< per-step op counts
 

@@ -4,7 +4,8 @@
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json \
         [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0] \
-        [--latency-tolerance 0.10] [--snr-tolerance 0.05]
+        [--latency-tolerance 0.10] [--snr-tolerance 0.05] \
+        [--stage-tolerance 0.10 --stages DE1,DE2]
     scripts/bench_diff.py --ablation-table RECORD.json
 
 Exits non-zero when any kernel time in CANDIDATE is more than THRESHOLD
@@ -28,6 +29,15 @@ kernel times, and SNR delta as "ablate_<variant>_<field>" metrics, and
 the flag renders those as a markdown table (with a BM1+BM2 speedup
 column against the "dense" row when present) instead of diffing two
 records.
+
+--stage-tolerance gates the *sum* of the kernel times named by
+--stages (default DE1,DE2 — the denoise pipeline section the fused
+group-major datapath owns since PR 8). The per-kernel table already
+gates each stage individually, but a fused refactor legitimately moves
+time between adjacent stages; this flag expresses the contract that
+the *section* must hold its speed. Unlike the per-kernel table's
+shared-key discovery, a named stage missing from either record fails
+the gate — the caller asked for it explicitly.
 
 --snr-tolerance gates the candidate's "snr_delta" metrics: benches
 that run a reduced-precision path head-to-head against float32 (fig02
@@ -71,6 +81,17 @@ def compare_context(base, cand):
             warnings.append(
                 f"  context mismatch: {key} = {base.get(key)!r} vs "
                 f"{cand.get(key)!r}"
+            )
+    # Per-row thread tags (benches that mix widths in one record, e.g.
+    # fig02's t8 head-to-head rows next to its single-threaded probe):
+    # a shared metric that ran at different widths is not comparable.
+    base_mt = base.get("metric_threads", {})
+    cand_mt = cand.get("metric_threads", {})
+    for key in sorted(set(base_mt) & set(cand_mt)):
+        if base_mt[key] != cand_mt[key]:
+            warnings.append(
+                f"  context mismatch: metric_threads[{key}] = "
+                f"{base_mt[key]!r} vs {cand_mt[key]!r}"
             )
     return warnings
 
@@ -207,7 +228,61 @@ def check_snr(cand, tolerance):
     return rows, failures
 
 
-ABLATION_FIELDS = ("wall_s", "bm1_ms", "bm2_ms", "snr_delta_db")
+def compare_stages(base, cand, stages, tolerance):
+    """Return (message, regressed) for a summed stage-time gate.
+
+    ``stages`` is a comma-separated list of kernel_times_ms keys (e.g.
+    "DE1,DE2"); their *sum* is gated, because a fused datapath is free
+    to move time between the named stages as long as the pipeline
+    section as a whole holds its speed. Unlike compare_times' shared-key
+    discovery, the stages are named explicitly by the caller, so one
+    missing on either side fails the gate rather than silently
+    weakening it.
+    """
+    names = [s.strip() for s in stages.split(",") if s.strip()]
+    if not names:
+        return "stage gate: no stages named; skipped", False
+    base_t = base["kernel_times_ms"]
+    cand_t = cand["kernel_times_ms"]
+    label = "+".join(names)
+    missing = [s for s in names if s not in base_t or s not in cand_t]
+    if missing:
+        return (
+            f"stage time {label}: stage(s) missing from a record: "
+            f"{', '.join(missing)} FAIL",
+            True,
+        )
+    b = sum(base_t[s] for s in names)
+    c = sum(cand_t[s] for s in names)
+    if b <= 0:
+        return (
+            f"stage time {label}: baseline {b:.3f} ms is not positive; "
+            "skipped",
+            False,
+        )
+    ratio = c / b
+    if ratio > 1.0 + tolerance:
+        return (
+            f"stage time {label}: {b:.1f} ms -> {c:.1f} ms "
+            f"REGRESSION ({ratio:.2f}x, tolerance {tolerance:.0%})",
+            True,
+        )
+    if ratio < 1.0:
+        return (
+            f"stage time {label}: {b:.1f} ms -> {c:.1f} ms "
+            f"(speedup {b / c:.2f}x)",
+            False,
+        )
+    return (
+        f"stage time {label}: {b:.1f} ms -> {c:.1f} ms "
+        f"(ratio {ratio:.2f}x, ok)",
+        False,
+    )
+
+
+ABLATION_FIELDS = (
+    "wall_s", "bm1_ms", "bm2_ms", "de1_ms", "de2_ms", "snr_delta_db",
+)
 
 
 def ablation_rows(record):
@@ -250,32 +325,40 @@ def ablation_table(record):
     if not order:
         return []
 
-    def bm_total(v):
-        if "bm1_ms" in v and "bm2_ms" in v:
-            return v["bm1_ms"] + v["bm2_ms"]
+    def pair_total(v, a, b):
+        if a in v and b in v:
+            return v[a] + v[b]
         return None
 
-    dense_bm = bm_total(variants["dense"]) if "dense" in variants else None
+    def bm_total(v):
+        return pair_total(v, "bm1_ms", "bm2_ms")
+
+    def de_total(v):
+        return pair_total(v, "de1_ms", "de2_ms")
+
+    dense = variants.get("dense", {})
+    dense_bm = bm_total(dense)
+    dense_de = de_total(dense)
 
     def fmt(value, spec):
         return format(value, spec) if value is not None else "-"
 
+    def vs(dense_value, value):
+        return f"{dense_value / value:.2f}x" if dense_value and value else "-"
+
     lines = [
-        "| variant | wall s | BM1 ms | BM2 ms | BM1+BM2 ms "
-        "| vs dense | dSNR dB |",
+        "| variant | wall s | BM1+BM2 ms | BM vs dense "
+        "| DE1+DE2 ms | DE vs dense | dSNR dB |",
         "|---|---:|---:|---:|---:|---:|---:|",
     ]
     for name in order:
         v = variants[name]
         bm = bm_total(v)
-        speedup = (
-            f"{dense_bm / bm:.2f}x" if dense_bm and bm else "-"
-        )
+        de = de_total(v)
         lines.append(
             f"| {name} | {fmt(v.get('wall_s'), '.3f')} "
-            f"| {fmt(v.get('bm1_ms'), '.1f')} "
-            f"| {fmt(v.get('bm2_ms'), '.1f')} "
-            f"| {fmt(bm, '.1f')} | {speedup} "
+            f"| {fmt(bm, '.1f')} | {vs(dense_bm, bm)} "
+            f"| {fmt(de, '.1f')} | {vs(dense_de, de)} "
             f"| {fmt(v.get('snr_delta_db'), '+.3f')} |"
         )
     return lines
@@ -352,6 +435,22 @@ def main():
         help="absolute envelope in dB for the candidate's 'snr_delta' "
         "metrics (quality cost of a reduced-precision path vs its "
         "in-run float reference); gate off when the flag is absent",
+    )
+    parser.add_argument(
+        "--stage-tolerance",
+        type=float,
+        default=None,
+        help="fractional slowdown of the *summed* kernel time of the "
+        "--stages list that counts as a regression (gate off when the "
+        "flag is absent); the sum is gated so a fused datapath may move "
+        "time between its stages",
+    )
+    parser.add_argument(
+        "--stages",
+        default="DE1,DE2",
+        help="comma-separated kernel_times_ms keys whose sum "
+        "--stage-tolerance gates (default: DE1,DE2 — the denoise "
+        "pipeline section)",
     )
     args = parser.parse_args()
     tolerance = args.tolerance if args.tolerance is not None else args.threshold
@@ -432,6 +531,14 @@ def main():
             for key, value, status in snr_rows:
                 print(f"{key:<{width}}  {value:>+10.3f}  {status}")
 
+    stage_regressed = False
+    if args.stage_tolerance is not None:
+        stage_msg, stage_regressed = compare_stages(
+            base, cand, args.stages, args.stage_tolerance
+        )
+        print()
+        print(stage_msg)
+
     wall_msg, wall_regressed = compare_wall(base, cand, tolerance)
     print()
     print(wall_msg)
@@ -442,6 +549,7 @@ def main():
         or bool(drifted)
         or bool(lat_regressions)
         or bool(snr_failures)
+        or stage_regressed
     )
     if regressions:
         print(
@@ -463,6 +571,11 @@ def main():
         print(
             f"FAIL: {len(snr_failures)} SNR delta(s) outside the "
             f"{args.snr_tolerance:g} dB envelope: {', '.join(snr_failures)}"
+        )
+    if stage_regressed:
+        print(
+            f"FAIL: stage time sum ({args.stages}) regressed more than "
+            f"{args.stage_tolerance:.0%}"
         )
     if wall_regressed:
         print(

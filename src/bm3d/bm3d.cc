@@ -669,6 +669,28 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
     for (const WorkerScratch &ws : workers)
         profile += ws.profile;
 
+    // Fused-datapath traffic into the process-wide registry: summed
+    // over workers, so the totals are thread-count invariant.
+    DenoiseEngine::GroupStats group;
+    for (const WorkerScratch &ws : workers) {
+        if (!ws.engine)
+            continue;
+        const DenoiseEngine::GroupStats &g = ws.engine->groupStats();
+        group.fusedStacks += g.fusedStacks;
+        group.fusedPatches += g.fusedPatches;
+        group.fusedStacksI16 += g.fusedStacksI16;
+        group.legacyStacks += g.legacyStacks;
+    }
+    obs::MetricsRegistry &greg = obs::MetricsRegistry::global();
+    greg.add("bm3d.group.fusedStacks",
+             static_cast<double>(group.fusedStacks));
+    greg.add("bm3d.group.fusedPatches",
+             static_cast<double>(group.fusedPatches));
+    greg.add("bm3d.group.fusedStacksI16",
+             static_cast<double>(group.fusedStacksI16));
+    greg.add("bm3d.group.legacyStacks",
+             static_cast<double>(group.legacyStacks));
+
     const image::ImageF &fallback = stage == Stage::Wiener ? *basic : noisy;
     return total.finalize(fallback, opts.arena);
 }

@@ -32,11 +32,13 @@ enum class Stage {
  * Int16 quantizes the matching planes (thresholded DCT coefficients
  * for BM1, basic-estimate pixels for BM2) to the int16 Q formats of
  * fixed/int16plan.h and runs the SSD kernels on int16 lanes — twice
- * the AVX2 throughput of float. The denoising engine (DE1/DE2) stays
- * in float, so output is NOT bitwise equal to Float32 but is bitwise
- * deterministic across SIMD levels and thread counts within Int16.
- * Requires patchSize == 4; temporal match seeding is disabled under
- * Int16.
+ * the AVX2 throughput of float. On the fused denoise path (DESIGN
+ * §12) DE1's Haar-across-patches + hard threshold also runs on Q11.1
+ * int16 raws; DE2's Wiener shrinkage and all inverse transforms stay
+ * float. Output is NOT bitwise equal to Float32 (tolerance-gated
+ * instead) but is bitwise deterministic across SIMD levels and thread
+ * counts within Int16. Requires patchSize == 4; temporal match
+ * seeding is disabled under Int16.
  */
 enum class Precision {
     Float32, ///< full float matching (the default)
@@ -205,6 +207,18 @@ struct Bm3dConfig
     /// dct.forward results; disabling is a memory/compute trade-off
     /// knob for ablations.
     bool transformOnce = true;
+
+    /// Group-major fused denoise datapath (DESIGN §12): run the whole
+    /// per-stack spectrum pipeline — Haar across patches, shrinkage,
+    /// inverse Haar, inverse DCT, weighted aggregation — as fused
+    /// kernel calls over a contiguous [stack][patch] group tile
+    /// instead of discrete per-row kernel dispatches. Output is
+    /// bitwise identical either way (the fused kernels replay the
+    /// exact per-element operation sequence of the discrete path);
+    /// disabling is a perf-ablation knob. The fused path requires
+    /// patchSize == 4, no fixedPoint formats and sharpenAlpha == 1,
+    /// and silently falls back to the discrete path otherwise.
+    bool fusedDenoise = true;
 
     MrConfig mr;
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fixed/int16plan.h"
+#include "obs/trace.h"
 #include "runtime/arena.h"
 #include "simd/simd.h"
 
@@ -95,6 +97,22 @@ Aggregator::addPatch(int x, int y, int c, int patch_size,
     }
 }
 
+void
+Aggregator::addGroup(const int *xs, const int *ys, int c, int stack,
+                     const float *coefs, float w, const float *inv_even,
+                     const float *inv_odd)
+{
+    int lx[MatchList::kCapacity];
+    int ly[MatchList::kCapacity];
+    for (int i = 0; i < stack; ++i) {
+        lx[i] = xs[i] - x0_;
+        ly[i] = ys[i] - y0_;
+    }
+    simd::kernels().aggregateGroup(num_.plane(c), den_.plane(c),
+                                   num_.width(), coefs, lx, ly, stack, w,
+                                   inv_even, inv_odd);
+}
+
 image::ImageF
 Aggregator::finalize(const image::ImageF &fallback,
                      runtime::BufferArena *out_arena) const
@@ -164,27 +182,53 @@ DenoiseEngine::DenoiseEngine(const Bm3dConfig &config, Stage stage,
         throw std::invalid_argument("Wiener stage requires basic estimate");
     for (int s = 2; s <= config.maxMatches; s *= 2)
         haars_.emplace_back(s);
+
+    // Fused group-major datapath (DESIGN §12): 4x4 float patches with
+    // no sharpening only — everything else falls back to the discrete
+    // per-row path, whose output the fused one reproduces bitwise.
+    fusedEligible_ = config_.fusedDenoise && config_.patchSize == 4 &&
+                     !config_.fixedPoint && config_.sharpenAlpha <= 1.0f;
+    if (fusedEligible_) {
+        const size_t slice = static_cast<size_t>(kMaxStack) * 16;
+        if (arena_ != nullptr)
+            groupTile_ = arena_->acquire(slice * 3);
+        else
+            groupTile_.resize(slice * 3);
+        gNoisy_ = groupTile_.data();
+        gBasic_ = gNoisy_ + slice;
+        wTile_ = gBasic_ + slice;
+        const fixed::Int16DctPlan plan;
+        thresholdI16_ =
+            static_cast<int16_t>(plan.haar3d.quantize(threshold3d_));
+    }
+}
+
+DenoiseEngine::~DenoiseEngine()
+{
+    if (arena_ != nullptr && !groupTile_.empty())
+        arena_->release(std::move(groupTile_));
 }
 
 uint64_t
 DenoiseEngine::gatherStack(const image::ImageF &src,
                            const MatchList &matches, int stack_size, int c,
                            bool reuse_field, const TileDctField *tile,
-                           float coefs[][kMaxCoefs])
+                           float *coefs, int stride)
 {
     const int pp = config_.patchSize * config_.patchSize;
     float pixels[kMaxCoefs];
     uint64_t executed = 0;
     for (int i = 0; i < stack_size; ++i) {
         const Match &m = matches[i];
+        float *dst = coefs + static_cast<size_t>(i) * stride;
         if (reuse_field && dctField_ != nullptr) {
             const float *p = dctField_->patch(m.x, m.y);
-            std::copy(p, p + pp, coefs[i]);
+            std::copy(p, p + pp, dst);
             continue;
         }
         if (tile != nullptr && tile->covers(m.x, m.y)) {
             const float *p = tile->patch(m.x, m.y);
-            std::copy(p, p + pp, coefs[i]);
+            std::copy(p, p + pp, dst);
             continue;
         }
         const float *base = src.plane(c);
@@ -195,9 +239,9 @@ DenoiseEngine::gatherStack(const image::ImageF &src,
                 pixels[r * config_.patchSize + col] = row[col];
         }
         if (config_.fixedPoint)
-            dct_.forwardFixed(pixels, coefs[i], *config_.fixedPoint);
+            dct_.forwardFixed(pixels, dst, *config_.fixedPoint);
         else
-            dct_.forward(pixels, coefs[i]);
+            dct_.forward(pixels, dst);
         ++executed;
     }
     return executed;
@@ -278,11 +322,55 @@ DenoiseEngine::shrinkVector(float *vec, const float *wiener_ref,
 }
 
 void
+DenoiseEngine::chargeStackOps(Step de_step, uint64_t forward_dcts,
+                              int stack_size)
+{
+    OpCounters ops;
+    const uint64_t chans = noisy_.channels();
+    const uint64_t n = config_.patchSize;
+    const uint64_t pp = n * n;
+    const uint64_t s = stack_size;
+    // Forward-DCT gathers: only the transforms actually executed —
+    // stack members served by the Path-C field or a transform-once
+    // tile cache cost a coefficient copy, not a DCT. The Wiener
+    // stage's gathers run (and are charged) under DCT2; stage 1's
+    // belong to DE1.
+    if (stage_ == Stage::Wiener) {
+        OpCounters fwd;
+        fwd.multiplies += forward_dcts * 2 * n * n * n;
+        fwd.additions += forward_dcts * 2 * n * n * (n - 1);
+        profile_->addOps(Step::Dct2, fwd);
+    } else {
+        ops.multiplies += forward_dcts * 2 * n * n * n;
+        ops.additions += forward_dcts * 2 * n * n * (n - 1);
+    }
+    // Haar forward + inverse in matrix form (256 + 256 for s = 16).
+    ops.multiplies += chans * pp * 2 * s * s;
+    ops.additions += chans * pp * 2 * s * s;
+    // Shrinkage.
+    if (stage_ == Stage::HardThreshold)
+        ops.comparisons += chans * pp * s;
+    else
+        ops.multiplies += chans * pp * s * 3;
+    // Inverse DCT + aggregation.
+    ops.multiplies += chans * s * 2 * n * n * n + chans * s * pp;
+    ops.additions += chans * s * 2 * n * n * (n - 1) + chans * s * pp;
+    ops.memoryReads += chans * s * pp * 2;
+    ops.memoryWrites += chans * s * pp * 2;
+    profile_->addOps(de_step, ops);
+}
+
+void
 DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
 {
     const int stack_size = matches.stackSize();
     if (stack_size == 0)
         return;
+    if (fusedEligible_) {
+        processStackFused(matches, agg);
+        return;
+    }
+    ++groupStats_.legacyStacks;
     const int p = config_.patchSize;
     const int pp = p * p;
     const Step de_step =
@@ -313,16 +401,20 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
                                                    : nullptr;
         if (stage_ == Stage::Wiener && profile_) {
             ScopedTimer dct_timer(*profile_, Step::Dct2);
-            forward_dcts += gatherStack(noisy_, matches, stack_size, c,
-                                        false, ntile, noisy_coefs);
-            forward_dcts += gatherStack(*basic_, matches, stack_size, c,
-                                        false, btile, basic_coefs);
+            forward_dcts +=
+                gatherStack(noisy_, matches, stack_size, c, false, ntile,
+                            &noisy_coefs[0][0], kMaxCoefs);
+            forward_dcts +=
+                gatherStack(*basic_, matches, stack_size, c, false, btile,
+                            &basic_coefs[0][0], kMaxCoefs);
         } else {
-            forward_dcts += gatherStack(noisy_, matches, stack_size, c,
-                                        reuse, ntile, noisy_coefs);
+            forward_dcts +=
+                gatherStack(noisy_, matches, stack_size, c, reuse, ntile,
+                            &noisy_coefs[0][0], kMaxCoefs);
             if (stage_ == Stage::Wiener)
-                forward_dcts += gatherStack(*basic_, matches, stack_size,
-                                            c, false, btile, basic_coefs);
+                forward_dcts +=
+                    gatherStack(*basic_, matches, stack_size, c, false,
+                                btile, &basic_coefs[0][0], kMaxCoefs);
         }
 
         ShrinkStats total;
@@ -496,40 +588,108 @@ DenoiseEngine::processStack(const MatchList &matches, Aggregator &agg)
         }
     }
 
-    if (profile_) {
-        OpCounters ops;
-        const uint64_t chans = noisy_.channels();
-        const uint64_t n = p;
-        const uint64_t s = stack_size;
-        // Forward-DCT gathers: only the transforms actually executed —
-        // stack members served by the Path-C field or a transform-once
-        // tile cache cost a coefficient copy, not a DCT. The Wiener
-        // stage's gathers run (and are charged) under DCT2; stage 1's
-        // belong to DE1.
-        if (stage_ == Stage::Wiener) {
-            OpCounters fwd;
-            fwd.multiplies += forward_dcts * 2 * n * n * n;
-            fwd.additions += forward_dcts * 2 * n * n * (n - 1);
-            profile_->addOps(Step::Dct2, fwd);
-        } else {
-            ops.multiplies += forward_dcts * 2 * n * n * n;
-            ops.additions += forward_dcts * 2 * n * n * (n - 1);
-        }
-        // Haar forward + inverse in matrix form (256 + 256 for s = 16).
-        ops.multiplies += chans * pp * 2 * s * s;
-        ops.additions += chans * pp * 2 * s * s;
-        // Shrinkage.
-        if (stage_ == Stage::HardThreshold)
-            ops.comparisons += chans * pp * s;
-        else
-            ops.multiplies += chans * pp * s * 3;
-        // Inverse DCT + aggregation.
-        ops.multiplies += chans * s * 2 * n * n * n + chans * s * pp;
-        ops.additions += chans * s * 2 * n * n * (n - 1) + chans * s * pp;
-        ops.memoryReads += chans * s * pp * 2;
-        ops.memoryWrites += chans * s * pp * 2;
-        profile_->addOps(de_step, ops);
+    if (profile_)
+        chargeStackOps(de_step, forward_dcts, stack_size);
+}
+
+void
+DenoiseEngine::processStackFused(const MatchList &matches, Aggregator &agg)
+{
+    const int stack_size = matches.stackSize();
+    const int pp = 16; // fusedEligible_ implies patchSize == 4
+    const Step de_step =
+        stage_ == Stage::HardThreshold ? Step::De1 : Step::De2;
+    std::optional<ScopedTimer> de_timer;
+    if (profile_)
+        de_timer.emplace(*profile_, de_step);
+    obs::StepSpan span("de.fused");
+
+    const simd::KernelTable &kt = simd::kernels();
+    const float *inv_even = dct_.invEvenHalf();
+    const float *inv_odd = dct_.invOddHalf();
+    int mx[kMaxStack];
+    int my[kMaxStack];
+    for (int i = 0; i < stack_size; ++i) {
+        mx[i] = matches[i].x;
+        my[i] = matches[i].y;
     }
+    // DE1 under Precision::Int16 shrinks quantized Q11.1 raws — the
+    // paper's stage-3 datapath (Sec. 4.2). DE2's rational Wiener
+    // attenuation stays float: its weights span the whole [0, 1)
+    // range and the division has no int16 analogue of useful range.
+    const bool i16 = stage_ == Stage::HardThreshold &&
+                     config_.precision == Precision::Int16;
+    const fixed::Int16DctPlan plan;
+    uint64_t forward_dcts = 0;
+
+    for (int c = 0; c < noisy_.channels(); ++c) {
+        const bool reuse =
+            stage_ == Stage::HardThreshold && c == 0 && dctField_;
+        const TileDctField *ntile =
+            tilesValid_ ? &noisyTiles_[c] : nullptr;
+        float weight;
+        if (stage_ == Stage::Wiener) {
+            const TileDctField *btile =
+                tilesValid_ ? &basicTiles_[c] : nullptr;
+            {
+                std::optional<ScopedTimer> dct_timer;
+                if (profile_)
+                    dct_timer.emplace(*profile_, Step::Dct2);
+                forward_dcts +=
+                    gatherStack(noisy_, matches, stack_size, c, false,
+                                ntile, gNoisy_, pp);
+                forward_dcts +=
+                    gatherStack(*basic_, matches, stack_size, c, false,
+                                btile, gBasic_, pp);
+            }
+            const float s2 = config_.sigma * config_.sigma;
+            const int strong = kt.wienerShrinkFused(
+                gNoisy_, gBasic_, wTile_, stack_size, pp, s2);
+            if (config_.weighting == WeightingMode::CountNonZero) {
+                weight = 1.0f / static_cast<float>(std::max(strong, 1));
+            } else {
+                // Same i-major, pos-minor double accumulation order as
+                // the discrete path — bitwise-identical weight.
+                double sum_w_sq = 0.0;
+                for (int i = 0; i < stack_size; ++i)
+                    for (int pos = 0; pos < pp; ++pos) {
+                        const float w = wTile_[i * pp + pos];
+                        sum_w_sq += static_cast<double>(w) * w;
+                    }
+                weight =
+                    1.0f / static_cast<float>(std::max(sum_w_sq, 1e-6));
+            }
+        } else {
+            forward_dcts += gatherStack(noisy_, matches, stack_size, c,
+                                        reuse, ntile, gNoisy_, pp);
+            int kept;
+            if (i16) {
+                const int count = stack_size * pp;
+                fixed::quantizeToI16(gNoisy_, count, plan.haar3d,
+                                     gi16_.data());
+                kept = kt.haarShrinkFusedI16(gi16_.data(), stack_size, pp,
+                                             thresholdI16_,
+                                             fixed::haarFactorQ15());
+                const float inv = fixed::invScale(plan.haar3d);
+                for (int k = 0; k < count; ++k)
+                    gNoisy_[k] = static_cast<float>(gi16_[k]) * inv;
+            } else {
+                kept = kt.haarShrinkFused(gNoisy_, stack_size, pp,
+                                          threshold3d_);
+            }
+            weight = 1.0f / static_cast<float>(std::max(kept, 1));
+        }
+        agg.addGroup(mx, my, c, stack_size, gNoisy_, weight, inv_even,
+                     inv_odd);
+    }
+
+    ++groupStats_.fusedStacks;
+    groupStats_.fusedPatches +=
+        static_cast<uint64_t>(stack_size) * noisy_.channels();
+    if (i16)
+        ++groupStats_.fusedStacksI16;
+    if (profile_)
+        chargeStackOps(de_step, forward_dcts, stack_size);
 }
 
 } // namespace bm3d

@@ -77,6 +77,20 @@ class Aggregator
                   float w);
 
     /**
+     * Fused group aggregation (DESIGN §12): inverse-DCT and accumulate
+     * @p stack 4x4 patches whose shrunk coefficients sit contiguously
+     * in @p coefs (16 floats per patch), top-left corners at
+     * (@p xs[i], @p ys[i]) in image coordinates, all with weight @p w.
+     * Patches are added in ascending i with the same per-element
+     * arithmetic as inverse-DCT + addPatch, so the result is bitwise
+     * identical to the discrete sequence. 4x4 patches only;
+     * @p inv_even / @p inv_odd are Dct2D::invEvenHalf()/invOddHalf().
+     */
+    void addGroup(const int *xs, const int *ys, int c, int stack,
+                  const float *coefs, float w, const float *inv_even,
+                  const float *inv_odd);
+
+    /**
      * Produce the estimate image (full-image aggregators only). With
      * @p out_arena, the output image's storage is drawn from it (the
      * caller recycles it via Image::takeStorage or
@@ -122,11 +136,32 @@ class DenoiseEngine
                   const DctPatchField *dctField, Profile *profile,
                   runtime::BufferArena *arena = nullptr);
 
+    DenoiseEngine(const DenoiseEngine &) = delete;
+    DenoiseEngine &operator=(const DenoiseEngine &) = delete;
+
+    /** Releases the fused group tile back to the arena, if any. */
+    ~DenoiseEngine();
+
     /**
      * Denoise the stack described by @p matches and accumulate the
      * restored patches into @p agg.
      */
     void processStack(const MatchList &matches, Aggregator &agg);
+
+    /**
+     * Group-major fused datapath traffic (DESIGN §12), accumulated
+     * across processStack calls. The stage runner flushes these into
+     * obs::MetricsRegistry as the bm3d.group.* counters; totals are
+     * thread-count invariant.
+     */
+    struct GroupStats
+    {
+        uint64_t fusedStacks = 0;    ///< stacks through the fused path
+        uint64_t fusedPatches = 0;   ///< patch-channel aggregations
+        uint64_t fusedStacksI16 = 0; ///< subset shrunk in int16
+        uint64_t legacyStacks = 0;   ///< stacks through the discrete path
+    };
+    const GroupStats &groupStats() const { return groupStats_; }
 
     /**
      * Transform-once: (re)build the per-tile DCT caches over the
@@ -153,13 +188,34 @@ class DenoiseEngine
      * Gather the DCT-domain stack of channel @p c from image @p src,
      * resolving each member from the global Path-C field (when
      * @p reuse_field), then the tile cache @p tile (when it covers the
-     * position), then an on-the-fly forward DCT.
+     * position), then an on-the-fly forward DCT. Member i's
+     * coefficients are written at @p coefs + i * @p stride (the legacy
+     * path passes kMaxCoefs, the fused path its packed tile width pp).
      * @return the number of forward DCTs actually executed
      */
     uint64_t gatherStack(const image::ImageF &src, const MatchList &matches,
                          int stack_size, int c, bool reuse_field,
-                         const TileDctField *tile,
-                         float coefs[][kMaxCoefs]);
+                         const TileDctField *tile, float *coefs,
+                         int stride);
+
+    /**
+     * Group-major fused datapath (DESIGN §12): gather the matched
+     * patches' DCT coefficients into the contiguous group tile, run
+     * Haar-across-patches + shrinkage + inverse Haar as one fused
+     * kernel call, and inverse-DCT + aggregate straight out of the
+     * tile. Float output is bitwise identical to the discrete path;
+     * under Precision::Int16, DE1's Haar+shrink runs on quantized
+     * Q11.1 raws instead (tolerance-gated, still bitwise deterministic
+     * across SIMD levels and thread counts).
+     */
+    void processStackFused(const MatchList &matches, Aggregator &agg);
+
+    /** Op accounting shared by the fused and discrete paths — the
+        charges are formula-based and identical by construction, which
+        is what keeps bench_diff --ops-tolerance 0 meaningful across
+        the fusedDenoise knob. */
+    void chargeStackOps(Step de_step, uint64_t forward_dcts,
+                        int stack_size);
 
     /** Shrink one z-vector in place; returns per-vector stats. */
     struct ShrinkStats
@@ -187,6 +243,18 @@ class DenoiseEngine
     std::vector<TileDctField> noisyTiles_;
     std::vector<TileDctField> basicTiles_;
     bool tilesValid_ = false;
+
+    /// Fused datapath state. The group tile holds three kMaxStack x 16
+    /// slices (noisy coefficients, Wiener reference, Wiener weights),
+    /// arena-recycled so streamed frames stay malloc-free.
+    bool fusedEligible_ = false;
+    std::vector<float> groupTile_;
+    float *gNoisy_ = nullptr;
+    float *gBasic_ = nullptr;
+    float *wTile_ = nullptr;
+    std::array<int16_t, kMaxStack * 16> gi16_{}; ///< int16 DE1 tile
+    int16_t thresholdI16_ = 0; ///< threshold3d_ as a Q11.1 raw
+    GroupStats groupStats_;
 };
 
 } // namespace bm3d

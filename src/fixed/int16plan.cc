@@ -47,5 +47,18 @@ ssdFactor(const Format &f, int pp)
     return 1.0 / (s * s * static_cast<double>(pp));
 }
 
+int16_t
+haarFactorQ15()
+{
+    return static_cast<int16_t>(
+        std::lround((1.0 / std::sqrt(2.0)) * 32768.0));
+}
+
+float
+invScale(const Format &f)
+{
+    return static_cast<float>(1.0 / f.scale());
+}
+
 } // namespace fixed
 } // namespace ideal

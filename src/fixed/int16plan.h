@@ -44,7 +44,31 @@ struct Int16DctPlan
     int coefFracBits = 13; ///< Q-format of the quantized DCT basis
     int shift1 = 14;       ///< pass-1 renormalization (6+13-14 = 5 frac)
     int shift2 = 17;       ///< pass-2 renormalization (5+13-17 = 1 frac)
+
+    /**
+     * Stage-3 extension (DESIGN §12): the z-axis Haar/shrink pipeline
+     * of DE1 also runs on the match format. Q11.1 holds the whole
+     * transform headroom-free: each forward butterfly scales by
+     * 1/sqrt(2), so the largest magnitude — the DC of a 16-deep stack
+     * of equal patches — grows by at most 4x, and 4 * 2048 raws stays
+     * well inside int16, so the saturating adds never clip on 8-bit
+     * image content.
+     */
+    Format haar3d{11, 1};
 };
+
+/**
+ * The 1/sqrt(2) Haar butterfly factor as a Q15 raw, the operand of the
+ * int16 haar kernels' mulhrs step (round(0.7071... * 2^15) = 23170).
+ */
+int16_t haarFactorQ15();
+
+/**
+ * Dequantization factor of @p f: real value = raw * invScale(f). The
+ * fused DE1 int16 path multiplies this back out before the float
+ * inverse DCT / aggregation.
+ */
+float invScale(const Format &f);
 
 /** Storage format of the quantized BM2 color-domain plane. */
 Format colorMatchFormat();

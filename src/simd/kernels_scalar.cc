@@ -557,6 +557,238 @@ hardThresholdI16(int16_t *v, int count, int16_t threshold)
     return kept;
 }
 
+// ---- fused group-major denoise kernels (DESIGN §12) --------------
+//
+// One coefficient lane at a time, replaying the Haar1D forwardRows /
+// inverseRows butterfly schedule down the stack rows with the shrink
+// applied in between — the per-element expressions of the discrete
+// kernels above, just without the per-row dispatches and spills. The
+// vector variants run 4/8 lanes per step with the same expressions,
+// so every level matches these loops bitwise.
+
+/** One lane of haarShrinkFused; @p stride is the tile row stride. */
+inline int
+haarShrinkLane(float *lane, int stack, int stride, float threshold)
+{
+    const float factor = 1.0f / std::sqrt(2.0f);
+    float buf[16];
+    float dom[16];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = lane[static_cast<size_t>(i) * stride];
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const float e = buf[2 * i];
+            const float o = buf[2 * i + 1];
+            dom[half + i] = (e - o) * factor;
+            buf[i] = (e + o) * factor;
+        }
+        len = half;
+    }
+    dom[0] = buf[0];
+
+    int kept = 0;
+    for (int i = 0; i < stack; ++i) {
+        if (std::abs(dom[i]) < threshold)
+            dom[i] = 0.0f;
+        else
+            ++kept;
+    }
+
+    buf[0] = dom[0];
+    len = 1;
+    while (len < stack) {
+        float tmp[16];
+        for (int i = 0; i < len; ++i) {
+            const float a = buf[i];
+            const float d = dom[len + i];
+            tmp[2 * i] = (a + d) * factor;
+            tmp[2 * i + 1] = (a - d) * factor;
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            buf[i] = tmp[i];
+    }
+    for (int i = 0; i < stack; ++i)
+        lane[static_cast<size_t>(i) * stride] = buf[i];
+    return kept;
+}
+
+int
+haarShrinkFused(float *g, int stack, int width, float threshold)
+{
+    int kept = 0;
+    for (int c = 0; c < width; ++c)
+        kept += haarShrinkLane(g + c, stack, width, threshold);
+    return kept;
+}
+
+/** One lane of wienerShrinkFused. */
+inline int
+wienerShrinkLane(float *lane, float *blane, float *wlane, int stack,
+                 int stride, float sigma2)
+{
+    const float factor = 1.0f / std::sqrt(2.0f);
+    float buf[16];
+    float dom[16];
+    float bdom[16];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = lane[static_cast<size_t>(i) * stride];
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const float e = buf[2 * i];
+            const float o = buf[2 * i + 1];
+            dom[half + i] = (e - o) * factor;
+            buf[i] = (e + o) * factor;
+        }
+        len = half;
+    }
+    dom[0] = buf[0];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = blane[static_cast<size_t>(i) * stride];
+    len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const float e = buf[2 * i];
+            const float o = buf[2 * i + 1];
+            bdom[half + i] = (e - o) * factor;
+            buf[i] = (e + o) * factor;
+        }
+        len = half;
+    }
+    bdom[0] = buf[0];
+
+    int strong = 0;
+    for (int i = 0; i < stack; ++i) {
+        const float b2 = bdom[i] * bdom[i];
+        const float wi = b2 / (b2 + sigma2);
+        wlane[static_cast<size_t>(i) * stride] = wi;
+        blane[static_cast<size_t>(i) * stride] = bdom[i];
+        dom[i] *= wi;
+        if (wi > 0.5f)
+            ++strong;
+    }
+
+    buf[0] = dom[0];
+    len = 1;
+    while (len < stack) {
+        float tmp[16];
+        for (int i = 0; i < len; ++i) {
+            const float a = buf[i];
+            const float d = dom[len + i];
+            tmp[2 * i] = (a + d) * factor;
+            tmp[2 * i + 1] = (a - d) * factor;
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            buf[i] = tmp[i];
+    }
+    for (int i = 0; i < stack; ++i)
+        lane[static_cast<size_t>(i) * stride] = buf[i];
+    return strong;
+}
+
+int
+wienerShrinkFused(float *g, float *bg, float *w, int stack, int width,
+                  float sigma2)
+{
+    int strong = 0;
+    for (int c = 0; c < width; ++c)
+        strong += wienerShrinkLane(g + c, bg + c, w + c, stack, width,
+                                   sigma2);
+    return strong;
+}
+
+void
+aggregateGroup(float *num, float *den, int plane_w, const float *coefs,
+               const int *lx, const int *ly, int stack, float weight,
+               const float *inv_even, const float *inv_odd)
+{
+    float px[16];
+    for (int i = 0; i < stack; ++i) {
+        dct4Inverse(coefs + 16 * i, px, inv_even, inv_odd);
+        for (int r = 0; r < 4; ++r) {
+            const size_t off =
+                static_cast<size_t>(ly[i] + r) * plane_w + lx[i];
+            float *nrow = num + off;
+            float *drow = den + off;
+            const float *p = px + 4 * r;
+            for (int c = 0; c < 4; ++c) {
+                nrow[c] += weight * p[c];
+                drow[c] += weight;
+            }
+        }
+    }
+}
+
+/** One lane of haarShrinkFusedI16. */
+inline int
+haarShrinkLaneI16(int16_t *lane, int stack, int stride, int16_t threshold,
+                  int16_t factor_q15)
+{
+    int16_t buf[16];
+    int16_t dom[16];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = lane[static_cast<size_t>(i) * stride];
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const int16_t e = buf[2 * i];
+            const int16_t o = buf[2 * i + 1];
+            dom[half + i] = mulhrsI16(satSubI16(e, o), factor_q15);
+            buf[i] = mulhrsI16(satAddI16(e, o), factor_q15);
+        }
+        len = half;
+    }
+    dom[0] = buf[0];
+
+    int kept = 0;
+    for (int i = 0; i < stack; ++i) {
+        const int16_t av =
+            dom[i] < 0
+                ? static_cast<int16_t>(-static_cast<int32_t>(dom[i]))
+                : dom[i];
+        if (av < threshold)
+            dom[i] = 0;
+        else
+            ++kept;
+    }
+
+    buf[0] = dom[0];
+    len = 1;
+    while (len < stack) {
+        int16_t tmp[16];
+        for (int i = 0; i < len; ++i) {
+            const int16_t a = buf[i];
+            const int16_t d = dom[len + i];
+            tmp[2 * i] = mulhrsI16(satAddI16(a, d), factor_q15);
+            tmp[2 * i + 1] = mulhrsI16(satSubI16(a, d), factor_q15);
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            buf[i] = tmp[i];
+    }
+    for (int i = 0; i < stack; ++i)
+        lane[static_cast<size_t>(i) * stride] = buf[i];
+    return kept;
+}
+
+int
+haarShrinkFusedI16(int16_t *g, int stack, int width, int16_t threshold,
+                   int16_t factor_q15)
+{
+    int kept = 0;
+    for (int c = 0; c < width; ++c)
+        kept += haarShrinkLaneI16(g + c, stack, width, threshold,
+                                  factor_q15);
+    return kept;
+}
+
 } // namespace
 
 const KernelTable kScalarTable = {
@@ -568,6 +800,8 @@ const KernelTable kScalarTable = {
     ssdPairBatchI16,
     dct4ForwardI16, haarForwardPairI16, haarInversePairI16,
     hardThresholdI16,
+    haarShrinkFused, wienerShrinkFused, aggregateGroup,
+    haarShrinkFusedI16,
 };
 
 } // namespace detail

@@ -843,6 +843,369 @@ hardThresholdI16(int16_t *v, int count, int16_t threshold)
     return kept;
 }
 
+// ---- fused group-major denoise kernels (DESIGN §12) --------------
+//
+// 4 coefficient lanes per __m128 step, replaying the exact scalar
+// butterfly schedule down the stack rows; every operation is lane-
+// vertical with the same per-element expressions as the scalar TU,
+// so the results match the scalar fused kernels bitwise. Scalar
+// lane tails repeat the reference loops verbatim.
+
+/** Scalar-lane tail of haarShrinkFused (same body as the scalar TU). */
+inline int
+haarShrinkLaneTail(float *lane, int stack, int stride, float threshold)
+{
+    const float factor = 1.0f / std::sqrt(2.0f);
+    float buf[16];
+    float dom[16];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = lane[static_cast<size_t>(i) * stride];
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const float e = buf[2 * i];
+            const float o = buf[2 * i + 1];
+            dom[half + i] = (e - o) * factor;
+            buf[i] = (e + o) * factor;
+        }
+        len = half;
+    }
+    dom[0] = buf[0];
+    int kept = 0;
+    for (int i = 0; i < stack; ++i) {
+        if (std::fabs(dom[i]) < threshold)
+            dom[i] = 0.0f;
+        else
+            ++kept;
+    }
+    buf[0] = dom[0];
+    len = 1;
+    while (len < stack) {
+        float tmp[16];
+        for (int i = 0; i < len; ++i) {
+            const float a = buf[i];
+            const float d = dom[len + i];
+            tmp[2 * i] = (a + d) * factor;
+            tmp[2 * i + 1] = (a - d) * factor;
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            buf[i] = tmp[i];
+    }
+    for (int i = 0; i < stack; ++i)
+        lane[static_cast<size_t>(i) * stride] = buf[i];
+    return kept;
+}
+
+/** Forward Haar butterfly schedule on stack rows held in registers. */
+inline void
+haarForwardStack(__m128 *buf, __m128 *dom, int stack, __m128 f)
+{
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const __m128 e = buf[2 * i];
+            const __m128 o = buf[2 * i + 1];
+            dom[half + i] = _mm_mul_ps(_mm_sub_ps(e, o), f);
+            buf[i] = _mm_mul_ps(_mm_add_ps(e, o), f);
+        }
+        len = half;
+    }
+    dom[0] = buf[0];
+}
+
+/** Inverse Haar butterfly schedule; rebuilds rows into @p buf. */
+inline void
+haarInverseStack(__m128 *buf, const __m128 *dom, int stack, __m128 f)
+{
+    buf[0] = dom[0];
+    int len = 1;
+    while (len < stack) {
+        __m128 tmp[16];
+        for (int i = 0; i < len; ++i) {
+            const __m128 a = buf[i];
+            const __m128 d = dom[len + i];
+            tmp[2 * i] = _mm_mul_ps(_mm_add_ps(a, d), f);
+            tmp[2 * i + 1] = _mm_mul_ps(_mm_sub_ps(a, d), f);
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            buf[i] = tmp[i];
+    }
+}
+
+int
+haarShrinkFused(float *g, int stack, int width, float threshold)
+{
+    const __m128 f = _mm_set1_ps(1.0f / std::sqrt(2.0f));
+    const __m128 abs_mask =
+        _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+    const __m128 thr = _mm_set1_ps(threshold);
+    int kept = 0;
+    int c = 0;
+    for (; c + 4 <= width; c += 4) {
+        __m128 buf[16];
+        __m128 dom[16];
+        for (int i = 0; i < stack; ++i)
+            buf[i] = _mm_loadu_ps(g + static_cast<size_t>(i) * width + c);
+        haarForwardStack(buf, dom, stack, f);
+        for (int i = 0; i < stack; ++i) {
+            const __m128 below =
+                _mm_cmplt_ps(_mm_and_ps(dom[i], abs_mask), thr);
+            dom[i] = _mm_andnot_ps(below, dom[i]);
+            kept += 4 - _mm_popcnt_u32(static_cast<unsigned>(
+                            _mm_movemask_ps(below)));
+        }
+        haarInverseStack(buf, dom, stack, f);
+        for (int i = 0; i < stack; ++i)
+            _mm_storeu_ps(g + static_cast<size_t>(i) * width + c, buf[i]);
+    }
+    for (; c < width; ++c)
+        kept += haarShrinkLaneTail(g + c, stack, width, threshold);
+    return kept;
+}
+
+/** Scalar-lane tail of wienerShrinkFused. */
+inline int
+wienerShrinkLaneTail(float *lane, float *blane, float *wlane, int stack,
+                     int stride, float sigma2)
+{
+    const float factor = 1.0f / std::sqrt(2.0f);
+    float buf[16];
+    float dom[16];
+    float bdom[16];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = lane[static_cast<size_t>(i) * stride];
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const float e = buf[2 * i];
+            const float o = buf[2 * i + 1];
+            dom[half + i] = (e - o) * factor;
+            buf[i] = (e + o) * factor;
+        }
+        len = half;
+    }
+    dom[0] = buf[0];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = blane[static_cast<size_t>(i) * stride];
+    len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const float e = buf[2 * i];
+            const float o = buf[2 * i + 1];
+            bdom[half + i] = (e - o) * factor;
+            buf[i] = (e + o) * factor;
+        }
+        len = half;
+    }
+    bdom[0] = buf[0];
+    int strong = 0;
+    for (int i = 0; i < stack; ++i) {
+        const float b2 = bdom[i] * bdom[i];
+        const float wi = b2 / (b2 + sigma2);
+        wlane[static_cast<size_t>(i) * stride] = wi;
+        blane[static_cast<size_t>(i) * stride] = bdom[i];
+        dom[i] *= wi;
+        if (wi > 0.5f)
+            ++strong;
+    }
+    buf[0] = dom[0];
+    len = 1;
+    while (len < stack) {
+        float tmp[16];
+        for (int i = 0; i < len; ++i) {
+            const float a = buf[i];
+            const float d = dom[len + i];
+            tmp[2 * i] = (a + d) * factor;
+            tmp[2 * i + 1] = (a - d) * factor;
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            buf[i] = tmp[i];
+    }
+    for (int i = 0; i < stack; ++i)
+        lane[static_cast<size_t>(i) * stride] = buf[i];
+    return strong;
+}
+
+int
+wienerShrinkFused(float *g, float *bg, float *w, int stack, int width,
+                  float sigma2)
+{
+    const __m128 f = _mm_set1_ps(1.0f / std::sqrt(2.0f));
+    const __m128 s2 = _mm_set1_ps(sigma2);
+    const __m128 half = _mm_set1_ps(0.5f);
+    int strong = 0;
+    int c = 0;
+    for (; c + 4 <= width; c += 4) {
+        __m128 buf[16];
+        __m128 dom[16];
+        __m128 bdom[16];
+        for (int i = 0; i < stack; ++i)
+            buf[i] = _mm_loadu_ps(g + static_cast<size_t>(i) * width + c);
+        haarForwardStack(buf, dom, stack, f);
+        for (int i = 0; i < stack; ++i)
+            buf[i] = _mm_loadu_ps(bg + static_cast<size_t>(i) * width + c);
+        haarForwardStack(buf, bdom, stack, f);
+        for (int i = 0; i < stack; ++i) {
+            const __m128 b2 = _mm_mul_ps(bdom[i], bdom[i]);
+            const __m128 wv = _mm_div_ps(b2, _mm_add_ps(b2, s2));
+            _mm_storeu_ps(w + static_cast<size_t>(i) * width + c, wv);
+            _mm_storeu_ps(bg + static_cast<size_t>(i) * width + c,
+                          bdom[i]);
+            dom[i] = _mm_mul_ps(dom[i], wv);
+            strong += _mm_popcnt_u32(static_cast<unsigned>(
+                _mm_movemask_ps(_mm_cmpgt_ps(wv, half))));
+        }
+        haarInverseStack(buf, dom, stack, f);
+        for (int i = 0; i < stack; ++i)
+            _mm_storeu_ps(g + static_cast<size_t>(i) * width + c, buf[i]);
+    }
+    for (; c < width; ++c)
+        strong += wienerShrinkLaneTail(g + c, bg + c, w + c, stack, width,
+                                       sigma2);
+    return strong;
+}
+
+void
+aggregateGroup(float *num, float *den, int plane_w, const float *coefs,
+               const int *lx, const int *ly, int stack, float weight,
+               const float *inv_even, const float *inv_odd)
+{
+    const __m128 wv = _mm_set1_ps(weight);
+    float px[16];
+    for (int i = 0; i < stack; ++i) {
+        dct4Inverse(coefs + 16 * i, px, inv_even, inv_odd);
+        for (int r = 0; r < 4; ++r) {
+            const size_t off =
+                static_cast<size_t>(ly[i] + r) * plane_w + lx[i];
+            const __m128 p = _mm_loadu_ps(px + 4 * r);
+            _mm_storeu_ps(num + off,
+                          _mm_add_ps(_mm_loadu_ps(num + off),
+                                     _mm_mul_ps(wv, p)));
+            _mm_storeu_ps(den + off,
+                          _mm_add_ps(_mm_loadu_ps(den + off), wv));
+        }
+    }
+}
+
+/** Scalar-lane tail of haarShrinkFusedI16. */
+inline int
+haarShrinkLaneTailI16(int16_t *lane, int stack, int stride,
+                      int16_t threshold, int16_t factor_q15)
+{
+    int16_t buf[16];
+    int16_t dom[16];
+    for (int i = 0; i < stack; ++i)
+        buf[i] = lane[static_cast<size_t>(i) * stride];
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i) {
+            const int16_t e = buf[2 * i];
+            const int16_t o = buf[2 * i + 1];
+            dom[half + i] = mulhrsI16(satSubI16(e, o), factor_q15);
+            buf[i] = mulhrsI16(satAddI16(e, o), factor_q15);
+        }
+        len = half;
+    }
+    dom[0] = buf[0];
+    int kept = 0;
+    for (int i = 0; i < stack; ++i) {
+        const int16_t av =
+            dom[i] < 0
+                ? static_cast<int16_t>(-static_cast<int32_t>(dom[i]))
+                : dom[i];
+        if (av < threshold)
+            dom[i] = 0;
+        else
+            ++kept;
+    }
+    buf[0] = dom[0];
+    len = 1;
+    while (len < stack) {
+        int16_t tmp[16];
+        for (int i = 0; i < len; ++i) {
+            const int16_t a = buf[i];
+            const int16_t d = dom[len + i];
+            tmp[2 * i] = mulhrsI16(satAddI16(a, d), factor_q15);
+            tmp[2 * i + 1] = mulhrsI16(satSubI16(a, d), factor_q15);
+        }
+        len *= 2;
+        for (int i = 0; i < len; ++i)
+            buf[i] = tmp[i];
+    }
+    for (int i = 0; i < stack; ++i)
+        lane[static_cast<size_t>(i) * stride] = buf[i];
+    return kept;
+}
+
+int
+haarShrinkFusedI16(int16_t *g, int stack, int width, int16_t threshold,
+                   int16_t factor_q15)
+{
+    const __m128i f = _mm_set1_epi16(factor_q15);
+    const __m128i thr = _mm_set1_epi16(threshold);
+    int kept = 0;
+    int c = 0;
+    for (; c + 8 <= width; c += 8) {
+        __m128i buf[16];
+        __m128i dom[16];
+        for (int i = 0; i < stack; ++i)
+            buf[i] = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                g + static_cast<size_t>(i) * width + c));
+        int len = stack;
+        while (len > 1) {
+            const int half = len / 2;
+            for (int i = 0; i < half; ++i) {
+                const __m128i e = buf[2 * i];
+                const __m128i o = buf[2 * i + 1];
+                dom[half + i] =
+                    _mm_mulhrs_epi16(_mm_subs_epi16(e, o), f);
+                buf[i] = _mm_mulhrs_epi16(_mm_adds_epi16(e, o), f);
+            }
+            len = half;
+        }
+        dom[0] = buf[0];
+        for (int i = 0; i < stack; ++i) {
+            const __m128i below =
+                _mm_cmplt_epi16(_mm_abs_epi16(dom[i]), thr);
+            dom[i] = _mm_andnot_si128(below, dom[i]);
+            kept += 8 - _mm_popcnt_u32(static_cast<unsigned>(
+                            _mm_movemask_epi8(below))) /
+                            2;
+        }
+        buf[0] = dom[0];
+        len = 1;
+        while (len < stack) {
+            __m128i tmp[16];
+            for (int i = 0; i < len; ++i) {
+                const __m128i a = buf[i];
+                const __m128i d = dom[len + i];
+                tmp[2 * i] = _mm_mulhrs_epi16(_mm_adds_epi16(a, d), f);
+                tmp[2 * i + 1] =
+                    _mm_mulhrs_epi16(_mm_subs_epi16(a, d), f);
+            }
+            len *= 2;
+            for (int i = 0; i < len; ++i)
+                buf[i] = tmp[i];
+        }
+        for (int i = 0; i < stack; ++i)
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(
+                                 g + static_cast<size_t>(i) * width + c),
+                             buf[i]);
+    }
+    for (; c < width; ++c)
+        kept += haarShrinkLaneTailI16(g + c, stack, width, threshold,
+                                      factor_q15);
+    return kept;
+}
+
 const KernelTable kSseTableStorage = {
     ssd,           ssdBounded,      ssdFull,       ssdBatch16,
     ssdSoa,        ssdSoaBatch,     dct4Forward,   dct4Inverse,
@@ -852,6 +1215,8 @@ const KernelTable kSseTableStorage = {
     ssdPairBatchI16,
     dct4ForwardI16, haarForwardPairI16, haarInversePairI16,
     hardThresholdI16,
+    haarShrinkFused, wienerShrinkFused, aggregateGroup,
+    haarShrinkFusedI16,
 };
 
 } // namespace

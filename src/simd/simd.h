@@ -292,6 +292,68 @@ struct KernelTable
      * surviving elements.
      */
     int (*hardThresholdI16)(int16_t *v, int count, int16_t threshold);
+
+    // ---- fused group-major denoise kernels (DESIGN §12) ----------
+    //
+    // All three operate on a contiguous group tile g of
+    // stack * width floats, row i holding patch i's coefficients:
+    // the patch position is the SIMD lane, the Haar butterflies walk
+    // rows. Every operation is lane-vertical with the exact
+    // per-element expressions of the discrete kernels above (Haar1D
+    // forwardRows/inverseRows schedule, hardThreshold / wienerApply
+    // element semantics, dct4Inverse + aggregateAdd arithmetic), so
+    // fused output is bitwise equal to the discrete composition at
+    // every dispatch level. stack must be a power of two <= 16.
+
+    /**
+     * Fused DE1 spectrum pipeline over one group tile: full forward
+     * Haar across the stack rows (factor = 1/sqrt(2) butterflies in
+     * the forwardRows schedule), hard threshold of every transform-
+     * domain element against @p threshold, full inverse Haar — one
+     * call, no intermediate spill. Returns the surviving-coefficient
+     * count (the aggregation weight's M).
+     */
+    int (*haarShrinkFused)(float *g, int stack, int width,
+                           float threshold);
+
+    /**
+     * Fused DE2 spectrum pipeline: forward-Haar both the noisy tile
+     * @p g and the basic tile @p bg, apply the empirical Wiener
+     * weights w = b^2 / (b^2 + sigma2) to g (storing them to the
+     * stack * width tile @p w so the caller can accumulate sum(w^2)
+     * in double precision in its fixed i-major order), inverse-Haar
+     * g. @p bg is clobbered (left in the transform domain). Returns
+     * the count of weights > 0.5.
+     */
+    int (*wienerShrinkFused)(float *g, float *bg, float *w, int stack,
+                             int width, float sigma2);
+
+    /**
+     * Fused inverse-DCT + weighted scanline aggregation of one group:
+     * for each patch i in [0, stack), inverse-transform the 16
+     * coefficients at coefs + 16*i (dct4Inverse arithmetic with the
+     * invEven_/invOdd_ half matrices) and accumulate the restored 4x4
+     * patch into the num/den planes (row stride @p plane_w) at offset
+     * (lx[i], ly[i]) with aggregateAdd element arithmetic, rows
+     * blocked 4 wide. Patches are accumulated in ascending i, so
+     * overlapping pixels see the same addition order as per-patch
+     * aggregateAdd calls.
+     */
+    void (*aggregateGroup)(float *num, float *den, int plane_w,
+                           const float *coefs, const int *lx,
+                           const int *ly, int stack, float weight,
+                           const float *inv_even, const float *inv_odd);
+
+    /**
+     * Int16 fused DE1 spectrum pipeline, same tile contract as
+     * haarShrinkFused on Q11.1 raws: saturating-add/mulhrs Haar
+     * butterflies (haarForwardPairI16 / haarInversePairI16 element
+     * semantics with @p factor_q15), hardThresholdI16 shrinkage.
+     * Integer lane arithmetic, so bitwise identical across levels by
+     * construction. Returns the surviving-coefficient count.
+     */
+    int (*haarShrinkFusedI16)(int16_t *g, int stack, int width,
+                              int16_t threshold, int16_t factor_q15);
 };
 
 /** Best level this CPU supports (probed once). */

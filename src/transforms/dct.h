@@ -62,6 +62,16 @@ class Dct2D
         return coeff_[static_cast<size_t>(row) * n_ + col];
     }
 
+    /**
+     * Half-size inverse factor matrices of the even/odd split (the
+     * invEven_/invOdd_ layout the simd dct4Inverse kernel consumes).
+     * Non-empty only for even n; the fused group-aggregation path
+     * passes these straight into simd aggregateGroup so its per-patch
+     * inverse transform is the very same arithmetic as inverse().
+     */
+    const float *invEvenHalf() const { return invEven_.data(); }
+    const float *invOddHalf() const { return invOdd_.data(); }
+
   private:
     /** One pass: out = M * in (n x n matrices, row-major). */
     /// @p m, @p in, and @p out may not alias (restrict-qualified so

@@ -229,6 +229,71 @@ class TestCompareWall(unittest.TestCase):
         self.assertIn("speedup", msg)
 
 
+class TestCompareStages(unittest.TestCase):
+    """The summed-stage gate (--stage-tolerance / --stages)."""
+
+    DE = {"DE1": 400.0, "DE2": 600.0}
+
+    def test_identical_records_pass(self):
+        base = record(kernel_times_ms=dict(self.DE))
+        _, regressed = bench_diff.compare_stages(base, base, "DE1,DE2", 0.10)
+        self.assertFalse(regressed)
+
+    def test_sum_regression_over_tolerance_fails(self):
+        base = record(kernel_times_ms=dict(self.DE))
+        cand = record(kernel_times_ms={"DE1": 500.0, "DE2": 700.0})
+        msg, regressed = bench_diff.compare_stages(
+            base, cand, "DE1,DE2", 0.10
+        )
+        self.assertTrue(regressed)
+        self.assertIn("REGRESSION", msg)
+
+    def test_time_moving_between_stages_passes(self):
+        # The whole point of gating the sum: a fused datapath may shift
+        # time between DE1 and DE2 as long as the section holds.
+        base = record(kernel_times_ms=dict(self.DE))
+        cand = record(kernel_times_ms={"DE1": 900.0, "DE2": 100.0})
+        _, regressed = bench_diff.compare_stages(
+            base, cand, "DE1,DE2", 0.10
+        )
+        self.assertFalse(regressed)
+
+    def test_speedup_passes(self):
+        base = record(kernel_times_ms=dict(self.DE))
+        cand = record(kernel_times_ms={"DE1": 200.0, "DE2": 300.0})
+        msg, regressed = bench_diff.compare_stages(
+            base, cand, "DE1,DE2", 0.10
+        )
+        self.assertFalse(regressed)
+        self.assertIn("speedup 2.00x", msg)
+
+    def test_missing_stage_fails_loudly(self):
+        # Unlike compare_times' shared-key discovery, the caller named
+        # these stages explicitly: one absent from either record is a
+        # failure, not a silently weaker gate.
+        base = record(kernel_times_ms=dict(self.DE))
+        cand = record(kernel_times_ms={"DE1": 400.0})
+        msg, regressed = bench_diff.compare_stages(
+            base, cand, "DE1,DE2", 0.10
+        )
+        self.assertTrue(regressed)
+        self.assertIn("DE2", msg)
+
+    def test_empty_stage_list_is_skipped(self):
+        base = record(kernel_times_ms=dict(self.DE))
+        _, regressed = bench_diff.compare_stages(base, base, " , ", 0.10)
+        self.assertFalse(regressed)
+
+    def test_zero_baseline_is_skipped(self):
+        base = record(kernel_times_ms={"DE1": 0.0, "DE2": 0.0})
+        cand = record(kernel_times_ms=dict(self.DE))
+        msg, regressed = bench_diff.compare_stages(
+            base, cand, "DE1,DE2", 0.10
+        )
+        self.assertFalse(regressed)
+        self.assertIn("skipped", msg)
+
+
 class TestCompareContext(unittest.TestCase):
     def test_mismatched_context_warns(self):
         cand = record(simd_level="scalar", threads=1)
@@ -237,6 +302,22 @@ class TestCompareContext(unittest.TestCase):
 
     def test_matching_context_is_silent(self):
         self.assertEqual(bench_diff.compare_context(record(), record()), [])
+
+    def test_metric_threads_mismatch_warns(self):
+        # fig02 mixes widths in one record (single-threaded probe next
+        # to t8 rows); a shared metric tagged with different resolved
+        # widths is not comparable and must be flagged.
+        base = record(metric_threads={"psnr_db": 1, "int16_speedup": 8})
+        cand = record(metric_threads={"psnr_db": 4, "int16_speedup": 8})
+        warnings = bench_diff.compare_context(base, cand)
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("metric_threads[psnr_db]", warnings[0])
+
+    def test_metric_threads_one_sided_keys_are_silent(self):
+        # A row tagged in only one record (new bench column, or a
+        # pre-tagging baseline with no map at all) is not a mismatch.
+        cand = record(metric_threads={"fused_de_speedup": 8})
+        self.assertEqual(bench_diff.compare_context(record(), cand), [])
 
 
 class TestMain(unittest.TestCase):
@@ -303,16 +384,59 @@ class TestMain(unittest.TestCase):
             self.run_main(record(), cand, "--snr-tolerance", "0.05"), 0
         )
 
+    def test_stage_gate_off_by_default(self):
+        base = record(kernel_times_ms={"DE1": 400.0, "DE2": 600.0})
+        cand = record(kernel_times_ms={"DE1": 900.0, "DE2": 1400.0})
+        # Per-kernel gate would fire; keep the table quiet by matching
+        # thresholds, so only the (absent) stage gate is under test.
+        self.assertEqual(
+            self.run_main(base, cand, "--threshold", "9.9",
+                          "--tolerance", "0.1"), 0
+        )
+
+    def test_stage_gate_fails_on_summed_regression(self):
+        base = record(kernel_times_ms={"DE1": 400.0, "DE2": 600.0})
+        cand = record(kernel_times_ms={"DE1": 900.0, "DE2": 1400.0})
+        self.assertEqual(
+            self.run_main(base, cand, "--threshold", "9.9",
+                          "--stage-tolerance", "0.10"), 1
+        )
+
+    def test_stage_gate_honors_stages_flag(self):
+        # Regression lives in DE2; gating DCT1+DE1 alone must pass.
+        base = record(
+            kernel_times_ms={"DCT1": 100.0, "DE1": 400.0, "DE2": 600.0}
+        )
+        cand = record(
+            kernel_times_ms={"DCT1": 100.0, "DE1": 400.0, "DE2": 1400.0}
+        )
+        self.assertEqual(
+            self.run_main(base, cand, "--threshold", "9.9",
+                          "--stage-tolerance", "0.10",
+                          "--stages", "DCT1,DE1"), 0
+        )
+
+    def test_stage_gate_fails_when_stage_missing(self):
+        base = record(kernel_times_ms={"DE1": 400.0})
+        cand = record(kernel_times_ms={"DE1": 400.0})
+        self.assertEqual(
+            self.run_main(base, cand, "--stage-tolerance", "0.10"), 1
+        )
+
 
 ABLATION_METRICS = {
     "snr_delta_db": -0.02,
     "ablate_dense_wall_s": 4.0,
     "ablate_dense_bm1_ms": 900.0,
     "ablate_dense_bm2_ms": 600.0,
+    "ablate_dense_de1_ms": 300.0,
+    "ablate_dense_de2_ms": 200.0,
     "ablate_dense_snr_delta_db": 0.0,
     "ablate_coarse_wall_s": 2.5,
     "ablate_coarse_bm1_ms": 450.0,
     "ablate_coarse_bm2_ms": 300.0,
+    "ablate_coarse_de1_ms": 600.0,
+    "ablate_coarse_de2_ms": 400.0,
     "ablate_coarse_snr_delta_db": -0.03,
 }
 
@@ -369,8 +493,11 @@ class TestAblationTable(unittest.TestCase):
         coarse_row = lines[3]
         # Dense is its own reference: exactly 1.00x.
         self.assertIn("| 1.00x |", dense_row)
-        # (900 + 600) / (450 + 300) = 2.00x, read off the table.
+        # BM: (900 + 600) / (450 + 300) = 2.00x, read off the table.
         self.assertIn("| 2.00x |", coarse_row)
+        # DE: (300 + 200) / (600 + 400) = 0.50x — the fused-off row
+        # pattern, where the variant's denoise section is *slower*.
+        self.assertIn("| 0.50x |", coarse_row)
         self.assertIn("| -0.030 |", coarse_row)
 
     def test_missing_fields_render_as_dash(self):
@@ -378,9 +505,9 @@ class TestAblationTable(unittest.TestCase):
             record(metrics={"ablate_dense_bm1_ms": 10.0})
         )
         row = lines[2]
-        # No wall, no bm2 (hence no sum and no speedup), no dSNR.
-        self.assertEqual(row.count("-"), 5)
-        self.assertIn("| 10.0 |", row)
+        # No wall, no bm2 (hence no BM sum and no speedup), no de1/de2
+        # (hence no DE sum and no speedup), no dSNR: six dash cells.
+        self.assertEqual(row.count("-"), 6)
 
     def test_no_dense_row_means_no_speedup_column(self):
         metrics = {

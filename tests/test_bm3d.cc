@@ -18,6 +18,7 @@
 #include "image/noise.h"
 #include "image/synthetic.h"
 #include "obs/metrics.h"
+#include "simd/simd.h"
 
 using namespace ideal;
 using bm3d::Bm3d;
@@ -624,4 +625,135 @@ TEST(Bm3dMr, RegistryReportsNonzeroHitsWhenEnabled)
     EXPECT_GT(snap.value("bm3d.mr.bm1Hits"), 0.0);
     EXPECT_GT(snap.value("bm3d.mr.bm2Hits"), 0.0);
     reg.reset();
+}
+
+// ---------------------------------------------------------------------
+// Fused group-major denoise datapath (DESIGN §12).
+// ---------------------------------------------------------------------
+
+TEST(Bm3dFused, BitwiseIdenticalToDiscretePath)
+{
+    // The fused kernels replay the discrete path's exact float
+    // expressions, so flipping the knob must not change a single bit —
+    // under the full feature mix (color, Matches Reuse, transform-once
+    // tiles, multithreaded tiled run).
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 25.0f, 50, 3);
+    Bm3dConfig cfg = smallConfig();
+    cfg.tileGrain = 8;
+    cfg.numThreads = 4;
+    cfg.mr.enabled = true;
+    auto r_fused = Bm3d(cfg).denoise(scene.noisy);
+
+    cfg.fusedDenoise = false;
+    auto r_discrete = Bm3d(cfg).denoise(scene.noisy);
+
+    EXPECT_EQ(image::maxAbsDiff(r_fused.basic, r_discrete.basic), 0.0);
+    EXPECT_EQ(image::maxAbsDiff(r_fused.output, r_discrete.output), 0.0);
+}
+
+TEST(Bm3dFused, BitwiseMatrixAcrossLevelsThreadsPrecisions)
+{
+    // The PR's acceptance matrix: for each matching precision, the
+    // fused pipeline's output is one bit pattern across every SIMD
+    // dispatch level and thread count. (Float32 vs Int16 differ — the
+    // int16 DE1 spectrum is tolerance-gated, not bit-matched.)
+    auto scene = makeTestScene(image::SceneKind::Street, 40, 25.0f, 51);
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        simd::setLevel(simd::Level::Scalar);
+        Bm3dConfig cfg = smallConfig();
+        cfg.precision = precision;
+        auto ref = Bm3d(cfg).denoise(scene.noisy);
+
+        for (int l = 0; l <= static_cast<int>(simd::bestSupported());
+             ++l) {
+            simd::setLevel(static_cast<simd::Level>(l));
+            for (int threads : {1, 8}) {
+                cfg.numThreads = threads;
+                auto r = Bm3d(cfg).denoise(scene.noisy);
+                SCOPED_TRACE(testing::Message()
+                             << "precision="
+                             << static_cast<int>(precision) << " level="
+                             << simd::toString(
+                                    static_cast<simd::Level>(l))
+                             << " threads=" << threads);
+                EXPECT_EQ(image::maxAbsDiff(ref.basic, r.basic), 0.0);
+                EXPECT_EQ(image::maxAbsDiff(ref.output, r.output), 0.0);
+            }
+        }
+        simd::setLevel(simd::bestSupported());
+    }
+}
+
+TEST(Bm3dFused, GroupCountersReportFusedTraffic)
+{
+    // With the fused path on (default), every stack goes group-major
+    // and the registry says so; with it off, the same stacks are
+    // charged to the legacy counter. Totals are thread-count invariant
+    // by the same argument as the variant counters above.
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    auto scene = makeTestScene(image::SceneKind::Street, 40, 25.0f, 52);
+    Bm3dConfig cfg = smallConfig();
+
+    reg.reset();
+    Bm3d(cfg).denoise(scene.noisy);
+    const obs::MetricsSnapshot fused = reg.snapshot();
+    EXPECT_GT(fused.value("bm3d.group.fusedStacks"), 0.0);
+    EXPECT_GT(fused.value("bm3d.group.fusedPatches"), 0.0);
+    EXPECT_EQ(fused.value("bm3d.group.legacyStacks"), 0.0);
+
+    reg.reset();
+    cfg.numThreads = 4;
+    Bm3d(cfg).denoise(scene.noisy);
+    const obs::MetricsSnapshot fused_mt = reg.snapshot();
+    EXPECT_EQ(fused.value("bm3d.group.fusedStacks"),
+              fused_mt.value("bm3d.group.fusedStacks"));
+    EXPECT_EQ(fused.value("bm3d.group.fusedPatches"),
+              fused_mt.value("bm3d.group.fusedPatches"));
+
+    reg.reset();
+    cfg.numThreads = 0;
+    cfg.fusedDenoise = false;
+    Bm3d(cfg).denoise(scene.noisy);
+    const obs::MetricsSnapshot legacy = reg.snapshot();
+    EXPECT_EQ(legacy.value("bm3d.group.fusedStacks"), 0.0);
+    EXPECT_GT(legacy.value("bm3d.group.legacyStacks"), 0.0);
+    EXPECT_EQ(legacy.value("bm3d.group.legacyStacks"),
+              fused.value("bm3d.group.fusedStacks"));
+    reg.reset();
+}
+
+TEST(Bm3dFused, OpChargesIdenticalAcrossFusedKnob)
+{
+    // chargeStackOps is shared by both paths, so every per-step op
+    // counter must agree exactly — the invariant CI's
+    // --ops-tolerance 0 gate rests on.
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 25.0f, 53);
+    Bm3dConfig cfg = smallConfig();
+    auto r_fused = Bm3d(cfg).denoise(scene.noisy);
+    cfg.fusedDenoise = false;
+    auto r_discrete = Bm3d(cfg).denoise(scene.noisy);
+
+    for (Step step : {Step::Dct2, Step::De1, Step::De2}) {
+        SCOPED_TRACE(static_cast<int>(step));
+        EXPECT_EQ(r_fused.profile.ops(step).total(),
+                  r_discrete.profile.ops(step).total());
+    }
+}
+
+TEST(Bm3dFused, Int16SpectrumStaysWithinSnrEnvelope)
+{
+    // DE1's int16 Haar+shrink is the one tolerance-gated divergence:
+    // the fused int16 pipeline must stay within 0.1 dB of the float
+    // fused pipeline end to end.
+    auto scene = makeTestScene(image::SceneKind::Nature, 48, 25.0f, 54);
+    Bm3dConfig cfg = smallConfig();
+    auto r_float = Bm3d(cfg).denoise(scene.noisy);
+    cfg.precision = bm3d::Precision::Int16;
+    auto r_i16 = Bm3d(cfg).denoise(scene.noisy);
+
+    const double psnr_float =
+        image::psnrDb(scene.clean, r_float.output);
+    const double psnr_i16 = image::psnrDb(scene.clean, r_i16.output);
+    EXPECT_GT(psnr_i16, psnr_float - 0.1);
 }

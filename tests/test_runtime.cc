@@ -356,3 +356,37 @@ TEST_F(RuntimeTest, VariantComposesWithTemporalSeeding)
     EXPECT_LT(variant_stats.profile.mr().bm1Candidates,
               plain_stats.profile.mr().bm1Candidates);
 }
+
+// PR satellite: the fused group-major denoise path (DESIGN §12)
+// composes with the streaming runtime — temporal seeding decides the
+// same matches, the group tiles recycle through the frame arena (no
+// steady-state heap growth), and the streamed fused output stays
+// bitwise equal to the discrete per-group path frame for frame.
+TEST_F(RuntimeTest, FusedDenoiseComposesWithSeededStream)
+{
+    const int frames = 6;
+    const auto clip = staticClip(frames, 48, 48, 25.0f, 89);
+    StreamConfig cfg = smallStreamConfig(2, /*wiener=*/true);
+    cfg.temporalSeed = true;
+
+    StreamDenoiser stream(cfg);
+    for (const image::ImageF &frame : clip)
+        stream.submit(image::ImageF(frame));
+    stream.finish();
+    std::vector<image::ImageF> fused;
+    for (int f = 0; f < frames; ++f) {
+        fused.push_back(stream.collect());
+        stream.recycle(image::ImageF(fused.back()));
+    }
+    const StreamStats fused_stats = stream.stats();
+    EXPECT_EQ(fused_stats.arenaBytesNewSteady, 0u)
+        << "fused group tiles must recycle through the arena";
+    EXPECT_GT(fused_stats.seedHits, 0u);
+
+    cfg.frame.fusedDenoise = false;
+    StreamStats discrete_stats;
+    const auto discrete = streamOutputs(cfg, clip, &discrete_stats);
+    ASSERT_EQ(fused.size(), discrete.size());
+    for (size_t f = 0; f < fused.size(); ++f)
+        EXPECT_TRUE(fused[f].raw() == discrete[f].raw()) << "frame " << f;
+}

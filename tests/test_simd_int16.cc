@@ -576,3 +576,173 @@ TEST_F(SimdInt16, DenoiseInt16WithinSnrToleranceOfFloat)
     EXPECT_LE(std::abs(delta), 0.05)
         << "int16 matching moved SNR by " << delta << " dB";
 }
+
+// ---------------------------------------------------------------------
+// Fused int16 DE1 spectrum kernel (DESIGN §12): parity across levels
+// and bitwise equality with the discrete butterfly + threshold
+// composition, on the same saturating / all-zero / alternating-sign
+// differential families as the element kernels.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Discrete reference for haarShrinkFusedI16: replay the Haar1D
+ * forwardRows/inverseRows schedule with the scalar haarForwardPairI16 /
+ * haarInversePairI16 row kernels, hardThresholdI16 over the
+ * transform-domain tile in between.
+ */
+int
+haarShrinkDiscreteI16(int16_t *g, int stack, int width, int16_t threshold,
+                      int16_t factor)
+{
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    if (stack == 1)
+        return ref.hardThresholdI16(g, width, threshold);
+
+    const size_t n = static_cast<size_t>(stack) * width;
+    std::vector<int16_t> buf(g, g + n), dom(n);
+    int len = stack;
+    while (len > 1) {
+        const int half = len / 2;
+        for (int i = 0; i < half; ++i)
+            ref.haarForwardPairI16(&buf[2 * i * width],
+                                   &buf[(2 * i + 1) * width],
+                                   &buf[static_cast<size_t>(i) * width],
+                                   &dom[static_cast<size_t>(half + i) *
+                                        width],
+                                   factor, width);
+        len = half;
+    }
+    std::memcpy(dom.data(), buf.data(), sizeof(int16_t) * width);
+
+    const int kept =
+        ref.hardThresholdI16(dom.data(), stack * width, threshold);
+
+    std::memcpy(buf.data(), dom.data(), sizeof(int16_t) * width);
+    len = 1;
+    std::vector<int16_t> tmp(n);
+    while (len < stack) {
+        for (int i = 0; i < len; ++i)
+            ref.haarInversePairI16(&buf[static_cast<size_t>(i) * width],
+                                   &dom[static_cast<size_t>(len + i) *
+                                        width],
+                                   &tmp[2 * i * width],
+                                   &tmp[(2 * i + 1) * width], factor,
+                                   width);
+        len *= 2;
+        std::memcpy(buf.data(), tmp.data(),
+                    sizeof(int16_t) * static_cast<size_t>(len) * width);
+    }
+    std::memcpy(g, buf.data(), sizeof(int16_t) * n);
+    return kept;
+}
+
+} // namespace
+
+TEST_F(SimdInt16, HaarShrinkFusedI16MatchesScalarBitwise)
+{
+    Rng rng(612);
+    const int16_t factor = 23170;
+    const simd::KernelTable &ref = simd::kernelsFor(simd::Level::Scalar);
+    for (int stack : {1, 2, 4, 8, 16}) {
+        for (int width : {1, 7, 8, 15, 16, 20}) {
+            for (const auto &tile : int16Families(rng, stack * width)) {
+                for (int16_t thr : {int16_t{135}, int16_t{5000}}) {
+                    std::vector<int16_t> g_ref = tile;
+                    const int kept_ref = ref.haarShrinkFusedI16(
+                        g_ref.data(), stack, width, thr, factor);
+                    for (simd::Level level : availableLevels()) {
+                        std::vector<int16_t> g = tile;
+                        const int kept =
+                            simd::kernelsFor(level).haarShrinkFusedI16(
+                                g.data(), stack, width, thr, factor);
+                        SCOPED_TRACE(testing::Message()
+                                     << "level=" << simd::toString(level)
+                                     << " stack=" << stack
+                                     << " width=" << width
+                                     << " thr=" << thr);
+                        EXPECT_EQ(kept_ref, kept);
+                        EXPECT_EQ(g_ref, g);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_F(SimdInt16, HaarShrinkFusedI16MatchesDiscreteComposition)
+{
+    // The fused kernel must equal the pair-kernel butterfly schedule
+    // plus hardThresholdI16, including the saturating-add and
+    // mulhrs rounding at every level of the transform — verified on
+    // the saturating and alternating-sign families where adds/subs
+    // clamp and abs(-32768) stays negative.
+    Rng rng(613);
+    const int16_t factor = 23170;
+    const int16_t thr = 135; // the production Q11.1 DE1 threshold
+    for (int stack : {1, 2, 4, 8, 16}) {
+        for (int width : {7, 16}) {
+            for (const auto &tile : int16Families(rng, stack * width)) {
+                std::vector<int16_t> g_ref = tile;
+                const int kept_ref = haarShrinkDiscreteI16(
+                    g_ref.data(), stack, width, thr, factor);
+                for (simd::Level level : availableLevels()) {
+                    std::vector<int16_t> g = tile;
+                    const int kept =
+                        simd::kernelsFor(level).haarShrinkFusedI16(
+                            g.data(), stack, width, thr, factor);
+                    SCOPED_TRACE(testing::Message()
+                                 << "level=" << simd::toString(level)
+                                 << " stack=" << stack
+                                 << " width=" << width);
+                    EXPECT_EQ(kept_ref, kept);
+                    EXPECT_EQ(g_ref, g);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(SimdInt16, HaarShrinkFusedI16DifferentialEdgeCases)
+{
+    const int16_t factor = 23170;
+    for (simd::Level level : availableLevels()) {
+        const simd::KernelTable &k = simd::kernelsFor(level);
+        SCOPED_TRACE(simd::toString(level));
+
+        // All-zero tile: the transform is exactly zero, nothing
+        // survives, and the tile comes back all zero.
+        std::vector<int16_t> zeros(16 * 16, 0);
+        EXPECT_EQ(k.haarShrinkFusedI16(zeros.data(), 16, 16, 135, factor),
+                  0);
+        for (int16_t v : zeros)
+            EXPECT_EQ(v, 0);
+
+        // Full-scale same-sign tile: every butterfly's saturating add
+        // clamps to INT16_MAX before the mulhrs scales it back down,
+        // details cancel to zero; with a full-scale threshold
+        // everything is zeroed, so the inverse maps the tile to zero.
+        std::vector<int16_t> sat(16 * 16, INT16_MAX);
+        EXPECT_EQ(k.haarShrinkFusedI16(sat.data(), 16, 16, INT16_MAX,
+                                       factor),
+                  0);
+        for (int16_t v : sat)
+            EXPECT_EQ(v, 0);
+
+        // Alternating-sign full-scale rows: the first butterfly's
+        // detail is (32767 - (-32768)) saturated to 32767; parity with
+        // scalar pins the clamp behaviour.
+        std::vector<int16_t> alt(16 * 16);
+        for (int i = 0; i < 16 * 16; ++i)
+            alt[i] = (i / 16) % 2 == 0 ? INT16_MAX : INT16_MIN;
+        std::vector<int16_t> alt_ref = alt;
+        const int kept_ref = simd::kernelsFor(simd::Level::Scalar)
+                                 .haarShrinkFusedI16(alt_ref.data(), 16,
+                                                     16, 135, factor);
+        const int kept =
+            k.haarShrinkFusedI16(alt.data(), 16, 16, 135, factor);
+        EXPECT_EQ(kept_ref, kept);
+        EXPECT_EQ(alt_ref, alt);
+    }
+}
