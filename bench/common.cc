@@ -186,6 +186,26 @@ percentileSorted(const std::vector<double> &sorted, double pct)
     return sorted[rank - 1];
 }
 
+/** Nearest-rank p50/p95/p99 + mean/max summary of a latency sample. */
+std::map<std::string, double>
+latencySummary(const std::vector<double> &values)
+{
+    std::map<std::string, double> summary;
+    if (values.empty())
+        return summary;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    summary["p50"] = percentileSorted(sorted, 50.0);
+    summary["p95"] = percentileSorted(sorted, 95.0);
+    summary["p99"] = percentileSorted(sorted, 99.0);
+    summary["mean"] = sum / static_cast<double>(sorted.size());
+    summary["max"] = sorted.back();
+    return summary;
+}
+
 } // namespace
 
 void
@@ -248,20 +268,34 @@ BenchRecord::write() const
     // Streaming latency distribution (nearest-rank percentiles).
     // Always emitted so the record schema is stable; empty when the
     // bench recorded no per-frame latencies.
-    std::map<std::string, double> latency;
-    if (!frameLatenciesMs.empty()) {
-        std::vector<double> sorted = frameLatenciesMs;
-        std::sort(sorted.begin(), sorted.end());
-        double sum = 0.0;
-        for (double v : sorted)
-            sum += v;
-        latency["p50"] = percentileSorted(sorted, 50.0);
-        latency["p95"] = percentileSorted(sorted, 95.0);
-        latency["p99"] = percentileSorted(sorted, 99.0);
-        latency["mean"] = sum / static_cast<double>(sorted.size());
-        latency["max"] = sorted.back();
+    writeJsonMap(f, "latency_ms", latencySummary(frameLatenciesMs),
+                 false);
+
+    // Per-tenant SLO rows of a multi-tenant service run: one latency
+    // summary per tenant. Always emitted (empty for solo benches);
+    // tenants with no recorded frames are omitted rather than given
+    // all-zero rows.
+    std::fprintf(f, "  \"tenant_latency_ms\": {");
+    {
+        bool first = true;
+        for (const auto &[tenant, values] : tenantFrameLatenciesMs) {
+            const std::map<std::string, double> summary =
+                latencySummary(values);
+            if (summary.empty())
+                continue;
+            std::fprintf(f, "%s\n    \"%s\": {", first ? "" : ",",
+                         tenant.c_str());
+            bool inner = true;
+            for (const auto &[k, v] : summary) {
+                std::fprintf(f, "%s\n      \"%s\": %.17g",
+                             inner ? "" : ",", k.c_str(), v);
+                inner = false;
+            }
+            std::fprintf(f, "\n    }");
+            first = false;
+        }
+        std::fprintf(f, "%s},\n", first ? "" : "\n  ");
     }
-    writeJsonMap(f, "latency_ms", latency, false);
 
     // Global observability snapshot at write time: counters (merge
     // sums — op/event totals bench_diff.py can gate on with

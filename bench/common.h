@@ -133,6 +133,15 @@ struct BenchRecord
      */
     std::vector<double> frameLatenciesMs;
 
+    /**
+     * Per-tenant frame latencies of a multi-tenant service run, keyed
+     * by tenant name. The JSON gets a "tenant_latency_ms" object with
+     * one p50/p95/p99/mean/max summary per tenant (omitted per tenant
+     * when empty); scripts/bench_diff.py --latency-tolerance gates
+     * every tenant's percentiles alongside the global "latency_ms".
+     */
+    std::map<std::string, std::vector<double>> tenantFrameLatenciesMs;
+
     /** Fold a profile's per-step seconds and op totals into the maps. */
     void addProfile(const bm3d::Profile &profile);
 

@@ -4,8 +4,8 @@
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json \
         [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0] \
-        [--latency-tolerance 0.10] [--snr-tolerance 0.05] \
-        [--stage-tolerance 0.10 --stages DE1,DE2]
+        [--ops-exclude REGEX] [--latency-tolerance 0.10] \
+        [--snr-tolerance 0.05] [--stage-tolerance 0.10 --stages DE1,DE2]
     scripts/bench_diff.py --ablation-table RECORD.json
 
 Exits non-zero when any kernel time in CANDIDATE is more than THRESHOLD
@@ -20,7 +20,11 @@ registry): unlike times, op counts are deterministic, so the natural
 tolerance is 0.0 — any drift in multiply/add/comparison totals means
 the algorithm changed, not the machine. The gate is off unless the
 flag is given, because records written before the counters were
-embedded would otherwise fail vacuously.
+embedded would otherwise fail vacuously. --ops-exclude exempts keys
+matching a regex from that gate — for the few counters that are
+timing-dependent by nature (the buffer arena's hit/miss/bytesNew
+tallies depend on pipeline interleaving) — so streaming and service
+records can still be gated at zero tolerance on everything else.
 
 --ablation-table is a reporting mode over a *single* record: benches
 that sweep configuration variants head-to-head (fig02's adaptive
@@ -61,6 +65,7 @@ count, the active SIMD level and the git sha of the build.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -124,13 +129,23 @@ def compare_times(base, cand, threshold):
     return rows, regressions
 
 
-def compare_ops(base, cand, tolerance):
+def compare_ops(base, cand, tolerance, exclude=None):
     """Return (rows, regressions) over shared op-count keys.
 
     Draws from both the per-step "ops" map and the observability
     "counters" snapshot (records from before PR 4 lack the latter).
     Keys present in only one record are reported, never failed.
+
+    ``exclude`` is an optional regex (re.search semantics): matching
+    keys are shown as "excluded" and never drift. It exists for the
+    few counters that are *inherently* timing-dependent — the arena's
+    hit/miss/bytesNew tallies depend on whether a pipelined release
+    lands before the next acquire — which would otherwise make a
+    zero-tolerance gate on a streaming record flaky. Everything not
+    excluded stays gated, so the flag narrows the contract explicitly
+    rather than forcing the caller to abandon --ops-tolerance 0.
     """
+    pattern = re.compile(exclude) if exclude else None
     base_ops = dict(base.get("ops", {}))
     base_ops.update(base.get("counters", {}))
     cand_ops = dict(cand.get("ops", {}))
@@ -139,6 +154,11 @@ def compare_ops(base, cand, tolerance):
     rows = []
     drifted = []
     for key in sorted(set(base_ops) | set(cand_ops)):
+        if pattern is not None and pattern.search(key):
+            rows.append(
+                (key, base_ops.get(key), cand_ops.get(key), "excluded")
+            )
+            continue
         if key not in base_ops:
             rows.append((key, None, cand_ops[key], "new"))
             continue
@@ -158,15 +178,37 @@ def compare_ops(base, cand, tolerance):
     return rows, drifted
 
 
+def flatten_latency(record):
+    """Flatten a record's latency objects into one percentile map.
+
+    The global "latency_ms" summary contributes its keys as-is
+    (p50/p95/...); the per-tenant "tenant_latency_ms" object of a
+    multi-tenant service record (bench/common.cc since PR 9)
+    contributes "<tenant>.p50"-style keys, so each tenant's SLO row is
+    gated individually alongside the aggregate. Tenant names cannot
+    collide with the flat keys because the flat summary has no dots.
+    """
+    flat = dict(record.get("latency_ms", {}))
+    for tenant, summary in record.get("tenant_latency_ms", {}).items():
+        for key, value in summary.items():
+            flat[f"{tenant}.{key}"] = value
+    return flat
+
+
 def compare_latency(base, cand, tolerance):
     """Return (rows, regressions) over shared latency percentiles.
 
     Streaming records carry a "latency_ms" object (p50/p95/p99/mean/
-    max, bench/common.cc); batch records and pre-PR-5 records have it
-    empty or absent, in which case there is nothing to gate.
+    max, bench/common.cc) and multi-tenant service records additionally
+    a per-tenant "tenant_latency_ms" object — both are flattened into
+    one percentile map (flatten_latency) and gated together. Batch
+    records and pre-PR-5 records have them empty or absent, in which
+    case there is nothing to gate. A tenant present in only one record
+    (sessions come and go across PRs) is reported new/gone, never
+    failed — same shared-key rule as the kernel table.
     """
-    base_l = dict(base.get("latency_ms", {}))
-    cand_l = dict(cand.get("latency_ms", {}))
+    base_l = flatten_latency(base)
+    cand_l = flatten_latency(cand)
 
     rows = []
     regressions = []
@@ -421,6 +463,15 @@ def main():
         "natural value (gate off when the flag is absent)",
     )
     parser.add_argument(
+        "--ops-exclude",
+        default=None,
+        help="regex (re.search) naming op-count keys exempt from "
+        "--ops-tolerance; for counters that are inherently timing-"
+        "dependent (e.g. '(^|\\.)arena\\.' — buffer-arena hit/miss "
+        "tallies depend on pipeline interleaving), so the rest can "
+        "stay at zero tolerance",
+    )
+    parser.add_argument(
         "--latency-tolerance",
         type=float,
         default=None,
@@ -494,7 +545,9 @@ def main():
 
     drifted = []
     if args.ops_tolerance is not None:
-        ops_rows, drifted = compare_ops(base, cand, args.ops_tolerance)
+        ops_rows, drifted = compare_ops(
+            base, cand, args.ops_tolerance, exclude=args.ops_exclude
+        )
         if ops_rows:
             width = max(len(key) for key, *_ in ops_rows)
             print()

@@ -131,6 +131,34 @@ class TestCompareOps(unittest.TestCase):
         statuses = {key: status for key, _, _, status in rows}
         self.assertEqual(statuses["bm3d.mr.bm1Refs"], "new")
 
+    def test_excluded_keys_never_drift(self):
+        # Arena hit/miss tallies depend on pipeline interleaving; the
+        # exclude regex lets a zero-tolerance gate skip exactly those.
+        base = record(
+            counters={"arena.hit": 10.0, "service.hd0.arena.hits": 5.0,
+                      "service.rejects": 2.0}
+        )
+        cand = record(
+            counters={"arena.hit": 12.0, "service.hd0.arena.hits": 7.0,
+                      "service.rejects": 2.0}
+        )
+        rows, drifted = bench_diff.compare_ops(
+            base, cand, 0.0, exclude=r"(^|\.)arena\."
+        )
+        self.assertEqual(drifted, [])
+        statuses = {key: status for key, _, _, status in rows}
+        self.assertEqual(statuses["arena.hit"], "excluded")
+        self.assertEqual(statuses["service.hd0.arena.hits"], "excluded")
+        self.assertEqual(statuses["service.rejects"], "ok")
+
+    def test_exclude_does_not_weaken_gate_on_other_keys(self):
+        base = record(counters={"arena.hit": 10.0, "service.rejects": 2.0})
+        cand = record(counters={"arena.hit": 10.0, "service.rejects": 3.0})
+        _, drifted = bench_diff.compare_ops(
+            base, cand, 0.0, exclude=r"(^|\.)arena\."
+        )
+        self.assertEqual(drifted, ["service.rejects"])
+
 
 class TestCompareLatency(unittest.TestCase):
     LAT = {"p50": 100.0, "p95": 150.0, "p99": 180.0, "mean": 110.0,
@@ -166,6 +194,70 @@ class TestCompareLatency(unittest.TestCase):
             self.assertEqual(regressions, [])
         statuses = {key: status for key, _, _, status in rows}
         self.assertEqual(statuses["p50"], "new")
+
+
+class TestTenantLatency(unittest.TestCase):
+    """Per-tenant SLO rows: "tenant_latency_ms" flattening + gating."""
+
+    SLO = {"p50": 40.0, "p95": 60.0, "p99": 75.0, "mean": 45.0,
+           "max": 80.0}
+
+    def service_record(self, **tenant_overrides):
+        tenants = {"hd0": dict(self.SLO), "sd0": dict(self.SLO, p50=20.0)}
+        for name, summary in tenant_overrides.items():
+            tenants[name] = summary
+        return record(
+            latency_ms=dict(self.SLO), tenant_latency_ms=tenants
+        )
+
+    def test_flatten_merges_global_and_tenant_keys(self):
+        flat = bench_diff.flatten_latency(self.service_record())
+        self.assertEqual(flat["p50"], 40.0)
+        self.assertEqual(flat["hd0.p95"], 60.0)
+        self.assertEqual(flat["sd0.p50"], 20.0)
+        self.assertEqual(len(flat), len(self.SLO) * 3)
+
+    def test_flatten_of_solo_record_is_just_the_global_summary(self):
+        self.assertEqual(
+            bench_diff.flatten_latency(record(latency_ms=dict(self.SLO))),
+            self.SLO,
+        )
+
+    def test_identical_service_records_pass(self):
+        base = self.service_record()
+        _, regressions = bench_diff.compare_latency(base, base, 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_single_tenant_regression_fails_by_name(self):
+        # One tenant's p99 blowing its SLO must fail even when the
+        # aggregate "latency_ms" percentiles stay flat.
+        base = self.service_record()
+        cand = self.service_record(hd0=dict(self.SLO, p99=150.0))
+        _, regressions = bench_diff.compare_latency(base, cand, 0.10)
+        self.assertEqual(regressions, ["hd0.p99"])
+
+    def test_tenant_in_only_one_record_reported_not_failed(self):
+        # Sessions come and go across PRs — same shared-key rule as
+        # kernels: "new"/"gone" rows never fail on their own.
+        base = self.service_record()
+        cand = record(
+            latency_ms=dict(self.SLO),
+            tenant_latency_ms={"hd0": dict(self.SLO)},
+        )
+        rows, regressions = bench_diff.compare_latency(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+        statuses = {key: status for key, _, _, status in rows}
+        self.assertEqual(statuses["sd0.p50"], "gone")
+
+    def test_end_to_end_tenant_gate(self):
+        runner = TestMain()
+        base = self.service_record()
+        cand = self.service_record(sd0=dict(self.SLO, p50=90.0))
+        # Gate off by default; fails once --latency-tolerance is given.
+        self.assertEqual(runner.run_main(base, cand), 0)
+        self.assertEqual(
+            runner.run_main(base, cand, "--latency-tolerance", "0.10"), 1
+        )
 
 
 class TestCheckSnr(unittest.TestCase):
@@ -354,6 +446,17 @@ class TestMain(unittest.TestCase):
         cand = record(ops={"DCT1_ops": 9999.0, "BM1_ops": 2000.0})
         self.assertEqual(
             self.run_main(record(), cand, "--ops-tolerance", "0.0"), 1
+        )
+
+    def test_ops_exclude_exempts_matching_keys_end_to_end(self):
+        base = record(counters={"arena.hit": 10.0})
+        cand = record(counters={"arena.hit": 12.0})
+        self.assertEqual(
+            self.run_main(base, cand, "--ops-tolerance", "0.0"), 1
+        )
+        self.assertEqual(
+            self.run_main(base, cand, "--ops-tolerance", "0.0",
+                          "--ops-exclude", r"(^|\.)arena\."), 0
         )
 
     def test_latency_gate_off_by_default(self):
