@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench/common.h"
@@ -22,6 +23,22 @@ using bench::baselines;
 using bench::fmt;
 
 namespace {
+
+/** FNV-1a over the float bit patterns: bitwise output equality. */
+uint64_t
+hashImage(const image::ImageF &img)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (float v : img.raw()) {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 4; ++b) {
+            h ^= (bits >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
 
 /**
  * One directly-timed denoise of the standard street probe (512 px
@@ -200,6 +217,30 @@ recordProbe()
     const double preset_bm =
         ablate("preset", wall_v, timeVariant(pr_cfg, wall_v));
 
+    // Row-band streaming schedule on (DESIGN §15): the contract is
+    // bitwise-identical output to the stage-major dense row — recorded
+    // as band_hash_match so the CI band-smoke step can assert it — at
+    // a fraction of the coefficient-field footprint (mem.peakBandBytes
+    // in the gauges snapshot, gated by --mem-tolerance). Software
+    // prefetch rides the same row since the two ship as one operating
+    // point; its isolated cost is bench_micro_kernels' ssd_prefetch
+    // rows.
+    bm3d::Bm3dConfig band_cfg = base8;
+    band_cfg.band.enabled = true;
+    band_cfg.prefetch = true;
+
+    // Prefetch alone on the stage-major schedule, isolating the
+    // lookahead-hint cost/benefit from the band reordering.
+    bm3d::Bm3dConfig pf_cfg = base8;
+    pf_cfg.prefetch = true;
+
+    const bm3d::Bm3dResult r_band = timeVariant(band_cfg, wall_v);
+    ablate("band", wall_v, r_band);
+    rec.metrics["band_hash_match"] =
+        hashImage(r_band.output) == hashImage(rf.output) ? 1.0 : 0.0;
+    rec.tagThreads("band_hash_match", 8);
+    ablate("prefetch", wall_v, timeVariant(pf_cfg, wall_v));
+
     const bm3d::Bm3dResult r_fo = timeVariant(fo_cfg, wall_v);
     ablate("fusedoff", wall_v, r_fo);
     const double de_fused = (rf.profile.seconds(bm3d::Step::De1) +
@@ -212,6 +253,8 @@ recordProbe()
     rec.tagThreads("fused_de_speedup", 8);
 
     rec.write();
+    std::printf("band: hash match=%d (banded vs stage-major, must be 1)\n",
+                rec.metrics["band_hash_match"] == 1.0 ? 1 : 0);
     std::printf("ablation: preset=%s; BM1+BM2 vs int16: coarse %.2fx, "
                 "preset %.2fx; DE1+DE2 fused %.2fx (%.1f -> %.1f ms)\n\n",
                 bm3d::toString(preset), int16_bm / coarse_bm,

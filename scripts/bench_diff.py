@@ -4,7 +4,8 @@
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json \
         [--threshold 0.10] [--tolerance 0.10] [--ops-tolerance 0.0] \
-        [--ops-exclude REGEX] [--latency-tolerance 0.10] \
+        [--ops-exclude REGEX] [--mem-tolerance 0.10] \
+        [--latency-tolerance 0.10] \
         [--snr-tolerance 0.05] [--stage-tolerance 0.10 --stages DE1,DE2]
     scripts/bench_diff.py --ablation-table RECORD.json
 
@@ -25,6 +26,18 @@ matching a regex from that gate — for the few counters that are
 timing-dependent by nature (the buffer arena's hit/miss/bytesNew
 tallies depend on pipeline interleaving) — so streaming and service
 records can still be gated at zero tolerance on everything else.
+The row-band scheduler's `bm3d.band.*` counters (bands, rowsFilled —
+DESIGN §15) ride this same gate: band decomposition is a pure
+function of image size and configuration, so they hold at zero
+tolerance.
+
+--mem-tolerance gates the `mem.peak*` footprint gauges from the
+records' "gauges" snapshot (peakResidentBytes / peakFieldBytes /
+peakBandBytes): a candidate whose high-water memory footprint grew
+more than the tolerance fails; shrinking never does. Footprints are
+near- but not exactly deterministic (arena reuse shifts with thread
+scheduling), hence a fractional bound rather than the op-count
+equality gate.
 
 --ablation-table is a reporting mode over a *single* record: benches
 that sweep configuration variants head-to-head (fig02's adaptive
@@ -176,6 +189,49 @@ def compare_ops(base, cand, tolerance, exclude=None):
         else:
             rows.append((key, b, c, f"ok ({rel:+.2%})"))
     return rows, drifted
+
+
+def compare_mem(base, cand, tolerance):
+    """Return (rows, regressions) over shared "mem.peak*" gauges.
+
+    The records' "gauges" map snapshots the observability registry's
+    level metrics; the `mem.peak*` family (peakResidentBytes,
+    peakFieldBytes, peakBandBytes — DESIGN §15) records high-water
+    memory footprints in bytes. Unlike op counts those are not exactly
+    deterministic — thread scheduling moves arena reuse around — so
+    the gate is a fractional *growth* bound rather than an equality
+    check: a candidate peak more than ``tolerance`` above the baseline
+    fails; shrinking is always fine. Gauges outside the mem.peak*
+    family are reported for context but never gated — they are levels,
+    not footprints, and have per-family gates of their own.
+    """
+    peak = re.compile(r"(^|\.)mem\.peak")
+    base_g = {
+        k: v for k, v in base.get("gauges", {}).items() if peak.search(k)
+    }
+    cand_g = {
+        k: v for k, v in cand.get("gauges", {}).items() if peak.search(k)
+    }
+
+    rows = []
+    regressions = []
+    for key in sorted(set(base_g) | set(cand_g)):
+        if key not in base_g:
+            rows.append((key, None, cand_g[key], "new"))
+            continue
+        if key not in cand_g:
+            rows.append((key, base_g[key], None, "gone"))
+            continue
+        b, c = base_g[key], cand_g[key]
+        ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = f"REGRESSION ({ratio:.2f}x)"
+            regressions.append(key)
+        elif ratio < 1.0 - tolerance:
+            status = f"improved ({ratio:.2f}x)"
+        rows.append((key, b, c, status))
+    return rows, regressions
 
 
 def flatten_latency(record):
@@ -472,6 +528,15 @@ def main():
         "stay at zero tolerance",
     )
     parser.add_argument(
+        "--mem-tolerance",
+        type=float,
+        default=None,
+        help="fractional growth in the 'mem.peak*' footprint gauges "
+        "(peakResidentBytes/peakFieldBytes/peakBandBytes) that counts "
+        "as a regression; shrinking never fails (gate off when the "
+        "flag is absent)",
+    )
+    parser.add_argument(
         "--latency-tolerance",
         type=float,
         default=None,
@@ -557,6 +622,23 @@ def main():
                 cs = f"{c:.6g}" if c is not None else "-"
                 print(f"{key:<{width}}  {bs:>16}  {cs:>16}  {status}")
 
+    mem_regressions = []
+    if args.mem_tolerance is not None:
+        mem_rows, mem_regressions = compare_mem(
+            base, cand, args.mem_tolerance
+        )
+        if mem_rows:
+            width = max(len(key) for key, *_ in mem_rows)
+            print()
+            print(
+                f"{'mem peak':<{width}}  {'base B':>16}  {'cand B':>16}  "
+                "status"
+            )
+            for key, b, c, status in mem_rows:
+                bs = f"{b:.0f}" if b is not None else "-"
+                cs = f"{c:.0f}" if c is not None else "-"
+                print(f"{key:<{width}}  {bs:>16}  {cs:>16}  {status}")
+
     lat_regressions = []
     if args.latency_tolerance is not None:
         lat_rows, lat_regressions = compare_latency(
@@ -600,6 +682,7 @@ def main():
         bool(regressions)
         or wall_regressed
         or bool(drifted)
+        or bool(mem_regressions)
         or bool(lat_regressions)
         or bool(snr_failures)
         or stage_regressed
@@ -613,6 +696,11 @@ def main():
         print(
             f"FAIL: {len(drifted)} op count(s) drifted more than "
             f"{args.ops_tolerance:.0%}: {', '.join(drifted)}"
+        )
+    if mem_regressions:
+        print(
+            f"FAIL: {len(mem_regressions)} mem.peak* gauge(s) grew more "
+            f"than {args.mem_tolerance:.0%}: {', '.join(mem_regressions)}"
         )
     if lat_regressions:
         print(

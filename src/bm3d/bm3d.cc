@@ -583,6 +583,184 @@ processTileCoarse(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
  * sums are merged into the full image in tile order afterwards, so the
  * floating-point addition tree — and therefore the output image — is
  * identical for every thread count, including single-threaded runs.
+ *
+ * Tiles may be submitted all at once (the stage-major schedule) or as
+ * consecutive tile-index ranges via runTileRange() — the row-band
+ * streaming schedule of DESIGN §15, where a range is one horizontal
+ * band of tile rows. Sequential in-order ranges execute the same
+ * per-tile work and merge partial sums at the same global tile-order
+ * cursor, so any banding is bitwise identical to one full-range run.
+ */
+template <typename Domain>
+class StageRunner
+{
+  public:
+    StageRunner(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
+                const image::ImageF &noisy, const image::ImageF *basic,
+                const DctPatchField *field, const StageOptions &opts)
+        : cfg_(cfg), stage_(stage), domain_(domain), noisy_(noisy),
+          basic_(basic), field_(field), opts_(opts),
+          matcher_(domain, cfg.searchWindow(stage), cfg.searchStride,
+                   cfg.refStride, cfg.tauMatch(stage), cfg.maxMatches,
+                   cfg.boundedDistance, cfg.prefetch),
+          xs_(makeRefPositions(domain.positionsX() - 1, cfg.refStride)),
+          ys_(makeRefPositions(domain.positionsY() - 1, cfg.refStride)),
+          tiles_(parallel::makeTiles(static_cast<int>(xs_.size()),
+                                     static_cast<int>(ys_.size()),
+                                     cfg.tileGrain)),
+          threads_(std::min<int>(parallel::clampThreads(cfg.numThreads),
+                                 static_cast<int>(tiles_.size()))),
+          // Contribution footprint of a tile: matches lie within the
+          // search window of a reference, and each patch extends
+          // patchSize pixels.
+          half_((cfg.searchWindow(stage) - 1) / 2),
+          workers_(std::max(1, threads_)),
+          // The full-image accumulator and the final output recycle
+          // through the caller's arena (streaming runtime); the
+          // per-tile aggregators deliberately stay on the plain heap —
+          // their acquire/release order depends on work stealing,
+          // which would make the arena's steady-state miss count
+          // nondeterministic.
+          total_(noisy.width(), noisy.height(), noisy.channels(),
+                 opts.arena),
+          pending_(tiles_.size())
+    {
+    }
+
+    const std::vector<int> &xs() const { return xs_; }
+    const std::vector<int> &ys() const { return ys_; }
+    size_t tileCount() const { return tiles_.size(); }
+
+    /** The merged accumulator (the band pipeline normalizes finished
+        rows out of it via Aggregator::finalizeRowsInto). */
+    const Aggregator &aggregator() const { return total_; }
+
+    /**
+     * Run tiles [first, last) on the shared pool. Ranges must be
+     * submitted in ascending, non-overlapping order; each completed
+     * tile still merges at the global tile-order cursor. Completed
+     * tiles are merged into the total eagerly but strictly in tile
+     * order (the cursor advances over consecutive ready tiles), so
+     * memory stays bounded by the out-of-order window while the
+     * addition tree stays identical for every thread count and every
+     * banding of the ranges.
+     */
+    void
+    runTileRange(size_t first, size_t last)
+    {
+        const int count = static_cast<int>(last - first);
+        if (count <= 0)
+            return;
+        parallel::ThreadPool::global().run(
+            count, std::min(threads_, count), [&](int i, int slot) {
+                const size_t ti = first + i;
+                WorkerScratch &ws = workers_[slot];
+                if (!ws.engine) {
+                    ws.engine.emplace(cfg_, stage_, noisy_, basic_,
+                                      field_, &ws.profile, opts_.arena);
+                }
+                const parallel::Tile &tile = tiles_[ti];
+                // Halo-expanded patch positions this tile's stacks can
+                // reach; the pixel footprint extends patchSize past
+                // the last position.
+                const parallel::Region r = parallel::expandTile(
+                    tile, xs_, ys_, half_, domain_.positionsX() - 1,
+                    domain_.positionsY() - 1);
+                Aggregator agg(r.x0, r.y0, r.x1 + cfg_.patchSize - r.x0,
+                               r.y1 + cfg_.patchSize - r.y0,
+                               noisy_.channels());
+                ws.engine->prepareTile(r.x0, r.y0, r.x1, r.y1);
+                if (cfg_.variant.coarseToFine) {
+                    processTileCoarse(cfg_, stage_, domain_, matcher_,
+                                      xs_, ys_, tile, *ws.engine, agg,
+                                      ws.profile, ws.coarseLists,
+                                      ws.coarseSearched, opts_.seed);
+                } else {
+                    processTile(cfg_, stage_, domain_, matcher_, xs_,
+                                ys_, tile, *ws.engine, agg, ws.profile,
+                                ws.rowAbove, opts_.seed);
+                }
+
+                std::lock_guard<std::mutex> lock(mergeMutex_);
+                pending_[ti].emplace(std::move(agg));
+                while (mergeCursor_ < pending_.size() &&
+                       pending_[mergeCursor_]) {
+                    total_.merge(*pending_[mergeCursor_]);
+                    pending_[mergeCursor_].reset();
+                    ++mergeCursor_;
+                }
+            });
+    }
+
+    /**
+     * Flush per-worker profiles and the fused-datapath counters into
+     * the process-wide registry (summed over workers, so the totals
+     * are thread-count and banding invariant). Call exactly once,
+     * after the last runTileRange().
+     */
+    void
+    finishStats(Profile &profile)
+    {
+        for (const WorkerScratch &ws : workers_)
+            profile += ws.profile;
+
+        DenoiseEngine::GroupStats group;
+        for (const WorkerScratch &ws : workers_) {
+            if (!ws.engine)
+                continue;
+            const DenoiseEngine::GroupStats &g = ws.engine->groupStats();
+            group.fusedStacks += g.fusedStacks;
+            group.fusedPatches += g.fusedPatches;
+            group.fusedStacksI16 += g.fusedStacksI16;
+            group.legacyStacks += g.legacyStacks;
+        }
+        obs::MetricsRegistry &greg = obs::MetricsRegistry::global();
+        greg.add("bm3d.group.fusedStacks",
+                 static_cast<double>(group.fusedStacks));
+        greg.add("bm3d.group.fusedPatches",
+                 static_cast<double>(group.fusedPatches));
+        greg.add("bm3d.group.fusedStacksI16",
+                 static_cast<double>(group.fusedStacksI16));
+        greg.add("bm3d.group.legacyStacks",
+                 static_cast<double>(group.legacyStacks));
+    }
+
+    /** total_.finalize over the stage's fallback image. */
+    image::ImageF
+    finalize()
+    {
+        const image::ImageF &fallback =
+            stage_ == Stage::Wiener ? *basic_ : noisy_;
+        return total_.finalize(fallback, opts_.arena);
+    }
+
+  private:
+    const Bm3dConfig &cfg_;
+    Stage stage_;
+    const Domain &domain_;
+    const image::ImageF &noisy_;
+    const image::ImageF *basic_;
+    const DctPatchField *field_;
+    StageOptions opts_;
+    BlockMatcher<Domain> matcher_;
+    std::vector<int> xs_;
+    std::vector<int> ys_;
+    std::vector<parallel::Tile> tiles_;
+    int threads_;
+    int half_;
+    std::vector<WorkerScratch> workers_;
+    Aggregator total_;
+    std::vector<std::optional<Aggregator>> pending_;
+    std::mutex mergeMutex_;
+    size_t mergeCursor_ = 0;
+};
+
+/**
+ * One stage, stage-major or (cfg.band.enabled) in within-stage row
+ * bands: consecutive tile-row ranges run to completion one after the
+ * other — the order the streaming prepass fills the field in, keeping
+ * each band's matching working set hot — with identical output either
+ * way (see StageRunner::runTileRange).
  */
 template <typename Domain>
 image::ImageF
@@ -591,108 +769,175 @@ runStageWithDomain(const Bm3dConfig &cfg, Stage stage, const Domain &domain,
                    const DctPatchField *field, Profile &profile,
                    const StageOptions &opts)
 {
-    BlockMatcher<Domain> matcher(
-        domain, cfg.searchWindow(stage), cfg.searchStride, cfg.refStride,
-        cfg.tauMatch(stage), cfg.maxMatches, cfg.boundedDistance);
-
-    const std::vector<int> xs =
-        makeRefPositions(domain.positionsX() - 1, cfg.refStride);
-    const std::vector<int> ys =
-        makeRefPositions(domain.positionsY() - 1, cfg.refStride);
-
-    const std::vector<parallel::Tile> tiles =
-        parallel::makeTiles(static_cast<int>(xs.size()),
-                            static_cast<int>(ys.size()), cfg.tileGrain);
-    const int threads =
-        std::min<int>(parallel::clampThreads(cfg.numThreads),
-                      static_cast<int>(tiles.size()));
-
-    // Contribution footprint of a tile: matches lie within the search
-    // window of a reference, and each patch extends patchSize pixels.
-    const int half = (cfg.searchWindow(stage) - 1) / 2;
-
-    std::vector<WorkerScratch> workers(std::max(1, threads));
-
-    // Completed tiles are merged into the total eagerly but strictly
-    // in tile order (a cursor advances over consecutive ready tiles),
-    // so memory stays bounded by the out-of-order window while the
-    // addition tree stays identical for every thread count.
-    // The full-image accumulator and the final output recycle through
-    // the caller's arena (streaming runtime); the per-tile aggregators
-    // deliberately stay on the plain heap — their acquire/release
-    // order depends on work stealing, which would make the arena's
-    // steady-state miss count nondeterministic.
-    Aggregator total(noisy.width(), noisy.height(), noisy.channels(),
-                     opts.arena);
-    std::vector<std::optional<Aggregator>> pending(tiles.size());
-    std::mutex merge_mutex;
-    size_t merge_cursor = 0;
-
-    parallel::ThreadPool::global().run(
-        static_cast<int>(tiles.size()), threads, [&](int ti, int slot) {
-            WorkerScratch &ws = workers[slot];
-            if (!ws.engine) {
-                ws.engine.emplace(cfg, stage, noisy, basic, field,
-                                  &ws.profile, opts.arena);
-            }
-            const parallel::Tile &tile = tiles[ti];
-            // Halo-expanded patch positions this tile's stacks can
-            // reach; the pixel footprint extends patchSize past the
-            // last position.
-            const parallel::Region r = parallel::expandTile(
-                tile, xs, ys, half, domain.positionsX() - 1,
-                domain.positionsY() - 1);
-            Aggregator agg(r.x0, r.y0, r.x1 + cfg.patchSize - r.x0,
-                           r.y1 + cfg.patchSize - r.y0, noisy.channels());
-            ws.engine->prepareTile(r.x0, r.y0, r.x1, r.y1);
-            if (cfg.variant.coarseToFine) {
-                processTileCoarse(cfg, stage, domain, matcher, xs, ys,
-                                  tile, *ws.engine, agg, ws.profile,
-                                  ws.coarseLists, ws.coarseSearched,
-                                  opts.seed);
-            } else {
-                processTile(cfg, stage, domain, matcher, xs, ys, tile,
-                            *ws.engine, agg, ws.profile, ws.rowAbove,
-                            opts.seed);
-            }
-
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            pending[ti].emplace(std::move(agg));
-            while (merge_cursor < pending.size() &&
-                   pending[merge_cursor]) {
-                total.merge(*pending[merge_cursor]);
-                pending[merge_cursor].reset();
-                ++merge_cursor;
-            }
-        });
-
-    for (const WorkerScratch &ws : workers)
-        profile += ws.profile;
-
-    // Fused-datapath traffic into the process-wide registry: summed
-    // over workers, so the totals are thread-count invariant.
-    DenoiseEngine::GroupStats group;
-    for (const WorkerScratch &ws : workers) {
-        if (!ws.engine)
-            continue;
-        const DenoiseEngine::GroupStats &g = ws.engine->groupStats();
-        group.fusedStacks += g.fusedStacks;
-        group.fusedPatches += g.fusedPatches;
-        group.fusedStacksI16 += g.fusedStacksI16;
-        group.legacyStacks += g.legacyStacks;
+    StageRunner<Domain> runner(cfg, stage, domain, noisy, basic, field,
+                               opts);
+    if (cfg.band.enabled) {
+        const std::vector<parallel::TileBand> bands =
+            parallel::makeTileBands(static_cast<int>(runner.xs().size()),
+                                    static_cast<int>(runner.ys().size()),
+                                    cfg.tileGrain, cfg.band.rows);
+        for (const parallel::TileBand &b : bands) {
+            obs::Span span("bm3d.band", "bm3d");
+            runner.runTileRange(b.firstTile, b.lastTile);
+        }
+        obs::MetricsRegistry::global().add(
+            "bm3d.band.bands", static_cast<double>(bands.size()));
+    } else {
+        runner.runTileRange(0, runner.tileCount());
     }
-    obs::MetricsRegistry &greg = obs::MetricsRegistry::global();
-    greg.add("bm3d.group.fusedStacks",
-             static_cast<double>(group.fusedStacks));
-    greg.add("bm3d.group.fusedPatches",
-             static_cast<double>(group.fusedPatches));
-    greg.add("bm3d.group.fusedStacksI16",
-             static_cast<double>(group.fusedStacksI16));
-    greg.add("bm3d.group.legacyStacks",
-             static_cast<double>(group.legacyStacks));
+    runner.finishStats(profile);
+    return runner.finalize();
+}
 
-    const image::ImageF &fallback = stage == Stage::Wiener ? *basic : noisy;
-    return total.finalize(fallback, opts.arena);
+/**
+ * The cross-stage band pipeline behind Bm3d::denoise when
+ * cfg.band.enabled (DESIGN §15). Per stage-1 band: fill the ring
+ * field's newly needed position rows (DCT1), run the band's BM1+DE1
+ * tiles, normalize the basic-estimate rows no later band can touch
+ * (the frontier), then run every stage-2 band whose basic working set
+ * — references plus search-window halo plus patch extent — is final.
+ * The live DCT1 working set is the ring (band span + 2*half1 + 1 rows)
+ * instead of the whole field, and BM2 reads basic rows while they are
+ * still cache-hot.
+ *
+ * Work is reordered, arithmetic is not: tiles run in global tile order
+ * within each stage, partial sums merge at each runner's tile-order
+ * cursor, and finalizeRowsInto / the deferred int16 quantization are
+ * per-sample — so the result is bitwise identical to the stage-major
+ * schedule.
+ */
+template <typename Domain1, typename Domain2>
+Bm3dResult
+runBandedPipeline(const Bm3dConfig &cfg, const image::ImageF &noisy)
+{
+    constexpr bool kInt16 = std::is_same_v<Domain1, DctMatchDomainI16>;
+    Bm3dResult result;
+    Profile &profile = result.profile;
+    obs::Span run_span("bm3d.banded", "bm3d");
+
+    const int w = noisy.width();
+    const int h = noisy.height();
+    const int ps = cfg.patchSize;
+    const int posY = h - ps + 1;
+    transforms::Dct2D dct(ps);
+    image::ImageF plane0 = noisy.extractPlane(0);
+
+    // Both stages share one reference grid (the matching domains cover
+    // the same position range), hence one band partition.
+    const std::vector<int> xs = makeRefPositions(w - ps, cfg.refStride);
+    const std::vector<int> ys = makeRefPositions(posY - 1, cfg.refStride);
+    const std::vector<parallel::TileBand> bands =
+        parallel::makeTileBands(static_cast<int>(xs.size()),
+                                static_cast<int>(ys.size()),
+                                cfg.tileGrain, cfg.band.rows);
+    const int half1 = (cfg.searchWindow(Stage::HardThreshold) - 1) / 2;
+    const int half2 = (cfg.searchWindow(Stage::Wiener) - 1) / 2;
+
+    // Ring capacity: a band's tiles read position rows from
+    // ys[first] - half1 through ys[last] + half1 (matching candidates
+    // and Path-C raws alike), and fills ascend — so the widest band's
+    // span plus both halos keeps every row a band needs resident at
+    // the moment its fill cursor peaks. Clamped to the grid height:
+    // images shorter than band + halo degenerate to whole-image mode.
+    int ring = 0;
+    for (const parallel::TileBand &b : bands)
+        ring = std::max(ring, ys[b.y1 - 1] - ys[b.y0] + 2 * half1 + 1);
+    ring = std::min(ring, posY);
+
+    DctPatchField field;
+    field.prepare(w, h, dct, nullptr, ring);
+    if constexpr (kInt16)
+        field.prepareI16();
+
+    const float tht = cfg.lambda2d * cfg.sigma;
+    StageOptions opts;
+    Domain1 domain1(field);
+    StageRunner<Domain1> s1(cfg, Stage::HardThreshold, domain1, noisy,
+                            nullptr, &field, opts);
+
+    // The basic estimate is written band by band via finalizeRowsInto;
+    // the stage-2 domain is a view over its channel-0 plane (plus, for
+    // int16, a quantized copy fed by the same frontier).
+    result.basic = image::ImageF(w, h, noisy.channels());
+    std::optional<Domain2> domain2;
+    std::optional<StageRunner<Domain2>> s2;
+    if (cfg.enableWiener) {
+        if constexpr (kInt16)
+            domain2.emplace(result.basic, ps, /*deferred=*/true);
+        else
+            domain2.emplace(result.basic, ps);
+        s2.emplace(cfg, Stage::Wiener, *domain2, noisy, &result.basic,
+                   nullptr, opts);
+    }
+
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    int filled = 0; ///< field position rows computed
+    int done = 0;   ///< basic pixel rows finalized
+    size_t q2 = 0;  ///< next stage-2 band
+    uint64_t rows_filled = 0;
+    for (size_t bi = 0; bi < bands.size(); ++bi) {
+        const parallel::TileBand &b = bands[bi];
+        const int need = std::min(posY, ys[b.y1 - 1] + half1 + 1);
+        if (need > filled) {
+            ScopedTimer timer(profile, Step::Dct1);
+            OpCounters ops;
+            const uint64_t n = field.fillRows(plane0, dct, tht,
+                                              cfg.fixedPoint, filled,
+                                              need);
+            DctPatchField::countOps(n, ps, tht > 0.0f, &ops);
+            if constexpr (kInt16)
+                field.fillRowsI16(plane0, dct, tht, filled, need);
+            profile.addOps(Step::Dct1, ops);
+            rows_filled += static_cast<uint64_t>(need - filled);
+            filled = need;
+        }
+        {
+            obs::Span span("bm3d.band", "bm3d");
+            s1.runTileRange(b.firstTile, b.lastTile);
+        }
+        // Pixel rows no later band's stacks can reach: the next band's
+        // earliest match position row minus nothing below it — its
+        // references start at ys[next.y0], matches at - half1. After
+        // the last band, everything.
+        const int frontier =
+            bi + 1 < bands.size()
+                ? std::min(h, std::max(0, ys[bands[bi + 1].y0] - half1))
+                : h;
+        if (frontier > done) {
+            s1.aggregator().finalizeRowsInto(done, frontier, noisy,
+                                             result.basic);
+            if constexpr (kInt16) {
+                if (cfg.enableWiener)
+                    domain2->quantizeRows(result.basic, done, frontier);
+            }
+            done = frontier;
+        }
+        if (cfg.enableWiener) {
+            // Release every stage-2 band whose working set — matches
+            // within half2 of its references, patches extending ps
+            // pixels — lies inside the finalized rows.
+            while (q2 < bands.size() &&
+                   std::min(h, ys[bands[q2].y1 - 1] + half2 + ps) <=
+                       done) {
+                obs::Span span("bm3d.band", "bm3d");
+                s2->runTileRange(bands[q2].firstTile,
+                                 bands[q2].lastTile);
+                ++q2;
+            }
+        }
+    }
+    s1.finishStats(profile);
+    reg.add("bm3d.band.rowsFilled", static_cast<double>(rows_filled));
+    reg.add("bm3d.band.bands",
+            static_cast<double>(bands.size() *
+                                (cfg.enableWiener ? 2 : 1)));
+    if (cfg.enableWiener) {
+        s2->finishStats(profile);
+        result.output = s2->finalize();
+    } else {
+        result.output = result.basic;
+    }
+    return result;
 }
 
 } // namespace
@@ -813,6 +1058,21 @@ Bm3d::runStage(Stage stage, const image::ImageF &noisy,
 Bm3dResult
 Bm3d::denoise(const image::ImageF &noisy) const
 {
+    if (config_.band.enabled) {
+        // Row-band streaming schedule (DESIGN §15): ring-resident DCT1
+        // field, frontier-driven cross-stage pipelining, bitwise
+        // identical to the stage-major path below.
+        if (noisy.width() < config_.patchSize ||
+            noisy.height() < config_.patchSize) {
+            throw std::invalid_argument("Bm3d: image smaller than patch");
+        }
+        if (config_.precision == Precision::Int16) {
+            return runBandedPipeline<DctMatchDomainI16,
+                                     ColorMatchDomainI16>(config_, noisy);
+        }
+        return runBandedPipeline<DctMatchDomain, ColorMatchDomain>(
+            config_, noisy);
+    }
     Bm3dResult result;
     result.basic =
         runStage(Stage::HardThreshold, noisy, nullptr, result.profile);

@@ -134,6 +134,33 @@ struct MatchVariantConfig
     }
 };
 
+/**
+ * Row-band streaming schedule (DESIGN §15): partition the frame into
+ * horizontal bands of consecutive tile rows and run each stage band by
+ * band — and, in the full two-stage pipeline, interleave stage-2 bands
+ * behind stage 1's aggregation frontier — so the live DctPatchField
+ * working set is O(W * bandRows * 16) coefficients (a ring buffer)
+ * instead of O(W * H * 16). The CPU analog of IDEALMR's 6.5 KB
+ * sliding-window buffer (paper §5): same arithmetic, restructured for
+ * locality. Band scheduling may reorder work but never arithmetic —
+ * output is bitwise identical to the stage-major schedule for every
+ * precision, SIMD level and thread count.
+ */
+struct BandConfig
+{
+    /// Enable the band-pipelined schedule.
+    bool enabled = false;
+
+    /**
+     * Nominal band height in reference-grid rows. Bands are rounded to
+     * whole tile rows (the merge-order unit), so the effective height
+     * is a multiple of tileGrain covering at least this many rows; the
+     * trailing band takes whatever is left. The field ring is sized to
+     * one band plus the BM1 search halo.
+     */
+    int rows = 64;
+};
+
 /** Matches-Reuse (MR) configuration (paper Sec. 5.1). */
 struct MrConfig
 {
@@ -225,6 +252,17 @@ struct Bm3dConfig
     /// Adaptive fast-matching mechanisms (all off = the dense scan).
     MatchVariantConfig variant;
 
+    /// Row-band streaming schedule (off = stage-major, DESIGN §15).
+    BandConfig band;
+
+    /**
+     * Issue software read-prefetches one window row ahead of the SSD
+     * scan in the block matcher (DESIGN §15). Semantically a no-op —
+     * output is bitwise identical either way — so this is a pure perf
+     * ablation knob, the CPU mirror of bench_tab08's prefetch rows.
+     */
+    bool prefetch = false;
+
     /**
      * Joint sharpening (paper Sec. 7): after shrinkage, coefficient
      * magnitudes are raised to the power 1/alpha (alpha-rooting) for
@@ -299,6 +337,8 @@ struct Bm3dConfig
             throw std::invalid_argument("sharpenAlpha must be >= 1");
         if (tileGrain < 1)
             throw std::invalid_argument("tileGrain must be >= 1");
+        if (band.enabled && band.rows < 1)
+            throw std::invalid_argument("band.rows must be >= 1");
         if (precision == Precision::Int16 && patchSize != 4)
             throw std::invalid_argument(
                 "int16 precision requires patchSize == 4");

@@ -1,5 +1,6 @@
 #include "bm3d/denoise.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -134,6 +135,37 @@ Aggregator::finalize(const image::ImageF &fallback,
         out.raw()[i] = d > 0.0f ? num_.raw()[i] / d : fallback.raw()[i];
     }
     return out;
+}
+
+void
+Aggregator::finalizeRowsInto(int y0, int y1, const image::ImageF &fallback,
+                             image::ImageF &out) const
+{
+    if (x0_ != 0 || y0_ != 0)
+        throw std::logic_error(
+            "Aggregator::finalizeRowsInto: region aggregators cannot "
+            "finalize");
+    if (out.width() != num_.width() || out.height() != num_.height() ||
+        out.channels() != num_.channels())
+        throw std::invalid_argument(
+            "Aggregator::finalizeRowsInto: shape mismatch");
+    y0 = std::max(y0, 0);
+    y1 = std::min(y1, num_.height());
+    if (y0 >= y1)
+        return;
+    const int w = num_.width();
+    for (int c = 0; c < num_.channels(); ++c) {
+        const size_t base = static_cast<size_t>(y0) * w;
+        const size_t end = static_cast<size_t>(y1) * w;
+        const float *nplane = num_.plane(c);
+        const float *dplane = den_.plane(c);
+        const float *fplane = fallback.plane(c);
+        float *oplane = out.plane(c);
+        for (size_t i = base; i < end; ++i) {
+            const float d = dplane[i];
+            oplane[i] = d > 0.0f ? nplane[i] / d : fplane[i];
+        }
+    }
 }
 
 void

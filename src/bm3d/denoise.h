@@ -100,6 +100,19 @@ class Aggregator
                            runtime::BufferArena *out_arena = nullptr) const;
 
     /**
+     * Finalize pixel rows [y0, y1) of every channel into the
+     * preallocated same-shape image @p out (full-image aggregators
+     * only). Each sample computes the exact finalize() expression —
+     * num/den with @p fallback where no patch contributed — and
+     * samples are independent, so finalizing an image in row bands
+     * (the band pipeline normalizes a band as soon as its halo is
+     * complete, DESIGN §15) is bitwise identical to one finalize()
+     * over the whole image.
+     */
+    void finalizeRowsInto(int y0, int y1, const image::ImageF &fallback,
+                          image::ImageF &out) const;
+
+    /**
      * Merge another aggregator whose region is contained in this one
      * (same-shape full merges and tile-into-image merges alike).
      */

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "runtime/arena.h"
 #include "simd/simd.h"
 
@@ -38,12 +39,42 @@ DctPatchField::~DctPatchField()
         arena_->release(std::move(raw_));
         arena_->release(std::move(match_));
     }
+    if (chargedBytes_ > 0)
+        obs::chargeResidentBytes(-chargedBytes_);
+}
+
+size_t
+DctPatchField::footprintBytes() const
+{
+    return (raw_.size() + match_.size()) * sizeof(float) +
+           (matchI16_.size() + matchPairsI16_.size()) * sizeof(int16_t);
+}
+
+void
+DctPatchField::publishFootprint()
+{
+    obs::MetricsRegistry::global().setMax(
+        banded() ? "mem.peakBandBytes" : "mem.peakFieldBytes",
+        static_cast<double>(footprintBytes()));
+    // Ledger charge for the plain-vector storage this field owns (the
+    // int16 planes always; raw_/match_ only when not arena-backed —
+    // the arena charges its own fresh allocations).
+    int64_t owned = static_cast<int64_t>(
+        (matchI16_.capacity() + matchPairsI16_.capacity()) *
+        sizeof(int16_t));
+    if (arena_ == nullptr)
+        owned += static_cast<int64_t>(
+            (raw_.capacity() + match_.capacity()) * sizeof(float));
+    if (owned != chargedBytes_) {
+        obs::chargeResidentBytes(owned - chargedBytes_);
+        chargedBytes_ = owned;
+    }
 }
 
 void
 DctPatchField::prepare(int plane_width, int plane_height,
                        const transforms::Dct2D &dct,
-                       runtime::BufferArena *arena)
+                       runtime::BufferArena *arena, int ring_rows)
 {
     patchSize_ = dct.size();
     coefs_ = patchSize_ * patchSize_;
@@ -51,6 +82,7 @@ DctPatchField::prepare(int plane_width, int plane_height,
     posY_ = plane_height - patchSize_ + 1;
     if (posX_ <= 0 || posY_ <= 0)
         throw std::invalid_argument("DctPatchField: image < patch size");
+    ringRows_ = (ring_rows > 0 && ring_rows < posY_) ? ring_rows : posY_;
 
     if (arena_ != nullptr && arena != arena_) {
         // Rebinding to a different arena: surrender the old storage to
@@ -60,8 +92,8 @@ DctPatchField::prepare(int plane_width, int plane_height,
     }
     arena_ = arena;
 
-    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
-    const size_t n = plane_stride * coefs_;
+    planeStride_ = static_cast<size_t>(posX_) * ringRows_;
+    const size_t n = planeStride_ * coefs_;
     if (arena_ != nullptr) {
         arena_->ensure(raw_, n);
         arena_->ensure(match_, n);
@@ -72,7 +104,16 @@ DctPatchField::prepare(int plane_width, int plane_height,
     matchPlanes_.resize(coefs_);
     for (int k = 0; k < coefs_; ++k)
         matchPlanes_[k] = match_.data() + static_cast<size_t>(k) *
-                                              plane_stride;
+                                              planeStride_;
+    // Stale int16 planes from a previous geometry would misreport the
+    // footprint; prepareI16() rebuilds them against the new stride.
+    // resize(0) keeps the capacity, so steady-state re-preparation
+    // still allocates nothing.
+    matchI16_.resize(0);
+    matchPairsI16_.resize(0);
+    matchPlanesI16_.clear();
+    matchPairPlanesI16_.clear();
+    publishFootprint();
 }
 
 uint64_t
@@ -92,8 +133,6 @@ DctPatchField::fillRows(
     y1 = std::min(y1, posY_);
     if (y0 >= y1)
         return 0;
-
-    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
 
     // The SoA scatter is blocked over x: transform up to kBlock
     // consecutive positions first, then write each coefficient plane's
@@ -127,7 +166,7 @@ DctPatchField::fillRows(
             const size_t off = matchOffset(x0, y);
             for (int k = 0; k < coefs_; ++k) {
                 float *out =
-                    match_.data() + static_cast<size_t>(k) * plane_stride +
+                    match_.data() + static_cast<size_t>(k) * planeStride_ +
                     off;
                 for (int j = 0; j < nb; ++j)
                     out[j] = tbuf[k][j];
@@ -143,20 +182,20 @@ DctPatchField::prepareI16()
     if (patchSize_ != 4)
         throw std::invalid_argument(
             "DctPatchField: int16 planes require a 4x4 patch");
-    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
-    matchI16_.resize(plane_stride * coefs_);
+    matchI16_.resize(planeStride_ * coefs_);
     matchPlanesI16_.resize(coefs_);
     for (int k = 0; k < coefs_; ++k)
         matchPlanesI16_[k] =
-            matchI16_.data() + static_cast<size_t>(k) * plane_stride;
+            matchI16_.data() + static_cast<size_t>(k) * planeStride_;
     // Pair-interleaved twin for the window-scan batch kernel: coefs/2
-    // planes of 2 * plane_stride raws each (same total footprint).
-    matchPairsI16_.resize(plane_stride * coefs_);
+    // planes of 2 * planeStride_ raws each (same total footprint).
+    matchPairsI16_.resize(planeStride_ * coefs_);
     matchPairPlanesI16_.resize(coefs_ / 2);
     for (int p = 0; p < coefs_ / 2; ++p)
         matchPairPlanesI16_[p] =
             matchPairsI16_.data() +
-            static_cast<size_t>(p) * 2 * plane_stride;
+            static_cast<size_t>(p) * 2 * planeStride_;
+    publishFootprint();
 }
 
 uint64_t
@@ -192,7 +231,6 @@ DctPatchField::fillRowsI16(const image::ImageF &plane,
         planI16_.match.quantize(static_cast<double>(threshold)));
 
     const simd::KernelTable &k = simd::kernels();
-    const size_t plane_stride = static_cast<size_t>(posX_) * posY_;
 
     // Same blocked SoA scatter as fillRows(); the per-patch pipeline
     // is quantize pixels -> int16 folded DCT -> saturating hard
@@ -219,14 +257,14 @@ DctPatchField::fillRowsI16(const image::ImageF &plane,
             const size_t off = matchOffset(x0, y);
             for (int c = 0; c < coefs_; ++c) {
                 int16_t *out = matchI16_.data() +
-                               static_cast<size_t>(c) * plane_stride + off;
+                               static_cast<size_t>(c) * planeStride_ + off;
                 for (int j = 0; j < nb; ++j)
                     out[j] = tbuf[c][j];
                 // Pair-interleaved scatter: coefficient c lands at
                 // slot (c & 1) of pair plane c / 2.
                 int16_t *pout = matchPairsI16_.data() +
                                 static_cast<size_t>(c / 2) * 2 *
-                                    plane_stride +
+                                    planeStride_ +
                                 2 * off + (c & 1);
                 for (int j = 0; j < nb; ++j)
                     pout[2 * j] = tbuf[c][j];

@@ -78,10 +78,24 @@ class DctPatchField
      * @p arena is given, the coefficient storage is drawn from it —
      * and returned to it on destruction or the next prepare() — so a
      * persistent field re-prepared every frame allocates only once.
+     *
+     * @p ring_rows selects the banded/ring storage mode (DESIGN §15):
+     * when positive and smaller than the position-row count, only
+     * ring_rows position rows are resident at once and row y lives in
+     * slot y % ring_rows, so storage is O(posX * ring_rows * coefs)
+     * instead of O(posX * posY * coefs). fillRows() then overwrites
+     * the slot of row y - ring_rows; the caller (the band scheduler)
+     * must only read rows within the trailing ring_rows-row window of
+     * its fill cursor. 0 (the default) keeps every row resident.
+     * Whole-image preparations report their footprint to the
+     * `mem.peakFieldBytes` Max gauge, ring preparations to
+     * `mem.peakBandBytes` — two gauges, so a process that runs both
+     * schedules still records the banded working set.
      */
     void prepare(int plane_width, int plane_height,
                  const transforms::Dct2D &dct,
-                 runtime::BufferArena *arena = nullptr);
+                 runtime::BufferArena *arena = nullptr,
+                 int ring_rows = 0);
 
     /**
      * Compute the coefficients of position rows [y0, y1) of a prepared
@@ -110,6 +124,20 @@ class DctPatchField
     int patchSize() const { return patchSize_; }
     int coefs() const { return coefs_; }
 
+    /** Resident position rows (== positionsY() unless ring mode). */
+    int ringRows() const { return ringRows_; }
+
+    /** True when prepared in banded/ring storage mode. */
+    bool banded() const { return ringRows_ < posY_; }
+
+    /**
+     * Current coefficient-storage footprint in bytes (raw + matching
+     * planes, float and int16), i.e. what a whole-image preparation
+     * spends versus a ring preparation — the number behind the
+     * mem.peakFieldBytes / mem.peakBandBytes gauges.
+     */
+    size_t footprintBytes() const;
+
     /** Raw DCT coefficients of the patch at top-left (x, y) (AoS). */
     const float *
     patch(int x, int y) const
@@ -129,7 +157,7 @@ class DctPatchField
     size_t
     matchOffset(int x, int y) const
     {
-        return static_cast<size_t>(y) * posX_ + x;
+        return static_cast<size_t>(rowSlot(y)) * posX_ + x;
     }
 
     /**
@@ -202,16 +230,36 @@ class DctPatchField
     const fixed::Int16DctPlan &int16Plan() const { return planI16_; }
 
   private:
+    /**
+     * Resident slot of position row @p y. Whole-image mode is the
+     * identity; ring mode wraps modulo ringRows_. Rows within one
+     * resident window keep their relative order, so x-runs stay
+     * contiguous and the blocked SoA scatter is layout-identical.
+     */
+    int
+    rowSlot(int y) const
+    {
+        return y < ringRows_ ? y : y % ringRows_;
+    }
+
     size_t
     index(int x, int y) const
     {
-        return (static_cast<size_t>(y) * posX_ + x) * coefs_;
+        return (static_cast<size_t>(rowSlot(y)) * posX_ + x) * coefs_;
     }
+
+    /// Report footprintBytes() to the mode's mem.peak* gauge and the
+    /// resident-bytes ledger (plain-vector storage only; arena-backed
+    /// buffers are charged by the arena itself).
+    void publishFootprint();
 
     int patchSize_ = 0;
     int coefs_ = 0;
     int posX_ = 0;
     int posY_ = 0;
+    int ringRows_ = 0;       ///< resident rows (== posY_ outside ring mode)
+    size_t planeStride_ = 0; ///< floats per matching plane
+    int64_t chargedBytes_ = 0; ///< plain-vector bytes in the obs ledger
     std::vector<float> raw_;
     std::vector<float> match_;               ///< SoA coefficient planes
     std::vector<const float *> matchPlanes_; ///< plane base pointers

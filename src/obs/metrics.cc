@@ -252,5 +252,32 @@ MetricsRegistry::global()
     return registry;
 }
 
+namespace {
+
+/// Live bytes of the resident-footprint ledger. A plain atomic (not a
+/// registry metric) so concurrent charge/release pairs from arena
+/// recycling stay exact; only the high-water mark is published.
+std::atomic<int64_t> g_resident_bytes{0};
+
+} // namespace
+
+int64_t
+chargeResidentBytes(int64_t delta)
+{
+    const int64_t now =
+        g_resident_bytes.fetch_add(delta, std::memory_order_relaxed) +
+        delta;
+    if (delta > 0)
+        MetricsRegistry::global().setMax("mem.peakResidentBytes",
+                                         static_cast<double>(now));
+    return now;
+}
+
+int64_t
+residentBytes()
+{
+    return g_resident_bytes.load(std::memory_order_relaxed);
+}
+
 } // namespace obs
 } // namespace ideal

@@ -162,6 +162,22 @@ class MetricsRegistry
     std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/**
+ * Process-wide resident-footprint ledger (DESIGN §15). Allocation
+ * sites that hold large long-lived buffers — BufferArena's fresh
+ * acquisitions, DctPatchField's whole-image and ring storage — charge
+ * their byte deltas here; the ledger tracks the live total in one
+ * atomic and records its high-water mark as the `mem.peakResidentBytes`
+ * Max gauge in the global registry. Positive deltas may raise the
+ * peak; negative deltas (release/trim) only lower the live level, so
+ * the gauge is monotone within a process and merges kind-correctly
+ * across records. Returns the live total after applying @p delta.
+ */
+int64_t chargeResidentBytes(int64_t delta);
+
+/** Current live total of the resident-footprint ledger, in bytes. */
+int64_t residentBytes();
+
 } // namespace obs
 } // namespace ideal
 

@@ -30,6 +30,32 @@ makeTiles(int nx, int ny, int grain)
     return tiles;
 }
 
+std::vector<TileBand>
+makeTileBands(int nx, int ny, int grain, int rows_per_band)
+{
+    if (grain < 1)
+        throw std::invalid_argument("makeTileBands: grain must be >= 1");
+    std::vector<TileBand> bands;
+    if (nx <= 0 || ny <= 0)
+        return bands;
+    rows_per_band = std::max(1, rows_per_band);
+    const int tiles_x = (nx + grain - 1) / grain;
+    const int tiles_y = (ny + grain - 1) / grain;
+    // Whole tile rows per band, covering at least rows_per_band
+    // y-indices (each tile row spans `grain` of them, except the last).
+    const int tile_rows = (rows_per_band + grain - 1) / grain;
+    for (int ty = 0; ty < tiles_y; ty += tile_rows) {
+        const int ty_end = std::min(tiles_y, ty + tile_rows);
+        TileBand b;
+        b.firstTile = ty * tiles_x;
+        b.lastTile = ty_end * tiles_x;
+        b.y0 = ty * grain;
+        b.y1 = std::min(ny, ty_end * grain);
+        bands.push_back(b);
+    }
+    return bands;
+}
+
 Region
 expandTile(const Tile &tile, const std::vector<int> &xs,
            const std::vector<int> &ys, int halo, int max_x, int max_y)

@@ -39,6 +39,35 @@ struct Tile
  */
 std::vector<Tile> makeTiles(int nx, int ny, int grain);
 
+/**
+ * One horizontal band of a row-major tile grid: the half-open range
+ * [firstTile, lastTile) of consecutive tile indices covering whole
+ * tile rows, plus the half-open y-index range [y0, y1) those rows
+ * span. Because makeTiles() emits row-major, a band is always a
+ * contiguous slice of the tile vector — running bands in order visits
+ * tiles in exactly the stage-major tile order, which is what keeps the
+ * banded schedule's in-order merge (and therefore its output)
+ * bit-identical to the stage-major one.
+ */
+struct TileBand
+{
+    int firstTile = 0;
+    int lastTile = 0;
+    int y0 = 0;
+    int y1 = 0;
+};
+
+/**
+ * Group the row-major grid over [0, nx) x [0, ny) with tile edge
+ * @p grain into horizontal bands of whole tile rows, each covering at
+ * least @p rows_per_band y-indices (the last band takes the
+ * remainder). rows_per_band is clamped to >= 1; an empty grid yields
+ * no bands. The concatenated bands cover every tile exactly once, in
+ * order.
+ */
+std::vector<TileBand> makeTileBands(int nx, int ny, int grain,
+                                    int rows_per_band);
+
 /** An inclusive 2-D index region [x0, x1] x [y0, y1]. */
 struct Region
 {

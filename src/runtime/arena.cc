@@ -58,6 +58,12 @@ BufferArena::ensure(std::vector<float> &buf, size_t count)
     reg.add("arena.miss", 1.0);
     reg.add("arena.bytesNew",
             static_cast<double>(count * sizeof(float)));
+    // Fresh heap bytes enter the process-wide resident-footprint
+    // ledger; recycled buffers were charged when first allocated and
+    // stay resident while they sit in the free list, so hits and
+    // releases are ledger-neutral.
+    obs::chargeResidentBytes(
+        static_cast<int64_t>(count * sizeof(float)));
 }
 
 void
@@ -81,8 +87,16 @@ BufferArena::stats() const
 void
 BufferArena::trim()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    free_.clear();
+    int64_t freed = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[cap, buf] : free_)
+            freed += static_cast<int64_t>(buf.capacity()) *
+                     static_cast<int64_t>(sizeof(float));
+        free_.clear();
+    }
+    if (freed > 0)
+        obs::chargeResidentBytes(-freed);
 }
 
 } // namespace runtime

@@ -160,6 +160,65 @@ class TestCompareOps(unittest.TestCase):
         self.assertEqual(drifted, ["service.rejects"])
 
 
+class TestCompareMem(unittest.TestCase):
+    """The mem.peak* footprint-gauge gate (--mem-tolerance)."""
+
+    GAUGES = {
+        "mem.peakResidentBytes": 8.0e6,
+        "mem.peakBandBytes": 1.0e6,
+        "mem.peakFieldBytes": 6.0e6,
+        "simd.level": 2.0,
+    }
+
+    def test_identical_gauges_pass(self):
+        base = record(gauges=dict(self.GAUGES))
+        rows, regressions = bench_diff.compare_mem(base, base, 0.10)
+        self.assertEqual(regressions, [])
+        # Only the mem.peak* family is gated; other gauges stay out.
+        self.assertEqual(len(rows), 3)
+
+    def test_footprint_growth_over_tolerance_fails(self):
+        base = record(gauges=dict(self.GAUGES))
+        cand = record(gauges=dict(self.GAUGES, **{
+            "mem.peakBandBytes": 1.2e6}))
+        _, regressions = bench_diff.compare_mem(base, cand, 0.10)
+        self.assertEqual(regressions, ["mem.peakBandBytes"])
+
+    def test_shrinking_footprint_never_fails(self):
+        # The banded schedule's whole point: a candidate whose peak
+        # drops (whole-image field replaced by the ring) must pass.
+        base = record(gauges=dict(self.GAUGES))
+        cand = record(gauges=dict(self.GAUGES, **{
+            "mem.peakResidentBytes": 2.0e6}))
+        rows, regressions = bench_diff.compare_mem(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+        statuses = {key: status for key, _, _, status in rows}
+        self.assertIn("improved", statuses["mem.peakResidentBytes"])
+
+    def test_non_mem_gauges_never_gated(self):
+        base = record(gauges={"simd.level": 2.0, "mem.peakBandBytes": 1.0})
+        cand = record(gauges={"simd.level": 9.0, "mem.peakBandBytes": 1.0})
+        _, regressions = bench_diff.compare_mem(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_prefixed_names_are_gated_too(self):
+        # Service rollups nest gauges as "<tenant>.mem.peak*".
+        base = record(gauges={"hd0.mem.peakBandBytes": 1.0e6})
+        cand = record(gauges={"hd0.mem.peakBandBytes": 2.0e6})
+        _, regressions = bench_diff.compare_mem(base, cand, 0.10)
+        self.assertEqual(regressions, ["hd0.mem.peakBandBytes"])
+
+    def test_one_sided_gauges_reported_not_failed(self):
+        # Records from before the footprint ledger have no mem.peak*
+        # gauges at all; the gate must not fail vacuously.
+        base = record()
+        cand = record(gauges=dict(self.GAUGES))
+        rows, regressions = bench_diff.compare_mem(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+        statuses = {key: status for key, _, _, status in rows}
+        self.assertEqual(statuses["mem.peakBandBytes"], "new")
+
+
 class TestCompareLatency(unittest.TestCase):
     LAT = {"p50": 100.0, "p95": 150.0, "p99": 180.0, "mean": 110.0,
            "max": 200.0}
@@ -457,6 +516,45 @@ class TestMain(unittest.TestCase):
         self.assertEqual(
             self.run_main(base, cand, "--ops-tolerance", "0.0",
                           "--ops-exclude", r"(^|\.)arena\."), 0
+        )
+
+    def test_mem_gate_off_by_default(self):
+        base = record(gauges={"mem.peakBandBytes": 1.0e6})
+        cand = record(gauges={"mem.peakBandBytes": 9.0e6})
+        self.assertEqual(self.run_main(base, cand), 0)
+
+    def test_mem_gate_fails_on_footprint_growth(self):
+        base = record(gauges={"mem.peakBandBytes": 1.0e6})
+        cand = record(gauges={"mem.peakBandBytes": 9.0e6})
+        self.assertEqual(
+            self.run_main(base, cand, "--mem-tolerance", "0.10"), 1
+        )
+
+    def test_mem_gate_passes_on_band_counters_with_zero_ops_tolerance(self):
+        # The CI band-smoke invocation: band counters identical at
+        # --ops-tolerance 0 while the footprint gauges hold at 10%.
+        base = record(
+            counters={"bm3d.band.bands": 24.0,
+                      "bm3d.band.rowsFilled": 1077.0},
+            gauges={"mem.peakBandBytes": 27.0e6},
+        )
+        cand = record(
+            counters={"bm3d.band.bands": 24.0,
+                      "bm3d.band.rowsFilled": 1077.0},
+            gauges={"mem.peakBandBytes": 27.5e6},
+        )
+        self.assertEqual(
+            self.run_main(base, cand, "--ops-tolerance", "0",
+                          "--mem-tolerance", "0.10"), 0
+        )
+        drifted_cand = record(
+            counters={"bm3d.band.bands": 25.0,
+                      "bm3d.band.rowsFilled": 1077.0},
+            gauges={"mem.peakBandBytes": 27.0e6},
+        )
+        self.assertEqual(
+            self.run_main(base, drifted_cand, "--ops-tolerance", "0",
+                          "--mem-tolerance", "0.10"), 1
         )
 
     def test_latency_gate_off_by_default(self):

@@ -14,11 +14,13 @@
 #include <gtest/gtest.h>
 
 #include "bm3d/bm3d.h"
+#include "bm3d/patchfield.h"
 #include "image/metrics.h"
 #include "image/noise.h"
 #include "image/synthetic.h"
 #include "obs/metrics.h"
 #include "simd/simd.h"
+#include "transforms/dct.h"
 
 using namespace ideal;
 using bm3d::Bm3d;
@@ -739,6 +741,273 @@ TEST(Bm3dFused, OpChargesIdenticalAcrossFusedKnob)
         EXPECT_EQ(r_fused.profile.ops(step).total(),
                   r_discrete.profile.ops(step).total());
     }
+}
+
+// ---------------------------------------------------------------------
+// Row-band streaming schedule (DESIGN §15).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** smallConfig with a multi-band grid: small tiles + small bands so a
+    48x48 scene splits into several row bands with real halo overlap. */
+Bm3dConfig
+bandConfig(float sigma = 25.0f)
+{
+    Bm3dConfig cfg = smallConfig(sigma);
+    cfg.tileGrain = 8;
+    cfg.band.enabled = true;
+    cfg.band.rows = 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Bm3dConfig, RejectsBadBandRows)
+{
+    Bm3dConfig cfg;
+    cfg.band.enabled = true;
+    cfg.band.rows = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.band.enabled = false; // knob only checked when the schedule is on
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Bm3dBand, BitwiseMatrixAcrossLevelsThreadsPrecisions)
+{
+    // The PR's acceptance matrix: band scheduling reorders work, never
+    // arithmetic — for each matching precision the banded pipeline's
+    // output equals the stage-major reference bit for bit, at every
+    // SIMD dispatch level and thread count, with prefetch both off and
+    // on (prefetches are pure hints).
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 25.0f, 60);
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        simd::setLevel(simd::Level::Scalar);
+        Bm3dConfig cfg = smallConfig();
+        cfg.tileGrain = 8;
+        cfg.precision = precision;
+        auto ref = Bm3d(cfg).denoise(scene.noisy);
+
+        Bm3dConfig banded = bandConfig();
+        banded.precision = precision;
+        for (int l = 0; l <= static_cast<int>(simd::bestSupported());
+             ++l) {
+            simd::setLevel(static_cast<simd::Level>(l));
+            for (int threads : {1, 8}) {
+                for (bool prefetch : {false, true}) {
+                    banded.numThreads = threads;
+                    banded.prefetch = prefetch;
+                    auto r = Bm3d(banded).denoise(scene.noisy);
+                    SCOPED_TRACE(testing::Message()
+                                 << "precision="
+                                 << static_cast<int>(precision)
+                                 << " level="
+                                 << simd::toString(
+                                        static_cast<simd::Level>(l))
+                                 << " threads=" << threads
+                                 << " prefetch=" << prefetch);
+                    EXPECT_EQ(image::maxAbsDiff(ref.basic, r.basic),
+                              0.0);
+                    EXPECT_EQ(image::maxAbsDiff(ref.output, r.output),
+                              0.0);
+                }
+            }
+        }
+        simd::setLevel(simd::bestSupported());
+    }
+}
+
+TEST(Bm3dBand, BitwiseUnderFeatureMix)
+{
+    // Banding must compose with the rest of the matching/denoise
+    // feature set without changing a bit: color channels, Matches
+    // Reuse with the across-rows extension, the fused-DE knob both
+    // ways, and a multithreaded run.
+    auto scene =
+        makeTestScene(image::SceneKind::Nature, 48, 25.0f, 61, 3);
+    for (bool fused : {true, false}) {
+        Bm3dConfig cfg = smallConfig();
+        cfg.tileGrain = 8;
+        cfg.numThreads = 4;
+        cfg.mr.enabled = true;
+        cfg.mr.acrossRows = true;
+        cfg.fusedDenoise = fused;
+        auto ref = Bm3d(cfg).denoise(scene.noisy);
+
+        cfg.band.enabled = true;
+        cfg.band.rows = 8;
+        auto r = Bm3d(cfg).denoise(scene.noisy);
+        SCOPED_TRACE(testing::Message() << "fused=" << fused);
+        EXPECT_EQ(image::maxAbsDiff(ref.basic, r.basic), 0.0);
+        EXPECT_EQ(image::maxAbsDiff(ref.output, r.output), 0.0);
+    }
+}
+
+TEST(Bm3dBand, BitwiseUnderAdaptiveVariants)
+{
+    // The adaptive early-termination bound and the coarse-to-fine grid
+    // keep their per-tile scan state, which banding leaves intact
+    // (bands are whole tile rows).
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 25.0f, 62);
+    Bm3dConfig cfg = smallConfig();
+    cfg.tileGrain = 8;
+    cfg.variant.adaptiveBound = true;
+    cfg.variant.boundMargin = 2.0f;
+    cfg.variant.coarseToFine = true;
+    cfg.variant.coarseStride = 2;
+    cfg.variant.densifyThreshold = 0.5f;
+    auto ref = Bm3d(cfg).denoise(scene.noisy);
+
+    cfg.band.enabled = true;
+    cfg.band.rows = 8;
+    auto r = Bm3d(cfg).denoise(scene.noisy);
+    EXPECT_EQ(image::maxAbsDiff(ref.basic, r.basic), 0.0);
+    EXPECT_EQ(image::maxAbsDiff(ref.output, r.output), 0.0);
+    EXPECT_EQ(ref.profile.adaptive().prunedInserts,
+              r.profile.adaptive().prunedInserts);
+    EXPECT_EQ(ref.profile.adaptive().refsSkipped,
+              r.profile.adaptive().refsSkipped);
+}
+
+TEST(Bm3dBand, EdgeGeometries)
+{
+    // Degenerate band geometries must still be bitwise clean:
+    //  - an image shorter than one band plus its halo (single band,
+    //    ring degenerates to whole-image mode),
+    //  - bands smaller than the BM2 window (several stage-1 bands must
+    //    complete before the first stage-2 band releases),
+    //  - an odd-sized trailing band.
+    struct Case
+    {
+        int w, h, rows;
+    };
+    const Case cases[] = {
+        {16, 16, 8}, // shorter than band + halo
+        {48, 44, 4}, // band rows < searchWindow2 = 11
+        {40, 23, 8}, // odd trailing band (23 - 4 + 1 = 20 ref rows)
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(testing::Message() << c.w << "x" << c.h
+                                        << " rows=" << c.rows);
+        image::ImageF clean = image::makeScene(image::SceneKind::Street,
+                                               c.w, c.h, 1, 63);
+        image::ImageF noisy = image::addGaussianNoise(clean, 25.0f, 64);
+        Bm3dConfig cfg = smallConfig();
+        cfg.tileGrain = 4;
+        auto ref = Bm3d(cfg).denoise(noisy);
+        cfg.band.enabled = true;
+        cfg.band.rows = c.rows;
+        auto r = Bm3d(cfg).denoise(noisy);
+        EXPECT_EQ(image::maxAbsDiff(ref.basic, r.basic), 0.0);
+        EXPECT_EQ(image::maxAbsDiff(ref.output, r.output), 0.0);
+    }
+}
+
+TEST(Bm3dBand, WienerDisabledStillBands)
+{
+    auto scene = makeTestScene(image::SceneKind::Nature, 40, 25.0f, 65);
+    Bm3dConfig cfg = smallConfig();
+    cfg.tileGrain = 8;
+    cfg.enableWiener = false;
+    auto ref = Bm3d(cfg).denoise(scene.noisy);
+    cfg.band.enabled = true;
+    cfg.band.rows = 8;
+    auto r = Bm3d(cfg).denoise(scene.noisy);
+    EXPECT_EQ(image::maxAbsDiff(ref.output, r.output), 0.0);
+}
+
+TEST(Bm3dBand, PrefetchAloneIsBitwiseNoOp)
+{
+    // The prefetch knob without banding: same stage-major schedule,
+    // hints only — outputs and candidate counts identical.
+    auto scene = makeTestScene(image::SceneKind::Street, 48, 25.0f, 66);
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        Bm3dConfig cfg = smallConfig();
+        cfg.precision = precision;
+        auto ref = Bm3d(cfg).denoise(scene.noisy);
+        cfg.prefetch = true;
+        auto r = Bm3d(cfg).denoise(scene.noisy);
+        SCOPED_TRACE(static_cast<int>(precision));
+        EXPECT_EQ(image::maxAbsDiff(ref.basic, r.basic), 0.0);
+        EXPECT_EQ(image::maxAbsDiff(ref.output, r.output), 0.0);
+        EXPECT_EQ(ref.profile.mr().bm1Candidates,
+                  r.profile.mr().bm1Candidates);
+        EXPECT_EQ(ref.profile.mr().bm2Candidates,
+                  r.profile.mr().bm2Candidates);
+    }
+}
+
+TEST(Bm3dBand, CountersAndFootprintGauges)
+{
+    // The deterministic band counters CI gates with --ops-tolerance 0,
+    // and the working-set gauge: a banded run must report its bands,
+    // fill every field position row exactly once, and record a ring
+    // footprint strictly below the whole-image field footprint.
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.reset();
+
+    auto scene = makeTestScene(image::SceneKind::Street, 96, 25.0f, 67);
+    Bm3dConfig cfg = bandConfig();
+    auto r1 = Bm3d(cfg).denoise(scene.noisy);
+    const obs::MetricsSnapshot snap1 = reg.snapshot();
+
+    const int pos = 96 - cfg.patchSize + 1; // 93 position rows
+    // Two stages' bands: ceil(93/8 tile rows) per stage.
+    EXPECT_GT(snap1.value("bm3d.band.bands"), 0.0);
+    EXPECT_EQ(snap1.value("bm3d.band.rowsFilled"),
+              static_cast<double>(pos));
+    const double band_bytes = snap1.value("mem.peakBandBytes");
+    EXPECT_GT(band_bytes, 0.0);
+    // Whole-image field: raw + match SoA planes, coefs floats each.
+    const double whole_bytes = static_cast<double>(pos) * pos * 16 * 2 *
+                               sizeof(float);
+    EXPECT_LT(band_bytes, whole_bytes);
+
+    // Band counters are schedule-deterministic: an identical second
+    // run adds exactly the same counts (thread count does not matter).
+    reg.reset();
+    cfg.numThreads = 4;
+    auto r4 = Bm3d(cfg).denoise(scene.noisy);
+    const obs::MetricsSnapshot snap4 = reg.snapshot();
+    EXPECT_EQ(snap1.value("bm3d.band.bands"),
+              snap4.value("bm3d.band.bands"));
+    EXPECT_EQ(snap1.value("bm3d.band.rowsFilled"),
+              snap4.value("bm3d.band.rowsFilled"));
+    EXPECT_EQ(image::maxAbsDiff(r1.output, r4.output), 0.0);
+    reg.reset();
+}
+
+TEST(Bm3dBand, RingFootprintAt1080pBelowWholeField)
+{
+    // The acceptance bound at HD geometry, on the storage layer alone
+    // (no denoise run): a ring-prepared field at 1920x1080 with the
+    // default band height must stay far below the whole-image field.
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.reset();
+
+    const int w = 1920, h = 1080;
+    transforms::Dct2D dct(4);
+    Bm3dConfig cfg; // defaults: searchWindow1 = 49, band.rows = 64
+    const int half1 = (cfg.searchWindow1 - 1) / 2;
+    const int ring = cfg.band.rows - 1 + 2 * half1 + 1; // 112 rows
+
+    bm3d::DctPatchField field;
+    field.prepare(w, h, dct, nullptr, ring);
+    EXPECT_TRUE(field.banded());
+    EXPECT_EQ(field.ringRows(), ring);
+
+    const size_t posx = static_cast<size_t>(w - 3);
+    const size_t posy = static_cast<size_t>(h - 3);
+    const size_t whole_bytes = posx * posy * 16 * 2 * sizeof(float);
+    EXPECT_LT(field.footprintBytes(), whole_bytes / 5);
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.value("mem.peakBandBytes"),
+              static_cast<double>(field.footprintBytes()));
+    EXPECT_EQ(snap.value("mem.peakFieldBytes"), 0.0);
+    reg.reset();
 }
 
 TEST(Bm3dFused, Int16SpectrumStaysWithinSnrEnvelope)

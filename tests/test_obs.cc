@@ -159,6 +159,49 @@ TEST(MetricsRegistry, ResetClears)
 }
 
 // ---------------------------------------------------------------------
+// Resident-bytes ledger (DESIGN §15): large allocators charge the
+// process-wide ledger, whose high-water mark surfaces as the
+// `mem.peakResidentBytes` Max gauge.
+// ---------------------------------------------------------------------
+
+TEST(ResidentLedger, PeakIsMonotoneUnderChargeAndRelease)
+{
+    const int64_t base = residentBytes();
+    MetricsRegistry::global().reset();
+    chargeResidentBytes(1000);
+    chargeResidentBytes(500);
+    EXPECT_EQ(residentBytes(), base + 1500);
+    chargeResidentBytes(-1200); // release: resident drops, peak holds
+    EXPECT_EQ(residentBytes(), base + 300);
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    EXPECT_GE(snap.value("mem.peakResidentBytes"),
+              static_cast<double>(base + 1500));
+    EXPECT_EQ(snap.kind("mem.peakResidentBytes"), MetricKind::Max);
+    chargeResidentBytes(-300); // restore the ledger for other tests
+    EXPECT_EQ(residentBytes(), base);
+    MetricsRegistry::global().reset();
+}
+
+TEST(ResidentLedger, PeakGaugesMergeKindCorrectly)
+{
+    // mem.peak* names must merge as Max, not sum — a service-level
+    // rollup across runs keeps the largest footprint, and repeated
+    // merges of the same snapshot must not inflate it.
+    MetricsSnapshot total;
+    MetricsSnapshot run;
+    run.setMax("mem.peakResidentBytes", 4096.0);
+    run.setMax("mem.peakBandBytes", 1024.0);
+    total.merge(run);
+    total.merge(run);
+    MetricsSnapshot bigger;
+    bigger.setMax("mem.peakBandBytes", 2048.0);
+    total.merge(bigger);
+    EXPECT_EQ(total.value("mem.peakResidentBytes"), 4096.0);
+    EXPECT_EQ(total.value("mem.peakBandBytes"), 2048.0);
+    EXPECT_EQ(total.kind("mem.peakBandBytes"), MetricKind::Max);
+}
+
+// ---------------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------------
 

@@ -203,6 +203,66 @@ TEST(Tiles, GridDependsOnlyOnExtentsAndGrain)
     }
 }
 
+TEST(TileBands, PartitionTilesIntoContiguousRanges)
+{
+    // Bands must cover [0, tiles.size()) in ascending, non-overlapping
+    // tile-index ranges — the property that makes sequential band runs
+    // merge partial sums in exactly the stage-major tile order.
+    const int nx = 23, ny = 17, grain = 5;
+    const auto tiles = parallel::makeTiles(nx, ny, grain);
+    const auto bands = parallel::makeTileBands(nx, ny, grain, 7);
+    ASSERT_FALSE(bands.empty());
+    EXPECT_EQ(bands.front().firstTile, 0);
+    EXPECT_EQ(bands.back().lastTile, static_cast<int>(tiles.size()));
+    int cursor = 0;
+    int y_cursor = 0;
+    for (const parallel::TileBand &b : bands) {
+        EXPECT_EQ(b.firstTile, cursor);
+        EXPECT_GT(b.lastTile, b.firstTile);
+        cursor = b.lastTile;
+        EXPECT_EQ(b.y0, y_cursor);
+        EXPECT_GT(b.y1, b.y0);
+        y_cursor = b.y1;
+        // Every tile of the band lies inside the band's y range.
+        for (int ti = b.firstTile; ti < b.lastTile; ++ti) {
+            EXPECT_GE(tiles[ti].y0, b.y0);
+            EXPECT_LE(tiles[ti].y1, b.y1);
+        }
+    }
+    EXPECT_EQ(y_cursor, ny);
+}
+
+TEST(TileBands, RowsRoundUpToWholeTileRows)
+{
+    // rows_per_band is rounded up to whole tile rows so a band never
+    // splits a tile; a band request smaller than the grain still
+    // yields one tile row per band.
+    const auto bands = parallel::makeTileBands(20, 20, 8, 3);
+    ASSERT_EQ(bands.size(), 3u); // ceil(20/8) = 3 tile rows
+    EXPECT_EQ(bands[0].y1 - bands[0].y0, 8);
+    EXPECT_EQ(bands[2].y1 - bands[2].y0, 4); // odd trailing band
+}
+
+TEST(TileBands, BandLargerThanGridGivesSingleBand)
+{
+    const auto bands = parallel::makeTileBands(10, 10, 4, 100);
+    ASSERT_EQ(bands.size(), 1u);
+    EXPECT_EQ(bands[0].firstTile, 0);
+    EXPECT_EQ(bands[0].y0, 0);
+    EXPECT_EQ(bands[0].y1, 10);
+}
+
+TEST(TileBands, EmptyGridAndBadGrain)
+{
+    EXPECT_TRUE(parallel::makeTileBands(0, 8, 4, 2).empty());
+    EXPECT_TRUE(parallel::makeTileBands(8, 0, 4, 2).empty());
+    EXPECT_THROW(parallel::makeTileBands(8, 8, 0, 2),
+                 std::invalid_argument);
+    // Non-positive rows_per_band clamps to one tile row per band.
+    const auto bands = parallel::makeTileBands(8, 8, 4, 0);
+    EXPECT_EQ(bands.size(), 2u);
+}
+
 TEST(Tiles, ParallelForTilesVisitsEveryTileOnce)
 {
     const int nx = 13, ny = 9, grain = 4;

@@ -495,6 +495,62 @@ TEST_F(VariantMatrix, InfiniteMarginMatchesDenseBitwise)
     }
 }
 
+// ---------------------------------------------------------------------
+// Band matrix: the row-band streaming schedule (DESIGN §15) reorders
+// work but never arithmetic, so enabling it must reproduce the
+// stage-major output bit for bit across {scalar, avx2} x {1, 8}
+// threads x {float32, int16} x several band heights — including band
+// heights that exceed the reference grid (single-band degenerate).
+// ---------------------------------------------------------------------
+
+class BandMatrix : public ::testing::Test
+{
+  protected:
+    void TearDown() override { simd::setLevel(simd::bestSupported()); }
+};
+
+TEST_F(BandMatrix, BandScheduleMatchesStageMajorBitwise)
+{
+    auto clean = image::makeScene(image::SceneKind::Street, 48, 44, 1, 350);
+    auto noisy = image::addGaussianNoise(clean, 25.0f, 351);
+
+    const simd::Level levels[] = {simd::Level::Scalar, simd::Level::Avx2};
+    for (bm3d::Precision precision :
+         {bm3d::Precision::Float32, bm3d::Precision::Int16}) {
+        for (simd::Level level : levels) {
+            simd::setLevel(level); // clamped to bestSupported()
+            for (int threads : {1, 8}) {
+                bm3d::Bm3dConfig cfg;
+                cfg.sigma = 25.0f;
+                cfg.searchWindow1 = 13;
+                cfg.searchWindow2 = 11;
+                cfg.tileGrain = 8;
+                cfg.precision = precision;
+                cfg.numThreads = threads;
+                auto stage_major = bm3d::Bm3d(cfg).denoise(noisy);
+
+                for (int rows : {4, 16, 1000}) {
+                    cfg.band.enabled = true;
+                    cfg.band.rows = rows;
+                    cfg.prefetch = true;
+                    auto banded = bm3d::Bm3d(cfg).denoise(noisy);
+                    EXPECT_TRUE(stage_major.basic.raw() == banded.basic.raw())
+                        << "precision=" << static_cast<int>(precision)
+                        << " level=" << static_cast<int>(level)
+                        << " threads=" << threads << " rows=" << rows;
+                    EXPECT_TRUE(stage_major.output.raw() ==
+                                banded.output.raw())
+                        << "precision=" << static_cast<int>(precision)
+                        << " level=" << static_cast<int>(level)
+                        << " threads=" << threads << " rows=" << rows;
+                    cfg.band.enabled = false;
+                    cfg.prefetch = false;
+                }
+            }
+        }
+    }
+}
+
 TEST_F(VariantMatrix, DensifyAlwaysMatchesDenseBitwise)
 {
     auto clean = image::makeScene(image::SceneKind::Nature, 48, 40, 1, 340);

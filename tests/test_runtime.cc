@@ -151,6 +151,29 @@ TEST_F(RuntimeTest, StreamMatchesBatchWithWienerStage)
         EXPECT_TRUE(batch[f].raw() == streamed[f].raw()) << "frame " << f;
 }
 
+// The row-band streaming schedule (DESIGN §15) composes with the
+// frame pipeline: a banded streamed clip must be bitwise identical
+// both to the banded batch path and to the stage-major stream.
+TEST_F(RuntimeTest, BandScheduleComposesWithStreamBitwise)
+{
+    const auto clip = staticClip(3, 48, 48, 25.0f, 47);
+    StreamConfig cfg = smallStreamConfig(4, /*wiener=*/true);
+    cfg.frame.tileGrain = 8;
+    const auto plain_stream = streamOutputs(cfg, clip);
+    cfg.frame.band.enabled = true;
+    cfg.frame.band.rows = 8;
+    cfg.frame.prefetch = true;
+    const auto banded_batch = batchOutputs(cfg.frame, clip);
+    const auto banded_stream = streamOutputs(cfg, clip);
+    ASSERT_EQ(plain_stream.size(), banded_stream.size());
+    for (size_t f = 0; f < banded_stream.size(); ++f) {
+        EXPECT_TRUE(plain_stream[f].raw() == banded_stream[f].raw())
+            << "band vs stage-major stream, frame " << f;
+        EXPECT_TRUE(banded_batch[f].raw() == banded_stream[f].raw())
+            << "banded stream vs banded batch, frame " << f;
+    }
+}
+
 // Outputs arrive in submit order even when a producer thread races
 // the collector. Runs under TSan via the sanitize label.
 TEST_F(RuntimeTest, ConcurrentSubmitCollectIsOrderedAndRaceFree)
